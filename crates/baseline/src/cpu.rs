@@ -1,0 +1,251 @@
+//! CPU baselines: single-threaded and OpenMP-style parallel refinement
+//! (the paper's "CPU baseline" and "parallel CPU implementation using
+//! OpenMP", Section 6).
+//!
+//! Both run the same PIP refinement over every input point; the parallel
+//! variant forks crossbeam scoped threads over point chunks, which is
+//! structurally what `#pragma omp parallel for` compiles to.
+
+use crate::pip::pip_counted;
+use canvas_geom::polygon::Polygon;
+use canvas_geom::Point;
+
+/// Output of a baseline selection: matching record indexes plus the
+/// number of PIP edge tests performed (the cost-model work unit).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineResult {
+    pub records: Vec<u32>,
+    pub edge_tests: u64,
+}
+
+/// Single-threaded selection with a disjunction of polygon constraints
+/// (one polygon = ordinary selection). Existing approaches "test the
+/// points with respect to each of the polygonal constraints" — so the
+/// work scales with the number of constraints, which is exactly what
+/// Figure 9(c,d) punishes.
+pub fn select_scalar(points: &[Point], constraints: &[Polygon]) -> BaselineResult {
+    let mut out = BaselineResult::default();
+    for (i, p) in points.iter().enumerate() {
+        let mut hit = false;
+        for poly in constraints {
+            let (inside, edges) = pip_counted(*p, poly);
+            out.edge_tests += edges;
+            if inside {
+                hit = true;
+                break; // disjunction short-circuits on first hit
+            }
+        }
+        if hit {
+            out.records.push(i as u32);
+        }
+    }
+    out
+}
+
+/// Conjunction variant (point must be inside every constraint).
+pub fn select_scalar_conjunction(points: &[Point], constraints: &[Polygon]) -> BaselineResult {
+    let mut out = BaselineResult::default();
+    for (i, p) in points.iter().enumerate() {
+        let mut hit = true;
+        for poly in constraints {
+            let (inside, edges) = pip_counted(*p, poly);
+            out.edge_tests += edges;
+            if !inside {
+                hit = false;
+                break;
+            }
+        }
+        if hit {
+            out.records.push(i as u32);
+        }
+    }
+    out
+}
+
+/// Selection with a pre-built edge BVH per constraint — the optimized
+/// refinement kernel (and the software analogue of the paper's
+/// ray-tracing "alternate implementation", Section 5). Exact; visits
+/// `O(log E)` edges per test instead of all of them.
+pub fn select_scalar_bvh(points: &[Point], constraints: &[Polygon]) -> BaselineResult {
+    let bvhs: Vec<canvas_geom::bvh::EdgeBvh> = constraints
+        .iter()
+        .map(canvas_geom::bvh::EdgeBvh::build)
+        .collect();
+    let boxes: Vec<canvas_geom::BBox> = constraints.iter().map(|c| c.bbox()).collect();
+    let mut out = BaselineResult::default();
+    for (i, p) in points.iter().enumerate() {
+        let mut hit = false;
+        for (bvh, bbox) in bvhs.iter().zip(&boxes) {
+            if !bbox.contains(*p) {
+                out.edge_tests += 1;
+                continue;
+            }
+            let (crossings, on_boundary, visited) = bvh.crossings(*p);
+            out.edge_tests += visited as u64;
+            if on_boundary || crossings % 2 == 1 {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            out.records.push(i as u32);
+        }
+    }
+    out
+}
+
+/// OpenMP-style parallel selection: fork-join over point chunks.
+pub fn select_parallel(
+    points: &[Point],
+    constraints: &[Polygon],
+    threads: usize,
+) -> BaselineResult {
+    let threads = threads.max(1);
+    if threads == 1 || points.len() < 1024 {
+        return select_scalar(points, constraints);
+    }
+    let chunk = points.len().div_ceil(threads);
+    let results: Vec<BaselineResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move |_| {
+                    let mut r = select_scalar(slice, constraints);
+                    let base = (ci * chunk) as u32;
+                    for rec in &mut r.records {
+                        *rec += base;
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("baseline worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut out = BaselineResult::default();
+    for r in results {
+        out.records.extend(r.records);
+        out.edge_tests += r.edge_tests;
+    }
+    out.records.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    fn square(x0: f64, y0: f64, side: f64) -> Polygon {
+        Polygon::simple(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + side, y0),
+            Point::new(x0 + side, y0 + side),
+            Point::new(x0, y0 + side),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scalar_matches_exact() {
+        let pts = random_points(300, 17);
+        let q = square(20.0, 20.0, 40.0);
+        let got = select_scalar(&pts, std::slice::from_ref(&q));
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_closed(**p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got.records, want);
+        assert!(got.edge_tests > 0);
+    }
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let pts = random_points(5000, 23);
+        let qs = vec![square(10.0, 10.0, 30.0), square(50.0, 50.0, 35.0)];
+        let s = select_scalar(&pts, &qs);
+        let p = select_parallel(&pts, &qs, 4);
+        assert_eq!(s.records, p.records);
+        // Edge-test counts can differ only if chunk boundaries change
+        // short-circuiting — they don't for disjunction over points.
+        assert_eq!(s.edge_tests, p.edge_tests);
+    }
+
+    #[test]
+    fn disjunction_vs_conjunction() {
+        let pts = vec![
+            Point::new(15.0, 15.0), // A only
+            Point::new(55.0, 55.0), // B only
+            Point::new(52.0, 52.0), // both? A=(10..40), B=(50..85): no
+            Point::new(95.0, 95.0), // neither
+        ];
+        let a = square(10.0, 10.0, 30.0);
+        let b = square(50.0, 50.0, 35.0);
+        let dis = select_scalar(&pts, &[a.clone(), b.clone()]);
+        assert_eq!(dis.records, vec![0, 1, 2]);
+        let con = select_scalar_conjunction(&pts, &[a, b]);
+        assert!(con.records.is_empty());
+    }
+
+    #[test]
+    fn more_constraints_cost_more_edges() {
+        // The Figure 9(c) effect: baselines pay per constraint.
+        let pts = random_points(1000, 3);
+        let far_a = square(200.0, 200.0, 10.0); // never hit: no short-circuit
+        let far_b = square(300.0, 300.0, 10.0);
+        let one = select_scalar(&pts, std::slice::from_ref(&far_a));
+        let two = select_scalar(&pts, &[far_a, far_b]);
+        assert!(two.edge_tests > one.edge_tests);
+    }
+
+    #[test]
+    fn bvh_selection_matches_scalar_with_fewer_edges() {
+        let pts = random_points(2000, 77);
+        // Complex polygon where the BVH pays off.
+        let verts: Vec<Point> = (0..512)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / 512.0;
+                let r = 30.0 + 10.0 * ((i * 7 % 13) as f64 / 13.0);
+                Point::new(50.0 + r * ang.cos(), 50.0 + r * ang.sin())
+            })
+            .collect();
+        let poly = Polygon::simple(verts).unwrap();
+        let scalar = select_scalar(&pts, std::slice::from_ref(&poly));
+        let bvh = select_scalar_bvh(&pts, std::slice::from_ref(&poly));
+        assert_eq!(scalar.records, bvh.records);
+        assert!(
+            bvh.edge_tests * 3 < scalar.edge_tests,
+            "bvh {} vs scalar {} edge tests",
+            bvh.edge_tests,
+            scalar.edge_tests
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(select_scalar(&[], &[square(0.0, 0.0, 1.0)]).records, vec![] as Vec<u32>);
+        let pts = random_points(5, 2);
+        let r = select_scalar(&pts, &[]);
+        assert!(r.records.is_empty());
+        assert_eq!(r.edge_tests, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The point-in-polygon refinement kernel shared by all baselines.
+//!
+//! The paper's evaluation (Section 6) isolates the *refinement* step:
+//! "we only need to implement the PIP tests for the above baselines".
+//! This kernel is that test — a crossing-number walk over the polygon's
+//! edges — instrumented with an edge-test counter so the device cost
+//! model can charge the same work to different hardware.
+
+use canvas_geom::polygon::Polygon;
+use canvas_geom::Point;
+
+/// Closed point-in-polygon test returning the number of edge tests
+/// performed (the baseline's unit of work).
+///
+/// Semantics match `Polygon::contains_closed` (boundary counts as
+/// inside), so baselines and canvas queries agree bit-for-bit.
+#[inline]
+pub fn pip_counted(p: Point, poly: &Polygon) -> (bool, u64) {
+    // Cheap MBR reject — both the canvas and the baselines get this.
+    let bbox = poly.bbox();
+    if !bbox.contains(p) {
+        return (false, 1);
+    }
+    let mut edges = 0u64;
+    let mut inside = false;
+    let mut on_boundary = false;
+    for (ri, ring) in std::iter::once(poly.outer())
+        .chain(poly.holes().iter())
+        .enumerate()
+    {
+        let verts = ring.vertices();
+        let n = verts.len();
+        let mut ring_inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            edges += 1;
+            let a = verts[j];
+            let b = verts[i];
+            if canvas_geom::predicates::on_segment(p, a, b) {
+                on_boundary = true;
+            }
+            if (b.y > p.y) != (a.y > p.y) {
+                let t = (p.y - b.y) / (a.y - b.y);
+                if p.x < b.x + t * (a.x - b.x) {
+                    ring_inside = !ring_inside;
+                }
+            }
+            j = i;
+        }
+        if ri == 0 {
+            inside = ring_inside;
+            if !inside && !on_boundary {
+                break; // outside the outer ring: holes are irrelevant
+            }
+        } else if ring_inside {
+            inside = false; // inside a hole
+        }
+    }
+    (inside || on_boundary, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::polygon::Ring;
+
+    fn square(side: f64) -> Polygon {
+        Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(side, 0.0),
+            Point::new(side, side),
+            Point::new(0.0, side),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_polygon_contains_closed() {
+        let poly = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 1.0),
+            Point::new(6.0, 7.0),
+            Point::new(2.0, 5.0),
+        ])
+        .unwrap();
+        let mut state = 12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..500 {
+            let p = Point::new(next() * 10.0 - 1.0, next() * 10.0 - 1.0);
+            let (got, _) = pip_counted(p, &poly);
+            assert_eq!(got, poly.contains_closed(p), "disagree at {p}");
+        }
+    }
+
+    #[test]
+    fn counts_edges_inside() {
+        let sq = square(4.0);
+        let (inside, edges) = pip_counted(Point::new(2.0, 2.0), &sq);
+        assert!(inside);
+        assert_eq!(edges, 4);
+    }
+
+    #[test]
+    fn mbr_reject_costs_one() {
+        let sq = square(4.0);
+        let (inside, edges) = pip_counted(Point::new(100.0, 100.0), &sq);
+        assert!(!inside);
+        assert_eq!(edges, 1);
+    }
+
+    #[test]
+    fn boundary_counts_as_inside() {
+        let sq = square(4.0);
+        assert!(pip_counted(Point::new(0.0, 2.0), &sq).0);
+        assert!(pip_counted(Point::new(4.0, 4.0), &sq).0);
+    }
+
+    #[test]
+    fn holes_respected() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let donut = Polygon::new(outer, vec![hole]);
+        assert!(pip_counted(Point::new(2.0, 2.0), &donut).0);
+        assert!(!pip_counted(Point::new(5.0, 5.0), &donut).0);
+        assert!(pip_counted(Point::new(4.0, 5.0), &donut).0); // hole edge
+    }
+}

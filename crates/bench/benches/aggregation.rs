@@ -1,0 +1,74 @@
+//! Criterion bench for E6 (Section 5.2): spatial aggregation plans —
+//! the fused RasterJoin-style canvas plan, the literal (unfused) algebra
+//! plan, and the traditional join-then-aggregate baseline.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::aggregate::{
+    aggregate_join_blend_plan, aggregate_join_rasterjoin,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let extent = city_extent();
+    let n = 40_000usize;
+    let trips = canvas_datagen::generate_trips(&extent, n, 8, 45);
+    let batch = PointBatch::with_weights(trips.pickups.clone(), trips.fares.clone());
+    let vp = Viewport::square_pixels(extent, 256);
+
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    for zones_n in [10usize, 40] {
+        let zones: AreaSource = Arc::new(canvas_datagen::neighborhoods_detailed(
+            &extent, zones_n, 150, 46,
+        ));
+
+        group.bench_with_input(
+            BenchmarkId::new("rasterjoin_fused", zones_n),
+            &zones_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut dev = Device::nvidia();
+                    aggregate_join_rasterjoin(&mut dev, vp, &batch, &zones)
+                        .counts
+                        .iter()
+                        .sum::<u64>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blend_plan_unfused", zones_n),
+            &zones_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut dev = Device::nvidia();
+                    aggregate_join_blend_plan(&mut dev, vp, &batch, &zones)
+                        .counts
+                        .iter()
+                        .sum::<u64>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("join_then_aggregate", zones_n),
+            &zones_n,
+            |b, _| {
+                b.iter(|| {
+                    canvas_baseline::aggregate_join_baseline(
+                        &trips.pickups,
+                        &trips.fares,
+                        &zones,
+                    )
+                    .0
+                    .iter()
+                    .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

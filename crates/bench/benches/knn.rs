@@ -1,0 +1,44 @@
+//! Criterion bench for E8 (Section 4.4): kNN via the circle-ladder
+//! canvas workflow vs a brute-force scan.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::knn::knn;
+use canvas_geom::Point;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_knn(c: &mut Criterion) {
+    let extent = city_extent();
+    let n = 40_000usize;
+    let points = canvas_datagen::taxi_pickups(&extent, n, 47);
+    let batch = PointBatch::from_points(points.clone());
+    let vp = Viewport::square_pixels(extent, 256);
+    let x = Point::new(45.0, 55.0);
+
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(10);
+    for k in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("canvas_ladder", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                knn(&mut dev, vp, &batch, x, k).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut d: Vec<(f64, u32)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.dist_sq(x), i as u32))
+                    .collect();
+                d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                d.truncate(k);
+                d.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for E3/E4 (Figure 9 c,d): disjunction of multiple
+//! polygonal constraints. The canvas approach's extra cost per
+//! constraint is one blended render; the baselines pay per-point PIP
+//! tests per constraint.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::selection::{select_points_multi, MultiPolygon};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_multi_constraint(c: &mut Criterion) {
+    let extent = city_extent();
+    let mbr = canvas_geom::BBox::new(
+        canvas_geom::Point::new(15.0, 15.0),
+        canvas_geom::Point::new(85.0, 85.0),
+    );
+    let n = 40_000usize;
+    let points = canvas_datagen::taxi_pickups(&extent, n, 43);
+    let batch = PointBatch::from_points(points.clone());
+    let vp = Viewport::square_pixels(extent, 256);
+
+    let mut group = c.benchmark_group("multi_constraint");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        let polys: Vec<canvas_geom::Polygon> = (0..k)
+            .map(|i| canvas_datagen::star_polygon(&mbr, 64, 0.5, 100 + i as u64))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("canvas", k), &k, |b, _| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                select_points_multi(&mut dev, vp, &batch, &polys, MultiPolygon::Disjunction)
+                    .records
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scalar", k), &k, |b, _| {
+            b.iter(|| canvas_baseline::select_scalar(&points, &polys).records.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_constraint);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for E10 (Section 4.6): origin–destination selection
+//! (two chained polygonal constraints) vs a scalar two-predicate scan.
+
+use canvas_bench::city_extent;
+use canvas_core::queries::od::select_od;
+use canvas_core::Device;
+use canvas_geom::{BBox, Point};
+use canvas_raster::Viewport;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_od(c: &mut Criterion) {
+    let extent = city_extent();
+    let vp = Viewport::square_pixels(extent, 256);
+    let q1 = canvas_datagen::star_polygon(
+        &BBox::new(Point::new(15.0, 15.0), Point::new(55.0, 55.0)),
+        48,
+        0.4,
+        49,
+    );
+    let q2 = canvas_datagen::star_polygon(
+        &BBox::new(Point::new(45.0, 45.0), Point::new(90.0, 90.0)),
+        48,
+        0.4,
+        50,
+    );
+
+    let mut group = c.benchmark_group("od_query");
+    group.sample_size(10);
+    for n in [10_000usize, 40_000] {
+        let trips = canvas_datagen::generate_trips(&extent, n, 8, 51);
+        let batch = trips.od_batch();
+        group.bench_with_input(BenchmarkId::new("canvas", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                select_od(&mut dev, vp, &batch, &q1, &q2).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scan", n), &n, |b, _| {
+            b.iter(|| {
+                (0..trips.len())
+                    .filter(|&i| {
+                        q1.contains_closed(trips.pickups[i])
+                            && q2.contains_closed(trips.dropoffs[i])
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_od);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for E1/E2 (Figure 9 a,b): polygonal selection of
+//! points, scaling the input size, one constraint polygon. Benches the
+//! wall-clock of each approach's software implementation; the modeled
+//! device times are produced by the `repro` binary.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::selection::select_points_in_polygon;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection_scaling(c: &mut Criterion) {
+    let extent = city_extent();
+    let mbr = canvas_geom::BBox::new(
+        canvas_geom::Point::new(15.0, 15.0),
+        canvas_geom::Point::new(85.0, 85.0),
+    );
+    let poly = canvas_datagen::star_polygon(&mbr, 64, 0.5, 7);
+    let vp = Viewport::square_pixels(extent, 256);
+
+    let mut group = c.benchmark_group("selection_scaling");
+    group.sample_size(10);
+    for n in [10_000usize, 40_000, 160_000] {
+        let points = canvas_datagen::taxi_pickups(&extent, n, 42);
+        let batch = PointBatch::from_points(points.clone());
+
+        group.bench_with_input(BenchmarkId::new("canvas", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                select_points_in_polygon(&mut dev, vp, &batch, &poly)
+                    .records
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scalar", n), &n, |b, _| {
+            b.iter(|| {
+                canvas_baseline::select_scalar(&points, std::slice::from_ref(&poly))
+                    .records
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                canvas_baseline::select_gpu_baseline(
+                    &mut dev,
+                    &points,
+                    std::slice::from_ref(&poly),
+                )
+                .records
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for E5 (Figure 10): fixed input, varying constraint
+//! polygon (selectivity / vertex complexity). The baseline's cost is
+//! linear in the polygon's vertex count; the canvas cost is not.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::selection::select_points_in_polygon;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_vary_polygon(c: &mut Criterion) {
+    let extent = city_extent();
+    let n = 40_000usize;
+    let points = canvas_datagen::taxi_pickups(&extent, n, 44);
+    let batch = PointBatch::from_points(points.clone());
+    let vp = Viewport::square_pixels(extent, 256);
+    let mbr = canvas_geom::BBox::new(
+        canvas_geom::Point::new(10.0, 10.0),
+        canvas_geom::Point::new(90.0, 90.0),
+    );
+
+    let mut group = c.benchmark_group("vary_polygon");
+    group.sample_size(10);
+    for (target, verts) in [(0.05, 32usize), (0.35, 96), (0.80, 384)] {
+        let poly = canvas_datagen::calibrated_polygon(&mbr, &points, target, verts, 17);
+        let label = format!("sel{:02}_v{}", (target * 100.0) as u32, verts);
+
+        group.bench_with_input(BenchmarkId::new("canvas", &label), &label, |b, _| {
+            b.iter(|| {
+                let mut dev = Device::nvidia();
+                select_points_in_polygon(&mut dev, vp, &batch, &poly)
+                    .records
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scalar", &label), &label, |b, _| {
+            b.iter(|| {
+                canvas_baseline::select_scalar(&points, std::slice::from_ref(&poly))
+                    .records
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_polygon);
+criterion_main!(benches);

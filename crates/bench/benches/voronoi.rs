@@ -1,0 +1,31 @@
+//! Criterion bench for E9 (Section 4.5): the Voronoi stored procedure
+//! (incremental value transforms) across site counts and resolutions.
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::voronoi::compute_voronoi;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_voronoi(c: &mut Criterion) {
+    let extent = city_extent();
+    let mut group = c.benchmark_group("voronoi");
+    group.sample_size(10);
+    for sites_n in [8usize, 32, 128] {
+        let sites = canvas_datagen::jittered_sites(&extent, sites_n, 48);
+        let vp = Viewport::square_pixels(extent, 128);
+        group.bench_with_input(
+            BenchmarkId::new("stored_procedure", sites_n),
+            &sites_n,
+            |b, _| {
+                b.iter(|| {
+                    let mut dev = Device::nvidia();
+                    compute_voronoi(&mut dev, vp, &sites).non_null_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voronoi);
+criterion_main!(benches);

@@ -1,0 +1,450 @@
+//! Expression nodes and the evaluator.
+
+use std::sync::Arc;
+
+use crate::canvas::{AreaSource, Canvas, PointBatch};
+use crate::device::Device;
+use crate::info::BlendFn;
+use crate::ops::{self, MaskSpec, PositionMap, ValueMap};
+use canvas_geom::polygon::Polygon;
+use canvas_raster::Viewport;
+
+/// A canvas source: the leaves of a plan. Sources hold *vector* data and
+/// are rendered on demand when the plan executes (paper Section 5:
+/// "canvases are created on the fly").
+#[derive(Clone)]
+pub enum SourceSpec {
+    /// A point data set (`C_P` — conceptually a collection of canvases,
+    /// rendered as one accumulated canvas).
+    Points(Arc<PointBatch>),
+    /// One polygon record from a table, with its texel id.
+    Polygon { table: AreaSource, record: usize, id: u32 },
+    /// A whole polygon table rendered in one instanced draw with the
+    /// given internal blend (the fused `B*` form).
+    PolygonSet { table: AreaSource, blend: BlendFn },
+    /// `Circ[(x,y), r]()`.
+    Circle { center: canvas_geom::Point, radius: f64, id: u32 },
+    /// `Rect[l1, l2]()`.
+    Rect { l1: canvas_geom::Point, l2: canvas_geom::Point, id: u32 },
+    /// `HS[a, b, c]()`.
+    HalfSpace { a: f64, b: f64, c: f64, id: u32 },
+    /// An already-materialized canvas (sub-query result).
+    Literal(Arc<Canvas>),
+}
+
+impl SourceSpec {
+    fn label(&self) -> String {
+        match self {
+            SourceSpec::Points(b) => format!("C_P[{} points]", b.len()),
+            SourceSpec::Polygon { record, id, .. } => {
+                format!("C_Y[record {record}, id {id}]")
+            }
+            SourceSpec::PolygonSet { table, blend } => {
+                format!("C_Y*[{} polygons, {}]", table.len(), blend.symbol())
+            }
+            SourceSpec::Circle { radius, .. } => format!("Circ[r={radius}]"),
+            SourceSpec::Rect { .. } => "Rect[l1,l2]".to_string(),
+            SourceSpec::HalfSpace { a, b, c, .. } => format!("HS[{a},{b},{c}]"),
+            SourceSpec::Literal(_) => "C_lit".to_string(),
+        }
+    }
+
+    fn render(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+        match self {
+            SourceSpec::Points(batch) => crate::source::render_points(dev, vp, batch),
+            SourceSpec::Polygon { table, record, id } => {
+                crate::source::render_polygon(dev, vp, table, *record, *id)
+            }
+            SourceSpec::PolygonSet { table, blend } => {
+                crate::source::render_polygon_set(dev, vp, table, *blend)
+            }
+            SourceSpec::Circle { center, radius, id } => {
+                ops::circle_canvas(dev, vp, *center, *radius, *id)
+            }
+            SourceSpec::Rect { l1, l2, id } => ops::rect_canvas(dev, vp, *l1, *l2, *id),
+            SourceSpec::HalfSpace { a, b, c, id } => {
+                ops::halfspace_canvas(dev, vp, *a, *b, *c, *id)
+            }
+            SourceSpec::Literal(c) => (**c).clone(),
+        }
+    }
+}
+
+/// A plan node. Every node evaluates to a canvas — the algebra is closed.
+#[derive(Clone)]
+pub enum Expr {
+    Source(SourceSpec),
+    /// `B[⊙](left, right)`.
+    Blend {
+        op: BlendFn,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `B*[⊙](inputs…)`.
+    MultiBlend { op: BlendFn, inputs: Vec<Expr> },
+    /// `M[M](input)`.
+    Mask { spec: MaskSpec, input: Box<Expr> },
+    /// `G[γ](input)` with position-form γ.
+    GeomTransform {
+        gamma: PositionMap,
+        input: Box<Expr>,
+    },
+    /// `D*[γ](input)` — dissect + value-form transform, fused to a
+    /// scatter into `groups` group slots (Section 4.3 aggregation shape).
+    MapScatter {
+        gamma: ValueMap,
+        groups: u32,
+        combine: BlendFn,
+        input: Box<Expr>,
+    },
+    /// `V[f](input)` with a named function.
+    ValueTransform {
+        name: &'static str,
+        f: Arc<dyn Fn(canvas_geom::Point, crate::info::Texel) -> crate::info::Texel + Send + Sync>,
+        input: Box<Expr>,
+    },
+}
+
+impl Expr {
+    // ----- constructors (builder style) ---------------------------------
+
+    pub fn points(batch: Arc<PointBatch>) -> Expr {
+        Expr::Source(SourceSpec::Points(batch))
+    }
+
+    pub fn query_polygon(poly: Polygon, id: u32) -> Expr {
+        Expr::Source(SourceSpec::Polygon {
+            table: Arc::new(vec![poly]),
+            record: 0,
+            id,
+        })
+    }
+
+    pub fn polygon_record(table: AreaSource, record: usize, id: u32) -> Expr {
+        Expr::Source(SourceSpec::Polygon { table, record, id })
+    }
+
+    pub fn polygon_set(table: AreaSource, blend: BlendFn) -> Expr {
+        Expr::Source(SourceSpec::PolygonSet { table, blend })
+    }
+
+    pub fn literal(c: Canvas) -> Expr {
+        Expr::Source(SourceSpec::Literal(Arc::new(c)))
+    }
+
+    pub fn blend(op: BlendFn, left: Expr, right: Expr) -> Expr {
+        Expr::Blend {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn multi_blend(op: BlendFn, inputs: Vec<Expr>) -> Expr {
+        Expr::MultiBlend { op, inputs }
+    }
+
+    pub fn mask(spec: MaskSpec, input: Expr) -> Expr {
+        Expr::Mask {
+            spec,
+            input: Box::new(input),
+        }
+    }
+
+    pub fn geom_transform(gamma: PositionMap, input: Expr) -> Expr {
+        Expr::GeomTransform {
+            gamma,
+            input: Box::new(input),
+        }
+    }
+
+    pub fn map_scatter(gamma: ValueMap, groups: u32, combine: BlendFn, input: Expr) -> Expr {
+        Expr::MapScatter {
+            gamma,
+            groups,
+            combine,
+            input: Box::new(input),
+        }
+    }
+
+    pub fn value_transform(
+        name: &'static str,
+        f: Arc<dyn Fn(canvas_geom::Point, crate::info::Texel) -> crate::info::Texel + Send + Sync>,
+        input: Expr,
+    ) -> Expr {
+        Expr::ValueTransform {
+            name,
+            f,
+            input: Box::new(input),
+        }
+    }
+
+    // ----- evaluation ----------------------------------------------------
+
+    /// Executes the plan on a device within the given viewport.
+    pub fn eval(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+        match self {
+            Expr::Source(s) => s.render(dev, vp),
+            Expr::Blend { op, left, right } => {
+                let l = left.eval(dev, vp);
+                let r = right.eval(dev, vp);
+                ops::blend(dev, &l, &r, *op)
+            }
+            Expr::MultiBlend { op, inputs } => {
+                if inputs.is_empty() {
+                    return Canvas::empty(vp);
+                }
+                let mut acc = inputs[0].eval(dev, vp);
+                for e in &inputs[1..] {
+                    let c = e.eval(dev, vp);
+                    acc = ops::blend(dev, &acc, &c, *op);
+                }
+                acc
+            }
+            Expr::Mask { spec, input } => {
+                let c = input.eval(dev, vp);
+                ops::mask(dev, &c, spec)
+            }
+            Expr::GeomTransform { gamma, input } => {
+                let c = input.eval(dev, vp);
+                ops::transform_positions(dev, &c, gamma, vp)
+            }
+            Expr::MapScatter {
+                gamma,
+                groups,
+                combine,
+                input,
+            } => {
+                let c = input.eval(dev, vp);
+                ops::map_scatter(dev, &c, gamma, ops::group_viewport(*groups), *combine)
+            }
+            Expr::ValueTransform { f, input, .. } => {
+                let c = input.eval(dev, vp);
+                ops::value_transform(dev, &c, |p, t| f(p, t))
+            }
+        }
+    }
+
+    // ----- plan diagrams --------------------------------------------------
+
+    /// Renders the plan as an indented tree (the textual analogue of the
+    /// paper's plan diagrams, Figures 5–8).
+    pub fn plan(&self) -> String {
+        let mut out = String::new();
+        self.plan_into(&mut out, 0);
+        out
+    }
+
+    fn plan_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Expr::Source(s) => {
+                out.push_str(&format!("{pad}{}\n", s.label()));
+            }
+            Expr::Blend { op, left, right } => {
+                out.push_str(&format!("{pad}B[{}]\n", op.symbol()));
+                left.plan_into(out, depth + 1);
+                right.plan_into(out, depth + 1);
+            }
+            Expr::MultiBlend { op, inputs } => {
+                out.push_str(&format!("{pad}B*[{}] ({} inputs)\n", op.symbol(), inputs.len()));
+                for e in inputs {
+                    e.plan_into(out, depth + 1);
+                }
+            }
+            Expr::Mask { spec, input } => {
+                out.push_str(&format!("{pad}{}\n", spec.label()));
+                input.plan_into(out, depth + 1);
+            }
+            Expr::GeomTransform { gamma, input } => {
+                out.push_str(&format!("{pad}G[{}]\n", gamma.label()));
+                input.plan_into(out, depth + 1);
+            }
+            Expr::MapScatter {
+                gamma,
+                groups,
+                input,
+                ..
+            } => {
+                out.push_str(&format!("{pad}D*[{}] → {groups} groups\n", gamma.name));
+                input.plan_into(out, depth + 1);
+            }
+            Expr::ValueTransform { name, input, .. } => {
+                out.push_str(&format!("{pad}V[{name}]\n"));
+                input.plan_into(out, depth + 1);
+            }
+        }
+    }
+
+    // ----- cost heuristic --------------------------------------------------
+
+    /// Rough cost in "full-screen pass equivalents": how many times the
+    /// plan touches every pixel of the viewport, plus per-source render
+    /// work. Used to compare rewritten plans (Section 7, query
+    /// optimization discussion); the device model gives the real numbers.
+    pub fn cost(&self) -> f64 {
+        match self {
+            Expr::Source(SourceSpec::Points(b)) => 0.1 + b.len() as f64 * 1e-6,
+            Expr::Source(SourceSpec::PolygonSet { table, .. }) => 0.5 * table.len() as f64,
+            Expr::Source(_) => 0.5,
+            Expr::Blend { left, right, .. } => 1.0 + left.cost() + right.cost(),
+            Expr::MultiBlend { inputs, .. } => {
+                inputs.len().saturating_sub(1) as f64 + inputs.iter().map(Expr::cost).sum::<f64>()
+            }
+            Expr::Mask { input, .. } => 1.0 + input.cost(),
+            Expr::GeomTransform { input, .. } => 2.0 + input.cost(),
+            Expr::MapScatter { input, .. } => 1.0 + input.cost(),
+            Expr::ValueTransform { input, .. } => 1.0 + input.cost(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.plan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CountCond;
+    use canvas_geom::{BBox, Point};
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            16,
+            16,
+        )
+    }
+
+    fn square(x0: f64, y0: f64, side: f64) -> Polygon {
+        Polygon::simple(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + side, y0),
+            Point::new(x0 + side, y0 + side),
+            Point::new(x0, y0 + side),
+        ])
+        .unwrap()
+    }
+
+    /// The paper's Figure 5 plan: select points inside a polygon.
+    fn figure5_plan() -> Expr {
+        let data = Arc::new(PointBatch::from_points(vec![
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 8.0),
+        ]));
+        Expr::mask(
+            MaskSpec::PointInAreas(CountCond::Ge(1)),
+            Expr::blend(
+                BlendFn::PointOverArea,
+                Expr::points(data),
+                Expr::query_polygon(square(0.0, 0.0, 5.0), 1),
+            ),
+        )
+    }
+
+    #[test]
+    fn figure5_plan_evaluates_correctly() {
+        let mut dev = Device::nvidia();
+        let result = figure5_plan().eval(&mut dev, vp());
+        assert_eq!(result.point_records(), vec![0]);
+    }
+
+    #[test]
+    fn plan_diagram_structure() {
+        let plan = figure5_plan().plan();
+        let lines: Vec<&str> = plan.lines().collect();
+        assert!(lines[0].starts_with("Mp'"));
+        assert!(lines[1].trim_start().starts_with("B[⊙]"));
+        assert!(lines[2].trim_start().starts_with("C_P"));
+        assert!(lines[3].trim_start().starts_with("C_Y"));
+    }
+
+    #[test]
+    fn closure_composition() {
+        // A masked result is a first-class input to further operators.
+        let mut dev = Device::nvidia();
+        let inner = figure5_plan().eval(&mut dev, vp());
+        let outer = Expr::mask(
+            MaskSpec::Texel("has point", Arc::new(|t: &crate::info::Texel| t.has(0))),
+            Expr::literal(inner),
+        );
+        let result = outer.eval(&mut dev, vp());
+        assert_eq!(result.point_records(), vec![0]);
+    }
+
+    #[test]
+    fn multiblend_empty_gives_empty_canvas() {
+        let mut dev = Device::nvidia();
+        let c = Expr::multi_blend(BlendFn::Over, vec![]).eval(&mut dev, vp());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn utility_sources_evaluate() {
+        let mut dev = Device::nvidia();
+        let circ = Expr::Source(SourceSpec::Circle {
+            center: Point::new(5.0, 5.0),
+            radius: 2.0,
+            id: 1,
+        })
+        .eval(&mut dev, vp());
+        assert!(circ.value_at(Point::new(5.0, 5.0)).has(2));
+        let hs = Expr::Source(SourceSpec::HalfSpace {
+            a: 0.0,
+            b: 1.0,
+            c: -5.0,
+            id: 1,
+        })
+        .eval(&mut dev, vp());
+        assert!(hs.value_at(Point::new(5.0, 2.0)).has(2));
+        assert!(hs.value_at(Point::new(5.0, 8.0)).is_null());
+    }
+
+    #[test]
+    fn cost_prefers_fused_polygon_set() {
+        let table: AreaSource = Arc::new((0..8).map(|i| square(i as f64, 0.0, 0.5)).collect());
+        let unfused = Expr::multi_blend(
+            BlendFn::AreaCount,
+            (0..8)
+                .map(|i| Expr::polygon_record(table.clone(), i, i as u32))
+                .collect(),
+        );
+        let fused = Expr::polygon_set(table, BlendFn::AreaCount);
+        assert!(fused.cost() < unfused.cost());
+    }
+
+    #[test]
+    fn value_transform_node_evaluates() {
+        // One Voronoi insertion step expressed as a plan node.
+        let mut dev = Device::nvidia();
+        let site = Point::new(5.0, 5.0);
+        let plan = Expr::value_transform(
+            "voronoi step",
+            Arc::new(move |p: Point, _| {
+                crate::info::Texel::area(0, p.dist_sq(site) as f32, 0.0)
+            }),
+            Expr::literal(Canvas::empty(vp())),
+        );
+        assert!(plan.plan().contains("V[voronoi step]"));
+        let c = plan.eval(&mut dev, vp());
+        assert_eq!(c.non_null_count(), 16 * 16);
+        let near = c.value_at(Point::new(5.0, 5.0)).get(2).unwrap().v1;
+        let far = c.value_at(Point::new(0.5, 0.5)).get(2).unwrap().v1;
+        assert!(near < far);
+    }
+
+    #[test]
+    fn geom_transform_node_evaluates() {
+        let mut dev = Device::nvidia();
+        let data = Arc::new(PointBatch::from_points(vec![Point::new(1.0, 1.0)]));
+        let moved = Expr::geom_transform(
+            PositionMap::Translate(Point::new(4.0, 4.0)),
+            Expr::points(data),
+        )
+        .eval(&mut dev, vp());
+        assert!(moved.value_at(Point::new(5.0, 5.0)).has(0));
+    }
+}

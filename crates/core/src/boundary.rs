@@ -1,0 +1,264 @@
+//! The hybrid boundary index: exact vector data behind boundary pixels.
+//!
+//! The paper (Section 5) keeps the canvas exact despite discretization by
+//! storing, alongside the texture: (a) the actual location of points,
+//! and (b) for every conservative-rasterized boundary pixel of a polygon
+//! or line, "a simple index ... that maps each boundary pixel to the
+//! actual vector representation". The mask operator consults this index
+//! to run exact tests only where pixels straddle a boundary.
+//!
+//! Entries are kept in pixel-sorted arrays (binary-searched, no per-pixel
+//! allocation); sources of vector geometry are shared via `Arc` so blends
+//! do not copy polygons.
+
+use canvas_geom::Point;
+
+/// An exact 0-primitive behind a pixel: record id, true location, and
+/// the record's attribute weight (used by SUM-style aggregations).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointEntry {
+    pub pixel: u32,
+    pub record: u32,
+    pub loc: Point,
+    pub weight: f32,
+}
+
+/// A 2-primitive whose *boundary* touches a pixel; `source`/`record`
+/// resolve to the vector polygon through the owning canvas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AreaEntry {
+    pub pixel: u32,
+    pub source: u16,
+    pub record: u32,
+}
+
+/// A 1-primitive touching a pixel (lines are all-boundary coverage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineEntry {
+    pub pixel: u32,
+    pub source: u16,
+    pub record: u32,
+}
+
+/// Pixel-sorted boundary entries for one canvas.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BoundaryIndex {
+    points: Vec<PointEntry>,
+    areas: Vec<AreaEntry>,
+    lines: Vec<LineEntry>,
+    sorted: bool,
+}
+
+impl BoundaryIndex {
+    pub fn new() -> Self {
+        BoundaryIndex::default()
+    }
+
+    pub fn push_point(&mut self, e: PointEntry) {
+        self.points.push(e);
+        self.sorted = false;
+    }
+
+    pub fn push_area(&mut self, e: AreaEntry) {
+        self.areas.push(e);
+        self.sorted = false;
+    }
+
+    pub fn push_line(&mut self, e: LineEntry) {
+        self.lines.push(e);
+        self.sorted = false;
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn num_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Sorts all entry arrays by pixel (idempotent; required before
+    /// range lookups).
+    pub fn sort(&mut self) {
+        if self.sorted {
+            return;
+        }
+        self.points.sort_by_key(|e| e.pixel);
+        self.areas.sort_by_key(|e| e.pixel);
+        self.lines.sort_by_key(|e| e.pixel);
+        self.sorted = true;
+    }
+
+    fn range_of<T, K: Fn(&T) -> u32>(items: &[T], key: K, pixel: u32) -> &[T] {
+        let lo = items.partition_point(|e| key(e) < pixel);
+        let hi = items.partition_point(|e| key(e) <= pixel);
+        &items[lo..hi]
+    }
+
+    /// Exact point entries behind a pixel. Call [`sort`](Self::sort) first.
+    pub fn points_at(&self, pixel: u32) -> &[PointEntry] {
+        debug_assert!(self.sorted, "boundary index must be sorted");
+        Self::range_of(&self.points, |e| e.pixel, pixel)
+    }
+
+    /// Boundary-area entries behind a pixel.
+    pub fn areas_at(&self, pixel: u32) -> &[AreaEntry] {
+        debug_assert!(self.sorted, "boundary index must be sorted");
+        Self::range_of(&self.areas, |e| e.pixel, pixel)
+    }
+
+    /// Line entries behind a pixel.
+    pub fn lines_at(&self, pixel: u32) -> &[LineEntry] {
+        debug_assert!(self.sorted, "boundary index must be sorted");
+        Self::range_of(&self.lines, |e| e.pixel, pixel)
+    }
+
+    /// All point entries (pixel-sorted).
+    pub fn points(&self) -> &[PointEntry] {
+        &self.points
+    }
+
+    /// All area entries (pixel-sorted).
+    pub fn areas(&self) -> &[AreaEntry] {
+        &self.areas
+    }
+
+    /// All line entries (pixel-sorted).
+    pub fn lines(&self) -> &[LineEntry] {
+        &self.lines
+    }
+
+    /// Merges another index, remapping its source indexes through
+    /// `area_remap`/`line_remap` (used when blending canvases whose
+    /// geometry source tables are concatenated).
+    pub fn merge_remapped(&mut self, other: &BoundaryIndex, area_remap: &[u16], line_remap: &[u16]) {
+        self.points.extend_from_slice(&other.points);
+        self.areas.extend(other.areas.iter().map(|e| AreaEntry {
+            pixel: e.pixel,
+            source: area_remap[e.source as usize],
+            record: e.record,
+        }));
+        self.lines.extend(other.lines.iter().map(|e| LineEntry {
+            pixel: e.pixel,
+            source: line_remap[e.source as usize],
+            record: e.record,
+        }));
+        self.sorted = false;
+    }
+
+    /// Keeps only the point entries satisfying the predicate (used by the
+    /// mask operator's exact refinement).
+    pub fn retain_points(&mut self, f: impl FnMut(&PointEntry) -> bool) {
+        self.points.retain(f);
+    }
+
+    /// Keeps only entries whose pixels satisfy the predicate (used when a
+    /// mask drops pixels wholesale).
+    pub fn retain_pixels(&mut self, mut f: impl FnMut(u32) -> bool) {
+        self.points.retain(|e| f(e.pixel));
+        self.areas.retain(|e| f(e.pixel));
+        self.lines.retain(|e| f(e.pixel));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(pixel: u32, record: u32) -> PointEntry {
+        PointEntry {
+            pixel,
+            record,
+            loc: Point::new(record as f64, 0.0),
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn sorted_range_lookup() {
+        let mut b = BoundaryIndex::new();
+        b.push_point(pe(5, 1));
+        b.push_point(pe(2, 2));
+        b.push_point(pe(5, 3));
+        b.push_point(pe(9, 4));
+        b.sort();
+        let at5 = b.points_at(5);
+        assert_eq!(at5.len(), 2);
+        assert!(at5.iter().any(|e| e.record == 1));
+        assert!(at5.iter().any(|e| e.record == 3));
+        assert_eq!(b.points_at(2).len(), 1);
+        assert!(b.points_at(7).is_empty());
+    }
+
+    #[test]
+    fn area_and_line_lookup() {
+        let mut b = BoundaryIndex::new();
+        b.push_area(AreaEntry {
+            pixel: 3,
+            source: 0,
+            record: 10,
+        });
+        b.push_line(LineEntry {
+            pixel: 3,
+            source: 0,
+            record: 20,
+        });
+        b.sort();
+        assert_eq!(b.areas_at(3)[0].record, 10);
+        assert_eq!(b.lines_at(3)[0].record, 20);
+        assert!(b.areas_at(0).is_empty());
+    }
+
+    #[test]
+    fn merge_remaps_sources() {
+        let mut a = BoundaryIndex::new();
+        a.push_area(AreaEntry {
+            pixel: 1,
+            source: 0,
+            record: 1,
+        });
+        let mut b = BoundaryIndex::new();
+        b.push_area(AreaEntry {
+            pixel: 2,
+            source: 0,
+            record: 2,
+        });
+        b.push_line(LineEntry {
+            pixel: 2,
+            source: 0,
+            record: 3,
+        });
+        a.merge_remapped(&b, &[7], &[4]);
+        a.sort();
+        assert_eq!(a.areas_at(2)[0].source, 7);
+        assert_eq!(a.lines_at(2)[0].source, 4);
+        assert_eq!(a.areas_at(1)[0].source, 0);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut b = BoundaryIndex::new();
+        for i in 0..10 {
+            b.push_point(pe(i, i));
+        }
+        b.retain_pixels(|p| p % 2 == 0);
+        assert_eq!(b.num_points(), 5);
+        b.retain_points(|e| e.record < 4);
+        assert_eq!(b.num_points(), 2);
+    }
+
+    #[test]
+    fn sort_idempotent() {
+        let mut b = BoundaryIndex::new();
+        b.push_point(pe(3, 0));
+        b.push_point(pe(1, 1));
+        b.sort();
+        let snapshot = b.clone();
+        b.sort();
+        assert_eq!(b, snapshot);
+    }
+}

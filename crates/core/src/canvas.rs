@@ -1,0 +1,402 @@
+//! The canvas: the spatial analogue of a relational tuple
+//! (paper Definitions 4–6).
+//!
+//! A canvas is conceptually a function `C : R² → S³`. The discrete
+//! realization (paper Section 5) is:
+//!
+//! * a [`Texture`] of [`Texel`]s over a [`Viewport`] (the rendered
+//!   object-information matrix per pixel),
+//! * a *certain-coverage* plane counting the 2-primitives that fully
+//!   cover each pixel (interior fragments of the conservative render),
+//! * a [`BoundaryIndex`] linking boundary pixels back to exact vector
+//!   geometry — points keep their true coordinates, polygons and lines
+//!   keep `(source, record)` references into shared geometry tables.
+//!
+//! Together these make query answers **exact**: uniform pixels need no
+//! refinement, boundary pixels are re-tested against vector data.
+
+use std::sync::Arc;
+
+use crate::boundary::{AreaEntry, BoundaryIndex};
+use crate::info::Texel;
+use canvas_geom::polygon::Polygon;
+use canvas_geom::polyline::Polyline;
+use canvas_geom::Point;
+use canvas_raster::{Texture, Viewport};
+
+/// A shared table of vector polygons referenced by boundary entries.
+pub type AreaSource = Arc<Vec<Polygon>>;
+/// A shared table of vector polylines referenced by boundary entries.
+pub type LineSource = Arc<Vec<Polyline>>;
+
+/// The canvas representation of spatial data (see module docs).
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    viewport: Viewport,
+    texels: Texture<Texel>,
+    /// Number of 2-primitives *certainly* covering each pixel (fragment
+    /// was interior, not boundary).
+    cover: Texture<u16>,
+    boundary: BoundaryIndex,
+    area_sources: Vec<AreaSource>,
+    line_sources: Vec<LineSource>,
+}
+
+impl Canvas {
+    /// An empty canvas (Definition 5): every location maps to (∅, ∅, ∅).
+    pub fn empty(viewport: Viewport) -> Self {
+        Canvas {
+            viewport,
+            texels: Texture::new(viewport.width(), viewport.height()),
+            cover: Texture::new(viewport.width(), viewport.height()),
+            boundary: BoundaryIndex::new(),
+            area_sources: Vec::new(),
+            line_sources: Vec::new(),
+        }
+    }
+
+    /// Assembles a canvas from rendered planes (used by operators).
+    pub(crate) fn from_parts(
+        viewport: Viewport,
+        texels: Texture<Texel>,
+        cover: Texture<u16>,
+        boundary: BoundaryIndex,
+        area_sources: Vec<AreaSource>,
+        line_sources: Vec<LineSource>,
+    ) -> Self {
+        Canvas {
+            viewport,
+            texels,
+            cover,
+            boundary,
+            area_sources,
+            line_sources,
+        }
+    }
+
+    /// Simultaneous mutable access to the texel plane, cover plane and
+    /// boundary index (operators need split borrows across the planes).
+    pub fn planes_mut(
+        &mut self,
+    ) -> (
+        &mut Texture<Texel>,
+        &mut Texture<u16>,
+        &mut BoundaryIndex,
+    ) {
+        (&mut self.texels, &mut self.cover, &mut self.boundary)
+    }
+
+    pub fn viewport(&self) -> &Viewport {
+        &self.viewport
+    }
+
+    pub fn texels(&self) -> &Texture<Texel> {
+        &self.texels
+    }
+
+    pub fn texels_mut(&mut self) -> &mut Texture<Texel> {
+        &mut self.texels
+    }
+
+    pub fn cover(&self) -> &Texture<u16> {
+        &self.cover
+    }
+
+    pub fn cover_mut(&mut self) -> &mut Texture<u16> {
+        &mut self.cover
+    }
+
+    pub fn boundary(&self) -> &BoundaryIndex {
+        &self.boundary
+    }
+
+    pub fn boundary_mut(&mut self) -> &mut BoundaryIndex {
+        &mut self.boundary
+    }
+
+    pub fn area_sources(&self) -> &[AreaSource] {
+        &self.area_sources
+    }
+
+    pub fn line_sources(&self) -> &[LineSource] {
+        &self.line_sources
+    }
+
+    /// Registers a polygon table; returns its source index for boundary
+    /// entries.
+    pub fn add_area_source(&mut self, src: AreaSource) -> u16 {
+        // Deduplicate by identity so repeated blends don't grow tables.
+        for (i, existing) in self.area_sources.iter().enumerate() {
+            if Arc::ptr_eq(existing, &src) {
+                return i as u16;
+            }
+        }
+        self.area_sources.push(src);
+        (self.area_sources.len() - 1) as u16
+    }
+
+    /// Registers a polyline table; returns its source index.
+    pub fn add_line_source(&mut self, src: LineSource) -> u16 {
+        for (i, existing) in self.line_sources.iter().enumerate() {
+            if Arc::ptr_eq(existing, &src) {
+                return i as u16;
+            }
+        }
+        self.line_sources.push(src);
+        (self.line_sources.len() - 1) as u16
+    }
+
+    /// Resolves an area boundary entry to its vector polygon.
+    pub fn resolve_area(&self, e: &AreaEntry) -> &Polygon {
+        &self.area_sources[e.source as usize][e.record as usize]
+    }
+
+    /// Texel value at a pixel.
+    #[inline]
+    pub fn texel(&self, x: u32, y: u32) -> Texel {
+        self.texels.get(x, y)
+    }
+
+    /// Canvas value at a *world* location — the mathematical
+    /// `C(x, y) ∈ S³` of Definition 4 (∅ outside the viewport).
+    pub fn value_at(&self, p: Point) -> Texel {
+        match self.viewport.world_to_pixel(p) {
+            Some((x, y)) => self.texels.get(x, y),
+            None => Texel::null(),
+        }
+    }
+
+    /// Linear pixel index of coordinates.
+    #[inline]
+    pub fn pixel_index(&self, x: u32, y: u32) -> u32 {
+        self.texels.index(x, y) as u32
+    }
+
+    /// True when every texel is ∅ — operators prune such canvases from
+    /// their output, mirroring relational tuple elimination (Section 4).
+    pub fn is_empty(&self) -> bool {
+        self.texels.texels().iter().all(Texel::is_null)
+    }
+
+    /// Number of non-∅ pixels.
+    pub fn non_null_count(&self) -> usize {
+        self.texels
+            .texels()
+            .iter()
+            .filter(|t| !t.is_null())
+            .count()
+    }
+
+    /// Iterator over `(x, y, texel)` for non-∅ pixels.
+    pub fn non_null(&self) -> impl Iterator<Item = (u32, u32, Texel)> + '_ {
+        self.texels.iter().filter(|(_, _, t)| !t.is_null())
+    }
+
+    /// Exact number of 2-primitives containing the world point `p`, given
+    /// that `p` lies in pixel `pixel`: certain covers plus exact tests
+    /// against the boundary-touching polygons. This is the refinement
+    /// kernel the mask operator runs on boundary pixels.
+    pub fn exact_area_count(&self, pixel: u32, p: Point) -> u32 {
+        let (x, y) = self.texels.coords(pixel as usize);
+        let mut count = self.cover.get(x, y) as u32;
+        for e in self.boundary.areas_at(pixel) {
+            if self.resolve_area(e).contains_closed(p) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Record ids of all surviving point entries — the `SELECT *` result
+    /// of point queries (sorted, deduplicated).
+    pub fn point_records(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.boundary.points().iter().map(|e| e.record).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Sum of point-entry weights (exact SUM aggregations).
+    pub fn point_weight_sum(&self) -> f64 {
+        self.boundary
+            .points()
+            .iter()
+            .map(|e| e.weight as f64)
+            .sum()
+    }
+
+    /// Distinct record ids present in the 2-primitive rows of non-∅
+    /// texels (coarse candidate set for polygon queries).
+    pub fn area_records(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .non_null()
+            .filter_map(|(_, _, t)| t.get(2).map(|a| a.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Byte size of the texel + cover planes (modeled video memory).
+    pub fn size_bytes(&self) -> usize {
+        self.texels.size_bytes() + self.cover.size_bytes()
+    }
+
+    /// Builds a single-pixel canvas holding `texel` at the given pixel —
+    /// the unit the Dissect operator produces.
+    pub fn single_pixel(viewport: Viewport, x: u32, y: u32, texel: Texel) -> Self {
+        let mut c = Canvas::empty(viewport);
+        c.texels.set(x, y, texel);
+        c
+    }
+}
+
+/// Immutable point-record batch: the vector-side representation of a
+/// point data set (`DP` in the paper), rendered to canvases on demand.
+#[derive(Clone, Debug, Default)]
+pub struct PointBatch {
+    pub points: Vec<Point>,
+    pub ids: Vec<u32>,
+    pub weights: Vec<f32>,
+}
+
+impl PointBatch {
+    /// Batch with ids `0..n` and unit weights.
+    pub fn from_points(points: Vec<Point>) -> Self {
+        let n = points.len();
+        PointBatch {
+            points,
+            ids: (0..n as u32).collect(),
+            weights: vec![1.0; n],
+        }
+    }
+
+    /// Batch with explicit per-record attribute weights (for SUM/AVG).
+    pub fn with_weights(points: Vec<Point>, weights: Vec<f32>) -> Self {
+        assert_eq!(points.len(), weights.len());
+        let n = points.len();
+        PointBatch {
+            points,
+            ids: (0..n as u32).collect(),
+            weights,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Host-side buffer size (upload cost model): xy as f32 pairs plus
+    /// id and weight per point.
+    pub fn upload_bytes(&self) -> u64 {
+        (self.points.len() * (8 + 4 + 4)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::BBox;
+    use crate::boundary::PointEntry;
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn empty_canvas() {
+        let c = Canvas::empty(vp());
+        assert!(c.is_empty());
+        assert_eq!(c.non_null_count(), 0);
+        assert!(c.value_at(Point::new(5.0, 5.0)).is_null());
+        assert!(c.value_at(Point::new(50.0, 50.0)).is_null());
+    }
+
+    #[test]
+    fn single_pixel_canvas() {
+        let t = Texel::point(3, 1.0, 0.0);
+        let c = Canvas::single_pixel(vp(), 4, 6, t);
+        assert_eq!(c.non_null_count(), 1);
+        assert_eq!(c.texel(4, 6), t);
+        assert_eq!(c.value_at(Point::new(4.5, 6.5)), t);
+    }
+
+    #[test]
+    fn source_registration_dedups_by_identity() {
+        let mut c = Canvas::empty(vp());
+        let src: AreaSource = Arc::new(vec![Polygon::circle(Point::new(5.0, 5.0), 2.0, 16)]);
+        let i = c.add_area_source(src.clone());
+        let j = c.add_area_source(src.clone());
+        assert_eq!(i, j);
+        let other: AreaSource = Arc::new(vec![]);
+        let k = c.add_area_source(other);
+        assert_ne!(i, k);
+    }
+
+    #[test]
+    fn exact_area_count_uses_cover_and_boundary() {
+        let mut c = Canvas::empty(vp());
+        let poly = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(0.0, 5.0),
+        ])
+        .unwrap();
+        let src: AreaSource = Arc::new(vec![poly]);
+        let s = c.add_area_source(src);
+        // Pixel (2,2) certainly covered.
+        c.cover_mut().set(2, 2, 1);
+        // Pixel (4,4) is a boundary pixel of the square (edge at x=5,y=5
+        // clips it); register a boundary entry.
+        let pix = c.pixel_index(4, 4);
+        c.boundary_mut().push_area(AreaEntry {
+            pixel: pix,
+            source: s,
+            record: 0,
+        });
+        c.boundary_mut().sort();
+        assert_eq!(c.exact_area_count(c.pixel_index(2, 2), Point::new(2.5, 2.5)), 1);
+        // In the boundary pixel, the point inside the square counts...
+        assert_eq!(c.exact_area_count(pix, Point::new(4.9, 4.9)), 1);
+        // ...and a point in the same pixel but outside does not (pixel
+        // (4,4) spans [4,5)², all inside here, so probe the boundary
+        // entry with an outside location explicitly).
+        assert_eq!(c.exact_area_count(pix, Point::new(5.5, 5.5)), 0);
+    }
+
+    #[test]
+    fn point_records_sorted_dedup() {
+        let mut c = Canvas::empty(vp());
+        for (px, rec) in [(3u32, 9u32), (1, 4), (3, 9), (2, 4)] {
+            c.boundary_mut().push_point(PointEntry {
+                pixel: px,
+                record: rec,
+                loc: Point::new(0.0, 0.0),
+                weight: 2.0,
+            });
+        }
+        c.boundary_mut().sort();
+        assert_eq!(c.point_records(), vec![4, 9]);
+        assert_eq!(c.point_weight_sum(), 8.0);
+    }
+
+    #[test]
+    fn point_batch_constructors() {
+        let b = PointBatch::from_points(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ids, vec![0, 1]);
+        assert_eq!(b.weights, vec![1.0, 1.0]);
+        assert_eq!(b.upload_bytes(), 32);
+        let w = PointBatch::with_weights(vec![Point::new(0.0, 0.0)], vec![7.5]);
+        assert_eq!(w.weights[0], 7.5);
+    }
+}

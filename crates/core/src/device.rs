@@ -1,0 +1,90 @@
+//! Execution device: a software pipeline plus the profile that models it.
+//!
+//! Queries execute against a [`Device`]; all pipeline work is counted and
+//! can be converted to modeled GPU time (see `canvas_raster::device` for
+//! the substitution rationale — this container has no physical GPU).
+
+use canvas_raster::{DeviceProfile, Pipeline, PipelineStats};
+
+/// A pipeline bound to a device profile.
+#[derive(Debug)]
+pub struct Device {
+    pipeline: Pipeline,
+    profile: DeviceProfile,
+}
+
+impl Device {
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device {
+            pipeline: Pipeline::new(),
+            profile,
+        }
+    }
+
+    /// The discrete GPU of the paper's evaluation (modeled).
+    pub fn nvidia() -> Self {
+        Device::new(DeviceProfile::nvidia_gtx_1070_max_q())
+    }
+
+    /// The integrated GPU of the paper's evaluation (modeled).
+    pub fn intel() -> Self {
+        Device::new(DeviceProfile::intel_uhd_630())
+    }
+
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    pub fn pipeline(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    pub fn stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.pipeline.reset_stats();
+    }
+
+    /// Modeled execution time (seconds) of all work since the last reset.
+    pub fn modeled_time(&self) -> f64 {
+        self.profile.estimate(&self.pipeline.stats())
+    }
+
+    /// Modeled transfer-only time (seconds).
+    pub fn modeled_transfer_time(&self) -> f64 {
+        self.profile.transfer_time(&self.pipeline.stats())
+    }
+}
+
+impl Default for Device {
+    /// Defaults to the discrete-GPU profile, the paper's primary target.
+    fn default() -> Self {
+        Device::nvidia()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_counts_and_models() {
+        let mut dev = Device::nvidia();
+        dev.pipeline().note_upload(1_000_000);
+        assert_eq!(dev.stats().bytes_uploaded, 1_000_000);
+        assert!(dev.modeled_time() > 0.0);
+        assert!(dev.modeled_transfer_time() > 0.0);
+        dev.reset_stats();
+        assert_eq!(dev.modeled_time(), 0.0);
+    }
+
+    #[test]
+    fn profiles_differ() {
+        assert_ne!(
+            Device::nvidia().profile().name,
+            Device::intel().profile().name
+        );
+    }
+}

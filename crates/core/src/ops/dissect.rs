@@ -1,0 +1,149 @@
+//! The Dissect operator `D(C)` and the derived Map `D*[γ]` (paper
+//! Sections 3.1, 3.2).
+//!
+//! Dissect splits a canvas into one canvas per non-∅ location. The
+//! literal semantics materializes enormous numbers of single-pixel
+//! canvases, so it is exposed two ways:
+//!
+//! * [`dissect_iter`] — a lazy iterator over the single-pixel canvases
+//!   (the definitional form, fine for tests and small canvases),
+//! * the fused `Map = G[γ] ∘ D` — which is what query plans actually
+//!   use — implemented as a single scatter pass in
+//!   [`transform_by_value`](crate::ops::transform::transform_by_value) —
+//!   [`map_scatter`] is the named alias.
+
+use crate::canvas::Canvas;
+use crate::device::Device;
+use crate::info::BlendFn;
+use crate::ops::transform::{transform_by_value, ValueMap};
+use canvas_raster::Viewport;
+
+/// Lazy `{C₁ … Cₙ} = D(C)`: one single-pixel canvas per non-∅ location.
+pub fn dissect_iter<'a>(c: &'a Canvas) -> impl Iterator<Item = Canvas> + 'a {
+    let vp = *c.viewport();
+    c.non_null()
+        .map(move |(x, y, t)| Canvas::single_pixel(vp, x, y, t))
+}
+
+/// Materialized dissect (small canvases only — the iterator form and the
+/// fused map are what production plans use).
+pub fn dissect(c: &Canvas) -> Vec<Canvas> {
+    dissect_iter(c).collect()
+}
+
+/// The derived Map operator `D*[γ] = G[γ](D(C))` (Section 3.2), fused
+/// into one scatter pass: conceptually each non-∅ location becomes its
+/// own canvas and is then moved by γ; operationally every texel scatters
+/// to `γ(value)` with `combine` resolving collisions.
+pub fn map_scatter(
+    dev: &mut Device,
+    c: &Canvas,
+    gamma: &ValueMap,
+    target_vp: Viewport,
+    combine: BlendFn,
+) -> Canvas {
+    transform_by_value(dev, c, gamma, target_vp, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::PointBatch;
+    use crate::source::render_points;
+    use canvas_geom::{BBox, Point};
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn dissect_figure_4e() {
+        // Figure 4(e): a canvas with 4 points splits into 4 canvases.
+        let mut dev = Device::nvidia();
+        let c = render_points(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(vec![
+                Point::new(1.5, 1.5),
+                Point::new(3.5, 7.5),
+                Point::new(6.5, 2.5),
+                Point::new(8.5, 8.5),
+            ]),
+        );
+        let parts = dissect(&c);
+        assert_eq!(parts.len(), 4);
+        for part in &parts {
+            assert_eq!(part.non_null_count(), 1);
+        }
+        // Union of parts reproduces the original support.
+        let mut total = 0;
+        for part in &parts {
+            for (x, y, t) in part.non_null() {
+                assert_eq!(c.texel(x, y), t);
+                total += 1;
+            }
+        }
+        assert_eq!(total, c.non_null_count());
+    }
+
+    #[test]
+    fn dissect_empty_yields_nothing() {
+        let c = Canvas::empty(vp());
+        assert_eq!(dissect(&c).len(), 0);
+    }
+
+    #[test]
+    fn map_aligns_canvases() {
+        // Section 3.2: map with a constant γ aligns all dissected
+        // canvases at one location.
+        let mut dev = Device::nvidia();
+        let c = render_points(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(vec![
+                Point::new(1.5, 1.5),
+                Point::new(8.5, 8.5),
+            ]),
+        );
+        let out = map_scatter(
+            &mut dev,
+            &c,
+            &ValueMap::to_constant(Point::new(5.0, 5.0)),
+            vp(),
+            BlendFn::Accumulate,
+        );
+        assert_eq!(out.non_null_count(), 1);
+        assert_eq!(out.texel(5, 5).get(0).unwrap().v1, 2.0);
+    }
+
+    #[test]
+    fn fused_map_equals_dissect_then_scatter() {
+        // The fusion is semantically the fold of per-part scatters.
+        let mut dev = Device::nvidia();
+        let c = render_points(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(vec![
+                Point::new(2.5, 2.5),
+                Point::new(6.5, 3.5),
+                Point::new(4.5, 8.5),
+            ]),
+        );
+        let gamma = ValueMap::to_constant(Point::new(0.5, 0.5));
+        let fused = map_scatter(&mut dev, &c, &gamma, vp(), BlendFn::Accumulate);
+
+        let mut folded = Canvas::empty(vp());
+        for part in dissect_iter(&c) {
+            let moved = map_scatter(&mut dev, &part, &gamma, vp(), BlendFn::Accumulate);
+            folded = crate::ops::blend::blend(&mut dev, &folded, &moved, BlendFn::Accumulate);
+        }
+        assert_eq!(
+            fused.texel(0, 0).get(0).unwrap().v1,
+            folded.texel(0, 0).get(0).unwrap().v1
+        );
+    }
+}

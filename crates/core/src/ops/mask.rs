@@ -1,0 +1,373 @@
+//! The Mask operator `M[M](C)` (paper Section 3.1) with exact boundary
+//! refinement (Section 5).
+//!
+//! Mask keeps only the canvas regions whose value lies in the mask set
+//! `M ⊂ S³` and nulls the rest — a per-pixel parallel test on the GPU.
+//! Where the prototype differs from the naive definition is exactness:
+//! pixels flagged by conservative rasterization as *boundary* pixels are
+//! re-tested against the vector geometry, so query answers do not suffer
+//! pixel-resolution error. Uniform (non-boundary) pixels never need
+//! refinement because their whole area has one membership answer.
+
+use crate::canvas::Canvas;
+use crate::device::Device;
+use crate::info::Texel;
+
+/// Condition on a polygon-incidence count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountCond {
+    /// Exactly `k` 2-primitives incident (the paper's `Mp`: `= 1`,
+    /// `My`: `= 2`, conjunction of n constraints: `= n`).
+    Eq(u32),
+    /// At least `k` incident (the disjunction mask `Mp'` of Section 5.1:
+    /// `≥ 1`).
+    Ge(u32),
+}
+
+impl CountCond {
+    #[inline]
+    pub fn eval(self, count: u32) -> bool {
+        match self {
+            CountCond::Eq(k) => count == k,
+            CountCond::Ge(k) => count >= k,
+        }
+    }
+}
+
+/// The mask sets used by the paper's query formulations.
+#[derive(Clone)]
+pub enum MaskSpec {
+    /// `{ s | s[0] ≠ ∅ ∧ cond(#2-primitives containing the location) }` —
+    /// the point-selection masks `Mp` / `Mp'` (Sections 4.1, 5.1).
+    /// Boundary pixels are refined per exact point location.
+    PointInAreas(CountCond),
+    /// `{ s | cond(s[2].v1) }` — the polygon-overlap mask `My`
+    /// (Section 4.1). Coarse (texel-level); record-level exact
+    /// refinement is done by the polygon-selection query.
+    AreaCount(CountCond),
+    /// Arbitrary texel predicate (no refinement) for custom queries;
+    /// the string names the condition in plan diagrams.
+    Texel(&'static str, std::sync::Arc<dyn Fn(&Texel) -> bool + Send + Sync>),
+}
+
+impl std::fmt::Debug for MaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaskSpec::PointInAreas(c) => write!(f, "PointInAreas({c:?})"),
+            MaskSpec::AreaCount(c) => write!(f, "AreaCount({c:?})"),
+            MaskSpec::Texel(name, _) => write!(f, "Texel({name})"),
+        }
+    }
+}
+
+impl MaskSpec {
+    /// Short label for plan diagrams.
+    pub fn label(&self) -> String {
+        match self {
+            MaskSpec::PointInAreas(CountCond::Eq(k)) => format!("Mp[#areas={k}]"),
+            MaskSpec::PointInAreas(CountCond::Ge(k)) => format!("Mp'[#areas>={k}]"),
+            MaskSpec::AreaCount(CountCond::Eq(k)) => format!("My[count={k}]"),
+            MaskSpec::AreaCount(CountCond::Ge(k)) => format!("My[count>={k}]"),
+            MaskSpec::Texel(name, _) => format!("M[{name}]"),
+        }
+    }
+}
+
+/// `C' = M[M](C)` — keeps pixels satisfying the mask, nulls the rest,
+/// refining boundary pixels exactly (see module docs).
+pub fn mask(dev: &mut Device, c: &Canvas, spec: &MaskSpec) -> Canvas {
+    match spec {
+        MaskSpec::PointInAreas(cond) => mask_point_in_areas(dev, c, *cond),
+        MaskSpec::AreaCount(cond) => {
+            let cond = *cond;
+            mask_texel(dev, c, move |t| {
+                t.get(2).map(|a| cond.eval(a.v1 as u32)).unwrap_or(false)
+            })
+        }
+        MaskSpec::Texel(_, f) => {
+            let f = f.clone();
+            mask_texel(dev, c, move |t| f(t))
+        }
+    }
+}
+
+/// Coarse texel-level mask (full-screen pass only).
+fn mask_texel(dev: &mut Device, c: &Canvas, pred: impl Fn(&Texel) -> bool) -> Canvas {
+    let mut out = c.clone();
+    {
+        let (texels, cover, _) = out.planes_mut();
+        let cover_ref: &mut canvas_raster::Texture<u16> = cover;
+        dev.pipeline().map_texels(texels, |x, y, t| {
+            if t.is_null() || pred(&t) {
+                t
+            } else {
+                cover_ref.set(x, y, 0);
+                Texel::null()
+            }
+        });
+    }
+    prune_boundary(&mut out);
+    out
+}
+
+/// The point-selection mask with exact refinement.
+fn mask_point_in_areas(dev: &mut Device, c: &Canvas, cond: CountCond) -> Canvas {
+    let mut out = c.clone();
+    let mut kept_points: Vec<crate::boundary::PointEntry> = Vec::new();
+    {
+        let (texels, cover, _) = out.planes_mut();
+        let cover_ref: &mut canvas_raster::Texture<u16> = cover;
+        let width = c.viewport().width();
+        dev.pipeline().map_texels(texels, |x, y, t| {
+            if t.is_null() {
+                return t;
+            }
+            let pixel = y * width + x;
+            if !t.has(0) {
+                // No point here: the selection result only keeps
+                // intersection pixels.
+                cover_ref.set(x, y, 0);
+                return Texel::null();
+            }
+            let boundary_areas = c.boundary().areas_at(pixel);
+            if boundary_areas.is_empty() {
+                // Uniform pixel: the certain-cover count is the exact
+                // polygon incidence for every location in the pixel.
+                let count = cover_ref.get(x, y) as u32;
+                if cond.eval(count) {
+                    kept_points.extend_from_slice(c.boundary().points_at(pixel));
+                    t
+                } else {
+                    cover_ref.set(x, y, 0);
+                    Texel::null()
+                }
+            } else {
+                // Boundary pixel: refine each exact point location
+                // against the vector polygons (paper Section 5).
+                let mut count_kept = 0u32;
+                let mut weight_sum = 0.0f32;
+                for e in c.boundary().points_at(pixel) {
+                    let exact = c.exact_area_count(pixel, e.loc);
+                    if cond.eval(exact) {
+                        kept_points.push(*e);
+                        count_kept += 1;
+                        weight_sum += e.weight;
+                    }
+                }
+                if count_kept == 0 {
+                    cover_ref.set(x, y, 0);
+                    Texel::null()
+                } else {
+                    // Rewrite s[0] with the refined count / weight sum so
+                    // downstream aggregation scatters stay exact.
+                    let mut t2 = t;
+                    let mut info = t.get(0).expect("checked above");
+                    info.v1 = count_kept as f32;
+                    info.v2 = weight_sum;
+                    t2.set(0, info);
+                    t2
+                }
+            }
+        });
+    }
+    // Replace point entries with the refined set (already pixel-ordered
+    // because the pass runs row-major) and drop boundary entries of
+    // nulled pixels.
+    let texels = out.texels().clone();
+    let width = texels.width();
+    {
+        let b = out.boundary_mut();
+        b.retain_points(|_| false);
+        for e in kept_points {
+            b.push_point(e);
+        }
+        b.retain_pixels(|pixel| {
+            let x = pixel % width;
+            let y = pixel / width;
+            !texels.get(x, y).is_null()
+        });
+        b.sort();
+    }
+    out
+}
+
+/// Drops boundary entries whose pixels were nulled by a coarse mask.
+fn prune_boundary(out: &mut Canvas) {
+    let texels = out.texels().clone();
+    let width = texels.width();
+    let b = out.boundary_mut();
+    b.retain_pixels(|pixel| {
+        let x = pixel % width;
+        let y = pixel / width;
+        !texels.get(x, y).is_null()
+    });
+    b.sort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::PointBatch;
+    use crate::info::BlendFn;
+    use crate::ops::blend::blend;
+    use crate::source::{render_points, render_query_polygon};
+    use canvas_geom::{BBox, Point, Polygon};
+    use canvas_raster::Viewport;
+
+    fn vp(n: u32) -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            n,
+            n,
+        )
+    }
+
+    fn diamond() -> Polygon {
+        Polygon::simple(vec![
+            Point::new(5.0, 1.0),
+            Point::new(9.0, 5.0),
+            Point::new(5.0, 9.0),
+            Point::new(1.0, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn selection_mask_keeps_inside_points_exactly() {
+        // Coarse 10x10 grid: many pixels straddle the diamond's edges,
+        // so correctness here depends on exact refinement.
+        let mut dev = Device::nvidia();
+        let pts = vec![
+            Point::new(5.0, 5.0), // center: inside
+            Point::new(1.2, 1.2), // corner: outside (same pixel as edge)
+            Point::new(4.9, 1.4), // just inside the bottom tip region
+            Point::new(0.2, 0.2), // far outside
+        ];
+        let diamond = diamond();
+        let expected: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| diamond.contains_closed(**p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let cp = render_points(&mut dev, vp(10), &PointBatch::from_points(pts));
+        let cq = render_query_polygon(&mut dev, vp(10), diamond, 1);
+        let merged = blend(&mut dev, &cp, &cq, BlendFn::PointOverArea);
+        let result = mask(&mut dev, &merged, &MaskSpec::PointInAreas(CountCond::Ge(1)));
+        assert_eq!(result.point_records(), expected);
+    }
+
+    #[test]
+    fn refined_texel_counts_updated() {
+        // Two points share a boundary pixel; one inside, one outside.
+        let mut dev = Device::nvidia();
+        let tri = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(9.0, 0.0),
+            Point::new(0.0, 9.0),
+        ])
+        .unwrap();
+        // On an 8x8 grid over [0,10]² pixel (3,3) spans [3.75,5)²; the
+        // hypotenuse x+y=9 crosses it, so one point on each side of the
+        // line shares the pixel.
+        let inside = Point::new(4.0, 4.0); // 8.0 < 9 inside
+        let outside = Point::new(4.8, 4.8); // 9.6 > 9 outside
+        let cp = render_points(
+            &mut dev,
+            vp(8),
+            &PointBatch::from_points(vec![inside, outside]),
+        );
+        // Same pixel?
+        let pix_a = vp(8).world_to_pixel(inside).unwrap();
+        let pix_b = vp(8).world_to_pixel(outside).unwrap();
+        assert_eq!(pix_a, pix_b, "test points must share a pixel");
+        let cq = render_query_polygon(&mut dev, vp(8), tri, 1);
+        let merged = blend(&mut dev, &cp, &cq, BlendFn::PointOverArea);
+        let result = mask(&mut dev, &merged, &MaskSpec::PointInAreas(CountCond::Ge(1)));
+        assert_eq!(result.point_records(), vec![0]);
+        let t = result.texel(pix_a.0, pix_a.1);
+        assert_eq!(t.get(0).unwrap().v1, 1.0, "count refined from 2 to 1");
+    }
+
+    #[test]
+    fn area_count_mask_coarse() {
+        let mut dev = Device::nvidia();
+        let a = render_query_polygon(
+            &mut dev,
+            vp(20),
+            Polygon::simple(vec![
+                Point::new(1.0, 1.0),
+                Point::new(6.0, 1.0),
+                Point::new(6.0, 6.0),
+                Point::new(1.0, 6.0),
+            ])
+            .unwrap(),
+            7,
+        );
+        let b = render_query_polygon(
+            &mut dev,
+            vp(20),
+            Polygon::simple(vec![
+                Point::new(4.0, 4.0),
+                Point::new(9.0, 4.0),
+                Point::new(9.0, 9.0),
+                Point::new(4.0, 9.0),
+            ])
+            .unwrap(),
+            1,
+        );
+        let m = blend(&mut dev, &a, &b, BlendFn::AreaCount);
+        let sel = mask(&mut dev, &m, &MaskSpec::AreaCount(CountCond::Eq(2)));
+        assert!(!sel.is_empty());
+        // Every surviving texel has count 2.
+        for (_, _, t) in sel.non_null() {
+            assert_eq!(t.get(2).unwrap().v1, 2.0);
+        }
+        // Non-overlap region nulled.
+        assert!(sel.texel(3, 3).is_null()); // world (1.75,1.75): only a
+    }
+
+    #[test]
+    fn custom_texel_mask() {
+        let mut dev = Device::nvidia();
+        let cp = render_points(
+            &mut dev,
+            vp(10),
+            &PointBatch::from_points(vec![Point::new(1.5, 1.5), Point::new(7.5, 7.5)]),
+        );
+        let spec = MaskSpec::Texel(
+            "id==1",
+            std::sync::Arc::new(|t: &Texel| t.get(0).map(|p| p.id == 1).unwrap_or(false)),
+        );
+        let out = mask(&mut dev, &cp, &spec);
+        assert_eq!(out.non_null_count(), 1);
+        assert!(out.texel(7, 7).has(0));
+        // Boundary entries of dropped pixels pruned.
+        assert_eq!(out.boundary().num_points(), 1);
+    }
+
+    #[test]
+    fn mask_labels() {
+        assert_eq!(
+            MaskSpec::PointInAreas(CountCond::Ge(1)).label(),
+            "Mp'[#areas>=1]"
+        );
+        assert_eq!(MaskSpec::AreaCount(CountCond::Eq(2)).label(), "My[count=2]");
+    }
+
+    #[test]
+    fn count_cond_eval() {
+        assert!(CountCond::Eq(2).eval(2));
+        assert!(!CountCond::Eq(2).eval(1));
+        assert!(CountCond::Ge(1).eval(3));
+        assert!(!CountCond::Ge(2).eval(1));
+    }
+
+    #[test]
+    fn mask_on_empty_canvas_is_empty() {
+        let mut dev = Device::nvidia();
+        let c = Canvas::empty(vp(10));
+        let out = mask(&mut dev, &c, &MaskSpec::PointInAreas(CountCond::Ge(1)));
+        assert!(out.is_empty());
+    }
+}

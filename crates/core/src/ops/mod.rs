@@ -1,0 +1,31 @@
+//! The canvas algebra operators (paper Section 3).
+//!
+//! * fundamental: [`transform::transform_positions`] /
+//!   [`transform::transform_by_value`] (`G[γ]`),
+//!   [`value::value_transform`] (`V[f]`), [`mask::mask`] (`M[M]`),
+//!   [`blend::blend`] (`B[⊙]`), [`dissect::dissect`] (`D`),
+//! * derived: [`blend::multiway_blend`] (`B*[⊙]`),
+//!   [`dissect::map_scatter`] (`D*[γ]`),
+//! * utility: [`utility::circle_canvas`] (`Circ`),
+//!   [`utility::rect_canvas`] (`Rect`),
+//!   [`utility::halfspace_canvas`] (`HS`).
+//!
+//! Every operator consumes and produces canvases — the algebra is closed
+//! by construction, which is what lets Section 4's query expressions
+//! compose.
+
+pub mod blend;
+pub mod dissect;
+pub mod mask;
+pub mod transform;
+pub mod utility;
+pub mod value;
+
+pub use blend::{blend, multiway_blend};
+pub use dissect::{dissect, dissect_iter, map_scatter};
+pub use mask::{mask, CountCond, MaskSpec};
+pub use transform::{
+    group_viewport, transform_by_value, transform_positions, PositionMap, ValueMap,
+};
+pub use utility::{circle_canvas, circle_canvas_with_segments, halfspace_canvas, rect_canvas};
+pub use value::value_transform;

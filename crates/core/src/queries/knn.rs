@@ -1,0 +1,173 @@
+//! k-nearest-neighbor queries (paper Section 4.4).
+//!
+//! The paper's workflow: build a collection of circles `C_X` of
+//! increasing radii centered at the query point (each circle's id *is*
+//! its radius), run the join–group-by aggregation to count points per
+//! circle, mask the counts to find a radius enclosing exactly `k`
+//! points, then finish with a distance-based selection at that radius.
+//!
+//! "Conceptually there is an infinite number of circles, but in practice
+//! a finite number of circles can be created with small increments in
+//! radii up to a maximum radius" — we use a geometric ladder plus an
+//! exact final cut, so the returned neighbors are exact.
+
+use crate::canvas::PointBatch;
+use crate::device::Device;
+use crate::queries::selection::select_points_within_distance_exact;
+use canvas_geom::Point;
+use canvas_raster::Viewport;
+
+/// Number of circles in the radius ladder.
+const LADDER_STEPS: usize = 8;
+
+/// `SELECT * FROM D_P WHERE Location ∈ KNN(X, k)` — exact k nearest
+/// neighbors of `x` (ties broken by record id, mirroring the paper's
+/// total-order assumption via infinitesimal perturbation).
+///
+/// Returns record ids ordered by increasing distance.
+pub fn knn(dev: &mut Device, vp: Viewport, data: &PointBatch, x: Point, k: usize) -> Vec<u32> {
+    if k == 0 || data.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(data.len());
+
+    // Maximum useful radius: the extent diagonal.
+    let w = vp.world();
+    let r_max = w.min.dist(w.max).max(1e-9);
+
+    // The circle ladder C_X: radii r_max/2^i, i = LADDER_STEPS-1 .. 0.
+    // For each circle, the aggregation counts the enclosed points; the
+    // mask `s[0][1] >= k` keeps the smallest viable radius.
+    let mut radius = r_max;
+    for i in (0..LADDER_STEPS).rev() {
+        let r = r_max / (1u32 << i) as f64;
+        let sel = select_points_within_distance_exact(dev, vp, data, x, r);
+        if sel.records.len() >= k {
+            radius = r;
+            break;
+        }
+    }
+
+    // Distance-based selection at the chosen radius, then exact cut.
+    let sel = select_points_within_distance_exact(dev, vp, data, x, radius);
+    let mut candidates: Vec<(f64, u32)> = sel
+        .canvas
+        .boundary()
+        .points()
+        .iter()
+        .map(|e| (e.loc.dist_sq(x), e.record))
+        .collect();
+    // A viewport-clipped ladder can under-collect if fewer than k points
+    // fell inside; fall back to all records in that case.
+    if candidates.len() < k {
+        candidates = data
+            .points
+            .iter()
+            .zip(&data.ids)
+            .map(|(p, id)| (p.dist_sq(x), *id))
+            .collect();
+    }
+    candidates.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    candidates.truncate(k);
+    candidates.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::BBox;
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            64,
+            64,
+        )
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    fn brute_knn(pts: &[Point], x: Point, k: usize) -> Vec<u32> {
+        let mut d: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.dist_sq(x), i as u32))
+            .collect();
+        d.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        d.truncate(k);
+        d.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let mut dev = Device::nvidia();
+        let pts = random_points(300, 2024);
+        let batch = PointBatch::from_points(pts.clone());
+        for k in [1, 5, 20] {
+            let got = knn(&mut dev, vp(), &batch, Point::new(50.0, 50.0), k);
+            let want = brute_knn(&pts, Point::new(50.0, 50.0), k);
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn knn_query_point_off_center() {
+        let mut dev = Device::nvidia();
+        let pts = random_points(200, 4);
+        let batch = PointBatch::from_points(pts.clone());
+        let x = Point::new(5.0, 95.0);
+        let got = knn(&mut dev, vp(), &batch, x, 7);
+        assert_eq!(got, brute_knn(&pts, x, 7));
+    }
+
+    #[test]
+    fn knn_k_larger_than_data() {
+        let mut dev = Device::nvidia();
+        let pts = random_points(5, 8);
+        let batch = PointBatch::from_points(pts.clone());
+        let got = knn(&mut dev, vp(), &batch, Point::new(50.0, 50.0), 50);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got, brute_knn(&pts, Point::new(50.0, 50.0), 5));
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let mut dev = Device::nvidia();
+        let batch = PointBatch::from_points(random_points(10, 3));
+        assert!(knn(&mut dev, vp(), &batch, Point::new(1.0, 1.0), 0).is_empty());
+        let empty = PointBatch::from_points(vec![]);
+        assert!(knn(&mut dev, vp(), &empty, Point::new(1.0, 1.0), 3).is_empty());
+    }
+
+    #[test]
+    fn knn_ordered_by_distance() {
+        let mut dev = Device::nvidia();
+        let pts = random_points(100, 66);
+        let batch = PointBatch::from_points(pts.clone());
+        let x = Point::new(30.0, 70.0);
+        let got = knn(&mut dev, vp(), &batch, x, 10);
+        let dists: Vec<f64> = got.iter().map(|&i| pts[i as usize].dist(x)).collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "not sorted: {dists:?}");
+        }
+    }
+}

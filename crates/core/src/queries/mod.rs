@@ -1,0 +1,26 @@
+//! The paper's query classes as canvas-algebra expressions (Sections
+//! 4–5): every query here bottoms out in the same five fundamental
+//! operators, which is the expressiveness claim the reproduction must
+//! demonstrate.
+//!
+//! | class (paper §) | module |
+//! |---|---|
+//! | selection (4.1, 5.1) | [`selection`] |
+//! | join — Types I/II/III (4.2) | [`join`] |
+//! | aggregation & RasterJoin (4.3, 5.2) | [`aggregate`] |
+//! | k-nearest neighbors (4.4) | [`knn`] |
+//! | Voronoi stored procedure (4.5) | [`voronoi`] |
+//! | convex hull (4.5) | [`hull`] |
+//! | spatial skyline (4.5) | [`skyline`] |
+//! | origin–destination (4.6) | [`od`] |
+//! | spatio-temporal (Sec 6 setup, ref. \[11\]) | [`spatiotemporal`] |
+
+pub mod aggregate;
+pub mod hull;
+pub mod join;
+pub mod knn;
+pub mod od;
+pub mod selection;
+pub mod skyline;
+pub mod spatiotemporal;
+pub mod voronoi;

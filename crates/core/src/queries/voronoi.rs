@@ -1,0 +1,185 @@
+//! Voronoi diagram as a stored procedure (paper Section 4.5).
+//!
+//! `ComputeVoronoi` builds the diagram incrementally with nothing but the
+//! Value Transform operator: for each site `i`, the pass
+//!
+//! ```text
+//! f(x, y, s)[2] = (i, d², 0)              if s = ∅
+//!              = (s[2][0], s[2][1], 0)    if s[2][1] < d²
+//!              = (i, d², 0)               otherwise
+//! ```
+//!
+//! claims every location that is closer to site `i` than to its current
+//! owner. After all sites are processed, `s[2][0]` at a location is the
+//! nearest site — the discrete Voronoi diagram (the classic GPU
+//! technique the paper maps onto its algebra).
+
+use crate::canvas::Canvas;
+use crate::device::Device;
+use crate::info::{DimInfo, Texel};
+use crate::ops::value_transform;
+use canvas_geom::Point;
+use canvas_raster::Viewport;
+
+/// Computes the discrete Voronoi diagram of `sites` over the viewport.
+///
+/// The returned canvas stores, at every location, `s[2] = (site, d², 0)`
+/// for the nearest site.
+pub fn compute_voronoi(dev: &mut Device, vp: Viewport, sites: &[Point]) -> Canvas {
+    let mut canvas = Canvas::empty(vp);
+    for (i, site) in sites.iter().enumerate() {
+        let site = *site;
+        let id = i as u32;
+        canvas = value_transform(dev, &canvas, move |p, s| {
+            let d2 = p.dist_sq(site) as f32;
+            match s.get(2) {
+                None => Texel::area(id, d2, 0.0),
+                Some(cur) if cur.v1 < d2 => {
+                    let mut t = Texel::null();
+                    t.set(2, DimInfo::new(cur.id, cur.v1, 0.0));
+                    t
+                }
+                Some(_) => Texel::area(id, d2, 0.0),
+            }
+        });
+    }
+    canvas
+}
+
+/// Nearest site of a world point according to the diagram canvas.
+pub fn voronoi_site_at(canvas: &Canvas, p: Point) -> Option<u32> {
+    canvas.value_at(p).get(2).map(|a| a.id)
+}
+
+/// Per-site cell areas (pixel-integrated) — a quick way to sanity-check
+/// the diagram and a useful analytic in its own right.
+pub fn voronoi_cell_areas(canvas: &Canvas, num_sites: usize) -> Vec<f64> {
+    let vp = canvas.viewport();
+    let pixel_area = vp.pixel_width() * vp.pixel_height();
+    let mut areas = vec![0.0; num_sites];
+    for (_, _, t) in canvas.non_null() {
+        if let Some(a) = t.get(2) {
+            if (a.id as usize) < num_sites {
+                areas[a.id as usize] += pixel_area;
+            }
+        }
+    }
+    areas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::BBox;
+
+    fn vp(n: u32) -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            n,
+            n,
+        )
+    }
+
+    fn brute_nearest(sites: &[Point], p: Point) -> u32 {
+        sites
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                p.dist_sq(**a)
+                    .partial_cmp(&p.dist_sq(**b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i as u32)
+            .expect("non-empty sites")
+    }
+
+    #[test]
+    fn voronoi_matches_brute_force_at_pixel_centers() {
+        let mut dev = Device::nvidia();
+        let sites = vec![
+            Point::new(20.0, 20.0),
+            Point::new(80.0, 30.0),
+            Point::new(50.0, 80.0),
+            Point::new(10.0, 90.0),
+        ];
+        let canvas = compute_voronoi(&mut dev, vp(48), &sites);
+        let v = canvas.viewport();
+        for y in 0..v.height() {
+            for x in 0..v.width() {
+                let c = v.pixel_center(x, y);
+                let got = canvas.texel(x, y).get(2).unwrap().id;
+                let want = brute_nearest(&sites, c);
+                // Equidistant boundaries may tie either way; accept both
+                // when the distances are numerically equal.
+                if got != want {
+                    let dg = c.dist_sq(sites[got as usize]);
+                    let dw = c.dist_sq(sites[want as usize]);
+                    assert!(
+                        ((dg - dw).abs() as f32) <= f32::EPSILON * (dg.max(dw) as f32),
+                        "wrong site at ({x},{y}): got {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let mut dev = Device::nvidia();
+        let canvas = compute_voronoi(&mut dev, vp(16), &[Point::new(50.0, 50.0)]);
+        assert_eq!(canvas.non_null_count(), 16 * 16);
+        for (_, _, t) in canvas.non_null() {
+            assert_eq!(t.get(2).unwrap().id, 0);
+        }
+    }
+
+    #[test]
+    fn no_sites_empty_canvas() {
+        let mut dev = Device::nvidia();
+        let canvas = compute_voronoi(&mut dev, vp(8), &[]);
+        assert!(canvas.is_empty());
+    }
+
+    #[test]
+    fn site_lookup_and_areas() {
+        let mut dev = Device::nvidia();
+        let sites = vec![Point::new(25.0, 50.0), Point::new(75.0, 50.0)];
+        let canvas = compute_voronoi(&mut dev, vp(32), &sites);
+        assert_eq!(voronoi_site_at(&canvas, Point::new(10.0, 50.0)), Some(0));
+        assert_eq!(voronoi_site_at(&canvas, Point::new(90.0, 50.0)), Some(1));
+        let areas = voronoi_cell_areas(&canvas, 2);
+        // Symmetric sites: equal halves (within pixel resolution).
+        let total: f64 = areas.iter().sum();
+        assert!((total - 100.0 * 100.0).abs() < 1e-6);
+        assert!((areas[0] - areas[1]).abs() / total < 0.05);
+    }
+
+    #[test]
+    fn incremental_insertion_order_irrelevant() {
+        let mut dev = Device::nvidia();
+        let sites_a = vec![
+            Point::new(30.0, 30.0),
+            Point::new(70.0, 70.0),
+            Point::new(20.0, 80.0),
+        ];
+        let mut sites_b = sites_a.clone();
+        sites_b.reverse();
+        let ca = compute_voronoi(&mut dev, vp(24), &sites_a);
+        let cb = compute_voronoi(&mut dev, vp(24), &sites_b);
+        // Same partition modulo the site relabeling (b is reversed);
+        // exactly-equidistant pixels may tie-break either way.
+        let v = *ca.viewport();
+        for y in 0..24 {
+            for x in 0..24 {
+                let a = ca.texel(x, y).get(2).unwrap().id;
+                let b = cb.texel(x, y).get(2).unwrap().id;
+                if a != 2 - b {
+                    let c = v.pixel_center(x, y);
+                    let da = c.dist_sq(sites_a[a as usize]) as f32;
+                    let db = c.dist_sq(sites_b[b as usize]) as f32;
+                    assert_eq!(da, db, "non-tie disagreement at ({x},{y})");
+                }
+            }
+        }
+    }
+}

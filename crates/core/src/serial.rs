@@ -1,0 +1,307 @@
+//! Binary canvas serialization.
+//!
+//! Section 7 of the paper sketches the storage integration: "the storage
+//! structure of a relational tuple can be changed to link to the
+//! corresponding canvas". That requires canvases to be persistable. This
+//! module provides a compact, versioned binary codec for the raster
+//! planes and the exact point entries — everything needed to answer
+//! point queries from a cached canvas without re-rendering.
+//!
+//! Vector geometry *sources* (polygon/line tables) are intentionally not
+//! embedded: they are shared, already stored as relational data, and are
+//! re-attached by the caller on load (the canvas↔tuple duality).
+
+use crate::boundary::PointEntry;
+use crate::canvas::Canvas;
+use crate::info::{DimInfo, Texel};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use canvas_geom::{BBox, Point};
+use canvas_raster::{Texture, Viewport};
+
+const MAGIC: u32 = 0x43414E56; // "CANV"
+const VERSION: u16 = 1;
+
+/// Decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    BadMagic,
+    UnsupportedVersion(u16),
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a canvas blob (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported canvas version {v}"),
+            DecodeError::Truncated => write!(f, "canvas blob truncated"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt canvas blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes the canvas's raster planes and point entries.
+pub fn encode(canvas: &Canvas) -> Bytes {
+    let vp = canvas.viewport();
+    let w = vp.width();
+    let h = vp.height();
+    let mut out = BytesMut::with_capacity(32 + (w as usize * h as usize) * 14);
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+    // Viewport.
+    out.put_f64(vp.world().min.x);
+    out.put_f64(vp.world().min.y);
+    out.put_f64(vp.world().max.x);
+    out.put_f64(vp.world().max.y);
+    out.put_u32(w);
+    out.put_u32(h);
+
+    // Texel plane, sparse: (index, presence, per-dim info).
+    let non_null: Vec<(u32, Texel)> = canvas
+        .texels()
+        .texels()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_null())
+        .map(|(i, t)| (i as u32, *t))
+        .collect();
+    out.put_u32(non_null.len() as u32);
+    for (idx, t) in non_null {
+        out.put_u32(idx);
+        let mut mask = 0u8;
+        for d in 0..3 {
+            if t.has(d) {
+                mask |= 1 << d;
+            }
+        }
+        out.put_u8(mask);
+        for d in 0..3 {
+            if let Some(info) = t.get(d) {
+                out.put_u32(info.id);
+                out.put_f32(info.v1);
+                out.put_f32(info.v2);
+            }
+        }
+    }
+
+    // Cover plane, sparse.
+    let covered: Vec<(u32, u16)> = canvas
+        .cover()
+        .texels()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| (i as u32, c))
+        .collect();
+    out.put_u32(covered.len() as u32);
+    for (idx, c) in covered {
+        out.put_u32(idx);
+        out.put_u16(c);
+    }
+
+    // Exact point entries.
+    let points = canvas.boundary().points();
+    out.put_u32(points.len() as u32);
+    for e in points {
+        out.put_u32(e.pixel);
+        out.put_u32(e.record);
+        out.put_f64(e.loc.x);
+        out.put_f64(e.loc.y);
+        out.put_f32(e.weight);
+    }
+
+    out.freeze()
+}
+
+/// Reconstructs a canvas from [`encode`]'s output (raster planes + point
+/// entries; geometry sources must be re-attached by the caller if
+/// area-boundary refinement is needed).
+pub fn decode(mut buf: &[u8]) -> Result<Canvas, DecodeError> {
+    fn need(buf: &[u8], n: usize) -> Result<(), DecodeError> {
+        if buf.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(buf, 6)?;
+    if buf.get_u32() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    need(buf, 8 * 4 + 8)?;
+    let min = Point::new(buf.get_f64(), buf.get_f64());
+    let max = Point::new(buf.get_f64(), buf.get_f64());
+    let w = buf.get_u32();
+    let h = buf.get_u32();
+    if w == 0 || h == 0 || min.x >= max.x || min.y >= max.y {
+        return Err(DecodeError::Corrupt("viewport"));
+    }
+    let vp = Viewport::new(BBox::new(min, max), w, h);
+    let mut canvas = Canvas::empty(vp);
+    let total = (w as usize) * (h as usize);
+
+    // Texels.
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    if n > total {
+        return Err(DecodeError::Corrupt("texel count"));
+    }
+    {
+        let texels: &mut Texture<Texel> = canvas.texels_mut();
+        for _ in 0..n {
+            need(buf, 5)?;
+            let idx = buf.get_u32() as usize;
+            if idx >= total {
+                return Err(DecodeError::Corrupt("texel index"));
+            }
+            let mask = buf.get_u8();
+            let mut t = Texel::null();
+            for d in 0..3 {
+                if mask & (1 << d) != 0 {
+                    need(buf, 12)?;
+                    t.set(d, DimInfo::new(buf.get_u32(), buf.get_f32(), buf.get_f32()));
+                }
+            }
+            let (x, y) = texels.coords(idx);
+            texels.set(x, y, t);
+        }
+    }
+
+    // Cover.
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    if n > total {
+        return Err(DecodeError::Corrupt("cover count"));
+    }
+    for _ in 0..n {
+        need(buf, 6)?;
+        let idx = buf.get_u32() as usize;
+        if idx >= total {
+            return Err(DecodeError::Corrupt("cover index"));
+        }
+        let c = buf.get_u16();
+        let (x, y) = canvas.cover().coords(idx);
+        canvas.cover_mut().set(x, y, c);
+    }
+
+    // Point entries.
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    for _ in 0..n {
+        need(buf, 4 + 4 + 16 + 4)?;
+        let e = PointEntry {
+            pixel: buf.get_u32(),
+            record: buf.get_u32(),
+            loc: Point::new(buf.get_f64(), buf.get_f64()),
+            weight: buf.get_f32(),
+        };
+        if e.pixel as usize >= total {
+            return Err(DecodeError::Corrupt("point pixel"));
+        }
+        canvas.boundary_mut().push_point(e);
+    }
+    canvas.boundary_mut().sort();
+    Ok(canvas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::PointBatch;
+    use crate::device::Device;
+    use crate::source::render_points;
+
+    fn sample() -> Canvas {
+        let vp = Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            16,
+            16,
+        );
+        let mut dev = Device::nvidia();
+        render_points(
+            &mut dev,
+            vp,
+            &PointBatch::with_weights(
+                vec![
+                    Point::new(1.25, 2.5),
+                    Point::new(7.75, 8.125),
+                    Point::new(7.8, 8.2),
+                ],
+                vec![1.5, 2.5, 3.5],
+            ),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = sample();
+        let blob = encode(&c);
+        let back = decode(&blob).unwrap();
+        assert_eq!(back.viewport(), c.viewport());
+        assert_eq!(back.texels(), c.texels());
+        assert_eq!(back.cover(), c.cover());
+        assert_eq!(back.boundary().points(), c.boundary().points());
+        assert_eq!(back.point_records(), c.point_records());
+        assert_eq!(back.point_weight_sum(), c.point_weight_sum());
+    }
+
+    #[test]
+    fn sparse_encoding_is_compact() {
+        let c = sample();
+        let blob = encode(&c);
+        // 3 points → 2 non-null texels; the blob must be far smaller
+        // than a dense dump of 256 texels.
+        assert!(blob.len() < 300, "blob was {} bytes", blob.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            decode(&[0u8; 64]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let mut blob = encode(&sample()).to_vec();
+        blob[4] = 0xFF; // version bytes
+        assert!(matches!(
+            decode(&blob).unwrap_err(),
+            DecodeError::UnsupportedVersion(_)
+        ));
+        let blob = encode(&sample());
+        let truncated = &blob[..blob.len() - 3];
+        assert_eq!(decode(truncated).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn decoded_canvas_supports_queries() {
+        // A cached canvas can answer point queries without re-rendering.
+        let c = sample();
+        let back = decode(&encode(&c)).unwrap();
+        let mut dev = Device::nvidia();
+        let spec = crate::ops::MaskSpec::Texel(
+            "has point",
+            std::sync::Arc::new(|t: &Texel| t.has(0)),
+        );
+        let masked = crate::ops::mask(&mut dev, &back, &spec);
+        assert_eq!(masked.point_records(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_canvas_roundtrip() {
+        let vp = Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            4,
+            4,
+        );
+        let c = Canvas::empty(vp);
+        let back = decode(&encode(&c)).unwrap();
+        assert!(back.is_empty());
+    }
+}

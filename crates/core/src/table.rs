@@ -1,0 +1,350 @@
+//! `SpatialTable`: a relational-flavored facade over the canvas engine.
+//!
+//! The paper positions the canvas as *the dual of a relational tuple*
+//! (Section 7): systems keep ordinary tables whose spatial attributes
+//! link to canvases rendered on demand, "unbeknownst to the users". This
+//! module is that integration surface — a table of geometric objects
+//! plus named numeric attributes, loadable from WKT, with query methods
+//! that dispatch onto the Section 4 formulations by geometry type.
+
+use std::collections::BTreeMap;
+
+use crate::canvas::{AreaSource, LineSource, PointBatch};
+use crate::device::Device;
+use crate::queries::selection;
+use canvas_geom::polygon::Polygon;
+use canvas_geom::wkt::{parse_wkt, WktError};
+use canvas_geom::{BBox, GeomObject, Primitive};
+use canvas_raster::Viewport;
+
+/// Errors from table construction and queries.
+#[derive(Debug)]
+pub enum TableError {
+    /// WKT input failed to parse (row index + parser error).
+    Wkt { row: usize, source: WktError },
+    /// An attribute column's length does not match the table.
+    AttrLength {
+        name: String,
+        expected: usize,
+        got: usize,
+    },
+    /// The requested operation needs a homogeneous geometry type the
+    /// table does not have.
+    MixedGeometry { wanted: &'static str },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Wkt { row, source } => write!(f, "row {row}: {source}"),
+            TableError::AttrLength {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute '{name}' has {got} values for {expected} records"
+            ),
+            TableError::MixedGeometry { wanted } => {
+                write!(f, "operation requires all-{wanted} geometry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Wkt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A spatial data set: one geometric-object attribute (Definition 3)
+/// plus named numeric attribute columns.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialTable {
+    objects: Vec<GeomObject>,
+    attrs: BTreeMap<String, Vec<f32>>,
+}
+
+impl SpatialTable {
+    pub fn new() -> Self {
+        SpatialTable::default()
+    }
+
+    /// Builds a table from WKT rows (one geometry per line; blank lines
+    /// skipped).
+    pub fn from_wkt_lines(lines: &str) -> Result<Self, TableError> {
+        let mut t = SpatialTable::new();
+        for (row, line) in lines.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let obj = parse_wkt(line).map_err(|source| TableError::Wkt { row, source })?;
+            t.objects.push(obj);
+        }
+        Ok(t)
+    }
+
+    /// Appends a record; returns its id.
+    pub fn push(&mut self, object: GeomObject) -> u32 {
+        self.objects.push(object);
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Attaches (or replaces) a numeric attribute column.
+    pub fn set_attr(&mut self, name: &str, values: Vec<f32>) -> Result<(), TableError> {
+        if values.len() != self.objects.len() {
+            return Err(TableError::AttrLength {
+                name: name.to_string(),
+                expected: self.objects.len(),
+                got: values.len(),
+            });
+        }
+        self.attrs.insert(name.to_string(), values);
+        Ok(())
+    }
+
+    pub fn attr(&self, name: &str) -> Option<&[f32]> {
+        self.attrs.get(name).map(Vec::as_slice)
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    pub fn object(&self, id: u32) -> &GeomObject {
+        &self.objects[id as usize]
+    }
+
+    pub fn objects(&self) -> &[GeomObject] {
+        &self.objects
+    }
+
+    /// Union bounding box of all records.
+    pub fn extent(&self) -> BBox {
+        self.objects
+            .iter()
+            .fold(BBox::EMPTY, |b, o| b.union(&o.bbox()))
+    }
+
+    /// A viewport covering the table's extent (with a small margin so
+    /// boundary geometry is never clipped).
+    pub fn viewport(&self, max_dim: u32) -> Viewport {
+        let b = self.extent();
+        let margin = 0.01 * b.width().max(b.height()).max(1.0);
+        Viewport::square_pixels(b.inflated(margin), max_dim)
+    }
+
+    /// The table as a point batch, if every record is a single point.
+    /// `weight_attr` selects the weight column (unit weights otherwise).
+    pub fn as_points(&self, weight_attr: Option<&str>) -> Result<PointBatch, TableError> {
+        let mut pts = Vec::with_capacity(self.len());
+        for o in &self.objects {
+            match o.primitives() {
+                [Primitive::Point(p)] => pts.push(*p),
+                _ => return Err(TableError::MixedGeometry { wanted: "point" }),
+            }
+        }
+        let weights = match weight_attr {
+            Some(name) => self
+                .attr(name)
+                .ok_or_else(|| TableError::AttrLength {
+                    name: name.to_string(),
+                    expected: self.len(),
+                    got: 0,
+                })?
+                .to_vec(),
+            None => vec![1.0; pts.len()],
+        };
+        Ok(PointBatch {
+            ids: (0..pts.len() as u32).collect(),
+            points: pts,
+            weights,
+        })
+    }
+
+    /// The table as a polygon source, if every record is a single
+    /// polygon.
+    pub fn as_polygons(&self) -> Result<AreaSource, TableError> {
+        let mut polys = Vec::with_capacity(self.len());
+        for o in &self.objects {
+            match o.primitives() {
+                [Primitive::Area(p)] => polys.push(p.clone()),
+                _ => return Err(TableError::MixedGeometry { wanted: "polygon" }),
+            }
+        }
+        Ok(std::sync::Arc::new(polys))
+    }
+
+    /// The table as a polyline source, if every record is a single line.
+    pub fn as_lines(&self) -> Result<LineSource, TableError> {
+        let mut lines = Vec::with_capacity(self.len());
+        for o in &self.objects {
+            match o.primitives() {
+                [Primitive::Line(l)] => lines.push(l.clone()),
+                _ => return Err(TableError::MixedGeometry { wanted: "line" }),
+            }
+        }
+        Ok(std::sync::Arc::new(lines))
+    }
+
+    /// `SELECT * FROM self WHERE Geometry INSIDE/INTERSECTS q` — the
+    /// paper's headline: one entry point, any geometry type, same
+    /// operators underneath. Returns matching record ids.
+    pub fn select_in_polygon(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        q: &Polygon,
+    ) -> Result<Vec<u32>, TableError> {
+        if let Ok(points) = self.as_points(None) {
+            return Ok(selection::select_points_in_polygon(dev, vp, &points, q).records);
+        }
+        if let Ok(polys) = self.as_polygons() {
+            return Ok(selection::select_polygons_intersecting(dev, vp, &polys, q).records);
+        }
+        if let Ok(lines) = self.as_lines() {
+            return Ok(selection::select_lines_intersecting(dev, vp, &lines, q).records);
+        }
+        Err(TableError::MixedGeometry {
+            wanted: "homogeneous",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::Point;
+
+    #[test]
+    fn wkt_loading_and_extent() {
+        let t = SpatialTable::from_wkt_lines(
+            "POINT (1 2)\n\nPOINT (5 6)\nPOINT (3 0)\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        let b = t.extent();
+        assert_eq!(b.min, Point::new(1.0, 0.0));
+        assert_eq!(b.max, Point::new(5.0, 6.0));
+    }
+
+    #[test]
+    fn wkt_errors_carry_row() {
+        let err = SpatialTable::from_wkt_lines("POINT (1 2)\nBOGUS (1)").unwrap_err();
+        match err {
+            TableError::Wkt { row, .. } => assert_eq!(row, 1),
+            other => panic!("expected Wkt error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn attrs_validated() {
+        let mut t = SpatialTable::from_wkt_lines("POINT (0 0)\nPOINT (1 1)").unwrap();
+        assert!(t.set_attr("fare", vec![1.0, 2.0]).is_ok());
+        assert!(matches!(
+            t.set_attr("bad", vec![1.0]),
+            Err(TableError::AttrLength { .. })
+        ));
+        assert_eq!(t.attr("fare"), Some(&[1.0, 2.0][..]));
+        assert_eq!(t.attr("missing"), None);
+    }
+
+    #[test]
+    fn point_table_selection() {
+        let mut t = SpatialTable::new();
+        t.push(GeomObject::point(Point::new(2.0, 2.0)));
+        t.push(GeomObject::point(Point::new(8.0, 8.0)));
+        t.push(GeomObject::point(Point::new(3.0, 3.5)));
+        let q = Polygon::simple(vec![
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.0, 5.0),
+        ])
+        .unwrap();
+        let mut dev = Device::nvidia();
+        let vp = t.viewport(128);
+        let ids = t.select_in_polygon(&mut dev, vp, &q).unwrap();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn polygon_table_selection() {
+        let t = SpatialTable::from_wkt_lines(
+            "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))\n\
+             POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))\n\
+             POLYGON ((1 1, 4 1, 4 4, 1 4, 1 1))",
+        )
+        .unwrap();
+        let q = Polygon::simple(vec![
+            Point::new(1.5, 1.5),
+            Point::new(6.0, 1.5),
+            Point::new(6.0, 6.0),
+            Point::new(1.5, 6.0),
+        ])
+        .unwrap();
+        let mut dev = Device::nvidia();
+        let vp = t.viewport(128);
+        let ids = t.select_in_polygon(&mut dev, vp, &q).unwrap();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn line_table_selection() {
+        let t = SpatialTable::from_wkt_lines(
+            "LINESTRING (0 5, 10 5)\nLINESTRING (0 20, 10 20)",
+        )
+        .unwrap();
+        let q = Polygon::simple(vec![
+            Point::new(4.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 10.0),
+            Point::new(4.0, 10.0),
+        ])
+        .unwrap();
+        let mut dev = Device::nvidia();
+        let vp = Viewport::square_pixels(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 25.0)),
+            128,
+        );
+        let ids = t.select_in_polygon(&mut dev, vp, &q).unwrap();
+        assert_eq!(ids, vec![0]);
+    }
+
+    #[test]
+    fn mixed_table_rejected() {
+        let t = SpatialTable::from_wkt_lines("POINT (0 0)\nLINESTRING (0 0, 1 1)").unwrap();
+        assert!(t.as_points(None).is_err());
+        assert!(t.as_lines().is_err());
+        let q = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ])
+        .unwrap();
+        let mut dev = Device::nvidia();
+        let vp = Viewport::square_pixels(
+            BBox::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)),
+            32,
+        );
+        assert!(t.select_in_polygon(&mut dev, vp, &q).is_err());
+    }
+
+    #[test]
+    fn weighted_points_from_attr() {
+        let mut t = SpatialTable::from_wkt_lines("POINT (1 1)\nPOINT (2 2)").unwrap();
+        t.set_attr("fare", vec![7.5, 2.5]).unwrap();
+        let batch = t.as_points(Some("fare")).unwrap();
+        assert_eq!(batch.weights, vec![7.5, 2.5]);
+        assert!(t.as_points(Some("missing")).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Canvas visualization: ASCII art and PGM image export.
+//!
+//! A canvas *is* an image (the paper draws them throughout Figures 1–8);
+//! being able to look at one is invaluable for debugging plans and for
+//! the examples. `to_ascii` renders a down-sampled glyph view; `to_pgm`
+//! writes a portable graymap any image viewer opens.
+
+use crate::canvas::Canvas;
+use crate::info::Texel;
+
+/// How to turn a texel into a brightness in `[0, 1]`.
+pub enum Shade {
+    /// 1 where any dimension is set, 0 elsewhere (support mask).
+    Support,
+    /// `s[0].v1` (point counts) normalized by the canvas maximum.
+    PointCount,
+    /// `s[2].id` hashed to a gray (region/partition views).
+    AreaId,
+}
+
+impl Shade {
+    fn value(&self, t: &Texel, max_count: f32) -> f64 {
+        match self {
+            Shade::Support => {
+                if t.is_null() {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Shade::PointCount => t
+                .get(0)
+                .map(|p| (p.v1 / max_count.max(1.0)) as f64)
+                .unwrap_or(0.0),
+            Shade::AreaId => t
+                .get(2)
+                .map(|a| {
+                    let h = a.id.wrapping_mul(2654435761) >> 24;
+                    0.25 + 0.75 * (h as f64 / 255.0)
+                })
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// Renders the canvas as ASCII art of at most `cols × rows` glyphs
+/// (each glyph max-pools a block of texels).
+pub fn to_ascii(canvas: &Canvas, cols: u32, rows: u32, shade: Shade) -> String {
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let tex = canvas.texels();
+    let cols = cols.clamp(1, tex.width());
+    let rows = rows.clamp(1, tex.height());
+    let max_count = tex
+        .texels()
+        .iter()
+        .filter_map(|t| t.get(0).map(|p| p.v1))
+        .fold(0.0f32, f32::max);
+    let bw = tex.width().div_ceil(cols);
+    let bh = tex.height().div_ceil(rows);
+    let mut out = String::with_capacity(((cols + 1) * rows) as usize);
+    // Row 0 is world-bottom; print top-down.
+    for by in (0..rows).rev() {
+        for bx in 0..cols {
+            let mut v = 0.0f64;
+            for y in (by * bh)..((by + 1) * bh).min(tex.height()) {
+                for x in (bx * bw)..((bx + 1) * bw).min(tex.width()) {
+                    v = v.max(shade.value(&tex.get(x, y), max_count));
+                }
+            }
+            let idx = ((v * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1);
+            out.push(ramp[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the canvas as a binary PGM (P5) image.
+pub fn to_pgm(canvas: &Canvas, shade: Shade) -> Vec<u8> {
+    let tex = canvas.texels();
+    let (w, h) = (tex.width(), tex.height());
+    let max_count = tex
+        .texels()
+        .iter()
+        .filter_map(|t| t.get(0).map(|p| p.v1))
+        .fold(0.0f32, f32::max);
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.reserve((w * h) as usize);
+    // PGM rows go top-down; canvas row 0 is world-bottom.
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let v = shade.value(&tex.get(x, y), max_count);
+            out.push((v * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::PointBatch;
+    use crate::device::Device;
+    use crate::source::render_points;
+    use canvas_geom::{BBox, Point};
+    use canvas_raster::Viewport;
+
+    fn sample_canvas() -> Canvas {
+        let vp = Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            20,
+            20,
+        );
+        let mut dev = Device::nvidia();
+        render_points(
+            &mut dev,
+            vp,
+            &PointBatch::from_points(vec![
+                Point::new(2.0, 2.0),
+                Point::new(2.1, 2.1),
+                Point::new(8.0, 8.0),
+            ]),
+        )
+    }
+
+    #[test]
+    fn ascii_dimensions_and_content() {
+        let c = sample_canvas();
+        let art = to_ascii(&c, 10, 10, Shade::Support);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        // Non-empty canvas shows non-blank glyphs.
+        assert!(art.chars().any(|ch| ch != ' ' && ch != '\n'));
+        // Top-left of the art is world top-left: the (8,8) point.
+        let row_of_top_point = lines
+            .iter()
+            .position(|l| l.contains('@'))
+            .expect("support glyph present");
+        assert!(row_of_top_point <= 4, "world-top point must print high");
+    }
+
+    #[test]
+    fn ascii_point_count_shading() {
+        let c = sample_canvas();
+        let art = to_ascii(&c, 20, 20, Shade::PointCount);
+        // The double-point pixel is the max: exactly one '@'.
+        assert_eq!(art.matches('@').count(), 1);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let c = sample_canvas();
+        let img = to_pgm(&c, Shade::Support);
+        assert!(img.starts_with(b"P5\n20 20\n255\n"));
+        let header_len = b"P5\n20 20\n255\n".len();
+        assert_eq!(img.len(), header_len + 400);
+        // Contains white (covered) and black (empty) pixels.
+        assert!(img[header_len..].contains(&255));
+        assert!(img[header_len..].contains(&0));
+    }
+
+    #[test]
+    fn area_id_shading_distinguishes_regions() {
+        // A two-site Voronoi canvas shades each region differently.
+        let vp = Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            16,
+            16,
+        );
+        let mut dev = Device::nvidia();
+        let diagram = crate::queries::voronoi::compute_voronoi(
+            &mut dev,
+            vp,
+            &[Point::new(2.0, 5.0), Point::new(8.0, 5.0)],
+        );
+        let art = to_ascii(&diagram, 16, 16, Shade::AreaId);
+        let lines: Vec<&str> = art.lines().collect();
+        let mid = lines[8];
+        let left_glyph = mid.chars().nth(1).unwrap();
+        let right_glyph = mid.chars().nth(14).unwrap();
+        assert_ne!(left_glyph, right_glyph, "regions must shade differently");
+        assert_ne!(left_glyph, ' ');
+    }
+
+    #[test]
+    fn empty_canvas_renders_blank() {
+        let vp = Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            4,
+            4,
+        );
+        let c = Canvas::empty(vp);
+        let art = to_ascii(&c, 4, 4, Shade::Support);
+        assert!(art.chars().all(|ch| ch == ' ' || ch == '\n'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Query-polygon generation with selectivity calibration.
+//!
+//! The paper's evaluation uses "hand-drawn" query polygons "adjusted to
+//! have the same MBR", with selectivity from roughly 3% to 83% and
+//! varying shape complexity (Figure 10). These generators reproduce that
+//! setup without the visual interface:
+//!
+//! * [`star_polygon`] — star-shaped polygons with a smoothed random
+//!   radial profile (looks hand-drawn, controllable vertex count),
+//! * [`fit_to_bbox`] — normalizes any polygon onto a target MBR,
+//! * [`calibrated_polygon`] — binary-searches a radial scale so the
+//!   polygon captures a target fraction of a given point set.
+
+use canvas_geom::polygon::Polygon;
+use canvas_geom::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A star-shaped (hand-drawn-looking) polygon with `vertices` vertices
+/// centered in the extent. `roughness ∈ [0, 1)` controls radial
+/// variation (0 = regular polygon).
+pub fn star_polygon(extent: &BBox, vertices: usize, roughness: f64, seed: u64) -> Polygon {
+    let vertices = vertices.max(3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = extent.center();
+    let base_r = 0.5 * extent.width().min(extent.height());
+
+    // Random radial profile, then smooth with a 3-tap box filter so the
+    // outline looks drawn rather than jagged noise.
+    let raw: Vec<f64> = (0..vertices)
+        .map(|_| 1.0 - roughness * rng.gen_range(0.0..1.0))
+        .collect();
+    let smooth: Vec<f64> = (0..vertices)
+        .map(|i| {
+            let a = raw[(i + vertices - 1) % vertices];
+            let b = raw[i];
+            let c = raw[(i + 1) % vertices];
+            (a + b + c) / 3.0
+        })
+        .collect();
+
+    let pts: Vec<Point> = (0..vertices)
+        .map(|i| {
+            let t = std::f64::consts::TAU * i as f64 / vertices as f64;
+            center + Point::new(t.cos(), t.sin()) * (base_r * smooth[i])
+        })
+        .collect();
+    Polygon::simple(pts).expect("star polygon is non-degenerate")
+}
+
+/// Rescales a polygon so its MBR coincides with `target` (the paper's
+/// "adjusted to have the same MBR" step).
+pub fn fit_to_bbox(poly: &Polygon, target: &BBox) -> Polygon {
+    let b = poly.bbox();
+    let sx = target.width() / b.width().max(1e-12);
+    let sy = target.height() / b.height().max(1e-12);
+    let map = |p: Point| {
+        Point::new(
+            target.min.x + (p.x - b.min.x) * sx,
+            target.min.y + (p.y - b.min.y) * sy,
+        )
+    };
+    let outer = canvas_geom::Ring::new(poly.outer().vertices().iter().map(|v| map(*v)).collect())
+        .expect("scaled ring stays valid");
+    let holes = poly
+        .holes()
+        .iter()
+        .filter_map(|h| {
+            canvas_geom::Ring::new(h.vertices().iter().map(|v| map(*v)).collect()).ok()
+        })
+        .collect();
+    Polygon::new(outer, holes)
+}
+
+/// Fraction of `points` inside the polygon.
+pub fn selectivity(poly: &Polygon, points: &[Point]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let hits = points.iter().filter(|p| poly.contains_closed(**p)).count();
+    hits as f64 / points.len() as f64
+}
+
+/// Generates a star polygon whose selectivity against `points` is within
+/// `tol` of `target` (binary search on a radial scale around the
+/// centroid), then MBR-normalized to `mbr`. Mirrors the paper's
+/// Figure 10 setup: fixed MBR, varying shape/selectivity.
+pub fn calibrated_polygon(
+    mbr: &BBox,
+    points: &[Point],
+    target: f64,
+    vertices: usize,
+    seed: u64,
+) -> Polygon {
+    assert!((0.0..=1.0).contains(&target));
+    let shape = star_polygon(mbr, vertices, 0.55, seed);
+    let centroid = shape.outer().centroid();
+
+    let scaled = |factor: f64| -> Polygon {
+        let outer = canvas_geom::Ring::new(
+            shape
+                .outer()
+                .vertices()
+                .iter()
+                .map(|v| centroid + (*v - centroid) * factor)
+                .collect(),
+        )
+        .expect("scaled star stays valid");
+        Polygon::new(outer, Vec::new())
+    };
+
+    let (mut lo, mut hi) = (0.02f64, 1.6f64);
+    let mut best = scaled(1.0);
+    let mut best_err = f64::INFINITY;
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let cand = scaled(mid);
+        let s = selectivity(&cand, points);
+        let err = (s - target).abs();
+        if err < best_err {
+            best_err = err;
+            best = cand;
+        }
+        if s < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::uniform_points;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn star_polygon_valid_and_seeded() {
+        let a = star_polygon(&extent(), 24, 0.5, 3);
+        let b = star_polygon(&extent(), 24, 0.5, 3);
+        let c = star_polygon(&extent(), 24, 0.5, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.outer().len(), 24);
+        assert!(a.area() > 0.0);
+        // Star-shaped around the center: centroid inside.
+        assert!(a.contains_closed(extent().center()));
+    }
+
+    #[test]
+    fn vertex_count_controls_complexity() {
+        for n in [8, 32, 128, 512] {
+            let p = star_polygon(&extent(), n, 0.4, 9);
+            assert_eq!(p.num_vertices(), n);
+        }
+    }
+
+    #[test]
+    fn fit_to_bbox_normalizes_mbr() {
+        let p = star_polygon(&extent(), 16, 0.6, 5);
+        let target = BBox::new(Point::new(10.0, 20.0), Point::new(60.0, 80.0));
+        let fitted = fit_to_bbox(&p, &target);
+        let b = fitted.bbox();
+        assert!((b.min.x - 10.0).abs() < 1e-9);
+        assert!((b.max.y - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_hits_targets() {
+        let pts = uniform_points(&extent(), 4000, 77);
+        // The paper's selectivity range: ~3% to ~83%.
+        for (target, tol) in [(0.03, 0.02), (0.25, 0.04), (0.5, 0.05), (0.83, 0.05)] {
+            let poly = calibrated_polygon(&extent(), &pts, target, 48, 13);
+            let s = selectivity(&poly, &pts);
+            assert!(
+                (s - target).abs() <= tol,
+                "target {target}, got {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        let pts = uniform_points(&extent(), 100, 1);
+        let tiny = star_polygon(
+            &BBox::new(Point::new(49.0, 49.0), Point::new(51.0, 51.0)),
+            8,
+            0.1,
+            2,
+        );
+        assert!(selectivity(&tiny, &pts) < 0.1);
+        assert_eq!(selectivity(&tiny, &[]), 0.0);
+    }
+}

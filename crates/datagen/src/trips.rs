@@ -1,0 +1,158 @@
+//! Synthetic origin–destination trip workload (stands in for the NYC
+//! taxi trip records of the paper's evaluation).
+//!
+//! Each trip has a pickup (origin), a dropoff (destination), and
+//! attributes: fare amount (the SUM/AVG aggregation weight), passenger
+//! count, and a pickup-time slot (the paper varies input size by pickup
+//! time range — the slot lets the harness do the same).
+
+use crate::points::{clustered_points, default_hotspots};
+use canvas_geom::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic trip table in column layout.
+#[derive(Clone, Debug, Default)]
+pub struct Trips {
+    pub pickups: Vec<Point>,
+    pub dropoffs: Vec<Point>,
+    /// Fare in dollars (weight for SUM/AVG aggregations).
+    pub fares: Vec<f32>,
+    pub passenger_counts: Vec<u8>,
+    /// Pickup time slot in `[0, time_slots)`.
+    pub time_slots: Vec<u16>,
+    pub num_time_slots: u16,
+}
+
+impl Trips {
+    pub fn len(&self) -> usize {
+        self.pickups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pickups.is_empty()
+    }
+
+    /// Restricts to trips with `time_slot < cutoff` — the paper's "size
+    /// of the input is varied using the pickup time range".
+    pub fn with_time_range(&self, cutoff: u16) -> Trips {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| self.time_slots[i] < cutoff)
+            .collect();
+        Trips {
+            pickups: keep.iter().map(|&i| self.pickups[i]).collect(),
+            dropoffs: keep.iter().map(|&i| self.dropoffs[i]).collect(),
+            fares: keep.iter().map(|&i| self.fares[i]).collect(),
+            passenger_counts: keep.iter().map(|&i| self.passenger_counts[i]).collect(),
+            time_slots: keep.iter().map(|&i| self.time_slots[i]).collect(),
+            num_time_slots: self.num_time_slots,
+        }
+    }
+
+    /// The pickup side as a weighted point batch (fare as weight).
+    pub fn pickup_batch(&self) -> canvas_core::PointBatch {
+        canvas_core::PointBatch::with_weights(self.pickups.clone(), self.fares.clone())
+    }
+
+    /// As an origin–destination batch for OD queries.
+    pub fn od_batch(&self) -> canvas_core::queries::od::TripBatch {
+        canvas_core::queries::od::TripBatch {
+            origins: self.pickups.clone(),
+            destinations: self.dropoffs.clone(),
+            weights: self.fares.clone(),
+        }
+    }
+}
+
+/// Generates `n` trips over the extent with city-like clustering:
+/// pickups from the hotspot mixture, dropoffs from the same mixture
+/// displaced by a trip vector whose length follows fare.
+pub fn generate_trips(extent: &BBox, n: usize, num_time_slots: u16, seed: u64) -> Trips {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xACE1_BEEF);
+    let pickups = clustered_points(extent, &default_hotspots(extent), n, seed);
+    let dropoffs = clustered_points(extent, &default_hotspots(extent), n, seed ^ 0x5EED);
+    let mut fares = Vec::with_capacity(n);
+    let mut passenger_counts = Vec::with_capacity(n);
+    let mut time_slots = Vec::with_capacity(n);
+    for i in 0..n {
+        // Fare correlates with trip length plus a base charge.
+        let dist = pickups[i].dist(dropoffs[i]);
+        let fare = 2.5 + 0.35 * dist + rng.gen_range(0.0..3.0);
+        fares.push(fare as f32);
+        passenger_counts.push(rng.gen_range(1..=6));
+        time_slots.push(rng.gen_range(0..num_time_slots.max(1)));
+    }
+    Trips {
+        pickups,
+        dropoffs,
+        fares,
+        passenger_counts,
+        time_slots,
+        num_time_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn trips_generated_consistently() {
+        let a = generate_trips(&extent(), 500, 8, 42);
+        let b = generate_trips(&extent(), 500, 8, 42);
+        assert_eq!(a.pickups, b.pickups);
+        assert_eq!(a.fares, b.fares);
+        assert_eq!(a.len(), 500);
+        assert!(a.pickups.iter().all(|p| extent().contains(*p)));
+        assert!(a.dropoffs.iter().all(|p| extent().contains(*p)));
+    }
+
+    #[test]
+    fn time_range_scaling() {
+        let t = generate_trips(&extent(), 2000, 10, 7);
+        let half = t.with_time_range(5);
+        let full = t.with_time_range(10);
+        assert_eq!(full.len(), 2000);
+        // Uniform slots: roughly half the trips.
+        assert!((half.len() as f64 - 1000.0).abs() < 150.0, "{}", half.len());
+        assert!(half
+            .time_slots
+            .iter()
+            .all(|&s| s < 5));
+    }
+
+    #[test]
+    fn fares_positive_and_distance_correlated() {
+        let t = generate_trips(&extent(), 1000, 4, 9);
+        assert!(t.fares.iter().all(|&f| f >= 2.5));
+        // Longest quartile of trips should out-fare the shortest quartile.
+        let mut by_dist: Vec<(f64, f32)> = t
+            .pickups
+            .iter()
+            .zip(&t.dropoffs)
+            .zip(&t.fares)
+            .map(|((p, d), f)| (p.dist(*d), *f))
+            .collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let q = by_dist.len() / 4;
+        let short_avg: f32 = by_dist[..q].iter().map(|x| x.1).sum::<f32>() / q as f32;
+        let long_avg: f32 = by_dist[3 * q..].iter().map(|x| x.1).sum::<f32>()
+            / (by_dist.len() - 3 * q) as f32;
+        assert!(long_avg > short_avg);
+    }
+
+    #[test]
+    fn batch_conversions() {
+        let t = generate_trips(&extent(), 50, 2, 3);
+        let pb = t.pickup_batch();
+        assert_eq!(pb.len(), 50);
+        assert_eq!(pb.weights, t.fares);
+        let od = t.od_batch();
+        assert_eq!(od.len(), 50);
+        assert_eq!(od.origins, t.pickups);
+    }
+}

@@ -1,0 +1,263 @@
+//! Axis-aligned bounding boxes (MBRs).
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box / minimum bounding rectangle.
+///
+/// The empty box is represented with inverted bounds so that `union` with
+/// any point or box behaves as identity-seeded accumulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl BBox {
+    /// The empty box: `union`-identity, contains nothing.
+    pub const EMPTY: BBox = BBox {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    pub fn new(min: Point, max: Point) -> Self {
+        BBox { min, max }
+    }
+
+    /// Box from two arbitrary corner points (any diagonal).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        BBox {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Smallest box covering all points in the iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(BBox::EMPTY, |b, p| b.union_point(p))
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Closed containment test (boundary counts as inside).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if `other` lies fully inside `self` (closed).
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        !other.is_empty()
+            && self.contains(other.min)
+            && self.contains(other.max)
+    }
+
+    /// Closed intersection test.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || self.min.x > other.max.x
+            || other.min.x > self.max.x
+            || self.min.y > other.max.y
+            || other.min.y > self.max.y)
+    }
+
+    /// Smallest box covering both operands.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Smallest box covering `self` and `p`.
+    pub fn union_point(&self, p: Point) -> BBox {
+        BBox {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
+    /// Intersection box; empty if the boxes do not overlap.
+    pub fn intersection(&self, other: &BBox) -> BBox {
+        let b = BBox {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        };
+        if b.is_empty() {
+            BBox::EMPTY
+        } else {
+            b
+        }
+    }
+
+    /// Box grown by `margin` on every side (shrunk when negative).
+    pub fn inflated(&self, margin: f64) -> BBox {
+        if self.is_empty() {
+            return *self;
+        }
+        let m = Point::new(margin, margin);
+        let b = BBox {
+            min: self.min - m,
+            max: self.max + m,
+        };
+        if b.is_empty() {
+            BBox::EMPTY
+        } else {
+            b
+        }
+    }
+
+    /// The four corner points, counter-clockwise from `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+impl Default for BBox {
+    fn default() -> Self {
+        BBox::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = BBox::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert!(!e.contains(Point::ORIGIN));
+        assert!(!e.intersects(&unit()));
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let b = BBox::from_corners(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert_eq!(b, unit());
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(0.5, 0.5),
+            Point::new(-1.0, 2.0),
+            Point::new(3.0, -2.0),
+        ];
+        let b = BBox::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Point::new(-1.0, -2.0));
+        assert_eq!(b.max, Point::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let b = unit();
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(b.contains(Point::new(0.5, 0.5)));
+        assert!(!b.contains(Point::new(1.0 + 1e-12, 0.5)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = unit();
+        let b = BBox::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b);
+        assert_eq!(i, BBox::new(Point::new(0.5, 0.5), Point::new(1.0, 1.0)));
+        let u = a.union(&b);
+        assert_eq!(u, BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn disjoint_boxes() {
+        let a = unit();
+        let b = BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = unit();
+        let b = BBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b);
+        assert_eq!(i.width(), 0.0);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn inflation() {
+        let b = unit().inflated(1.0);
+        assert_eq!(b, BBox::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)));
+        let shrunk = unit().inflated(-0.6);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let c = unit().corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[1], Point::new(1.0, 0.0));
+        assert_eq!(c[2], Point::new(1.0, 1.0));
+        assert_eq!(c[3], Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn contains_box_nested() {
+        let outer = unit();
+        let inner = BBox::new(Point::new(0.25, 0.25), Point::new(0.75, 0.75));
+        assert!(outer.contains_box(&inner));
+        assert!(!inner.contains_box(&outer));
+        assert!(!outer.contains_box(&BBox::EMPTY));
+    }
+}

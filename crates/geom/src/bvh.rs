@@ -1,0 +1,285 @@
+//! Edge BVH: ray-casting point-in-polygon in `O(log E)` per query.
+//!
+//! The paper's Section 5 notes an *alternate implementation* of the
+//! operators on ray-tracing hardware ("the native ray tracing support
+//! provided by the latest RTX-based Nvidia GPUs"), where containment
+//! tests become ray casts against an acceleration structure. This module
+//! is that structure in software: a bounding-volume hierarchy over a
+//! polygon's edges supporting
+//!
+//! * [`EdgeBvh::crossings`] — count edges crossed by the +x ray from a
+//!   point (the crossing-number kernel),
+//! * [`EdgeBvh::contains_closed`] — exact closed PIP equivalent to
+//!   [`Polygon::contains_closed`], visiting only `O(log E + answer)`
+//!   edges instead of all of them.
+//!
+//! Baselines use it as the "optimized CPU/RTX refinement" variant; the
+//! `ablations` bench compares kernels.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::predicates::on_segment;
+
+/// One polygon edge, preprocessed for ray tests.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    a: Point,
+    b: Point,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: BBox,
+    /// Leaf: range into `edges`; internal: indexes of the two children.
+    kind: NodeKind,
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf { start: u32, end: u32 },
+    Internal { left: u32, right: u32 },
+}
+
+const LEAF_SIZE: usize = 8;
+
+/// A BVH over all edges (outer ring + holes) of one polygon.
+#[derive(Clone, Debug)]
+pub struct EdgeBvh {
+    edges: Vec<Edge>,
+    nodes: Vec<Node>,
+    root: u32,
+    /// Number of edge tests performed since construction (observability
+    /// for the cost comparisons; interior mutability-free: updated via
+    /// `&mut self` query variants or returned per call).
+    total_edges: usize,
+}
+
+impl EdgeBvh {
+    /// Builds the BVH over a polygon's edges (median split on the longer
+    /// bbox axis).
+    pub fn build(poly: &Polygon) -> Self {
+        let mut edges: Vec<Edge> = poly.edges().map(|s| Edge { a: s.a, b: s.b }).collect();
+        let mut nodes = Vec::with_capacity(2 * edges.len() / LEAF_SIZE + 2);
+        let n = edges.len();
+        let root = build_node(&mut edges, 0, n, &mut nodes);
+        EdgeBvh {
+            total_edges: edges.len(),
+            edges,
+            nodes,
+            root,
+        }
+    }
+
+    /// Total number of edges indexed.
+    pub fn num_edges(&self) -> usize {
+        self.total_edges
+    }
+
+    /// Counts crossings of the +x ray from `p` with indexed edges, and
+    /// reports whether `p` lies exactly on some edge. Returns
+    /// `(crossings, on_boundary, edges_visited)`.
+    pub fn crossings(&self, p: Point) -> (u32, bool, u32) {
+        let mut crossings = 0u32;
+        let mut on_boundary = false;
+        let mut visited = 0u32;
+        let mut stack = vec![self.root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            // The +x ray interacts with a box only if the box's x-range
+            // ends at/after p.x and its y-range straddles p.y.
+            let b = &node.bbox;
+            if b.max.x < p.x || p.y < b.min.y || p.y > b.max.y {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, end } => {
+                    for e in &self.edges[start as usize..end as usize] {
+                        visited += 1;
+                        if on_segment(p, e.a, e.b) {
+                            on_boundary = true;
+                        }
+                        let (a, b) = (e.a, e.b);
+                        if (b.y > p.y) != (a.y > p.y) {
+                            let t = (p.y - b.y) / (a.y - b.y);
+                            if p.x < b.x + t * (a.x - b.x) {
+                                crossings += 1;
+                            }
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        (crossings, on_boundary, visited)
+    }
+
+    /// Exact closed point-in-polygon via the BVH: boundary counts as
+    /// inside; even–odd crossings across *all* rings (outer + holes)
+    /// give hole-aware containment, matching `Polygon::contains_closed`.
+    pub fn contains_closed(&self, p: Point) -> bool {
+        let (crossings, on_boundary, _) = self.crossings(p);
+        on_boundary || crossings % 2 == 1
+    }
+}
+
+fn build_node(edges: &mut [Edge], start: usize, end: usize, nodes: &mut Vec<Node>) -> u32 {
+    let bbox = edges[start..end]
+        .iter()
+        .fold(BBox::EMPTY, |b, e| b.union_point(e.a).union_point(e.b));
+    if end - start <= LEAF_SIZE {
+        nodes.push(Node {
+            bbox,
+            kind: NodeKind::Leaf {
+                start: start as u32,
+                end: end as u32,
+            },
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    // Median split on the longer axis by edge midpoint.
+    let slice = &mut edges[start..end];
+    let use_x = bbox.width() >= bbox.height();
+    let mid = slice.len() / 2;
+    slice.select_nth_unstable_by(mid, |l, r| {
+        let key = |e: &Edge| {
+            if use_x {
+                e.a.x + e.b.x
+            } else {
+                e.a.y + e.b.y
+            }
+        };
+        key(l).partial_cmp(&key(r)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let split = start + mid;
+    let left = build_node(edges, start, split, nodes);
+    let right = build_node(edges, split, end, nodes);
+    nodes.push(Node {
+        bbox,
+        kind: NodeKind::Internal { left, right },
+    });
+    (nodes.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    fn star(n: usize, seed: u64) -> Polygon {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / n as f64;
+                let r = 20.0 + 25.0 * next();
+                Point::new(50.0 + r * ang.cos(), 50.0 + r * ang.sin())
+            })
+            .collect();
+        Polygon::simple(pts).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_linear_pip_everywhere() {
+        let poly = star(200, 7);
+        let bvh = EdgeBvh::build(&poly);
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..2000 {
+            let p = Point::new(next() * 100.0, next() * 100.0);
+            assert_eq!(
+                bvh.contains_closed(p),
+                poly.contains_closed(p),
+                "disagree at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_points_inside() {
+        let poly = star(32, 3);
+        let bvh = EdgeBvh::build(&poly);
+        for v in poly.outer().vertices() {
+            assert!(bvh.contains_closed(*v), "vertex {v} must be inside");
+        }
+        // Edge midpoints too.
+        for e in poly.edges() {
+            assert!(bvh.contains_closed(e.midpoint()));
+        }
+    }
+
+    #[test]
+    fn holes_respected() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let donut = Polygon::new(outer, vec![hole]);
+        let bvh = EdgeBvh::build(&donut);
+        assert!(bvh.contains_closed(Point::new(2.0, 2.0)));
+        assert!(!bvh.contains_closed(Point::new(5.0, 5.0)));
+        assert!(bvh.contains_closed(Point::new(4.0, 5.0))); // hole edge
+        assert!(!bvh.contains_closed(Point::new(20.0, 5.0)));
+    }
+
+    #[test]
+    fn visits_sublinear_edge_count() {
+        // On a large polygon the ray should touch far fewer edges than
+        // the total — the whole point of the acceleration structure.
+        let poly = star(2048, 5);
+        let bvh = EdgeBvh::build(&poly);
+        let (_, _, visited) = bvh.crossings(Point::new(50.0, 50.0));
+        assert!(
+            (visited as usize) < poly.num_vertices() / 4,
+            "visited {visited} of {} edges",
+            poly.num_vertices()
+        );
+    }
+
+    #[test]
+    fn far_away_point_touches_almost_nothing() {
+        let poly = star(512, 9);
+        let bvh = EdgeBvh::build(&poly);
+        let (c, ob, visited) = bvh.crossings(Point::new(50.0, 500.0));
+        assert_eq!(c, 0);
+        assert!(!ob);
+        assert_eq!(visited, 0, "ray misses every node bbox");
+    }
+
+    #[test]
+    fn tiny_polygon() {
+        let tri = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        ])
+        .unwrap();
+        let bvh = EdgeBvh::build(&tri);
+        assert_eq!(bvh.num_edges(), 3);
+        assert!(bvh.contains_closed(Point::new(2.0, 1.0)));
+        assert!(!bvh.contains_closed(Point::new(2.0, 4.0)));
+    }
+}

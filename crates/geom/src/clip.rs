@@ -1,0 +1,136 @@
+//! Sutherland–Hodgman polygon clipping against convex windows.
+//!
+//! Used for viewport clipping in the raster pipeline and for half-space
+//! query canvases (`HS` utility operator): a half-space rendered onto a
+//! finite canvas is exactly the canvas extent clipped by one directed
+//! line.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// Clips a ring (CCW, no repeated closing vertex) against the closed
+/// half-plane `ax + by + c < 0` (points with `ax + by + c <= 0` kept; the
+/// paper defines `HS[a,b,c]` with strict `<`, and measure-zero boundary
+/// agreement is resolved exactly by the boundary refinement layer).
+pub fn clip_ring_halfplane(ring: &[Point], a: f64, b: f64, c: f64) -> Vec<Point> {
+    let inside = |p: Point| a * p.x + b * p.y + c <= 0.0;
+    let eval = |p: Point| a * p.x + b * p.y + c;
+    let mut out = Vec::with_capacity(ring.len() + 4);
+    let n = ring.len();
+    if n == 0 {
+        return out;
+    }
+    for i in 0..n {
+        let cur = ring[i];
+        let next = ring[(i + 1) % n];
+        let cur_in = inside(cur);
+        let next_in = inside(next);
+        if cur_in {
+            out.push(cur);
+        }
+        if cur_in != next_in {
+            let d = eval(next) - eval(cur);
+            if d != 0.0 {
+                let t = -eval(cur) / d;
+                out.push(cur.lerp(next, t.clamp(0.0, 1.0)));
+            }
+        }
+    }
+    dedup_ring(out)
+}
+
+/// Clips a ring against an axis-aligned box (four half-plane passes).
+pub fn clip_ring_bbox(ring: &[Point], bbox: &BBox) -> Vec<Point> {
+    if bbox.is_empty() {
+        return Vec::new();
+    }
+    // x >= min.x  <=>  -x + min.x <= 0
+    let mut r = clip_ring_halfplane(ring, -1.0, 0.0, bbox.min.x);
+    // x <= max.x
+    r = clip_ring_halfplane(&r, 1.0, 0.0, -bbox.max.x);
+    // y >= min.y
+    r = clip_ring_halfplane(&r, 0.0, -1.0, bbox.min.y);
+    // y <= max.y
+    r = clip_ring_halfplane(&r, 0.0, 1.0, -bbox.max.y);
+    r
+}
+
+fn dedup_ring(mut ring: Vec<Point>) -> Vec<Point> {
+    ring.dedup();
+    if ring.len() >= 2 && ring.first() == ring.last() {
+        ring.pop();
+    }
+    ring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::signed_area;
+
+    fn square(side: f64) -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(side, 0.0),
+            Point::new(side, side),
+            Point::new(0.0, side),
+        ]
+    }
+
+    #[test]
+    fn halfplane_keeps_left() {
+        // x <= 2  <=>  x - 2 <= 0.
+        let clipped = clip_ring_halfplane(&square(4.0), 1.0, 0.0, -2.0);
+        assert_eq!(signed_area(&clipped), 8.0);
+        assert!(clipped.iter().all(|p| p.x <= 2.0));
+    }
+
+    #[test]
+    fn halfplane_keeps_everything() {
+        let sq = square(4.0);
+        let clipped = clip_ring_halfplane(&sq, 1.0, 0.0, -100.0);
+        assert_eq!(signed_area(&clipped), 16.0);
+    }
+
+    #[test]
+    fn halfplane_removes_everything() {
+        let clipped = clip_ring_halfplane(&square(4.0), 1.0, 0.0, 100.0);
+        assert!(clipped.len() < 3 || signed_area(&clipped) == 0.0);
+    }
+
+    #[test]
+    fn diagonal_halfplane() {
+        // x + y <= 4 over a 4x4 square keeps a triangle of area 8.
+        let clipped = clip_ring_halfplane(&square(4.0), 1.0, 1.0, -4.0);
+        assert_eq!(signed_area(&clipped), 8.0);
+    }
+
+    #[test]
+    fn bbox_clip_overlapping() {
+        let window = BBox::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
+        let clipped = clip_ring_bbox(&square(4.0), &window);
+        assert_eq!(signed_area(&clipped), 4.0); // 2x2 overlap
+        for p in &clipped {
+            assert!(window.contains(*p));
+        }
+    }
+
+    #[test]
+    fn bbox_clip_contained() {
+        let window = BBox::new(Point::new(-1.0, -1.0), Point::new(10.0, 10.0));
+        let clipped = clip_ring_bbox(&square(4.0), &window);
+        assert_eq!(signed_area(&clipped), 16.0);
+    }
+
+    #[test]
+    fn bbox_clip_disjoint() {
+        let window = BBox::new(Point::new(10.0, 10.0), Point::new(20.0, 20.0));
+        let clipped = clip_ring_bbox(&square(4.0), &window);
+        assert!(clipped.len() < 3);
+    }
+
+    #[test]
+    fn empty_window() {
+        assert!(clip_ring_bbox(&square(4.0), &BBox::EMPTY).is_empty());
+    }
+}

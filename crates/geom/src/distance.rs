@@ -1,0 +1,171 @@
+//! Distance kernels: point↔segment, point↔polyline, point↔polygon.
+//!
+//! Needed by distance-based selections/joins (paper Section 4.1 case 3 and
+//! Section 4.2 Type III joins), by kNN validation, and by the Voronoi
+//! stored procedure.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::polyline::Polyline;
+use crate::predicates::Containment;
+use crate::segment::Segment;
+
+/// Squared distance from `p` to the closed segment `s`.
+pub fn point_segment_dist_sq(p: Point, s: &Segment) -> f64 {
+    let d = s.dir();
+    let len_sq = d.norm_sq();
+    if len_sq == 0.0 {
+        return p.dist_sq(s.a);
+    }
+    let t = ((p - s.a).dot(d) / len_sq).clamp(0.0, 1.0);
+    p.dist_sq(s.at(t))
+}
+
+/// Distance from `p` to the closed segment `s`.
+pub fn point_segment_dist(p: Point, s: &Segment) -> f64 {
+    point_segment_dist_sq(p, s).sqrt()
+}
+
+/// Distance from `p` to the nearest point of the polyline.
+pub fn point_polyline_dist(p: Point, l: &Polyline) -> f64 {
+    l.segments()
+        .map(|s| point_segment_dist_sq(p, &s))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+/// Distance from `p` to the polygonal *region* (zero when inside or on
+/// the boundary).
+pub fn point_polygon_dist(p: Point, poly: &Polygon) -> f64 {
+    if poly.contains(p) != Containment::Outside {
+        return 0.0;
+    }
+    boundary_dist(p, poly)
+}
+
+/// Distance from `p` to the polygon *boundary* (outer ring and holes),
+/// regardless of sidedness.
+pub fn boundary_dist(p: Point, poly: &Polygon) -> f64 {
+    poly.edges()
+        .map(|e| point_segment_dist_sq(p, &e))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+/// True when the polyline shares at least one point with the polygonal
+/// region (an endpoint inside, or any segment crossing the boundary) —
+/// the `INTERSECTS` predicate for 1-primitives vs 2-primitives.
+pub fn polyline_intersects_polygon(line: &Polyline, poly: &Polygon) -> bool {
+    if !line.bbox().intersects(&poly.bbox()) {
+        return false;
+    }
+    // Representative point inside the region.
+    if poly.contains(line.vertices()[0]) != Containment::Outside {
+        return true;
+    }
+    // Any segment crossing any boundary edge.
+    line.segments()
+        .any(|s| poly.edges().any(|e| s.intersects(&e)))
+}
+
+/// Signed distance to the polygon region: negative inside, positive
+/// outside, zero on the boundary.
+pub fn signed_polygon_dist(p: Point, poly: &Polygon) -> f64 {
+    match poly.contains(p) {
+        Containment::OnBoundary => 0.0,
+        Containment::Inside => -boundary_dist(p, poly),
+        Containment::Outside => boundary_dist(p, poly),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn segment_distance_cases() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        // Perpendicular foot inside the segment.
+        assert_eq!(point_segment_dist(Point::new(1.0, 3.0), &s), 3.0);
+        // Clamped to endpoint a.
+        assert_eq!(point_segment_dist(Point::new(-3.0, 4.0), &s), 5.0);
+        // Clamped to endpoint b.
+        assert_eq!(point_segment_dist(Point::new(5.0, 4.0), &s), 5.0);
+        // On the segment.
+        assert_eq!(point_segment_dist(Point::new(0.5, 0.0), &s), 0.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(point_segment_dist(Point::new(4.0, 5.0), &s), 5.0);
+    }
+
+    #[test]
+    fn polyline_distance() {
+        let l = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(point_polyline_dist(Point::new(3.0, 1.0), &l), 1.0);
+        assert_eq!(point_polyline_dist(Point::new(1.0, 0.0), &l), 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_inside_is_zero() {
+        let sq = unit_square();
+        assert_eq!(point_polygon_dist(Point::new(0.5, 0.5), &sq), 0.0);
+        assert_eq!(point_polygon_dist(Point::new(0.0, 0.5), &sq), 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_outside() {
+        let sq = unit_square();
+        assert_eq!(point_polygon_dist(Point::new(2.0, 0.5), &sq), 1.0);
+        // Corner diagonal.
+        let d = point_polygon_dist(Point::new(2.0, 2.0), &sq);
+        assert!((d - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_polygon_intersection() {
+        let sq = unit_square();
+        // Crossing through.
+        let crossing =
+            Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
+        assert!(polyline_intersects_polygon(&crossing, &sq));
+        // Fully inside.
+        let inside =
+            Polyline::new(vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)]).unwrap();
+        assert!(polyline_intersects_polygon(&inside, &sq));
+        // Fully outside.
+        let outside =
+            Polyline::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 3.0)]).unwrap();
+        assert!(!polyline_intersects_polygon(&outside, &sq));
+        // Touching a corner.
+        let touching =
+            Polyline::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).unwrap();
+        assert!(polyline_intersects_polygon(&touching, &sq));
+    }
+
+    #[test]
+    fn signed_distance() {
+        let sq = unit_square();
+        assert!(signed_polygon_dist(Point::new(0.5, 0.5), &sq) < 0.0);
+        assert!(signed_polygon_dist(Point::new(2.0, 0.5), &sq) > 0.0);
+        assert_eq!(signed_polygon_dist(Point::new(1.0, 0.5), &sq), 0.0);
+        assert_eq!(signed_polygon_dist(Point::new(0.5, 0.5), &sq), -0.5);
+    }
+}

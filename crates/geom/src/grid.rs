@@ -1,0 +1,207 @@
+//! Uniform grid spatial index.
+//!
+//! The classic grid file referenced by the paper's related work (\[40\] in
+//! the paper). Used here as the *filter* step of baseline joins and as a
+//! cheap index option for the blend operator's candidate pruning.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+/// A uniform grid over a fixed extent indexing items by bounding box.
+///
+/// Item payloads are `u32` identifiers (record ids); spatially extended
+/// items are registered in every overlapping cell.
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    extent: BBox,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an empty grid with `nx × ny` cells over `extent`.
+    ///
+    /// Panics if the extent is empty or a dimension is zero — the index
+    /// is built by internal callers that guarantee a valid extent.
+    pub fn new(extent: BBox, nx: usize, ny: usize) -> Self {
+        assert!(!extent.is_empty(), "grid extent must be non-empty");
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
+        GridIndex {
+            extent,
+            nx,
+            ny,
+            cell_w: extent.width() / nx as f64,
+            cell_h: extent.height() / ny as f64,
+            cells: vec![Vec::new(); nx * ny],
+            len: 0,
+        }
+    }
+
+    /// Grid sized for roughly `items_per_cell` items per cell assuming a
+    /// uniform distribution of `n` items.
+    pub fn with_target_occupancy(extent: BBox, n: usize, items_per_cell: usize) -> Self {
+        let cells = (n / items_per_cell.max(1)).max(1);
+        let aspect = (extent.width() / extent.height().max(1e-12)).max(1e-6);
+        let ny = ((cells as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let nx = (cells / ny).max(1);
+        GridIndex::new(extent, nx, ny)
+    }
+
+    pub fn extent(&self) -> &BBox {
+        &self.extent
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of inserted items (not entries; items spanning k cells still
+    /// count once).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.extent.min.x) / self.cell_w) as isize;
+        let cy = ((p.y - self.extent.min.y) / self.cell_h) as isize;
+        (
+            cx.clamp(0, self.nx as isize - 1) as usize,
+            cy.clamp(0, self.ny as isize - 1) as usize,
+        )
+    }
+
+    fn cell_range(&self, b: &BBox) -> Option<(usize, usize, usize, usize)> {
+        let clipped = b.intersection(&self.extent);
+        if clipped.is_empty() {
+            return None;
+        }
+        let (x0, y0) = self.cell_of(clipped.min);
+        let (x1, y1) = self.cell_of(clipped.max);
+        Some((x0, y0, x1, y1))
+    }
+
+    /// Inserts an item covering `bbox`.
+    pub fn insert(&mut self, id: u32, bbox: &BBox) {
+        let Some((x0, y0, x1, y1)) = self.cell_range(bbox) else {
+            return;
+        };
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                self.cells[cy * self.nx + cx].push(id);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Inserts a point item.
+    pub fn insert_point(&mut self, id: u32, p: Point) {
+        if !self.extent.contains(p) {
+            return;
+        }
+        let (cx, cy) = self.cell_of(p);
+        self.cells[cy * self.nx + cx].push(id);
+        self.len += 1;
+    }
+
+    /// Candidate ids whose cells overlap the query box (deduplicated,
+    /// sorted). This is the *filter* step; callers must still refine.
+    pub fn query(&self, b: &BBox) -> Vec<u32> {
+        let Some((x0, y0, x1, y1)) = self.cell_range(b) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                out.extend_from_slice(&self.cells[cy * self.nx + cx]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate ids in the cell containing `p`.
+    pub fn query_point(&self, p: Point) -> &[u32] {
+        if !self.extent.contains(p) {
+            return &[];
+        }
+        let (cx, cy) = self.cell_of(p);
+        &self.cells[cy * self.nx + cx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn point_insert_and_query() {
+        let mut g = GridIndex::new(extent(), 10, 10);
+        g.insert_point(1, Point::new(0.5, 0.5));
+        g.insert_point(2, Point::new(9.5, 9.5));
+        g.insert_point(3, Point::new(5.0, 5.0));
+        assert_eq!(g.len(), 3);
+        let hits = g.query(&BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        assert!(hits.contains(&1));
+        assert!(!hits.contains(&2));
+    }
+
+    #[test]
+    fn box_item_spans_cells() {
+        let mut g = GridIndex::new(extent(), 10, 10);
+        g.insert(7, &BBox::new(Point::new(2.0, 2.0), Point::new(7.0, 3.0)));
+        // Query far corner: no hit.
+        assert!(g
+            .query(&BBox::new(Point::new(9.0, 9.0), Point::new(10.0, 10.0)))
+            .is_empty());
+        // Query overlapping any covered cell: deduplicated single hit.
+        let hits = g.query(&BBox::new(Point::new(2.5, 2.5), Point::new(6.5, 2.6)));
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn out_of_extent_point_ignored() {
+        let mut g = GridIndex::new(extent(), 4, 4);
+        g.insert_point(1, Point::new(50.0, 50.0));
+        assert_eq!(g.len(), 0);
+        assert!(g.query(&extent()).is_empty());
+    }
+
+    #[test]
+    fn boundary_points_clamp_into_grid() {
+        let mut g = GridIndex::new(extent(), 4, 4);
+        g.insert_point(1, Point::new(10.0, 10.0)); // max corner
+        assert_eq!(g.len(), 1);
+        let hits = g.query(&BBox::new(Point::new(9.0, 9.0), Point::new(10.0, 10.0)));
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn query_point_cell() {
+        let mut g = GridIndex::new(extent(), 2, 2);
+        g.insert_point(1, Point::new(1.0, 1.0));
+        g.insert_point(2, Point::new(9.0, 9.0));
+        assert_eq!(g.query_point(Point::new(2.0, 2.0)), &[1]);
+        assert_eq!(g.query_point(Point::new(8.0, 8.0)), &[2]);
+        assert!(g.query_point(Point::new(-1.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn occupancy_sizing() {
+        let g = GridIndex::with_target_occupancy(extent(), 10_000, 16);
+        let (nx, ny) = g.dims();
+        assert!(nx * ny >= 300, "got {nx}x{ny}");
+    }
+}

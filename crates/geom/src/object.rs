@@ -1,0 +1,230 @@
+//! Geometric objects: heterogeneous collections of d-primitives
+//! (paper Definitions 1–3).
+//!
+//! A spatial record's geometry attribute is a [`GeomObject`] — any mix of
+//! points (0-primitives), polylines (1-primitives) and polygons
+//! (2-primitives). The canvas representation (`canvas-core`) renders each
+//! primitive into the object-information row matching its dimension.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::polyline::Polyline;
+use crate::predicates::Containment;
+
+/// One geometric primitive of dimension 0, 1 or 2 (paper Definition 2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// 0-primitive.
+    Point(Point),
+    /// 1-primitive (a piecewise-linear embedding of a line).
+    Line(Polyline),
+    /// 2-primitive (a polygonal region, possibly with holes).
+    Area(Polygon),
+}
+
+impl Primitive {
+    /// The manifold dimension `d` of the primitive.
+    pub fn dim(&self) -> usize {
+        match self {
+            Primitive::Point(_) => 0,
+            Primitive::Line(_) => 1,
+            Primitive::Area(_) => 2,
+        }
+    }
+
+    pub fn bbox(&self) -> BBox {
+        match self {
+            Primitive::Point(p) => BBox::new(*p, *p),
+            Primitive::Line(l) => l.bbox(),
+            Primitive::Area(a) => a.bbox(),
+        }
+    }
+
+    /// True when the primitive intersects (touches) the given location —
+    /// the incidence test in the canvas definition (Definition 6:
+    /// `gᵢ intersects (x, y)`).
+    pub fn touches(&self, p: Point) -> bool {
+        match self {
+            Primitive::Point(q) => *q == p,
+            Primitive::Line(l) => l.segments().any(|s| s.contains(p)),
+            Primitive::Area(a) => a.contains(p) != Containment::Outside,
+        }
+    }
+}
+
+/// A geometric object: a collection of primitives (paper Definition 1).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct GeomObject {
+    primitives: Vec<Primitive>,
+}
+
+impl GeomObject {
+    pub fn new(primitives: Vec<Primitive>) -> Self {
+        GeomObject { primitives }
+    }
+
+    /// Object consisting of a single point.
+    pub fn point(p: Point) -> Self {
+        GeomObject {
+            primitives: vec![Primitive::Point(p)],
+        }
+    }
+
+    /// Object consisting of a single polyline.
+    pub fn line(l: Polyline) -> Self {
+        GeomObject {
+            primitives: vec![Primitive::Line(l)],
+        }
+    }
+
+    /// Object consisting of a single polygon.
+    pub fn polygon(poly: Polygon) -> Self {
+        GeomObject {
+            primitives: vec![Primitive::Area(poly)],
+        }
+    }
+
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    pub fn push(&mut self, p: Primitive) {
+        self.primitives.push(p);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// Primitives of a given dimension.
+    pub fn of_dim(&self, d: usize) -> impl Iterator<Item = &Primitive> {
+        self.primitives.iter().filter(move |p| p.dim() == d)
+    }
+
+    /// Highest primitive dimension present, if any.
+    pub fn max_dim(&self) -> Option<usize> {
+        self.primitives.iter().map(Primitive::dim).max()
+    }
+
+    pub fn bbox(&self) -> BBox {
+        self.primitives
+            .iter()
+            .fold(BBox::EMPTY, |b, p| b.union(&p.bbox()))
+    }
+
+    /// Dimension-wise incidence at a location: `result[d]` is true when
+    /// some d-primitive of the object touches `p`. This is exactly the
+    /// information a canvas stores per location (Definition 6).
+    pub fn incidence(&self, p: Point) -> [bool; 3] {
+        let mut out = [false; 3];
+        for prim in &self.primitives {
+            let d = prim.dim();
+            if !out[d] && prim.touches(p) {
+                out[d] = true;
+            }
+        }
+        out
+    }
+}
+
+impl From<Point> for GeomObject {
+    fn from(p: Point) -> Self {
+        GeomObject::point(p)
+    }
+}
+
+impl From<Polygon> for GeomObject {
+    fn from(p: Polygon) -> Self {
+        GeomObject::polygon(p)
+    }
+}
+
+impl From<Polyline> for GeomObject {
+    fn from(l: Polyline) -> Self {
+        GeomObject::line(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 3 object: two polygons (one with a hole)
+    /// connected by a line, with a point inside the hole.
+    fn figure3_object() -> GeomObject {
+        use crate::polygon::Ring;
+        let ellipse = Polygon::circle(Point::new(-5.0, 0.0), 2.0, 32);
+        let outer = Ring::new(vec![
+            Point::new(2.0, -3.0),
+            Point::new(8.0, -3.0),
+            Point::new(8.0, 3.0),
+            Point::new(2.0, 3.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(4.0, -1.0),
+            Point::new(6.0, -1.0),
+            Point::new(6.0, 1.0),
+            Point::new(4.0, 1.0),
+        ])
+        .unwrap();
+        let holed = Polygon::new(outer, vec![hole]);
+        let connector =
+            Polyline::new(vec![Point::new(-3.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        let mut o = GeomObject::new(vec![]);
+        o.push(Primitive::Area(ellipse));
+        o.push(Primitive::Area(holed));
+        o.push(Primitive::Line(connector));
+        o.push(Primitive::Point(Point::new(5.0, 0.0))); // inside the hole
+        o
+    }
+
+    #[test]
+    fn primitive_dims() {
+        let o = figure3_object();
+        assert_eq!(o.of_dim(0).count(), 1);
+        assert_eq!(o.of_dim(1).count(), 1);
+        assert_eq!(o.of_dim(2).count(), 2);
+        assert_eq!(o.max_dim(), Some(2));
+    }
+
+    #[test]
+    fn incidence_rows() {
+        let o = figure3_object();
+        // Point in the hole: only the 0-primitive row set.
+        assert_eq!(o.incidence(Point::new(5.0, 0.0)), [true, false, false]);
+        // Interior of the holed polygon.
+        assert_eq!(o.incidence(Point::new(3.0, 2.0)), [false, false, true]);
+        // On the connecting line.
+        assert_eq!(o.incidence(Point::new(0.0, 0.0)), [false, true, false]);
+        // Line endpoint on polygon boundary: both rows.
+        assert_eq!(o.incidence(Point::new(2.0, 0.0)), [false, true, true]);
+        // Nowhere.
+        assert_eq!(o.incidence(Point::new(0.0, 5.0)), [false, false, false]);
+    }
+
+    #[test]
+    fn bbox_unions_all_primitives() {
+        let o = figure3_object();
+        let b = o.bbox();
+        assert!(b.contains(Point::new(-7.0, 0.0))); // ellipse extent
+        assert!(b.contains(Point::new(8.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_object() {
+        let o = GeomObject::default();
+        assert!(o.is_empty());
+        assert_eq!(o.max_dim(), None);
+        assert!(o.bbox().is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        let p: GeomObject = Point::new(1.0, 2.0).into();
+        assert_eq!(p.max_dim(), Some(0));
+        let poly: GeomObject = Polygon::circle(Point::ORIGIN, 1.0, 16).into();
+        assert_eq!(poly.max_dim(), Some(2));
+    }
+}

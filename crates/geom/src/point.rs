@@ -1,0 +1,234 @@
+//! 2-D points (the paper's 0-primitives) and vector arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point in `R²`, also used as a 2-D vector.
+///
+/// This is the paper's 0-dimensional geometric primitive (Definition 2)
+/// and the coordinate type for every other primitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the 3-D cross product of the two vectors;
+    /// positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm — preferred in hot paths to avoid `sqrt`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Point rotated by `angle` radians around the origin.
+    pub fn rotated(self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = Point::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Point::ORIGIN.dist(a), 5.0);
+        assert_eq!(Point::ORIGIN.dist_sq(a), 25.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = Point::new(0.0, 10.0);
+        assert_eq!(a.normalized(), Some(Point::new(0.0, 1.0)));
+        assert_eq!(Point::ORIGIN.normalized(), None);
+    }
+
+    #[test]
+    fn rotation() {
+        let a = Point::new(1.0, 0.0);
+        let r = a.rotated(std::f64::consts::FRAC_PI_2);
+        assert!(approx_eq(r.x, 0.0));
+        assert!(approx_eq(r.y, 1.0));
+        let p = a.perp();
+        assert_eq!(p, Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

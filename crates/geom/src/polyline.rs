@@ -1,0 +1,130 @@
+//! Polylines — the paper's 1-primitives (lines need not be straight).
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// An open chain of straight segments through consecutive vertices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+}
+
+impl Polyline {
+    /// Builds a polyline; requires at least two vertices.
+    pub fn new(vertices: Vec<Point>) -> Option<Self> {
+        if vertices.len() < 2 {
+            None
+        } else {
+            Some(Polyline { vertices })
+        }
+    }
+
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// Iterator over the constituent segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+    }
+
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.vertices.iter().copied())
+    }
+
+    /// Point at arc-length parameter `t ∈ [0, 1]` along the chain.
+    pub fn point_at(&self, t: f64) -> Point {
+        let total = self.length();
+        if total == 0.0 {
+            return self.vertices[0];
+        }
+        let mut remaining = t.clamp(0.0, 1.0) * total;
+        for seg in self.segments() {
+            let l = seg.length();
+            if remaining <= l || l == 0.0 {
+                if l == 0.0 {
+                    continue;
+                }
+                return seg.at(remaining / l);
+            }
+            remaining -= l;
+        }
+        *self.vertices.last().expect("polyline has >= 2 vertices")
+    }
+
+    /// True when any segment of `self` intersects any segment of `other`.
+    pub fn intersects(&self, other: &Polyline) -> bool {
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        self.segments()
+            .any(|s| other.segments().any(|o| s.intersects(&o)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zigzag() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_needs_two_vertices() {
+        assert!(Polyline::new(vec![]).is_none());
+        assert!(Polyline::new(vec![Point::ORIGIN]).is_none());
+        assert!(Polyline::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]).is_some());
+    }
+
+    #[test]
+    fn length_and_segments() {
+        let z = zigzag();
+        assert_eq!(z.num_segments(), 2);
+        assert!((z.length() - 2.0 * 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_covers_vertices() {
+        let z = zigzag();
+        let b = z.bbox();
+        assert_eq!(b.min, Point::new(0.0, 0.0));
+        assert_eq!(b.max, Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn arc_length_parameterization() {
+        let z = zigzag();
+        assert_eq!(z.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(z.point_at(1.0), Point::new(2.0, 0.0));
+        let mid = z.point_at(0.5);
+        assert!((mid.x - 1.0).abs() < 1e-12);
+        assert!((mid.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_between_polylines() {
+        let z = zigzag();
+        let horiz =
+            Polyline::new(vec![Point::new(0.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
+        assert!(z.intersects(&horiz));
+        let far = Polyline::new(vec![Point::new(0.0, 5.0), Point::new(2.0, 5.0)]).unwrap();
+        assert!(!z.intersects(&far));
+    }
+}

@@ -1,0 +1,294 @@
+//! Exact-ish geometric predicates: orientation, collinearity,
+//! point-in-polygon (crossing number and winding number), containment
+//! classification.
+//!
+//! These are the kernels used by the CPU baselines (the paper's
+//! refinement step) and by the canvas mask operator's boundary-pixel
+//! refinement (paper Section 5: the "hybrid representation" that keeps
+//! results exact).
+
+use crate::point::Point;
+use crate::EPS;
+
+/// Result of the orientation test for an ordered point triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    CounterClockwise,
+    Clockwise,
+    Collinear,
+}
+
+/// Orientation of the triple `(a, b, c)`.
+///
+/// Uses the sign of the cross product with a magnitude-scaled tolerance so
+/// nearly-collinear triples of large coordinates classify as collinear
+/// rather than flipping sign with rounding noise.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = (b - a).cross(c - a);
+    let scale = (b - a).norm_sq().max((c - a).norm_sq()).max(1.0);
+    if v * v <= (EPS * EPS) * scale * scale {
+        Orientation::Collinear
+    } else if v > 0.0 {
+        Orientation::CounterClockwise
+    } else {
+        Orientation::Clockwise
+    }
+}
+
+/// True if `p` lies on the closed segment `a..b`.
+pub fn on_segment(p: Point, a: Point, b: Point) -> bool {
+    if orientation(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    p.x >= a.x.min(b.x) - EPS
+        && p.x <= a.x.max(b.x) + EPS
+        && p.y >= a.y.min(b.y) - EPS
+        && p.y <= a.y.max(b.y) + EPS
+}
+
+/// Three-way classification for point-vs-region tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Containment {
+    Inside,
+    OnBoundary,
+    Outside,
+}
+
+impl Containment {
+    /// Collapses to a bool using the common "boundary counts as inside"
+    /// convention (the paper's `INSIDE` predicate is closed).
+    #[inline]
+    pub fn is_inside_closed(self) -> bool {
+        !matches!(self, Containment::Outside)
+    }
+}
+
+/// Point-in-ring test via the crossing-number (ray casting) algorithm.
+///
+/// `ring` is a closed loop given *without* a repeated last vertex.
+/// Runs in `O(n)`; boundary points are detected explicitly so the result
+/// is a three-way [`Containment`], never an arbitrary tie-break.
+pub fn point_in_ring(p: Point, ring: &[Point]) -> Containment {
+    let n = ring.len();
+    if n < 3 {
+        return Containment::Outside;
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let a = ring[j];
+        let b = ring[i];
+        if on_segment(p, a, b) {
+            return Containment::OnBoundary;
+        }
+        // Half-open rule on y avoids double counting vertices.
+        if (b.y > p.y) != (a.y > p.y) {
+            let t = (p.y - b.y) / (a.y - b.y);
+            let x_cross = b.x + t * (a.x - b.x);
+            if p.x < x_cross {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    if inside {
+        Containment::Inside
+    } else {
+        Containment::Outside
+    }
+}
+
+/// Point-in-ring test via the winding number.
+///
+/// Robust for self-touching input; used in property tests to cross-check
+/// [`point_in_ring`]. Non-zero winding ⇒ inside.
+pub fn winding_number(p: Point, ring: &[Point]) -> i32 {
+    let n = ring.len();
+    if n < 3 {
+        return 0;
+    }
+    let mut wn = 0i32;
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        if a.y <= p.y {
+            if b.y > p.y && orientation(a, b, p) == Orientation::CounterClockwise {
+                wn += 1;
+            }
+        } else if b.y <= p.y && orientation(a, b, p) == Orientation::Clockwise {
+            wn -= 1;
+        }
+    }
+    wn
+}
+
+/// Signed area of a ring (positive when counter-clockwise).
+pub fn signed_area(ring: &[Point]) -> f64 {
+    let n = ring.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    let mut j = n - 1;
+    for i in 0..n {
+        s += ring[j].cross(ring[i]);
+        j = i;
+    }
+    s * 0.5
+}
+
+/// True when the ring's vertices wind counter-clockwise.
+pub fn is_ccw(ring: &[Point]) -> bool {
+    signed_area(ring) > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]
+    }
+
+    #[test]
+    fn orientation_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orientation(a, b, Point::new(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(0.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn on_segment_cases() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 2.0);
+        assert!(on_segment(Point::new(1.0, 1.0), a, b));
+        assert!(on_segment(a, a, b));
+        assert!(on_segment(b, a, b));
+        assert!(!on_segment(Point::new(3.0, 3.0), a, b));
+        assert!(!on_segment(Point::new(1.0, 1.1), a, b));
+    }
+
+    #[test]
+    fn pip_interior_exterior() {
+        let sq = square();
+        assert_eq!(point_in_ring(Point::new(2.0, 2.0), &sq), Containment::Inside);
+        assert_eq!(
+            point_in_ring(Point::new(5.0, 2.0), &sq),
+            Containment::Outside
+        );
+        assert_eq!(
+            point_in_ring(Point::new(-1.0, -1.0), &sq),
+            Containment::Outside
+        );
+    }
+
+    #[test]
+    fn pip_boundary() {
+        let sq = square();
+        assert_eq!(
+            point_in_ring(Point::new(0.0, 2.0), &sq),
+            Containment::OnBoundary
+        );
+        assert_eq!(
+            point_in_ring(Point::new(0.0, 0.0), &sq),
+            Containment::OnBoundary
+        );
+        assert_eq!(
+            point_in_ring(Point::new(2.0, 4.0), &sq),
+            Containment::OnBoundary
+        );
+    }
+
+    #[test]
+    fn pip_concave() {
+        // L-shaped hexagon: the notch at top-right is outside.
+        let l = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ];
+        assert_eq!(point_in_ring(Point::new(1.0, 3.0), &l), Containment::Inside);
+        assert_eq!(point_in_ring(Point::new(3.0, 1.0), &l), Containment::Inside);
+        assert_eq!(
+            point_in_ring(Point::new(3.0, 3.0), &l),
+            Containment::Outside
+        );
+    }
+
+    #[test]
+    fn winding_matches_crossing_off_boundary() {
+        let sq = square();
+        let probes = [
+            Point::new(2.0, 2.0),
+            Point::new(5.0, 5.0),
+            Point::new(-0.5, 2.0),
+            Point::new(3.9, 3.9),
+        ];
+        for p in probes {
+            let cn = point_in_ring(p, &sq) == Containment::Inside;
+            let wn = winding_number(p, &sq) != 0;
+            assert_eq!(cn, wn, "disagree at {p}");
+        }
+    }
+
+    #[test]
+    fn signed_area_and_ccw() {
+        let sq = square();
+        assert_eq!(signed_area(&sq), 16.0);
+        assert!(is_ccw(&sq));
+        let mut cw = sq.clone();
+        cw.reverse();
+        assert_eq!(signed_area(&cw), -16.0);
+        assert!(!is_ccw(&cw));
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        assert_eq!(point_in_ring(Point::ORIGIN, &[]), Containment::Outside);
+        assert_eq!(
+            point_in_ring(Point::ORIGIN, &[Point::new(1.0, 1.0)]),
+            Containment::Outside
+        );
+        assert_eq!(signed_area(&[Point::ORIGIN, Point::new(1.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn vertex_ray_no_double_count() {
+        // Diamond whose vertex is exactly at probe height: the half-open
+        // crossing rule must not count the vertex twice.
+        let diamond = vec![
+            Point::new(0.0, -2.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(-2.0, 0.0),
+        ];
+        assert_eq!(
+            point_in_ring(Point::new(-1.0, 0.0), &diamond),
+            Containment::Inside
+        );
+        assert_eq!(
+            point_in_ring(Point::new(-3.0, 0.0), &diamond),
+            Containment::Outside
+        );
+    }
+}

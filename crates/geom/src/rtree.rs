@@ -1,0 +1,273 @@
+//! STR-packed R-tree.
+//!
+//! The R-tree (\[23\] in the paper) is *the* classical index for the filter
+//! step of spatial selections and joins. We bulk-load with the
+//! Sort-Tile-Recursive (STR) packing so construction is deterministic and
+//! queries hit near-optimal fanout; baseline approaches use it to mimic
+//! the "index filtering + refinement" strategy of existing systems.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: BBox,
+    /// Children: either indexes into `nodes` (internal) or payload ids
+    /// (leaf).
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// An immutable, bulk-loaded R-tree mapping `u32` ids to bounding boxes.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    item_boxes: Vec<BBox>,
+    root: Option<u32>,
+}
+
+impl RTree {
+    /// Bulk-loads the tree from `(id, bbox)` items using STR packing.
+    /// Item ids must equal their position (`items[i]` has id `i`).
+    pub fn bulk_load(item_boxes: Vec<BBox>) -> Self {
+        let n = item_boxes.len();
+        if n == 0 {
+            return RTree {
+                nodes: Vec::new(),
+                item_boxes,
+                root: None,
+            };
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+
+        // Level 0: pack items into leaves.
+        let mut entries: Vec<(u32, BBox)> = item_boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, *b))
+            .collect();
+        let mut level: Vec<u32> = pack_level(&mut entries, &mut nodes, true);
+
+        // Pack upward until a single root remains.
+        while level.len() > 1 {
+            let mut entries: Vec<(u32, BBox)> = level
+                .iter()
+                .map(|&id| (id, nodes[id as usize].bbox))
+                .collect();
+            level = pack_level(&mut entries, &mut nodes, false);
+        }
+
+        let root = level.first().copied();
+        RTree {
+            nodes,
+            item_boxes,
+            root,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.item_boxes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.item_boxes.is_empty()
+    }
+
+    /// Bounding box of the whole tree.
+    pub fn bbox(&self) -> BBox {
+        self.root
+            .map(|r| self.nodes[r as usize].bbox)
+            .unwrap_or(BBox::EMPTY)
+    }
+
+    /// All item ids whose boxes intersect the query box (filter step).
+    pub fn query(&self, q: &BBox) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// As [`query`](Self::query) but reusing an output buffer
+    /// (perf-book "workhorse collection" idiom for hot join loops).
+    pub fn query_into(&self, q: &BBox, out: &mut Vec<u32>) {
+        let Some(root) = self.root else {
+            return;
+        };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !node.bbox.intersects(q) {
+                continue;
+            }
+            if node.is_leaf {
+                for &id in &node.children {
+                    if self.item_boxes[id as usize].intersects(q) {
+                        out.push(id);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Item ids whose boxes contain the point.
+    pub fn query_point(&self, p: Point) -> Vec<u32> {
+        self.query(&BBox::new(p, p))
+    }
+}
+
+/// Packs one level of `(id, bbox)` entries into parent nodes using STR
+/// tiling; returns the new node ids.
+fn pack_level(entries: &mut [(u32, BBox)], nodes: &mut Vec<Node>, is_leaf: bool) -> Vec<u32> {
+    let n = entries.len();
+    let node_count = n.div_ceil(NODE_CAPACITY);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let per_slice = n.div_ceil(slice_count);
+
+    // Sort by center x, slice, then sort each slice by center y.
+    entries.sort_by(|a, b| {
+        a.1.center()
+            .x
+            .partial_cmp(&b.1.center().x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut out = Vec::with_capacity(node_count);
+    for slice in entries.chunks_mut(per_slice.max(1)) {
+        slice.sort_by(|a, b| {
+            a.1.center()
+                .y
+                .partial_cmp(&b.1.center().y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for group in slice.chunks(NODE_CAPACITY) {
+            let bbox = group
+                .iter()
+                .fold(BBox::EMPTY, |acc, (_, b)| acc.union(b));
+            nodes.push(Node {
+                bbox,
+                children: group.iter().map(|(id, _)| *id).collect(),
+                is_leaf,
+            });
+            out.push((nodes.len() - 1) as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_boxes(pts: &[Point]) -> Vec<BBox> {
+        pts.iter().map(|p| BBox::new(*p, *p)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.bbox().is_empty());
+        assert!(t
+            .query(&BBox::new(Point::ORIGIN, Point::new(1.0, 1.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let t = RTree::bulk_load(point_boxes(&[Point::new(1.0, 1.0)]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.query_point(Point::new(1.0, 1.0)), vec![0]);
+        assert!(t.query_point(Point::new(2.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn grid_of_points_window_query() {
+        // 20x20 lattice.
+        let mut pts = Vec::new();
+        for y in 0..20 {
+            for x in 0..20 {
+                pts.push(Point::new(x as f64, y as f64));
+            }
+        }
+        let t = RTree::bulk_load(point_boxes(&pts));
+        assert_eq!(t.len(), 400);
+        let q = BBox::new(Point::new(2.5, 2.5), Point::new(5.5, 4.5));
+        let mut hits = t.query(&q);
+        hits.sort_unstable();
+        // x in {3,4,5}, y in {3,4} => 6 points.
+        assert_eq!(hits.len(), 6);
+        for id in hits {
+            assert!(q.contains(pts[id as usize]));
+        }
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        // Deterministic pseudo-random boxes.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let boxes: Vec<BBox> = (0..500)
+            .map(|_| {
+                let x = next() * 100.0;
+                let y = next() * 100.0;
+                let w = next() * 5.0;
+                let h = next() * 5.0;
+                BBox::new(Point::new(x, y), Point::new(x + w, y + h))
+            })
+            .collect();
+        let t = RTree::bulk_load(boxes.clone());
+        for _ in 0..20 {
+            let x = next() * 100.0;
+            let y = next() * 100.0;
+            let q = BBox::new(Point::new(x, y), Point::new(x + 10.0, y + 10.0));
+            let mut got = t.query(&q);
+            got.sort_unstable();
+            let want: Vec<u32> = boxes
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.intersects(&q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn tree_bbox_covers_items() {
+        let pts = [
+            Point::new(-5.0, 2.0),
+            Point::new(8.0, -3.0),
+            Point::new(0.0, 9.0),
+        ];
+        let t = RTree::bulk_load(point_boxes(&pts));
+        let b = t.bbox();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn large_bulk_load_depth() {
+        let pts: Vec<Point> = (0..5000)
+            .map(|i| Point::new((i % 71) as f64, (i / 71) as f64))
+            .collect();
+        let t = RTree::bulk_load(point_boxes(&pts));
+        assert_eq!(t.len(), 5000);
+        // Every point must be findable.
+        assert_eq!(t.query_point(Point::new(0.0, 0.0)), vec![0]);
+        let last = pts.len() - 1;
+        assert_eq!(
+            t.query_point(pts[last]),
+            vec![last as u32]
+        );
+    }
+}

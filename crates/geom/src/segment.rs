@@ -1,0 +1,225 @@
+//! Line segments (building blocks of the paper's 1-primitives) and
+//! segment intersection.
+
+use crate::bbox::BBox;
+use crate::point::Point;
+use crate::predicates::{on_segment, orientation, Orientation};
+
+/// A closed straight-line segment between two endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+/// How two segments intersect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SegIntersection {
+    /// No common point.
+    None,
+    /// Exactly one common point.
+    Point(Point),
+    /// Collinear overlap along a sub-segment (degenerate to a point when
+    /// the operands merely touch end-to-end collinearly).
+    Overlap(Segment),
+}
+
+impl Segment {
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Direction vector `b - a` (not normalized).
+    #[inline]
+    pub fn dir(&self) -> Point {
+        self.b - self.a
+    }
+
+    pub fn bbox(&self) -> BBox {
+        BBox::from_corners(self.a, self.b)
+    }
+
+    /// Point at parameter `t` along the segment (`a` at 0, `b` at 1).
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// True if `p` lies on the closed segment.
+    pub fn contains(&self, p: Point) -> bool {
+        on_segment(p, self.a, self.b)
+    }
+
+    /// Full intersection classification of two segments.
+    pub fn intersect(&self, other: &Segment) -> SegIntersection {
+        let (p, r) = (self.a, self.dir());
+        let (q, s) = (other.a, other.dir());
+        let rxs = r.cross(s);
+        let qp = q - p;
+
+        if orientation(self.a, self.b, other.a) == Orientation::Collinear
+            && orientation(self.a, self.b, other.b) == Orientation::Collinear
+        {
+            // Collinear: project onto the dominant axis of r.
+            let use_x = r.x.abs() >= r.y.abs();
+            let key = |pt: Point| if use_x { pt.x } else { pt.y };
+            let (s0, s1) = (key(self.a).min(key(self.b)), key(self.a).max(key(self.b)));
+            let (o0, o1) = (
+                key(other.a).min(key(other.b)),
+                key(other.a).max(key(other.b)),
+            );
+            let lo = s0.max(o0);
+            let hi = s1.min(o1);
+            if lo > hi {
+                return SegIntersection::None;
+            }
+            // Map the 1-D overlap back to points on `self`.
+            let pick = |k: f64| -> Point {
+                for cand in [self.a, self.b, other.a, other.b] {
+                    if (key(cand) - k).abs() <= f64::EPSILON * k.abs().max(1.0) {
+                        return cand;
+                    }
+                }
+                // Degenerate segment (r ≈ 0): both endpoints coincide.
+                if r.norm_sq() == 0.0 {
+                    return self.a;
+                }
+                let t = (k - key(self.a)) / (key(self.b) - key(self.a));
+                self.at(t)
+            };
+            let lo_p = pick(lo);
+            let hi_p = pick(hi);
+            return if lo_p == hi_p {
+                SegIntersection::Point(lo_p)
+            } else {
+                SegIntersection::Overlap(Segment::new(lo_p, hi_p))
+            };
+        }
+
+        if rxs == 0.0 {
+            // Parallel and not collinear.
+            return SegIntersection::None;
+        }
+
+        let t = qp.cross(s) / rxs;
+        let u = qp.cross(r) / rxs;
+        let tol = 1e-12;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            SegIntersection::Point(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            SegIntersection::None
+        }
+    }
+
+    /// True when the two segments share at least one point.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        !matches!(self.intersect(other), SegIntersection::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+    }
+
+    #[test]
+    fn crossing_segments() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let s2 = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        match s1.intersect(&s2) {
+            SegIntersection::Point(p) => assert_eq!(p, Point::new(1.0, 1.0)),
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touching_at_endpoint() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let s2 = Segment::new(Point::new(1.0, 1.0), Point::new(2.0, 0.0));
+        match s1.intersect(&s2) {
+            SegIntersection::Point(p) => assert_eq!(p, Point::new(1.0, 1.0)),
+            other => panic!("expected endpoint touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_disjoint() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s1.intersect(&s2), SegIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let s2 = Segment::new(Point::new(1.0, 0.0), Point::new(3.0, 0.0));
+        match s1.intersect(&s2) {
+            SegIntersection::Overlap(o) => {
+                assert_eq!(o.a, Point::new(1.0, 0.0));
+                assert_eq!(o.b, Point::new(2.0, 0.0));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_touch_is_point() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(1.0, 0.0), Point::new(2.0, 0.0));
+        match s1.intersect(&s2) {
+            SegIntersection::Point(p) => assert_eq!(p, Point::new(1.0, 0.0)),
+            other => panic!("expected point touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_disjoint() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(3.0, 0.0));
+        assert_eq!(s1.intersect(&s2), SegIntersection::None);
+    }
+
+    #[test]
+    fn near_miss() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let s2 = Segment::new(Point::new(0.5, 0.1), Point::new(0.5, 1.0));
+        assert_eq!(s1.intersect(&s2), SegIntersection::None);
+    }
+
+    #[test]
+    fn vertical_crossing() {
+        let s1 = Segment::new(Point::new(1.0, -1.0), Point::new(1.0, 1.0));
+        let s2 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        match s1.intersect(&s2) {
+            SegIntersection::Point(p) => assert_eq!(p, Point::new(1.0, 0.0)),
+            other => panic!("expected crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contains_endpoint_and_interior() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(s.contains(s.a));
+        assert!(s.contains(s.b));
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(!s.contains(Point::new(1.0, 1.5)));
+    }
+}

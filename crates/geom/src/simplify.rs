@@ -1,0 +1,202 @@
+//! Ramer–Douglas–Peucker simplification for polylines and polygon rings.
+//!
+//! Figure 10 of the paper shows the PIP baselines paying linearly in
+//! polygon vertex count; real systems therefore simplify geometry when
+//! approximate constraints suffice. This is the standard tolerance-bound
+//! simplifier: every removed vertex lies within `epsilon` of the
+//! simplified chain.
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::polyline::Polyline;
+use crate::segment::Segment;
+
+/// Simplifies an open chain, keeping endpoints. `epsilon` is the maximum
+/// allowed perpendicular deviation.
+pub fn simplify_chain(points: &[Point], epsilon: f64) -> Vec<Point> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    rdp(points, 0, points.len() - 1, epsilon.max(0.0), &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+fn rdp(points: &[Point], lo: usize, hi: usize, epsilon: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let seg = Segment::new(points[lo], points[hi]);
+    let (mut worst, mut worst_d) = (lo, -1.0f64);
+    for i in (lo + 1)..hi {
+        let d = crate::distance::point_segment_dist(points[i], &seg);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > epsilon {
+        keep[worst] = true;
+        rdp(points, lo, worst, epsilon, keep);
+        rdp(points, worst, hi, epsilon, keep);
+    }
+}
+
+/// Simplifies a polyline (endpoints preserved).
+pub fn simplify_polyline(line: &Polyline, epsilon: f64) -> Polyline {
+    Polyline::new(simplify_chain(line.vertices(), epsilon))
+        .unwrap_or_else(|| line.clone())
+}
+
+/// Simplifies a polygon's rings. The ring is treated as a closed chain
+/// anchored at its two extreme vertices so no "endpoint" bias appears;
+/// rings that would collapse below 3 vertices (or holes below the
+/// tolerance scale) are dropped for holes / kept unsimplified for the
+/// outer ring.
+pub fn simplify_polygon(poly: &Polygon, epsilon: f64) -> Polygon {
+    let outer = simplify_ring(poly.outer(), epsilon)
+        .unwrap_or_else(|| poly.outer().clone());
+    let holes = poly
+        .holes()
+        .iter()
+        .filter_map(|h| simplify_ring(h, epsilon))
+        .collect();
+    Polygon::new(outer, holes)
+}
+
+fn simplify_ring(ring: &Ring, epsilon: f64) -> Option<Ring> {
+    let verts = ring.vertices();
+    let n = verts.len();
+    if n <= 4 {
+        return Some(ring.clone());
+    }
+    // Anchor at the two x-extreme vertices and simplify the two halves.
+    let (imin, imax) = {
+        let mut imin = 0;
+        let mut imax = 0;
+        for (i, v) in verts.iter().enumerate() {
+            if v.x < verts[imin].x {
+                imin = i;
+            }
+            if v.x > verts[imax].x {
+                imax = i;
+            }
+        }
+        (imin.min(imax), imin.max(imax))
+    };
+    if imin == imax {
+        return Some(ring.clone());
+    }
+    let first: Vec<Point> = verts[imin..=imax].to_vec();
+    let second: Vec<Point> = verts[imax..]
+        .iter()
+        .chain(verts[..=imin].iter())
+        .copied()
+        .collect();
+    let mut out = simplify_chain(&first, epsilon);
+    let back = simplify_chain(&second, epsilon);
+    out.extend_from_slice(&back[1..back.len().saturating_sub(1)]);
+    Ring::new(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collinear_chain_collapses_to_endpoints() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let s = simplify_chain(&pts, 0.01);
+        assert_eq!(s, vec![Point::new(0.0, 0.0), Point::new(9.0, 0.0)]);
+    }
+
+    #[test]
+    fn significant_corners_kept() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 2.6),  // ~0.09 off the (0,0)→(10,5) chord
+            Point::new(10.0, 5.0), // real corner
+            Point::new(20.0, 5.1),
+        ];
+        let s = simplify_chain(&pts, 0.5);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&Point::new(10.0, 5.0)));
+        assert!(!s.contains(&Point::new(5.0, 2.6)));
+    }
+
+    #[test]
+    fn tolerance_bound_holds() {
+        // Every dropped vertex is within epsilon of the simplified chain.
+        let mut state = 5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..200)
+            .map(|i| Point::new(i as f64, 10.0 * next()))
+            .collect();
+        let eps = 2.0;
+        let s = simplify_chain(&pts, eps);
+        let chain = Polyline::new(s.clone()).unwrap();
+        for p in &pts {
+            let d = crate::distance::point_polyline_dist(*p, &chain);
+            assert!(d <= eps + 1e-9, "vertex {p} deviates {d}");
+        }
+        assert!(s.len() < pts.len());
+    }
+
+    #[test]
+    fn polyline_simplification() {
+        let line = Polyline::new(
+            (0..50)
+                .map(|i| Point::new(i as f64, (i as f64 * 0.3).sin() * 0.05))
+                .collect(),
+        )
+        .unwrap();
+        let s = simplify_polyline(&line, 0.2);
+        assert_eq!(s.vertices().len(), 2, "near-straight line collapses");
+    }
+
+    #[test]
+    fn polygon_simplification_preserves_shape_coarsely() {
+        // A circle with 256 vertices simplified at 1% radius keeps the
+        // area within a few percent with far fewer vertices.
+        let poly = Polygon::circle(Point::new(0.0, 0.0), 10.0, 256);
+        let s = simplify_polygon(&poly, 0.1);
+        assert!(s.num_vertices() < 64, "got {}", s.num_vertices());
+        let err = (s.area() - poly.area()).abs() / poly.area();
+        assert!(err < 0.05, "area error {err}");
+    }
+
+    #[test]
+    fn tiny_rings_untouched() {
+        let tri = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        ])
+        .unwrap();
+        let s = simplify_polygon(&tri, 10.0);
+        assert_eq!(s.num_vertices(), 3);
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity_for_chains() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0),
+        ];
+        let s = simplify_chain(&pts, 0.0);
+        assert_eq!(s, pts);
+    }
+}

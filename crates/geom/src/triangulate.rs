@@ -1,0 +1,366 @@
+//! Ear-clipping triangulation of polygons (holes handled by bridging).
+//!
+//! The software graphics pipeline (`canvas-raster`) draws polygons the way
+//! a GPU does: as triangles. This module converts a [`Polygon`] into a
+//! triangle fan-out equivalent in area and coverage.
+//!
+//! * simple polygons: classic `O(n²)` ear clipping,
+//! * polygons with holes: each hole is merged into the outer ring with a
+//!   *bridge* (two coincident edges) between its rightmost vertex and a
+//!   mutually visible outer vertex, then the merged ring is ear-clipped.
+//!   (The paper's prototype instead negates hole pixels after filling the
+//!   outer ring — `canvas-raster::fill` implements that strategy too; the
+//!   triangulation path is used by the triangle-pipeline draw calls.)
+
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::predicates::{orientation, Orientation};
+
+/// A triangle given by its three corner points.
+pub type Triangle = [Point; 3];
+
+/// Triangulates an arbitrary polygon (with holes) into triangles.
+///
+/// Returns an empty vector only for degenerate input (which [`Ring`]
+/// construction already prevents).
+pub fn triangulate_polygon(poly: &Polygon) -> Vec<Triangle> {
+    if poly.holes().is_empty() {
+        triangulate_ring(poly.outer().vertices())
+    } else {
+        let merged = merge_holes(poly);
+        triangulate_ring(&merged)
+    }
+}
+
+/// Triangulates a simple CCW ring by ear clipping.
+pub fn triangulate_ring(ring: &[Point]) -> Vec<Triangle> {
+    let n = ring.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n.saturating_sub(2));
+    let mut guard = 0usize;
+    while idx.len() > 3 {
+        let m = idx.len();
+        let mut clipped = false;
+        for i in 0..m {
+            let prev = ring[idx[(i + m - 1) % m]];
+            let cur = ring[idx[i]];
+            let next = ring[idx[(i + 1) % m]];
+            if !is_ear(prev, cur, next, ring, &idx) {
+                continue;
+            }
+            out.push([prev, cur, next]);
+            idx.remove(i);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            // Numerically stuck (e.g. collinear runs): drop the most
+            // collinear vertex and continue rather than looping forever.
+            let m = idx.len();
+            let mut worst = 0usize;
+            let mut worst_area = f64::INFINITY;
+            for i in 0..m {
+                let a = ring[idx[(i + m - 1) % m]];
+                let b = ring[idx[i]];
+                let c = ring[idx[(i + 1) % m]];
+                let area = (b - a).cross(c - a).abs();
+                if area < worst_area {
+                    worst_area = area;
+                    worst = i;
+                }
+            }
+            idx.remove(worst);
+        }
+        guard += 1;
+        if guard > 4 * n + 16 {
+            break; // defensive: never hang on adversarial input
+        }
+    }
+    if idx.len() == 3 {
+        let tri = [ring[idx[0]], ring[idx[1]], ring[idx[2]]];
+        if (tri[1] - tri[0]).cross(tri[2] - tri[0]) != 0.0 {
+            out.push(tri);
+        }
+    }
+    out
+}
+
+fn is_ear(prev: Point, cur: Point, next: Point, ring: &[Point], idx: &[usize]) -> bool {
+    // Convex corner in a CCW ring.
+    if orientation(prev, cur, next) != Orientation::CounterClockwise {
+        return false;
+    }
+    // No remaining vertex strictly inside the candidate ear.
+    for &j in idx {
+        let p = ring[j];
+        if p == prev || p == cur || p == next {
+            continue;
+        }
+        if point_strictly_in_triangle(p, prev, cur, next) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Strict interior test (boundary excluded) used for the ear condition.
+fn point_strictly_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool {
+    let d1 = (b - a).cross(p - a);
+    let d2 = (c - b).cross(p - b);
+    let d3 = (a - c).cross(p - c);
+    d1 > 0.0 && d2 > 0.0 && d3 > 0.0
+}
+
+/// Inclusive (closed) point-in-triangle test — exposed for the rasterizer
+/// tests and coverage checks.
+pub fn point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool {
+    let d1 = (b - a).cross(p - a);
+    let d2 = (c - b).cross(p - b);
+    let d3 = (a - c).cross(p - c);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Total signed area of a triangle list (for area-preservation checks).
+pub fn triangles_area(tris: &[Triangle]) -> f64 {
+    tris.iter()
+        .map(|t| 0.5 * (t[1] - t[0]).cross(t[2] - t[0]))
+        .sum()
+}
+
+/// Merges all holes of the polygon into a single ring with bridge edges.
+///
+/// Holes are inserted in decreasing order of their rightmost x-coordinate
+/// so later bridges cannot cross earlier ones (standard ear-clipping
+/// pre-pass).
+fn merge_holes(poly: &Polygon) -> Vec<Point> {
+    let mut outer: Vec<Point> = poly.outer().vertices().to_vec();
+    let mut holes: Vec<&Ring> = poly.holes().iter().collect();
+    holes.sort_by(|a, b| {
+        let ax = a.vertices().iter().map(|p| p.x).fold(f64::MIN, f64::max);
+        let bx = b.vertices().iter().map(|p| p.x).fold(f64::MIN, f64::max);
+        bx.partial_cmp(&ax).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for hole in holes {
+        // Hole vertices must wind CW inside a CCW outer ring.
+        let mut hv: Vec<Point> = hole.vertices().to_vec();
+        hv.reverse();
+        outer = splice_hole(&outer, &hv);
+    }
+    outer
+}
+
+/// Connects `hole` (CW) into `outer` (CCW) with a bridge at the hole's
+/// rightmost vertex and returns the merged ring.
+fn splice_hole(outer: &[Point], hole: &[Point]) -> Vec<Point> {
+    // Rightmost hole vertex.
+    let hi = hole
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let h = hole[hi];
+
+    // Candidate outer vertices sorted by distance to h; take the first
+    // one mutually visible from h.
+    let mut candidates: Vec<usize> = (0..outer.len()).collect();
+    candidates.sort_by(|&a, &b| {
+        outer[a]
+            .dist_sq(h)
+            .partial_cmp(&outer[b].dist_sq(h))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let vis = candidates
+        .into_iter()
+        .find(|&vi| visible(h, outer[vi], outer, hole))
+        .unwrap_or(0);
+
+    // outer[..=vis] ++ hole[hi..] ++ hole[..=hi] ++ outer[vis..]
+    let mut merged = Vec::with_capacity(outer.len() + hole.len() + 2);
+    merged.extend_from_slice(&outer[..=vis]);
+    merged.extend(hole.iter().cycle().skip(hi).take(hole.len() + 1));
+    merged.extend_from_slice(&outer[vis..]);
+    merged
+}
+
+/// Mutual visibility: the open segment `a..b` crosses no edge of the
+/// outer ring or the hole (edges incident to either endpoint excluded).
+fn visible(a: Point, b: Point, outer: &[Point], hole: &[Point]) -> bool {
+    let blocked = |ring: &[Point]| -> bool {
+        let n = ring.len();
+        for i in 0..n {
+            let p = ring[i];
+            let q = ring[(i + 1) % n];
+            if p == a || q == a || p == b || q == b {
+                continue;
+            }
+            if segments_properly_cross(a, b, p, q) {
+                return true;
+            }
+        }
+        false
+    };
+    !blocked(outer) && !blocked(hole)
+}
+
+fn segments_properly_cross(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let o1 = orientation(a, b, c);
+    let o2 = orientation(a, b, d);
+    let o3 = orientation(c, d, a);
+    let o4 = orientation(c, d, b);
+    o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn square(side: f64) -> Polygon {
+        Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(side, 0.0),
+            Point::new(side, side),
+            Point::new(0.0, side),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn triangle_passthrough() {
+        let t = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let tris = triangulate_polygon(&t);
+        assert_eq!(tris.len(), 1);
+        assert!(approx_eq(triangles_area(&tris), 0.5));
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let tris = triangulate_polygon(&square(2.0));
+        assert_eq!(tris.len(), 2);
+        assert!(approx_eq(triangles_area(&tris), 4.0));
+    }
+
+    #[test]
+    fn concave_polygon_area_preserved() {
+        let l = Polygon::simple(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        let tris = triangulate_polygon(&l);
+        assert_eq!(tris.len(), 4); // n-2
+        assert!(approx_eq(triangles_area(&tris), l.area()));
+        // Notch point must not be covered.
+        assert!(!tris
+            .iter()
+            .any(|t| point_in_triangle(Point::new(3.0, 3.0), t[0], t[1], t[2])));
+    }
+
+    #[test]
+    fn star_polygon() {
+        // 5-pointed star (concave at every other vertex).
+        let mut verts = Vec::new();
+        for i in 0..10 {
+            let ang = std::f64::consts::TAU * i as f64 / 10.0;
+            let r = if i % 2 == 0 { 2.0 } else { 0.8 };
+            verts.push(Point::new(r * ang.cos(), r * ang.sin()));
+        }
+        let star = Polygon::simple(verts).unwrap();
+        let tris = triangulate_polygon(&star);
+        assert_eq!(tris.len(), 8);
+        assert!(approx_eq(triangles_area(&tris), star.area()));
+    }
+
+    #[test]
+    fn donut_triangulation() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let donut = Polygon::new(outer, vec![hole]);
+        let tris = triangulate_polygon(&donut);
+        assert!(approx_eq(triangles_area(&tris), donut.area()));
+        // Hole center is uncovered, ring interior is covered.
+        let in_hole = Point::new(5.0, 5.0);
+        assert!(!tris
+            .iter()
+            .any(|t| point_strictly_in_triangle(in_hole, t[0], t[1], t[2])));
+        let in_ring = Point::new(1.0, 1.0);
+        assert!(tris
+            .iter()
+            .any(|t| point_in_triangle(in_ring, t[0], t[1], t[2])));
+    }
+
+    #[test]
+    fn two_holes() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(12.0, 0.0),
+            Point::new(12.0, 6.0),
+            Point::new(0.0, 6.0),
+        ])
+        .unwrap();
+        let h1 = Ring::new(vec![
+            Point::new(2.0, 2.0),
+            Point::new(4.0, 2.0),
+            Point::new(4.0, 4.0),
+            Point::new(2.0, 4.0),
+        ])
+        .unwrap();
+        let h2 = Ring::new(vec![
+            Point::new(8.0, 2.0),
+            Point::new(10.0, 2.0),
+            Point::new(10.0, 4.0),
+            Point::new(8.0, 4.0),
+        ])
+        .unwrap();
+        let poly = Polygon::new(outer, vec![h1, h2]);
+        let tris = triangulate_polygon(&poly);
+        assert!(approx_eq(triangles_area(&tris), poly.area()));
+        for hole_center in [Point::new(3.0, 3.0), Point::new(9.0, 3.0)] {
+            assert!(!tris
+                .iter()
+                .any(|t| point_strictly_in_triangle(hole_center, t[0], t[1], t[2])));
+        }
+    }
+
+    #[test]
+    fn triangle_count_invariant_simple() {
+        // Simple polygon with n vertices yields exactly n-2 triangles.
+        for n in 3..=12 {
+            let poly = Polygon::circle(Point::ORIGIN, 1.0, n);
+            let tris = triangulate_polygon(&poly);
+            assert_eq!(tris.len(), poly.outer().len() - 2, "n = {n}");
+        }
+    }
+}

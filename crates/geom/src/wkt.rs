@@ -1,0 +1,391 @@
+//! Well-Known Text (WKT) reading and writing.
+//!
+//! Spatial systems the paper positions itself against (PostGIS, Oracle
+//! Spatial, SQL Server) exchange geometry as WKT; a credible open-source
+//! release needs the same door. Supported: `POINT`, `LINESTRING`,
+//! `POLYGON` (with holes), `MULTIPOINT`, `MULTIPOLYGON`,
+//! `GEOMETRYCOLLECTION` — mapped onto [`GeomObject`]s.
+
+use crate::object::{GeomObject, Primitive};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+use crate::polyline::Polyline;
+
+/// WKT parse errors with byte-offset context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WktError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WKT error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Parses one WKT geometry into a [`GeomObject`].
+pub fn parse_wkt(input: &str) -> Result<GeomObject, WktError> {
+    let mut p = Parser::new(input);
+    let obj = p.geometry()?;
+    p.skip_ws();
+    if !p.eof() {
+        return Err(p.err("trailing characters after geometry"));
+    }
+    Ok(obj)
+}
+
+/// Formats a [`GeomObject`] as WKT. Single-primitive objects use the
+/// plain tagged form; mixed objects become a `GEOMETRYCOLLECTION`.
+pub fn to_wkt(obj: &GeomObject) -> String {
+    let prims = obj.primitives();
+    match prims {
+        [] => "GEOMETRYCOLLECTION EMPTY".to_string(),
+        [single] => primitive_wkt(single),
+        many => {
+            let parts: Vec<String> = many.iter().map(primitive_wkt).collect();
+            format!("GEOMETRYCOLLECTION ({})", parts.join(", "))
+        }
+    }
+}
+
+fn primitive_wkt(p: &Primitive) -> String {
+    match p {
+        Primitive::Point(pt) => format!("POINT ({} {})", pt.x, pt.y),
+        Primitive::Line(line) => {
+            let coords: Vec<String> = line
+                .vertices()
+                .iter()
+                .map(|v| format!("{} {}", v.x, v.y))
+                .collect();
+            format!("LINESTRING ({})", coords.join(", "))
+        }
+        Primitive::Area(poly) => {
+            let ring_wkt = |r: &Ring| {
+                let mut coords: Vec<String> = r
+                    .vertices()
+                    .iter()
+                    .map(|v| format!("{} {}", v.x, v.y))
+                    .collect();
+                // WKT rings repeat the first coordinate last.
+                coords.push(coords[0].clone());
+                format!("({})", coords.join(", "))
+            };
+            let mut rings = vec![ring_wkt(poly.outer())];
+            rings.extend(poly.holes().iter().map(ring_wkt));
+            format!("POLYGON ({})", rings.join(", "))
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self, message: &str) -> WktError {
+        WktError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: char) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{token}'")))
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_alphabetic() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("expected a number"))
+    }
+
+    fn coord(&mut self) -> Result<Point, WktError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    fn coord_list(&mut self) -> Result<Vec<Point>, WktError> {
+        self.eat('(')?;
+        let mut pts = vec![self.coord()?];
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(',') {
+                self.pos += 1;
+                pts.push(self.coord()?);
+            } else {
+                break;
+            }
+        }
+        self.eat(')')?;
+        Ok(pts)
+    }
+
+    fn ring(&mut self) -> Result<Ring, WktError> {
+        let pts = self.coord_list()?;
+        Ring::new(pts).map_err(|e| self.err(&format!("invalid ring: {e}")))
+    }
+
+    fn polygon_body(&mut self) -> Result<Polygon, WktError> {
+        self.eat('(')?;
+        let outer = self.ring()?;
+        let mut holes = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(',') {
+                self.pos += 1;
+                holes.push(self.ring()?);
+            } else {
+                break;
+            }
+        }
+        self.eat(')')?;
+        Ok(Polygon::new(outer, holes))
+    }
+
+    fn geometry(&mut self) -> Result<GeomObject, WktError> {
+        let tag = self.keyword();
+        match tag.as_str() {
+            "POINT" => {
+                self.eat('(')?;
+                let p = self.coord()?;
+                self.eat(')')?;
+                Ok(GeomObject::point(p))
+            }
+            "LINESTRING" => {
+                let pts = self.coord_list()?;
+                let line =
+                    Polyline::new(pts).ok_or_else(|| self.err("linestring needs 2+ points"))?;
+                Ok(GeomObject::line(line))
+            }
+            "POLYGON" => Ok(GeomObject::polygon(self.polygon_body()?)),
+            "MULTIPOINT" => {
+                self.eat('(')?;
+                let mut prims = Vec::new();
+                loop {
+                    self.skip_ws();
+                    // Coordinates may be bare or parenthesized.
+                    let p = if self.rest().starts_with('(') {
+                        self.eat('(')?;
+                        let p = self.coord()?;
+                        self.eat(')')?;
+                        p
+                    } else {
+                        self.coord()?
+                    };
+                    prims.push(Primitive::Point(p));
+                    self.skip_ws();
+                    if self.rest().starts_with(',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(')')?;
+                Ok(GeomObject::new(prims))
+            }
+            "MULTIPOLYGON" => {
+                self.eat('(')?;
+                let mut prims = Vec::new();
+                loop {
+                    prims.push(Primitive::Area(self.polygon_body()?));
+                    self.skip_ws();
+                    if self.rest().starts_with(',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(')')?;
+                Ok(GeomObject::new(prims))
+            }
+            "GEOMETRYCOLLECTION" => {
+                self.skip_ws();
+                if self.rest().to_ascii_uppercase().starts_with("EMPTY") {
+                    self.pos += "EMPTY".len();
+                    return Ok(GeomObject::default());
+                }
+                self.eat('(')?;
+                let mut prims = Vec::new();
+                loop {
+                    let inner = self.geometry()?;
+                    prims.extend(inner.primitives().iter().cloned());
+                    self.skip_ws();
+                    if self.rest().starts_with(',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(')')?;
+                Ok(GeomObject::new(prims))
+            }
+            other => Err(self.err(&format!("unknown geometry tag '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let obj = parse_wkt("POINT (3.5 -2)").unwrap();
+        assert_eq!(obj.primitives().len(), 1);
+        assert!(matches!(
+            obj.primitives()[0],
+            Primitive::Point(p) if p == Point::new(3.5, -2.0)
+        ));
+        assert_eq!(to_wkt(&obj), "POINT (3.5 -2)");
+    }
+
+    #[test]
+    fn linestring_roundtrip() {
+        let src = "LINESTRING (0 0, 1 1, 2 0)";
+        let obj = parse_wkt(src).unwrap();
+        assert_eq!(to_wkt(&obj), src);
+        match &obj.primitives()[0] {
+            Primitive::Line(l) => assert_eq!(l.vertices().len(), 3),
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_with_hole() {
+        let src = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))";
+        let obj = parse_wkt(src).unwrap();
+        match &obj.primitives()[0] {
+            Primitive::Area(p) => {
+                assert_eq!(p.holes().len(), 1);
+                assert_eq!(p.area(), 100.0 - 4.0);
+            }
+            other => panic!("expected polygon, got {other:?}"),
+        }
+        // Round trip reparses to the same area.
+        let again = parse_wkt(&to_wkt(&obj)).unwrap();
+        match &again.primitives()[0] {
+            Primitive::Area(p) => assert_eq!(p.area(), 96.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn multipoint_both_syntaxes() {
+        for src in ["MULTIPOINT (1 2, 3 4)", "MULTIPOINT ((1 2), (3 4))"] {
+            let obj = parse_wkt(src).unwrap();
+            assert_eq!(obj.primitives().len(), 2, "{src}");
+        }
+    }
+
+    #[test]
+    fn multipolygon() {
+        let src = "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))";
+        let obj = parse_wkt(src).unwrap();
+        assert_eq!(obj.of_dim(2).count(), 2);
+    }
+
+    #[test]
+    fn geometry_collection_mixed() {
+        let src = "GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 2 2), POLYGON ((0 0, 3 0, 3 3, 0 0)))";
+        let obj = parse_wkt(src).unwrap();
+        assert_eq!(obj.of_dim(0).count(), 1);
+        assert_eq!(obj.of_dim(1).count(), 1);
+        assert_eq!(obj.of_dim(2).count(), 1);
+        // Mixed objects print as a collection.
+        assert!(to_wkt(&obj).starts_with("GEOMETRYCOLLECTION ("));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let obj = parse_wkt("GEOMETRYCOLLECTION EMPTY").unwrap();
+        assert!(obj.is_empty());
+        assert_eq!(to_wkt(&obj), "GEOMETRYCOLLECTION EMPTY");
+    }
+
+    #[test]
+    fn case_insensitive_and_whitespace() {
+        let obj = parse_wkt("  point(1   2)  ").unwrap();
+        assert!(matches!(obj.primitives()[0], Primitive::Point(_)));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let obj = parse_wkt("POINT (1e3 -2.5E-2)").unwrap();
+        match obj.primitives()[0] {
+            Primitive::Point(p) => {
+                assert_eq!(p.x, 1000.0);
+                assert_eq!(p.y, -0.025);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_wkt("TRIANGLE (0 0)").unwrap_err();
+        assert!(e.message.contains("unknown geometry tag"));
+        let e = parse_wkt("POINT 1 2").unwrap_err();
+        assert!(e.message.contains("expected '('"));
+        let e = parse_wkt("POINT (1 2) garbage").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_wkt("LINESTRING (1 1)").unwrap_err();
+        assert!(e.message.contains("2+ points"));
+        let e = parse_wkt("POLYGON ((0 0, 1 1, 2 2, 0 0))").unwrap_err();
+        assert!(e.message.contains("invalid ring"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # canvas-raster
+//!
+//! A from-scratch **software graphics pipeline** standing in for the
+//! OpenGL pipeline used by the prototype in *"A GPU-friendly Geometric
+//! Data Model and Algebra for Spatial Queries"* (Doraiswamy & Freire,
+//! SIGMOD 2020).
+//!
+//! The paper's whole thesis is that spatial operators become fast when
+//! they lower onto the handful of operations GPUs are built for:
+//! rendering geometry into textures, blending textures, and running
+//! per-pixel passes. This crate provides exactly those operations in
+//! software, with the same dataflow and the same conservative-
+//! rasterization accuracy story, so the algebra layer (`canvas-core`)
+//! is written against a faithful pipeline even though this machine has
+//! no GPU:
+//!
+//! * [`texture::Texture`] — off-screen framebuffers of generic texels,
+//! * [`viewport::Viewport`] — the projection/viewport transform,
+//! * [`rasterize`] — point / supercover-line / triangle / scanline-fill
+//!   coverage kernels (standard + conservative modes),
+//! * [`pipeline::Pipeline`] — draw calls with programmable fragment
+//!   shading and blending, full-screen passes, scatter passes,
+//! * [`stats::PipelineStats`] + [`device::DeviceProfile`] — work
+//!   counting and the calibrated cost model that substitutes for the
+//!   paper's two physical GPUs (see DESIGN.md §2 for the substitution
+//!   rationale).
+
+pub mod device;
+pub mod pipeline;
+pub mod rasterize;
+pub mod stats;
+pub mod texture;
+pub mod viewport;
+
+pub use device::DeviceProfile;
+pub use pipeline::{Frag, Pipeline};
+pub use rasterize::RasterMode;
+pub use stats::PipelineStats;
+pub use texture::Texture;
+pub use viewport::Viewport;

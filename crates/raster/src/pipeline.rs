@@ -1,0 +1,695 @@
+//! The programmable pipeline: draw calls, full-screen passes, scatter.
+//!
+//! This is the software stand-in for the OpenGL pipeline of the paper's
+//! prototype. Each operation mirrors a GPU-native stage:
+//!
+//! | paper / OpenGL                      | here                         |
+//! |-------------------------------------|------------------------------|
+//! | render geometry to off-screen buffer| [`Pipeline::draw_points`], [`Pipeline::draw_polyline`], [`Pipeline::draw_polygon`], [`Pipeline::draw_triangles`] |
+//! | alpha blending of textures          | [`Pipeline::blend_into`]     |
+//! | per-pixel parallel test (mask)      | [`Pipeline::map_texels`]     |
+//! | vertex scatter (transform feedback) | [`Pipeline::scatter`]        |
+//!
+//! Every fragment is shaded by a caller-supplied closure and merged into
+//! the framebuffer through a caller-supplied *blend function* — exactly
+//! the programmable blend `⊙ : S³ × S³ → S³` of the algebra. All work is
+//! counted in [`PipelineStats`] for the device cost model.
+
+use crate::rasterize::{
+    rasterize_line_supercover, rasterize_point, rasterize_polygon_fill, rasterize_triangle,
+    RasterMode,
+};
+use crate::stats::PipelineStats;
+use crate::texture::Texture;
+use crate::viewport::Viewport;
+use canvas_geom::polygon::Polygon;
+use canvas_geom::polyline::Polyline;
+use canvas_geom::Point;
+
+/// A shaded fragment's rasterizer-provided context.
+#[derive(Clone, Copy, Debug)]
+pub struct Frag {
+    /// Pixel coordinates in the target framebuffer.
+    pub x: u32,
+    pub y: u32,
+    /// True when the fragment lies on conservative boundary coverage and
+    /// therefore needs exact refinement (paper Section 5).
+    pub boundary: bool,
+}
+
+/// The software graphics pipeline. Owns work counters and scratch
+/// buffers; framebuffers ([`Texture`]s) are passed per call.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    stats: PipelineStats,
+    /// Generation-stamped visited marks for exactly-once fragment
+    /// emission within a single polygon/polyline draw (O(1) reset).
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Snapshot of the cumulative work counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Records a host→device buffer upload (geometry, attributes).
+    pub fn note_upload(&mut self, bytes: u64) {
+        self.stats.bytes_uploaded += bytes;
+    }
+
+    /// Records a device→host readback (result extraction).
+    pub fn note_download(&mut self, bytes: u64) {
+        self.stats.bytes_downloaded += bytes;
+    }
+
+    /// Records edge tests performed by a compute-style kernel (used by
+    /// the traditional GPU PIP baseline).
+    pub fn note_compute_edge_tests(&mut self, count: u64) {
+        self.stats.compute_edge_tests += count;
+    }
+
+    fn begin_pass(&mut self) {
+        self.stats.passes += 1;
+    }
+
+    fn fresh_generation(&mut self, len: usize) -> u32 {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: clear all stamps once and restart at 1.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+        self.generation
+    }
+
+    /// Clears a framebuffer (glClear).
+    pub fn clear<P: Copy + Default>(&mut self, fb: &mut Texture<P>) {
+        self.begin_pass();
+        self.stats.fullscreen_texels += fb.len() as u64;
+        fb.clear();
+    }
+
+    /// Draws a batch of points: each point shades one fragment which is
+    /// blended into the framebuffer. Coincident points blend repeatedly —
+    /// that is what makes `B*[+]` accumulation work.
+    pub fn draw_points<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        points: &[Point],
+        mut shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        S: FnMut(u32, Point) -> P,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.vertices += points.len() as u64;
+        self.stats.primitives += points.len() as u64;
+        let mut fragments = 0u64;
+        for (i, &p) in points.iter().enumerate() {
+            rasterize_point(vp, p, |x, y| {
+                let src = shade(i as u32, p);
+                fb.update(x, y, |dst| blend(dst, src));
+                fragments += 1;
+            });
+        }
+        self.stats.fragments += fragments;
+        self.stats.boundary_fragments += fragments; // points always need exact coords
+        self.stats.blend_ops += fragments;
+    }
+
+    /// Draws a polyline with supercover (conservative) coverage. Each
+    /// touched pixel is shaded exactly once per draw call.
+    pub fn draw_polyline<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        line: &Polyline,
+        mut shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        S: FnMut(Frag) -> P,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        let nverts = line.vertices().len() as u64;
+        self.stats.vertices += nverts;
+        self.stats.primitives += line.num_segments() as u64;
+        let gen = self.fresh_generation(fb.len());
+        let mut fragments = 0u64;
+        let stamps = &mut self.stamps;
+        for seg in line.segments() {
+            rasterize_line_supercover(vp, seg.a, seg.b, |x, y| {
+                let idx = (y as usize) * (vp.width() as usize) + x as usize;
+                if stamps[idx] != gen {
+                    stamps[idx] = gen;
+                    let frag = Frag {
+                        x,
+                        y,
+                        boundary: true,
+                    };
+                    let src = shade(frag);
+                    fb.update(x, y, |dst| blend(dst, src));
+                    fragments += 1;
+                }
+            });
+        }
+        self.stats.fragments += fragments;
+        self.stats.boundary_fragments += fragments;
+        self.stats.blend_ops += fragments;
+    }
+
+    /// Draws a filled polygon (outer ring minus holes).
+    ///
+    /// Two sub-passes with exactly-once emission per pixel:
+    /// 1. conservative boundary coverage of every ring edge
+    ///    (`boundary = true` fragments — these are the pixels the mask
+    ///    operator later refines against the exact vector data),
+    /// 2. scanline interior fill at pixel centers for pixels not already
+    ///    claimed by the boundary (`boundary = false`).
+    ///
+    /// With `conservative = false` the boundary pass is skipped and only
+    /// center-sampled coverage is produced (the paper's "approximate
+    /// result suffices" mode).
+    pub fn draw_polygon<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        poly: &Polygon,
+        conservative: bool,
+        mut shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        S: FnMut(Frag) -> P,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.vertices += poly.num_vertices() as u64;
+        self.stats.primitives += 1 + poly.holes().len() as u64;
+        let gen = self.fresh_generation(fb.len());
+        let mut fragments = 0u64;
+        let mut boundary_fragments = 0u64;
+        let width = vp.width() as usize;
+        {
+            let stamps = &mut self.stamps;
+            if conservative {
+                for edge in poly.edges() {
+                    rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
+                        let idx = (y as usize) * width + x as usize;
+                        if stamps[idx] != gen {
+                            stamps[idx] = gen;
+                            let src = shade(Frag {
+                                x,
+                                y,
+                                boundary: true,
+                            });
+                            fb.update(x, y, |dst| blend(dst, src));
+                            fragments += 1;
+                            boundary_fragments += 1;
+                        }
+                    });
+                }
+            }
+            rasterize_polygon_fill(vp, poly, |x, y| {
+                let idx = (y as usize) * width + x as usize;
+                if stamps[idx] != gen {
+                    stamps[idx] = gen;
+                    let src = shade(Frag {
+                        x,
+                        y,
+                        boundary: false,
+                    });
+                    fb.update(x, y, |dst| blend(dst, src));
+                    fragments += 1;
+                }
+            });
+        }
+        self.stats.fragments += fragments;
+        self.stats.boundary_fragments += boundary_fragments;
+        self.stats.blend_ops += fragments;
+    }
+
+    /// Draws a whole batch of polygons in **one** pass (a single
+    /// instanced draw call submitting every polygon's geometry at once —
+    /// how a GPU renders a polygon table). Per-polygon exactly-once
+    /// fragment semantics are preserved; the shade closure receives the
+    /// polygon index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn draw_polygons_batch<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        polys: &[Polygon],
+        conservative: bool,
+        mut shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        S: FnMut(u32, Frag) -> P,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        let mut fragments = 0u64;
+        let mut boundary_fragments = 0u64;
+        let width = vp.width() as usize;
+        for (pi, poly) in polys.iter().enumerate() {
+            self.stats.vertices += poly.num_vertices() as u64;
+            self.stats.primitives += 1 + poly.holes().len() as u64;
+            let gen = self.fresh_generation(fb.len());
+            let stamps = &mut self.stamps;
+            if conservative {
+                for edge in poly.edges() {
+                    rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
+                        let idx = (y as usize) * width + x as usize;
+                        if stamps[idx] != gen {
+                            stamps[idx] = gen;
+                            let src = shade(
+                                pi as u32,
+                                Frag {
+                                    x,
+                                    y,
+                                    boundary: true,
+                                },
+                            );
+                            fb.update(x, y, |dst| blend(dst, src));
+                            fragments += 1;
+                            boundary_fragments += 1;
+                        }
+                    });
+                }
+            }
+            rasterize_polygon_fill(vp, poly, |x, y| {
+                let idx = (y as usize) * width + x as usize;
+                if stamps[idx] != gen {
+                    stamps[idx] = gen;
+                    let src = shade(
+                        pi as u32,
+                        Frag {
+                            x,
+                            y,
+                            boundary: false,
+                        },
+                    );
+                    fb.update(x, y, |dst| blend(dst, src));
+                    fragments += 1;
+                }
+            });
+        }
+        self.stats.fragments += fragments;
+        self.stats.boundary_fragments += boundary_fragments;
+        self.stats.blend_ops += fragments;
+    }
+
+    /// Draws raw triangles (the GPU-authentic path used by ablations and
+    /// by callers that pre-triangulate geometry).
+    pub fn draw_triangles<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        tris: &[[Point; 3]],
+        mode: RasterMode,
+        mut shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        S: FnMut(u32, Frag) -> P,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.vertices += 3 * tris.len() as u64;
+        self.stats.primitives += tris.len() as u64;
+        let mut fragments = 0u64;
+        for (i, tri) in tris.iter().enumerate() {
+            rasterize_triangle(vp, *tri, mode, |x, y| {
+                let frag = Frag {
+                    x,
+                    y,
+                    boundary: mode == RasterMode::Conservative,
+                };
+                let src = shade(i as u32, frag);
+                fb.update(x, y, |dst| blend(dst, src));
+                fragments += 1;
+            });
+        }
+        self.stats.fragments += fragments;
+        if mode == RasterMode::Conservative {
+            self.stats.boundary_fragments += fragments;
+        }
+        self.stats.blend_ops += fragments;
+    }
+
+    /// Full-screen pass: rewrites every texel through `f` (the Value
+    /// Transform `V[f]` and Mask `M[M]` operators compile to this).
+    pub fn map_texels<P, F>(&mut self, fb: &mut Texture<P>, mut f: F)
+    where
+        P: Copy + Default,
+        F: FnMut(u32, u32, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.fullscreen_texels += fb.len() as u64;
+        let w = fb.width() as usize;
+        for (i, t) in fb.texels_mut().iter_mut().enumerate() {
+            let x = (i % w) as u32;
+            let y = (i / w) as u32;
+            *t = f(x, y, *t);
+        }
+    }
+
+    /// Full-screen binary blend: `dst[i] = blend(dst[i], src[i])` — the
+    /// texture-vs-texture form of the Blend operator (alpha blending of
+    /// two rendered canvases in the paper).
+    ///
+    /// Panics if the textures differ in size (canvases must share a
+    /// viewport before blending; the Geometric Transform operator is the
+    /// algebra's tool for aligning them).
+    pub fn blend_into<P, B>(&mut self, dst: &mut Texture<P>, src: &Texture<P>, blend: B)
+    where
+        P: Copy + Default,
+        B: Fn(P, P) -> P,
+    {
+        assert_eq!(
+            (dst.width(), dst.height()),
+            (src.width(), src.height()),
+            "blend requires same-size framebuffers"
+        );
+        self.begin_pass();
+        self.stats.fullscreen_texels += dst.len() as u64;
+        self.stats.blend_ops += dst.len() as u64;
+        for (d, s) in dst.texels_mut().iter_mut().zip(src.texels()) {
+            *d = blend(*d, *s);
+        }
+    }
+
+    /// Scatter pass: for every source texel, `target` chooses a world
+    /// position in the destination viewport (or `None` to drop); the
+    /// texel value is blended into the destination pixel.
+    ///
+    /// This realizes the value-dependent Geometric Transform
+    /// `G[γ : S³ → R²]` — on a GPU this is a point-sprite re-render or
+    /// transform feedback, with blending resolving collisions.
+    pub fn scatter<P, T, B>(
+        &mut self,
+        src: &Texture<P>,
+        dst_vp: &Viewport,
+        dst: &mut Texture<P>,
+        mut target: T,
+        blend: B,
+    ) where
+        P: Copy + Default,
+        T: FnMut(u32, u32, &P) -> Option<Point>,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.scatter_reads += src.len() as u64;
+        let mut writes = 0u64;
+        let w = src.width() as usize;
+        for (i, t) in src.texels().iter().enumerate() {
+            let x = (i % w) as u32;
+            let y = (i / w) as u32;
+            if let Some(world) = target(x, y, t) {
+                if let Some((dx, dy)) = dst_vp.world_to_pixel(world) {
+                    dst.update(dx, dy, |d| blend(d, *t));
+                    writes += 1;
+                }
+            }
+        }
+        self.stats.scatter_writes += writes;
+        self.stats.blend_ops += writes;
+    }
+
+    /// Parallel full-screen pass over row bands using scoped threads.
+    ///
+    /// Semantically identical to [`map_texels`](Self::map_texels); used
+    /// when the host has cores to spare (fragment shading is
+    /// embarrassingly parallel, which is the paper's whole point).
+    pub fn par_map_texels<P, F>(&mut self, fb: &mut Texture<P>, threads: usize, f: F)
+    where
+        P: Copy + Default + Send,
+        F: Fn(u32, u32, P) -> P + Sync,
+    {
+        self.begin_pass();
+        self.stats.fullscreen_texels += fb.len() as u64;
+        let w = fb.width() as usize;
+        let threads = threads.max(1);
+        let rows_per = (fb.height() as usize).div_ceil(threads);
+        let band = rows_per * w;
+        let texels = fb.texels_mut();
+        crossbeam::thread::scope(|scope| {
+            for (bi, chunk) in texels.chunks_mut(band.max(1)).enumerate() {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let base = bi * rows_per;
+                    for (j, t) in chunk.iter_mut().enumerate() {
+                        let x = (j % w) as u32;
+                        let y = (base + j / w) as u32;
+                        *t = f(x, y, *t);
+                    }
+                });
+            }
+        })
+        .expect("raster worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::BBox;
+
+    fn vp10() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn draw_points_accumulates_coincident() {
+        let vp = vp10();
+        let mut fb: Texture<u32> = Texture::new(10, 10);
+        let mut pl = Pipeline::new();
+        let pts = vec![
+            Point::new(2.5, 2.5),
+            Point::new(2.6, 2.4), // same pixel
+            Point::new(7.5, 7.5),
+        ];
+        pl.draw_points(&vp, &mut fb, &pts, |_, _| 1u32, |d, s| d + s);
+        assert_eq!(fb.get(2, 2), 2);
+        assert_eq!(fb.get(7, 7), 1);
+        let st = pl.stats();
+        assert_eq!(st.vertices, 3);
+        assert_eq!(st.fragments, 3);
+        assert_eq!(st.blend_ops, 3);
+        assert_eq!(st.passes, 1);
+    }
+
+    #[test]
+    fn draw_polygon_exactly_once_per_pixel() {
+        let vp = vp10();
+        let mut fb: Texture<u32> = Texture::new(10, 10);
+        let mut pl = Pipeline::new();
+        let poly = Polygon::simple(vec![
+            Point::new(1.0, 1.0),
+            Point::new(8.0, 1.0),
+            Point::new(8.0, 8.0),
+            Point::new(1.0, 8.0),
+        ])
+        .unwrap();
+        pl.draw_polygon(&vp, &mut fb, &poly, true, |_| 1u32, |d, s| d + s);
+        // Every covered texel has value exactly 1 (no double emission
+        // between boundary and interior passes).
+        for (_, _, v) in fb.iter() {
+            assert!(v <= 1, "pixel shaded {v} times");
+        }
+        let covered = fb.iter().filter(|&(_, _, v)| v == 1).count();
+        assert!(covered >= 7 * 7, "interior must be covered, got {covered}");
+        let st = pl.stats();
+        assert_eq!(st.fragments as usize, covered);
+        assert!(st.boundary_fragments > 0);
+        assert!(st.boundary_fragments < st.fragments);
+    }
+
+    #[test]
+    fn draw_polygon_conservative_covers_superset() {
+        let vp = vp10();
+        let poly = Polygon::simple(vec![
+            Point::new(1.2, 1.3),
+            Point::new(8.7, 1.9),
+            Point::new(4.4, 8.2),
+        ])
+        .unwrap();
+        let mut pl = Pipeline::new();
+        let mut fb_std: Texture<u32> = Texture::new(10, 10);
+        pl.draw_polygon(&vp, &mut fb_std, &poly, false, |_| 1u32, |d, s| d | s);
+        let mut fb_cons: Texture<u32> = Texture::new(10, 10);
+        pl.draw_polygon(&vp, &mut fb_cons, &poly, true, |_| 1u32, |d, s| d | s);
+        for ((x, y, s), (_, _, c)) in fb_std.iter().zip(fb_cons.iter()) {
+            assert!(c >= s, "conservative lost coverage at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn draw_polyline_dedups_shared_vertices() {
+        let vp = vp10();
+        let mut fb: Texture<u32> = Texture::new(10, 10);
+        let mut pl = Pipeline::new();
+        let line = Polyline::new(vec![
+            Point::new(1.5, 1.5),
+            Point::new(5.5, 1.5),
+            Point::new(5.5, 6.5),
+        ])
+        .unwrap();
+        pl.draw_polyline(&vp, &mut fb, &line, |_| 1u32, |d, s| d + s);
+        for (_, _, v) in fb.iter() {
+            assert!(v <= 1, "polyline pixel shaded {v} times");
+        }
+        // The corner pixel (5,1) appears once despite ending one segment
+        // and starting the next.
+        assert_eq!(fb.get(5, 1), 1);
+    }
+
+    #[test]
+    fn blend_into_counts_and_merges() {
+        let mut pl = Pipeline::new();
+        let mut dst: Texture<u32> = Texture::filled(4, 4, 1);
+        let src: Texture<u32> = Texture::filled(4, 4, 2);
+        pl.blend_into(&mut dst, &src, |d, s| d + s);
+        assert!(dst.iter().all(|(_, _, v)| v == 3));
+        assert_eq!(pl.stats().fullscreen_texels, 16);
+        assert_eq!(pl.stats().blend_ops, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "same-size")]
+    fn blend_size_mismatch_panics() {
+        let mut pl = Pipeline::new();
+        let mut dst: Texture<u32> = Texture::new(4, 4);
+        let src: Texture<u32> = Texture::new(4, 5);
+        pl.blend_into(&mut dst, &src, |d, _| d);
+    }
+
+    #[test]
+    fn map_texels_visits_every_pixel_once() {
+        let mut pl = Pipeline::new();
+        let mut fb: Texture<u32> = Texture::new(5, 3);
+        pl.map_texels(&mut fb, |_, _, v| v + 1);
+        assert!(fb.iter().all(|(_, _, v)| v == 1));
+        assert_eq!(pl.stats().fullscreen_texels, 15);
+    }
+
+    #[test]
+    fn map_texels_coordinates_correct() {
+        let mut pl = Pipeline::new();
+        let mut fb: Texture<u32> = Texture::new(4, 4);
+        pl.map_texels(&mut fb, |x, y, _| x + 10 * y);
+        assert_eq!(fb.get(3, 2), 23);
+        assert_eq!(fb.get(0, 0), 0);
+    }
+
+    #[test]
+    fn scatter_moves_and_accumulates() {
+        let vp = vp10();
+        let mut pl = Pipeline::new();
+        let mut src: Texture<u32> = Texture::new(10, 10);
+        src.set(1, 1, 5);
+        src.set(8, 8, 7);
+        let mut dst: Texture<u32> = Texture::new(10, 10);
+        // Send every non-zero texel to the world location (0.5, 0.5).
+        pl.scatter(
+            &src,
+            &vp,
+            &mut dst,
+            |_, _, v| {
+                if *v != 0 {
+                    Some(Point::new(0.5, 0.5))
+                } else {
+                    None
+                }
+            },
+            |d, s| d + s,
+        );
+        assert_eq!(dst.get(0, 0), 12);
+        assert_eq!(pl.stats().scatter_reads, 100);
+        assert_eq!(pl.stats().scatter_writes, 2);
+    }
+
+    #[test]
+    fn scatter_drops_out_of_viewport_targets() {
+        let vp = vp10();
+        let mut pl = Pipeline::new();
+        let mut src: Texture<u32> = Texture::new(10, 10);
+        src.set(0, 0, 1);
+        let mut dst: Texture<u32> = Texture::new(10, 10);
+        pl.scatter(
+            &src,
+            &vp,
+            &mut dst,
+            |_, _, _| Some(Point::new(100.0, 100.0)),
+            |d, s| d + s,
+        );
+        assert_eq!(pl.stats().scatter_writes, 0);
+        assert!(dst.iter().all(|(_, _, v)| v == 0));
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let mut pl = Pipeline::new();
+        let mut a: Texture<u32> = Texture::new(16, 16);
+        let mut b: Texture<u32> = Texture::new(16, 16);
+        pl.map_texels(&mut a, |x, y, _| x * 31 + y * 7);
+        pl.par_map_texels(&mut b, 3, |x, y, _| x * 31 + y * 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn upload_download_counters() {
+        let mut pl = Pipeline::new();
+        pl.note_upload(1024);
+        pl.note_download(256);
+        pl.note_compute_edge_tests(99);
+        let st = pl.stats();
+        assert_eq!(st.bytes_uploaded, 1024);
+        assert_eq!(st.bytes_downloaded, 256);
+        assert_eq!(st.compute_edge_tests, 99);
+        pl.reset_stats();
+        assert_eq!(pl.stats(), PipelineStats::default());
+    }
+
+    #[test]
+    fn generation_stamps_survive_many_draws() {
+        let vp = vp10();
+        let mut pl = Pipeline::new();
+        let mut fb: Texture<u32> = Texture::new(10, 10);
+        let poly = Polygon::simple(vec![
+            Point::new(2.0, 2.0),
+            Point::new(7.0, 2.0),
+            Point::new(7.0, 7.0),
+            Point::new(2.0, 7.0),
+        ])
+        .unwrap();
+        // Repeated draws accumulate exactly once each.
+        for _ in 0..10 {
+            pl.draw_polygon(&vp, &mut fb, &poly, true, |_| 1u32, |d, s| d + s);
+        }
+        let max = fb.iter().map(|(_, _, v)| v).max().unwrap();
+        assert_eq!(max, 10);
+    }
+}

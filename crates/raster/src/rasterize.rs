@@ -1,0 +1,602 @@
+//! Coverage kernels: which pixels does a primitive touch?
+//!
+//! Three rasterizers mirror the fixed-function stages the paper's
+//! prototype relies on:
+//!
+//! * **points** — a point lands in exactly one pixel,
+//! * **lines** — *supercover* traversal emits every pixel the segment
+//!   touches; this is the "conservative rasterization" OpenGL extension
+//!   the paper uses to tag boundary pixels without loss of accuracy,
+//! * **triangles** — center-sample coverage with the top-left fill rule
+//!   (standard mode, a pixel is drawn when its center is covered) and a
+//!   conservative mode (every pixel whose square overlaps the triangle),
+//! * **polygon scanline fill** — even–odd fill across all rings at pixel
+//!   centers, the software analogue of stencil-based polygon filling and
+//!   of the paper's "draw outer ring, negate hole pixels" strategy.
+//!
+//! All kernels emit `(x, y)` pixel coordinates through a callback so the
+//! pipeline can fuse shading/blending without intermediate buffers.
+
+use crate::viewport::Viewport;
+use canvas_geom::polygon::Polygon;
+use canvas_geom::{Point, Ring};
+
+/// Rasterizes a point; emits at most one pixel.
+#[inline]
+pub fn rasterize_point(vp: &Viewport, p: Point, mut emit: impl FnMut(u32, u32)) {
+    if let Some((x, y)) = vp.world_to_pixel(p) {
+        emit(x, y);
+    }
+}
+
+/// Supercover line rasterization: emits every pixel whose square the
+/// world-space segment `a..b` passes through (conservative, no gaps,
+/// no diagonal skips).
+pub fn rasterize_line_supercover(
+    vp: &Viewport,
+    a: Point,
+    b: Point,
+    mut emit: impl FnMut(u32, u32),
+) {
+    // Work in continuous pixel space.
+    let pa = vp.world_to_pixel_f(a);
+    let pb = vp.world_to_pixel_f(b);
+    let w = vp.width() as f64;
+    let h = vp.height() as f64;
+
+    // Liang–Barsky clip of the parametric segment to the pixel rect.
+    let (mut t0, mut t1) = (0.0f64, 1.0f64);
+    let d = pb - pa;
+    let clips = [
+        (-d.x, pa.x),       // x >= 0
+        (d.x, w - pa.x),    // x <= w
+        (-d.y, pa.y),       // y >= 0
+        (d.y, h - pa.y),    // y <= h
+    ];
+    for (den, num) in clips {
+        if den == 0.0 {
+            if num < 0.0 {
+                return; // parallel and outside
+            }
+        } else {
+            let t = num / den;
+            if den < 0.0 {
+                t0 = t0.max(t);
+            } else {
+                t1 = t1.min(t);
+            }
+            if t0 > t1 {
+                return;
+            }
+        }
+    }
+    let p0 = pa.lerp(pb, t0);
+    let p1 = pa.lerp(pb, t1);
+
+    // Amanatides–Woo grid traversal from the cell of p0 to the cell of p1.
+    let clamp_cell = |v: f64, hi: u32| -> i64 { (v.floor() as i64).clamp(0, hi as i64 - 1) };
+    let mut cx = clamp_cell(p0.x, vp.width());
+    let mut cy = clamp_cell(p0.y, vp.height());
+    let ex = clamp_cell(p1.x, vp.width());
+    let ey = clamp_cell(p1.y, vp.height());
+
+    let dir = p1 - p0;
+    let step_x: i64 = if dir.x > 0.0 { 1 } else { -1 };
+    let step_y: i64 = if dir.y > 0.0 { 1 } else { -1 };
+
+    // Parametric distance to the next vertical / horizontal cell border.
+    let mut t_max_x = if dir.x != 0.0 {
+        let next = if step_x > 0 { cx as f64 + 1.0 } else { cx as f64 };
+        (next - p0.x) / dir.x
+    } else {
+        f64::INFINITY
+    };
+    let mut t_max_y = if dir.y != 0.0 {
+        let next = if step_y > 0 { cy as f64 + 1.0 } else { cy as f64 };
+        (next - p0.y) / dir.y
+    } else {
+        f64::INFINITY
+    };
+    let t_delta_x = if dir.x != 0.0 {
+        (1.0 / dir.x).abs()
+    } else {
+        f64::INFINITY
+    };
+    let t_delta_y = if dir.y != 0.0 {
+        (1.0 / dir.y).abs()
+    } else {
+        f64::INFINITY
+    };
+
+    let max_steps = (vp.width() as i64 + vp.height() as i64) * 2 + 4;
+    let mut steps = 0i64;
+    loop {
+        emit(cx as u32, cy as u32);
+        if cx == ex && cy == ey {
+            break;
+        }
+        if t_max_x < t_max_y {
+            t_max_x += t_delta_x;
+            cx += step_x;
+        } else {
+            t_max_y += t_delta_y;
+            cy += step_y;
+        }
+        if cx < 0 || cy < 0 || cx >= vp.width() as i64 || cy >= vp.height() as i64 {
+            break;
+        }
+        steps += 1;
+        if steps > max_steps {
+            debug_assert!(false, "supercover traversal did not terminate");
+            break;
+        }
+    }
+}
+
+/// Triangle rasterization mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RasterMode {
+    /// A pixel is covered when its center lies inside (top-left rule on
+    /// ties) — OpenGL's default rasterization.
+    Standard,
+    /// A pixel is covered when its square overlaps the triangle at all —
+    /// the conservative-rasterization extension the paper enables.
+    Conservative,
+}
+
+/// Rasterizes a filled triangle given in world coordinates.
+pub fn rasterize_triangle(
+    vp: &Viewport,
+    tri: [Point; 3],
+    mode: RasterMode,
+    mut emit: impl FnMut(u32, u32),
+) {
+    // Normalize to CCW in pixel space.
+    let mut v = [
+        vp.world_to_pixel_f(tri[0]),
+        vp.world_to_pixel_f(tri[1]),
+        vp.world_to_pixel_f(tri[2]),
+    ];
+    let area2 = (v[1] - v[0]).cross(v[2] - v[0]);
+    if area2 == 0.0 {
+        return;
+    }
+    if area2 < 0.0 {
+        v.swap(1, 2);
+    }
+
+    let minx = v.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let maxx = v.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    let miny = v.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let maxy = v.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+
+    let x0 = (minx.floor() as i64).max(0);
+    let y0 = (miny.floor() as i64).max(0);
+    let x1 = (maxx.ceil() as i64).min(vp.width() as i64) - 1;
+    let y1 = (maxy.ceil() as i64).min(vp.height() as i64) - 1;
+    if x1 < x0 || y1 < y0 {
+        return;
+    }
+
+    match mode {
+        RasterMode::Standard => {
+            let edges = [(v[0], v[1]), (v[1], v[2]), (v[2], v[0])];
+            for py in y0..=y1 {
+                for px in x0..=x1 {
+                    let c = Point::new(px as f64 + 0.5, py as f64 + 0.5);
+                    let mut inside = true;
+                    for (a, b) in edges {
+                        let e = (b - a).cross(c - a);
+                        if e < 0.0 {
+                            inside = false;
+                            break;
+                        }
+                        if e == 0.0 && !is_top_left(a, b) {
+                            inside = false;
+                            break;
+                        }
+                    }
+                    if inside {
+                        emit(px as u32, py as u32);
+                    }
+                }
+            }
+        }
+        RasterMode::Conservative => {
+            for py in y0..=y1 {
+                for px in x0..=x1 {
+                    if triangle_overlaps_pixel(&v, px as f64, py as f64) {
+                        emit(px as u32, py as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Top-left fill rule: a pixel center exactly on an edge belongs to the
+/// triangle only when the edge is a top or left edge (CCW convention).
+#[inline]
+fn is_top_left(a: Point, b: Point) -> bool {
+    let d = b - a;
+    // Left edge: goes down in a y-up CCW triangle... we use y-down pixel
+    // space semantics-free: an edge is "top" when horizontal with d.x < 0,
+    // "left" when d.y > 0 (consistent tie-break; exactness is restored by
+    // the boundary refinement layer anyway).
+    (d.y == 0.0 && d.x < 0.0) || d.y > 0.0
+}
+
+/// SAT overlap test between a CCW triangle and the unit pixel square at
+/// `(px, py)` in pixel space.
+fn triangle_overlaps_pixel(v: &[Point; 3], px: f64, py: f64) -> bool {
+    let bx0 = px;
+    let by0 = py;
+    let bx1 = px + 1.0;
+    let by1 = py + 1.0;
+
+    // Axis X / Y.
+    let tminx = v.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let tmaxx = v.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    if tmaxx < bx0 || tminx > bx1 {
+        return false;
+    }
+    let tminy = v.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let tmaxy = v.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    if tmaxy < by0 || tminy > by1 {
+        return false;
+    }
+
+    // Triangle edge normals.
+    let corners = [
+        Point::new(bx0, by0),
+        Point::new(bx1, by0),
+        Point::new(bx1, by1),
+        Point::new(bx0, by1),
+    ];
+    for i in 0..3 {
+        let a = v[i];
+        let b = v[(i + 1) % 3];
+        let n = (b - a).perp();
+        let tri_proj: Vec<f64> = v.iter().map(|p| n.dot(*p)).collect();
+        let box_proj: Vec<f64> = corners.iter().map(|p| n.dot(*p)).collect();
+        let tmin = tri_proj.iter().copied().fold(f64::INFINITY, f64::min);
+        let tmax = tri_proj.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let bmin = box_proj.iter().copied().fold(f64::INFINITY, f64::min);
+        let bmax = box_proj.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if tmax < bmin || tmin > bmax {
+            return false;
+        }
+    }
+    true
+}
+
+/// Scanline even–odd fill of a polygon (outer ring + holes) at pixel
+/// centers. Emits each covered pixel exactly once.
+pub fn rasterize_polygon_fill(vp: &Viewport, poly: &Polygon, mut emit: impl FnMut(u32, u32)) {
+    let Some((_, y0, _, y1)) = vp.pixel_range(&poly.bbox()) else {
+        return;
+    };
+    let rings: Vec<&Ring> = std::iter::once(poly.outer())
+        .chain(poly.holes().iter())
+        .collect();
+    let mut crossings: Vec<f64> = Vec::with_capacity(16);
+    for py in y0..=y1 {
+        let yc = vp.pixel_center(0, py).y;
+        crossings.clear();
+        for ring in &rings {
+            let verts = ring.vertices();
+            let n = verts.len();
+            let mut j = n - 1;
+            for i in 0..n {
+                let a = verts[j];
+                let b = verts[i];
+                // Half-open rule avoids double counting shared vertices.
+                if (b.y > yc) != (a.y > yc) {
+                    let t = (yc - b.y) / (a.y - b.y);
+                    crossings.push(b.x + t * (a.x - b.x));
+                }
+                j = i;
+            }
+        }
+        crossings.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+        let pw = vp.pixel_width();
+        let wx0 = vp.world().min.x;
+        for pair in crossings.chunks_exact(2) {
+            let (xa, xb) = (pair[0], pair[1]);
+            // Pixels whose center x lies in (xa, xb).
+            let first = (((xa - wx0) / pw - 0.5).floor() as i64 + 1).max(0);
+            let last = (((xb - wx0) / pw - 0.5).ceil() as i64 - 1).min(vp.width() as i64 - 1);
+            for px in first..=last {
+                emit(px as u32, py);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::BBox;
+    use std::collections::BTreeSet;
+
+    fn vp10() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            10,
+            10,
+        )
+    }
+
+    fn collect_line(vp: &Viewport, a: Point, b: Point) -> BTreeSet<(u32, u32)> {
+        let mut out = BTreeSet::new();
+        rasterize_line_supercover(vp, a, b, |x, y| {
+            out.insert((x, y));
+        });
+        out
+    }
+
+    fn collect_tri(vp: &Viewport, tri: [Point; 3], mode: RasterMode) -> BTreeSet<(u32, u32)> {
+        let mut out = BTreeSet::new();
+        rasterize_triangle(vp, tri, mode, |x, y| {
+            out.insert((x, y));
+        });
+        out
+    }
+
+    #[test]
+    fn point_rasterization() {
+        let vp = vp10();
+        let mut hits = Vec::new();
+        rasterize_point(&vp, Point::new(3.5, 7.5), |x, y| hits.push((x, y)));
+        assert_eq!(hits, vec![(3, 7)]);
+        hits.clear();
+        rasterize_point(&vp, Point::new(-1.0, 0.0), |x, y| hits.push((x, y)));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let vp = vp10();
+        let px = collect_line(&vp, Point::new(0.5, 2.5), Point::new(8.5, 2.5));
+        assert_eq!(px.len(), 9);
+        assert!(px.iter().all(|&(_, y)| y == 2));
+    }
+
+    #[test]
+    fn vertical_line() {
+        let vp = vp10();
+        let px = collect_line(&vp, Point::new(4.5, 1.5), Point::new(4.5, 9.5));
+        assert_eq!(px.len(), 9);
+        assert!(px.iter().all(|&(x, _)| x == 4));
+    }
+
+    #[test]
+    fn diagonal_supercover_has_no_gaps() {
+        let vp = vp10();
+        let px = collect_line(&vp, Point::new(0.2, 0.7), Point::new(9.8, 9.1));
+        // 4-connectivity: consecutive cells along the traversal differ in
+        // exactly one coordinate by one — supercover guarantees this.
+        let cells: Vec<(u32, u32)> = {
+            let mut v = Vec::new();
+            rasterize_line_supercover(&vp, Point::new(0.2, 0.7), Point::new(9.8, 9.1), |x, y| {
+                v.push((x, y))
+            });
+            v
+        };
+        for w in cells.windows(2) {
+            let dx = w[0].0.abs_diff(w[1].0);
+            let dy = w[0].1.abs_diff(w[1].1);
+            assert_eq!(dx + dy, 1, "gap between {:?} and {:?}", w[0], w[1]);
+        }
+        assert!(px.contains(&(0, 0)));
+        assert!(px.contains(&(9, 9)));
+    }
+
+    #[test]
+    fn line_fully_outside() {
+        let vp = vp10();
+        let px = collect_line(&vp, Point::new(20.0, 20.0), Point::new(30.0, 25.0));
+        assert!(px.is_empty());
+    }
+
+    #[test]
+    fn line_clipped_at_viewport() {
+        let vp = vp10();
+        let px = collect_line(&vp, Point::new(-5.0, 5.5), Point::new(5.5, 5.5));
+        assert!(px.contains(&(0, 5)));
+        assert!(px.contains(&(5, 5)));
+        assert!(px.iter().all(|&(x, _)| x <= 5));
+    }
+
+    #[test]
+    fn line_touching_every_crossed_cell() {
+        let vp = vp10();
+        // A shallow diagonal crosses both cells in each column it spans.
+        let cells = collect_line(&vp, Point::new(0.1, 0.9), Point::new(3.9, 1.1));
+        assert!(cells.contains(&(0, 0)));
+        assert!(cells.contains(&(3, 1)));
+        // The segment's world trace passes through each claimed cell.
+        for &(x, y) in &cells {
+            assert!(x < 4 && y < 2, "unexpected cell ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn triangle_standard_matches_center_test() {
+        let vp = vp10();
+        let tri = [
+            Point::new(1.0, 1.0),
+            Point::new(8.0, 2.0),
+            Point::new(4.0, 9.0),
+        ];
+        let got = collect_tri(&vp, tri, RasterMode::Standard);
+        for y in 0..10 {
+            for x in 0..10 {
+                let c = vp.pixel_center(x, y);
+                let d1 = (tri[1] - tri[0]).cross(c - tri[0]);
+                let d2 = (tri[2] - tri[1]).cross(c - tri[1]);
+                let d3 = (tri[0] - tri[2]).cross(c - tri[2]);
+                let strictly_in = d1 > 0.0 && d2 > 0.0 && d3 > 0.0;
+                let strictly_out = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+                if strictly_in {
+                    assert!(got.contains(&(x, y)), "missing interior pixel ({x},{y})");
+                }
+                if strictly_out {
+                    assert!(!got.contains(&(x, y)), "extra exterior pixel ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_conservative_superset_of_standard() {
+        let vp = vp10();
+        let tri = [
+            Point::new(1.2, 1.7),
+            Point::new(8.9, 2.3),
+            Point::new(4.4, 8.6),
+        ];
+        let std = collect_tri(&vp, tri, RasterMode::Standard);
+        let cons = collect_tri(&vp, tri, RasterMode::Conservative);
+        assert!(std.is_subset(&cons));
+        assert!(cons.len() > std.len());
+    }
+
+    #[test]
+    fn sliver_triangle_conservative_nonempty() {
+        let vp = vp10();
+        // Thin sliver that misses every pixel center.
+        let tri = [
+            Point::new(1.1, 1.26),
+            Point::new(8.9, 1.26),
+            Point::new(8.9, 1.30),
+        ];
+        let std = collect_tri(&vp, tri, RasterMode::Standard);
+        let cons = collect_tri(&vp, tri, RasterMode::Conservative);
+        assert!(std.is_empty());
+        assert!(!cons.is_empty());
+    }
+
+    #[test]
+    fn degenerate_triangle_emits_nothing() {
+        let vp = vp10();
+        let tri = [
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(9.0, 9.0),
+        ];
+        assert!(collect_tri(&vp, tri, RasterMode::Standard).is_empty());
+    }
+
+    #[test]
+    fn adjacent_triangles_partition_shared_edge() {
+        // Two triangles sharing a diagonal: every pixel of the covering
+        // quad is emitted exactly once under the top-left rule.
+        let vp = vp10();
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(9.0, 1.0);
+        let c = Point::new(9.0, 9.0);
+        let d = Point::new(1.0, 9.0);
+        let mut count = std::collections::HashMap::new();
+        for tri in [[a, b, c], [a, c, d]] {
+            rasterize_triangle(&vp, tri, RasterMode::Standard, |x, y| {
+                *count.entry((x, y)).or_insert(0u32) += 1;
+            });
+        }
+        for (px, n) in &count {
+            assert_eq!(*n, 1, "pixel {px:?} drawn {n} times across shared edge");
+        }
+    }
+
+    #[test]
+    fn polygon_fill_square() {
+        let vp = vp10();
+        let sq = Polygon::simple(vec![
+            Point::new(2.0, 2.0),
+            Point::new(7.0, 2.0),
+            Point::new(7.0, 7.0),
+            Point::new(2.0, 7.0),
+        ])
+        .unwrap();
+        let mut got = BTreeSet::new();
+        rasterize_polygon_fill(&vp, &sq, |x, y| {
+            got.insert((x, y));
+        });
+        // Centers strictly inside: x,y in {2..6} → 25 pixels.
+        assert_eq!(got.len(), 25);
+        assert!(got.contains(&(2, 2)));
+        assert!(got.contains(&(6, 6)));
+        assert!(!got.contains(&(7, 7)));
+    }
+
+    #[test]
+    fn polygon_fill_matches_exact_pip_at_centers() {
+        let vp = vp10();
+        let poly = Polygon::simple(vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 2.0),
+            Point::new(7.5, 8.5),
+            Point::new(3.0, 6.0),
+        ])
+        .unwrap();
+        let mut got = BTreeSet::new();
+        rasterize_polygon_fill(&vp, &poly, |x, y| {
+            got.insert((x, y));
+        });
+        for y in 0..10 {
+            for x in 0..10 {
+                let inside = matches!(
+                    poly.contains(vp.pixel_center(x, y)),
+                    canvas_geom::Containment::Inside
+                );
+                assert_eq!(
+                    got.contains(&(x, y)),
+                    inside,
+                    "fill disagrees with PIP at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_fill_with_hole() {
+        let vp = vp10();
+        let outer = Ring::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(1.0, 9.0),
+        ])
+        .unwrap();
+        let hole = Ring::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ])
+        .unwrap();
+        let donut = Polygon::new(outer, vec![hole]);
+        let mut got = BTreeSet::new();
+        rasterize_polygon_fill(&vp, &donut, |x, y| {
+            got.insert((x, y));
+        });
+        assert!(got.contains(&(2, 2)));
+        assert!(!got.contains(&(4, 4))); // hole pixel (center 4.5,4.5)
+        assert!(!got.contains(&(5, 5)));
+        assert!(got.contains(&(7, 5)));
+    }
+
+    #[test]
+    fn polygon_outside_viewport() {
+        let vp = vp10();
+        let far = Polygon::simple(vec![
+            Point::new(20.0, 20.0),
+            Point::new(30.0, 20.0),
+            Point::new(25.0, 30.0),
+        ])
+        .unwrap();
+        let mut hits = 0;
+        rasterize_polygon_fill(&vp, &far, |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+}

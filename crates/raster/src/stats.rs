@@ -1,0 +1,101 @@
+//! Pipeline work counters.
+//!
+//! Every pipeline operation increments these counters. They serve two
+//! purposes: (1) white-box assertions in tests ("this plan shaded exactly
+//! N fragments"), and (2) input to the [`device`](crate::device) cost
+//! model that converts counted work into simulated GPU time — our
+//! substitute for wall-clock measurements on the paper's physical GPUs.
+
+/// Cumulative work performed by a [`Pipeline`](crate::pipeline::Pipeline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Draw calls + full-screen passes + scatter passes issued.
+    pub passes: u64,
+    /// Vertices pushed through the vertex stage.
+    pub vertices: u64,
+    /// Primitives (points / segments / triangles / rings) rasterized.
+    pub primitives: u64,
+    /// Fragments produced by rasterization and shaded.
+    pub fragments: u64,
+    /// Fragments flagged as boundary (conservative coverage).
+    pub boundary_fragments: u64,
+    /// Framebuffer blend operations (fragment merged into a texel).
+    pub blend_ops: u64,
+    /// Texels touched by full-screen passes (map / mask / texture blend).
+    pub fullscreen_texels: u64,
+    /// Scatter-pass reads (source texels inspected).
+    pub scatter_reads: u64,
+    /// Scatter-pass writes (values landed in the target).
+    pub scatter_writes: u64,
+    /// Host→device bytes "uploaded" (geometry + attribute buffers).
+    pub bytes_uploaded: u64,
+    /// Device→host bytes "read back" (result extraction).
+    pub bytes_downloaded: u64,
+    /// Edge tests executed by compute-style kernels (the traditional
+    /// GPU PIP baseline runs here, not in the raster stages).
+    pub compute_edge_tests: u64,
+}
+
+impl PipelineStats {
+    /// Difference `self - earlier`, for measuring a single operation.
+    pub fn delta(&self, earlier: &PipelineStats) -> PipelineStats {
+        PipelineStats {
+            passes: self.passes - earlier.passes,
+            vertices: self.vertices - earlier.vertices,
+            primitives: self.primitives - earlier.primitives,
+            fragments: self.fragments - earlier.fragments,
+            boundary_fragments: self.boundary_fragments - earlier.boundary_fragments,
+            blend_ops: self.blend_ops - earlier.blend_ops,
+            fullscreen_texels: self.fullscreen_texels - earlier.fullscreen_texels,
+            scatter_reads: self.scatter_reads - earlier.scatter_reads,
+            scatter_writes: self.scatter_writes - earlier.scatter_writes,
+            bytes_uploaded: self.bytes_uploaded - earlier.bytes_uploaded,
+            bytes_downloaded: self.bytes_downloaded - earlier.bytes_downloaded,
+            compute_edge_tests: self.compute_edge_tests - earlier.compute_edge_tests,
+        }
+    }
+
+    /// Sum of two stat snapshots.
+    pub fn merged(&self, other: &PipelineStats) -> PipelineStats {
+        PipelineStats {
+            passes: self.passes + other.passes,
+            vertices: self.vertices + other.vertices,
+            primitives: self.primitives + other.primitives,
+            fragments: self.fragments + other.fragments,
+            boundary_fragments: self.boundary_fragments + other.boundary_fragments,
+            blend_ops: self.blend_ops + other.blend_ops,
+            fullscreen_texels: self.fullscreen_texels + other.fullscreen_texels,
+            scatter_reads: self.scatter_reads + other.scatter_reads,
+            scatter_writes: self.scatter_writes + other.scatter_writes,
+            bytes_uploaded: self.bytes_uploaded + other.bytes_uploaded,
+            bytes_downloaded: self.bytes_downloaded + other.bytes_downloaded,
+            compute_edge_tests: self.compute_edge_tests + other.compute_edge_tests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_merge() {
+        let a = PipelineStats {
+            passes: 3,
+            fragments: 100,
+            ..Default::default()
+        };
+        let b = PipelineStats {
+            passes: 5,
+            fragments: 150,
+            blend_ops: 7,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.passes, 2);
+        assert_eq!(d.fragments, 50);
+        assert_eq!(d.blend_ops, 7);
+        let m = a.merged(&d);
+        assert_eq!(m, b);
+    }
+}

@@ -1,0 +1,216 @@
+//! World ↔ pixel coordinate mapping.
+//!
+//! A [`Viewport`] plays the role of the projection + viewport transform of
+//! the graphics pipeline: it embeds a rectangular world-coordinate window
+//! onto a `width × height` pixel grid. Pixel `(i, j)` covers the world
+//! square `[min + i·s, min + (i+1)·s) × [min + j·s, min + (j+1)·s)` and is
+//! *sampled* at its center, matching OpenGL rasterization conventions.
+
+use canvas_geom::{BBox, Point};
+
+/// A mapping from a world-space window onto a pixel grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Viewport {
+    world: BBox,
+    width: u32,
+    height: u32,
+}
+
+impl Viewport {
+    /// Creates a viewport; panics on an empty world box or zero pixel
+    /// dimensions (programmer error, not data error).
+    pub fn new(world: BBox, width: u32, height: u32) -> Self {
+        assert!(!world.is_empty(), "viewport world box must be non-empty");
+        assert!(width > 0 && height > 0, "viewport must have pixels");
+        Viewport {
+            world,
+            width,
+            height,
+        }
+    }
+
+    /// Square-pixel viewport: fits `world` inside a grid whose larger side
+    /// is `max_dim`, preserving aspect ratio (at least 1 pixel per side).
+    pub fn square_pixels(world: BBox, max_dim: u32) -> Self {
+        let (w, h) = (world.width(), world.height());
+        let (pw, ph) = if w >= h {
+            let pw = max_dim.max(1);
+            let ph = ((max_dim as f64) * h / w).ceil().max(1.0) as u32;
+            (pw, ph)
+        } else {
+            let ph = max_dim.max(1);
+            let pw = ((max_dim as f64) * w / h).ceil().max(1.0) as u32;
+            (pw, ph)
+        };
+        Viewport::new(world, pw, ph)
+    }
+
+    pub fn world(&self) -> &BBox {
+        &self.world
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn num_pixels(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// World width of one pixel.
+    #[inline]
+    pub fn pixel_width(&self) -> f64 {
+        self.world.width() / self.width as f64
+    }
+
+    /// World height of one pixel.
+    #[inline]
+    pub fn pixel_height(&self) -> f64 {
+        self.world.height() / self.height as f64
+    }
+
+    /// Continuous world → pixel-space transform (pixel units, unclamped).
+    #[inline]
+    pub fn world_to_pixel_f(&self, p: Point) -> Point {
+        Point::new(
+            (p.x - self.world.min.x) / self.pixel_width(),
+            (p.y - self.world.min.y) / self.pixel_height(),
+        )
+    }
+
+    /// World point → containing pixel, or `None` outside the grid.
+    /// The world max edge maps into the last row/column (closed box).
+    #[inline]
+    pub fn world_to_pixel(&self, p: Point) -> Option<(u32, u32)> {
+        if !self.world.contains(p) {
+            return None;
+        }
+        let f = self.world_to_pixel_f(p);
+        let x = (f.x as u32).min(self.width - 1);
+        let y = (f.y as u32).min(self.height - 1);
+        Some((x, y))
+    }
+
+    /// Center of pixel `(x, y)` in world coordinates.
+    #[inline]
+    pub fn pixel_center(&self, x: u32, y: u32) -> Point {
+        Point::new(
+            self.world.min.x + (x as f64 + 0.5) * self.pixel_width(),
+            self.world.min.y + (y as f64 + 0.5) * self.pixel_height(),
+        )
+    }
+
+    /// World-space box covered by pixel `(x, y)`.
+    pub fn pixel_box(&self, x: u32, y: u32) -> BBox {
+        let min = Point::new(
+            self.world.min.x + x as f64 * self.pixel_width(),
+            self.world.min.y + y as f64 * self.pixel_height(),
+        );
+        BBox::new(
+            min,
+            Point::new(min.x + self.pixel_width(), min.y + self.pixel_height()),
+        )
+    }
+
+    /// Pixel-index range `(x0, y0, x1, y1)` (inclusive) covering a world
+    /// box, or `None` when disjoint from the viewport.
+    pub fn pixel_range(&self, b: &BBox) -> Option<(u32, u32, u32, u32)> {
+        let clipped = b.intersection(&self.world);
+        if clipped.is_empty() {
+            return None;
+        }
+        let (x0, y0) = self.world_to_pixel(clipped.min)?;
+        let (x1, y1) = self.world_to_pixel(clipped.max)?;
+        Some((x0, y0, x1, y1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn world_to_pixel_basic() {
+        let v = vp();
+        assert_eq!(v.world_to_pixel(Point::new(0.5, 0.5)), Some((0, 0)));
+        assert_eq!(v.world_to_pixel(Point::new(9.5, 9.5)), Some((9, 9)));
+        assert_eq!(v.world_to_pixel(Point::new(5.0, 5.0)), Some((5, 5)));
+        assert_eq!(v.world_to_pixel(Point::new(-0.1, 5.0)), None);
+    }
+
+    #[test]
+    fn max_edge_maps_inside() {
+        let v = vp();
+        assert_eq!(v.world_to_pixel(Point::new(10.0, 10.0)), Some((9, 9)));
+    }
+
+    #[test]
+    fn pixel_center_roundtrip() {
+        let v = vp();
+        for y in 0..10 {
+            for x in 0..10 {
+                let c = v.pixel_center(x, y);
+                assert_eq!(v.world_to_pixel(c), Some((x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_box_tiles_world() {
+        let v = vp();
+        let b = v.pixel_box(3, 7);
+        assert_eq!(b.min, Point::new(3.0, 7.0));
+        assert_eq!(b.max, Point::new(4.0, 8.0));
+    }
+
+    #[test]
+    fn pixel_range_clipping() {
+        let v = vp();
+        let r = v.pixel_range(&BBox::new(Point::new(2.5, 3.5), Point::new(4.5, 6.5)));
+        assert_eq!(r, Some((2, 3, 4, 6)));
+        assert_eq!(
+            v.pixel_range(&BBox::new(Point::new(20.0, 20.0), Point::new(30.0, 30.0))),
+            None
+        );
+        // Partially outside clips to the grid.
+        let r = v.pixel_range(&BBox::new(Point::new(-5.0, -5.0), Point::new(1.5, 1.5)));
+        assert_eq!(r, Some((0, 0, 1, 1)));
+    }
+
+    #[test]
+    fn square_pixels_aspect() {
+        let wide = BBox::new(Point::new(0.0, 0.0), Point::new(20.0, 10.0));
+        let v = Viewport::square_pixels(wide, 100);
+        assert_eq!(v.width(), 100);
+        assert_eq!(v.height(), 50);
+        let tall = BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 10.0));
+        let v = Viewport::square_pixels(tall, 100);
+        assert_eq!(v.height(), 100);
+        assert_eq!(v.width(), 50);
+    }
+
+    #[test]
+    fn nonuniform_grid() {
+        let v = Viewport::new(
+            BBox::new(Point::new(-5.0, 0.0), Point::new(5.0, 4.0)),
+            20,
+            8,
+        );
+        assert_eq!(v.pixel_width(), 0.5);
+        assert_eq!(v.pixel_height(), 0.5);
+        assert_eq!(v.world_to_pixel(Point::new(-5.0, 0.0)), Some((0, 0)));
+        assert_eq!(v.world_to_pixel(Point::new(4.9, 3.9)), Some((19, 7)));
+    }
+}

@@ -1,0 +1,68 @@
+//! Origin–destination flows (Section 4.6): which trips start in one
+//! zone and end in another, and the full zone-to-zone flow matrix —
+//! the paper's "taxi trips between two specific neighborhoods" example.
+//!
+//! ```text
+//! cargo run --release --example od_flows
+//! ```
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::od;
+use std::sync::Arc;
+
+fn main() {
+    let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let n = 80_000;
+    let trips = generate_trips(&extent, n, 16, 1234);
+    let vp = Viewport::square_pixels(extent, 512);
+    let mut dev = Device::nvidia();
+
+    // Two hand-drawn neighborhoods.
+    let downtown = star_polygon(
+        &BBox::new(Point::new(30.0, 40.0), Point::new(60.0, 70.0)),
+        64,
+        0.4,
+        1,
+    );
+    let airport = star_polygon(
+        &BBox::new(Point::new(70.0, 5.0), Point::new(95.0, 30.0)),
+        48,
+        0.3,
+        2,
+    );
+
+    let batch = trips.od_batch();
+    let to_airport = od::select_od(&mut dev, vp, &batch, &downtown, &airport);
+    let from_airport = od::select_od(&mut dev, vp, &batch, &airport, &downtown);
+    println!("downtown → airport trips: {}", to_airport.len());
+    println!("airport → downtown trips: {}", from_airport.len());
+
+    // Exact cross-check against a scalar scan.
+    let expect = (0..trips.len())
+        .filter(|&i| {
+            downtown.contains_closed(trips.pickups[i]) && airport.contains_closed(trips.dropoffs[i])
+        })
+        .count();
+    assert_eq!(to_airport.len(), expect);
+
+    // Zone-to-zone flow matrix over a coarse partition.
+    let zones: AreaSource = Arc::new(neighborhoods(&extent, 6, 9));
+    let matrix = od::od_flow_matrix(&mut dev, vp, &batch, &zones, &zones);
+    println!("\nflow matrix (origin zone rows → destination zone columns):");
+    print!("      ");
+    for j in 0..zones.len() {
+        print!("{j:>7}");
+    }
+    println!();
+    for (i, row) in matrix.iter().enumerate() {
+        print!("  {i:>3} ");
+        for v in row {
+            print!("{v:>7}");
+        }
+        println!();
+    }
+    let total: u64 = matrix.iter().flatten().sum();
+    println!(
+        "\n{total} of {n} trips have both endpoints inside the partition extent"
+    );
+}

@@ -1,0 +1,85 @@
+//! Spatial aggregation: COUNT/SUM of taxi pickups per neighborhood via
+//! the RasterJoin-style canvas plan (paper Section 5.2), cross-checked
+//! against the traditional join-then-aggregate plan, with an ASCII
+//! choropleth of the result.
+//!
+//! ```text
+//! cargo run --release --example spatial_aggregation
+//! ```
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::aggregate::aggregate_join_rasterjoin;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let n = 150_000;
+    let zones_n = 24;
+    println!("{n} pickups, {zones_n} neighborhoods");
+
+    let trips = generate_trips(&extent, n, 16, 99);
+    let pickups = PointBatch::with_weights(trips.pickups.clone(), trips.fares.clone());
+    let zones: AreaSource = Arc::new(neighborhoods_detailed(&extent, zones_n, 120, 5));
+    let vp = Viewport::square_pixels(extent, 512);
+
+    // Canvas plan: B*[+](D*[γc](M[Mp](B[⊙](B*[+](C_P), C_Y)))).
+    let mut dev = Device::nvidia();
+    let t0 = Instant::now();
+    let agg = aggregate_join_rasterjoin(&mut dev, vp, &pickups, &zones);
+    let canvas_wall = t0.elapsed();
+
+    // Traditional plan for the cross-check.
+    let t0 = Instant::now();
+    let (counts, sums, _) = canvas_algebra::baseline::aggregate_join_baseline(
+        &trips.pickups,
+        &trips.fares,
+        &zones,
+    );
+    let baseline_wall = t0.elapsed();
+    assert_eq!(agg.counts, counts, "plans must agree");
+    for (a, b) in agg.sums.iter().zip(&sums) {
+        assert!((a - b).abs() < 1e-2 * b.abs().max(1.0));
+    }
+
+    println!(
+        "\nzone   pickups   revenue    avg fare   (canvas {:?}, baseline {:?})",
+        canvas_wall, baseline_wall
+    );
+    let mut order: Vec<usize> = (0..zones_n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(agg.counts[i]));
+    for &i in order.iter().take(8) {
+        println!(
+            "{i:>4} {:>9} {:>9.0}$ {:>9.2}$",
+            agg.counts[i],
+            agg.sums[i],
+            agg.avg(i).unwrap_or(0.0)
+        );
+    }
+    println!("  … ({} more zones)", zones_n.saturating_sub(8));
+
+    // ASCII choropleth: shade each cell of a 48x24 grid by its zone's
+    // pickup count.
+    println!("\npickup density by neighborhood:");
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    let max_count = *agg.counts.iter().max().unwrap_or(&1) as f64;
+    for row in (0..24).rev() {
+        let mut line = String::with_capacity(48);
+        for col in 0..48 {
+            let p = Point::new(
+                (col as f64 + 0.5) * 100.0 / 48.0,
+                (row as f64 + 0.5) * 100.0 / 24.0,
+            );
+            let zone = zones.iter().position(|z| z.contains_closed(p));
+            let shade = match zone {
+                Some(z) => {
+                    let t = (agg.counts[z] as f64 / max_count).sqrt();
+                    shades[((t * (shades.len() - 1) as f64) as usize).min(shades.len() - 1)]
+                }
+                None => ' ',
+            };
+            line.push(shade);
+        }
+        println!("  {line}");
+    }
+}

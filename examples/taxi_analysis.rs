@@ -1,0 +1,86 @@
+//! Taxi-trip analytics: the paper's motivating workload (Section 6) on
+//! synthetic data — polygonal selection of pickups, a multi-polygon
+//! disjunction, and distance-based selection, with baseline
+//! cross-checks.
+//!
+//! ```text
+//! cargo run --release --example taxi_analysis
+//! ```
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::selection::{self, MultiPolygon};
+use std::time::Instant;
+
+fn main() {
+    let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let n = 200_000;
+    println!("generating {n} synthetic taxi pickups…");
+    let trips = generate_trips(&extent, n, 16, 2020);
+    let pickups = PointBatch::with_weights(trips.pickups.clone(), trips.fares.clone());
+    let vp = Viewport::square_pixels(extent, 512);
+
+    // --- 1. Selection with one hand-drawn polygon -----------------------
+    let mbr = BBox::new(Point::new(20.0, 20.0), Point::new(80.0, 80.0));
+    let q = star_polygon(&mbr, 96, 0.5, 7);
+    let mut dev = Device::nvidia();
+    let t0 = Instant::now();
+    let sel = selection::select_points_in_polygon(&mut dev, vp, &pickups, &q);
+    let canvas_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let base = canvas_algebra::baseline::select_scalar(&trips.pickups, std::slice::from_ref(&q));
+    let cpu_wall = t0.elapsed();
+    assert_eq!(sel.records, base.records, "canvas must equal baseline");
+    println!(
+        "\n[1] polygonal selection: {} of {n} pickups inside the polygon",
+        sel.records.len()
+    );
+    println!(
+        "    canvas wall {:?} vs scalar-CPU wall {:?} (modeled GPU: {:.3} ms)",
+        canvas_wall,
+        cpu_wall,
+        dev.modeled_time() * 1e3
+    );
+
+    // --- 2. Disjunction of two polygons (Section 5.1) -------------------
+    let q2 = star_polygon(
+        &BBox::new(Point::new(10.0, 50.0), Point::new(55.0, 95.0)),
+        64,
+        0.5,
+        8,
+    );
+    let mut dev = Device::nvidia();
+    let multi = selection::select_points_multi(
+        &mut dev,
+        vp,
+        &pickups,
+        &[q.clone(), q2.clone()],
+        MultiPolygon::Disjunction,
+    );
+    let base2 = canvas_algebra::baseline::select_scalar(&trips.pickups, &[q.clone(), q2]);
+    assert_eq!(multi.records, base2.records);
+    println!(
+        "[2] 2-polygon disjunction: {} pickups (same blend+mask operators, one extra render)",
+        multi.records.len()
+    );
+
+    // --- 3. Distance-based selection (Section 4.1, case 3) --------------
+    let stand = Point::new(45.0, 55.0);
+    let mut dev = Device::nvidia();
+    let near = selection::select_points_within_distance_exact(&mut dev, vp, &pickups, stand, 8.0);
+    println!(
+        "[3] pickups within 8 km of the taxi stand at {stand}: {}",
+        near.records.len()
+    );
+
+    // --- 4. Revenue inside the polygon (SUM aggregation, Section 4.3) ---
+    let mut dev = Device::nvidia();
+    let revenue =
+        canvas_core::queries::aggregate::sum_points_in_polygon(&mut dev, vp, &pickups, &q);
+    let expect: f64 = sel
+        .records
+        .iter()
+        .map(|&i| trips.fares[i as usize] as f64)
+        .sum();
+    assert!((revenue - expect).abs() < 1e-2 * expect.max(1.0));
+    println!("[4] total fare revenue inside the polygon: ${revenue:.2}");
+}

@@ -1,0 +1,36 @@
+//! # canvas-algebra
+//!
+//! Umbrella crate for the Rust reproduction of *"A GPU-friendly
+//! Geometric Data Model and Algebra for Spatial Queries"* (Doraiswamy &
+//! Freire, SIGMOD 2020). It re-exports the workspace crates under one
+//! roof and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! * [`geom`] — geometry substrate (primitives, predicates, indexes),
+//! * [`raster`] — software graphics pipeline + GPU device cost model,
+//! * [`core`] — the canvas data model, the algebra, and the paper's
+//!   query formulations,
+//! * [`baseline`] — CPU / parallel-CPU / traditional-GPU baselines,
+//! * [`datagen`] — seeded synthetic workloads (taxi trips, calibrated
+//!   query polygons, neighborhood partitions).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! the substitution table, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub use canvas_baseline as baseline;
+pub use canvas_core as core;
+pub use canvas_datagen as datagen;
+pub use canvas_geom as geom;
+pub use canvas_raster as raster;
+
+/// One-stop prelude for applications: the core prelude plus workload
+/// generators.
+pub mod prelude {
+    pub use canvas_core::prelude::*;
+    pub use canvas_datagen::{
+        calibrated_polygon, generate_trips, neighborhoods, neighborhoods_detailed,
+        star_polygon, taxi_pickups, uniform_points,
+    };
+    pub use canvas_geom::{BBox, GeomObject, Point, Polygon, Polyline, Primitive};
+}

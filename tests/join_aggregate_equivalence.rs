@@ -1,0 +1,162 @@
+//! Integration: joins and aggregations across the canvas algebra and
+//! the traditional baselines must produce identical answers (Sections
+//! 4.2, 4.3, 5.2).
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::{aggregate, join};
+use std::sync::Arc;
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+fn vp() -> Viewport {
+    Viewport::square_pixels(extent(), 256)
+}
+
+#[test]
+fn type1_join_equals_baseline_join() {
+    let pts = taxi_pickups(&extent(), 4_000, 31);
+    let zones = neighborhoods(&extent(), 15, 32);
+    let table: AreaSource = Arc::new(zones.clone());
+    let mut dev = Device::nvidia();
+    let canvas_pairs =
+        join::join_points_polygons(&mut dev, vp(), &PointBatch::from_points(pts.clone()), &table);
+    let baseline_pairs = canvas_algebra::baseline::join_rtree(&pts, &zones).pairs;
+    assert_eq!(canvas_pairs, baseline_pairs);
+    assert!(!canvas_pairs.is_empty());
+}
+
+#[test]
+fn type2_join_equals_vector_intersections() {
+    let left = neighborhoods(&extent(), 8, 41);
+    let right: Vec<Polygon> = (0..6)
+        .map(|i| {
+            star_polygon(
+                &BBox::new(
+                    Point::new(10.0 + 10.0 * i as f64, 15.0),
+                    Point::new(30.0 + 10.0 * i as f64, 55.0),
+                ),
+                24,
+                0.4,
+                50 + i as u64,
+            )
+        })
+        .collect();
+    let lt: AreaSource = Arc::new(left.clone());
+    let rt: AreaSource = Arc::new(right.clone());
+    let mut dev = Device::nvidia();
+    let got = join::join_polygons_polygons(&mut dev, vp(), &lt, &rt);
+    let mut want = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            if a.intersects(b) {
+                want.push((i as u32, j as u32));
+            }
+        }
+    }
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn distance_join_equals_brute_force() {
+    let lpts = taxi_pickups(&extent(), 1_500, 61);
+    let rpts = uniform_points(&extent(), 12, 62);
+    let mut dev = Device::nvidia();
+    let got = join::distance_join(
+        &mut dev,
+        vp(),
+        &PointBatch::from_points(lpts.clone()),
+        &PointBatch::from_points(rpts.clone()),
+        9.0,
+    );
+    let mut want = Vec::new();
+    for (j, c) in rpts.iter().enumerate() {
+        for (i, p) in lpts.iter().enumerate() {
+            if p.dist(*c) <= 9.0 {
+                want.push((i as u32, j as u32));
+            }
+        }
+    }
+    want.sort_unstable_by_key(|&(p, y)| (y, p));
+    assert_eq!(got, want);
+}
+
+#[test]
+fn all_three_aggregation_plans_agree_with_cpu_plan() {
+    let trips = generate_trips(&extent(), 10_000, 8, 71);
+    let zones = neighborhoods_detailed(&extent(), 18, 60, 72);
+    let table: AreaSource = Arc::new(zones.clone());
+    let batch = PointBatch::with_weights(trips.pickups.clone(), trips.fares.clone());
+
+    let mut dev = Device::nvidia();
+    let fused = aggregate::aggregate_join_rasterjoin(&mut dev, vp(), &batch, &table);
+    let unfused = aggregate::aggregate_join_blend_plan(&mut dev, vp(), &batch, &table);
+    let materialized = aggregate::aggregate_join_materialized(&mut dev, vp(), &batch, &table);
+    let (cpu_counts, cpu_sums, _) = canvas_algebra::baseline::aggregate_join_baseline(
+        &trips.pickups,
+        &trips.fares,
+        &zones,
+    );
+
+    assert_eq!(fused.counts, cpu_counts, "fused vs cpu");
+    assert_eq!(unfused.counts, cpu_counts, "unfused vs cpu");
+    assert_eq!(materialized.counts, cpu_counts, "materialized vs cpu");
+    for ((a, b), c) in fused.sums.iter().zip(&unfused.sums).zip(&cpu_sums) {
+        assert!((a - c).abs() < 1e-2 * c.abs().max(1.0), "fused sum {a} vs cpu {c}");
+        assert!((b - c).abs() < 1e-2 * c.abs().max(1.0), "unfused sum {b} vs cpu {c}");
+    }
+    // Every pickup inside the partition is counted exactly once overall
+    // (cells tile the extent; shared-boundary points may legitimately
+    // count twice, so allow a tiny slack).
+    let total: u64 = fused.counts.iter().sum();
+    let n = trips.len() as u64;
+    assert!(total >= n && total <= n + n / 100, "total {total} vs n {n}");
+}
+
+#[test]
+fn count_and_sum_over_selection_consistent() {
+    let trips = generate_trips(&extent(), 8_000, 8, 81);
+    let q = star_polygon(
+        &BBox::new(Point::new(20.0, 25.0), Point::new(75.0, 80.0)),
+        96,
+        0.5,
+        82,
+    );
+    let batch = PointBatch::with_weights(trips.pickups.clone(), trips.fares.clone());
+    let mut dev = Device::nvidia();
+    let count = aggregate::count_points_in_polygon(&mut dev, vp(), &batch, &q);
+    let sum = aggregate::sum_points_in_polygon(&mut dev, vp(), &batch, &q);
+
+    let expect_n = trips
+        .pickups
+        .iter()
+        .filter(|p| q.contains_closed(**p))
+        .count() as u64;
+    let expect_s: f64 = trips
+        .pickups
+        .iter()
+        .zip(&trips.fares)
+        .filter(|(p, _)| q.contains_closed(**p))
+        .map(|(_, f)| *f as f64)
+        .sum();
+    assert_eq!(count, expect_n);
+    assert!((sum - expect_s).abs() < 1e-2 * expect_s.max(1.0));
+}
+
+#[test]
+fn aggregation_resolution_independence() {
+    // Exactness again: group counts cannot depend on the canvas grid.
+    let trips = generate_trips(&extent(), 3_000, 4, 91);
+    let zones: AreaSource = Arc::new(neighborhoods(&extent(), 9, 92));
+    let batch = PointBatch::from_points(trips.pickups.clone());
+    let mut results = Vec::new();
+    for res in [64u32, 128, 512] {
+        let v = Viewport::square_pixels(extent(), res);
+        let mut dev = Device::nvidia();
+        results.push(aggregate::aggregate_join_rasterjoin(&mut dev, v, &batch, &zones).counts);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}

@@ -1,0 +1,167 @@
+//! Cross-crate property tests: the canvas pipeline agrees with exact
+//! vector geometry on randomized inputs — the load-bearing invariant of
+//! the whole reproduction (conservative rasterization + boundary
+//! refinement ⇒ exact answers at any resolution).
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::selection;
+use proptest::prelude::*;
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+/// Strategy: a star polygon with a random MBR inside the extent.
+fn arb_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        5.0f64..45.0,
+        5.0f64..45.0,
+        20.0f64..50.0,
+        20.0f64..50.0,
+        6usize..64,
+        0u64..10_000,
+    )
+        .prop_map(|(x0, y0, w, h, verts, seed)| {
+            let mbr = BBox::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h));
+            star_polygon(&mbr, verts, 0.6, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Canvas selection == exact PIP for random polygons, point sets and
+    /// resolutions (including coarse grids where many pixels straddle
+    /// edges).
+    #[test]
+    fn selection_exact_for_random_inputs(
+        poly in arb_polygon(),
+        n in 50usize..600,
+        seed in 0u64..10_000,
+        res in prop::sample::select(vec![32u32, 64, 128, 256]),
+    ) {
+        let pts = uniform_points(&extent(), n, seed);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| poly.contains_closed(**p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let vp = Viewport::square_pixels(extent(), res);
+        let mut dev = Device::nvidia();
+        let got = selection::select_points_in_polygon(
+            &mut dev,
+            vp,
+            &PointBatch::from_points(pts),
+            &poly,
+        );
+        prop_assert_eq!(got.records, want);
+    }
+
+    /// COUNT aggregation equals the selection cardinality for random
+    /// configurations (Figure 7 plan consistency).
+    #[test]
+    fn count_equals_selection_cardinality(
+        poly in arb_polygon(),
+        n in 50usize..400,
+        seed in 0u64..10_000,
+    ) {
+        let pts = uniform_points(&extent(), n, seed);
+        let vp = Viewport::square_pixels(extent(), 64);
+        let mut dev = Device::nvidia();
+        let batch = PointBatch::from_points(pts);
+        let sel = selection::select_points_in_polygon(&mut dev, vp, &batch, &poly);
+        let count = canvas_core::queries::aggregate::count_points_in_polygon(
+            &mut dev, vp, &batch, &poly,
+        );
+        prop_assert_eq!(count as usize, sel.records.len());
+    }
+
+    /// The conservative render's coverage is a superset of the standard
+    /// render's, and both contain every exactly-inside pixel center.
+    #[test]
+    fn conservative_coverage_superset(poly in arb_polygon()) {
+        let vp = Viewport::square_pixels(extent(), 64);
+        let table: AreaSource = std::sync::Arc::new(vec![poly.clone()]);
+        let mut dev = Device::nvidia();
+        let cons = canvas_core::source::render_polygon_with(
+            &mut dev, vp, &table, 0, Texel::area(1, 1.0, 0.0), true,
+        );
+        let std_r = canvas_core::source::render_polygon_with(
+            &mut dev, vp, &table, 0, Texel::area(1, 1.0, 0.0), false,
+        );
+        for (x, y, _) in std_r.non_null() {
+            prop_assert!(!cons.texel(x, y).is_null(),
+                "conservative lost standard pixel ({}, {})", x, y);
+        }
+        // Every pixel whose center is strictly inside is covered.
+        for y in 0..vp.height() {
+            for x in 0..vp.width() {
+                let c = vp.pixel_center(x, y);
+                if matches!(poly.contains(c), canvas_geom::Containment::Inside) {
+                    prop_assert!(!cons.texel(x, y).is_null(),
+                        "missing interior pixel ({}, {})", x, y);
+                }
+            }
+        }
+    }
+
+    /// Distance selection is exact against the metric, not the
+    /// tessellated circle.
+    #[test]
+    fn distance_selection_metric_exact(
+        cx in 20.0f64..80.0,
+        cy in 20.0f64..80.0,
+        d in 5.0f64..30.0,
+        n in 50usize..400,
+        seed in 0u64..10_000,
+    ) {
+        let pts = uniform_points(&extent(), n, seed);
+        let c = Point::new(cx, cy);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(c) <= d)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let vp = Viewport::square_pixels(extent(), 128);
+        let mut dev = Device::nvidia();
+        let got = selection::select_points_within_distance_exact(
+            &mut dev,
+            vp,
+            &PointBatch::from_points(pts),
+            c,
+            d,
+        );
+        prop_assert_eq!(got.records, want);
+    }
+
+    /// Voronoi canvas assignment matches the brute-force nearest site at
+    /// every pixel center (up to exact ties).
+    #[test]
+    fn voronoi_matches_nearest_site(
+        k in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let sites = canvas_algebra::datagen::jittered_sites(&extent(), k, seed);
+        let vp = Viewport::square_pixels(extent(), 32);
+        let mut dev = Device::nvidia();
+        let diagram = canvas_core::queries::voronoi::compute_voronoi(&mut dev, vp, &sites);
+        for y in 0..vp.height() {
+            for x in 0..vp.width() {
+                let p = vp.pixel_center(x, y);
+                let got = diagram.texel(x, y).get(2).unwrap().id as usize;
+                let best = sites
+                    .iter()
+                    .map(|s| p.dist_sq(*s))
+                    .fold(f64::INFINITY, f64::min);
+                let got_d = p.dist_sq(sites[got]);
+                prop_assert!(
+                    (got_d as f32 - best as f32).abs() <= f32::EPSILON * (best as f32).max(1.0),
+                    "pixel ({}, {}): got site {} at d² {}, best d² {}",
+                    x, y, got, got_d, best
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration: every selection variant of the canvas algebra must
+//! agree bit-for-bit with the exact CPU baselines on realistic
+//! generated workloads — the exactness contract of paper Section 5.
+
+use canvas_algebra::prelude::*;
+use canvas_core::queries::selection::{self, MultiPolygon};
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+#[test]
+fn polygonal_selection_equals_baselines_across_seeds() {
+    for seed in [1u64, 7, 42] {
+        let pts = taxi_pickups(&extent(), 8_000, seed);
+        let mbr = BBox::new(Point::new(15.0, 20.0), Point::new(80.0, 85.0));
+        let q = star_polygon(&mbr, 72, 0.55, seed + 100);
+        let batch = PointBatch::from_points(pts.clone());
+        let vp = Viewport::square_pixels(extent(), 256);
+
+        let mut dev = Device::nvidia();
+        let canvas = selection::select_points_in_polygon(&mut dev, vp, &batch, &q);
+        let scalar = canvas_algebra::baseline::select_scalar(&pts, std::slice::from_ref(&q));
+        let parallel =
+            canvas_algebra::baseline::select_parallel(&pts, std::slice::from_ref(&q), 4);
+        let mut gdev = Device::nvidia();
+        let gpu =
+            canvas_algebra::baseline::select_gpu_baseline(&mut gdev, &pts, std::slice::from_ref(&q));
+
+        assert_eq!(canvas.records, scalar.records, "seed {seed}: canvas vs scalar");
+        assert_eq!(scalar.records, parallel.records, "seed {seed}: scalar vs parallel");
+        assert_eq!(scalar.records, gpu.records, "seed {seed}: scalar vs gpu");
+        assert!(!canvas.records.is_empty());
+    }
+}
+
+#[test]
+fn disjunction_equals_baseline() {
+    let pts = taxi_pickups(&extent(), 6_000, 5);
+    let qs = vec![
+        star_polygon(
+            &BBox::new(Point::new(10.0, 10.0), Point::new(50.0, 50.0)),
+            48,
+            0.5,
+            1,
+        ),
+        star_polygon(
+            &BBox::new(Point::new(40.0, 40.0), Point::new(90.0, 90.0)),
+            48,
+            0.5,
+            2,
+        ),
+        star_polygon(
+            &BBox::new(Point::new(60.0, 5.0), Point::new(95.0, 40.0)),
+            48,
+            0.5,
+            3,
+        ),
+    ];
+    let batch = PointBatch::from_points(pts.clone());
+    let vp = Viewport::square_pixels(extent(), 256);
+    let mut dev = Device::nvidia();
+    let canvas =
+        selection::select_points_multi(&mut dev, vp, &batch, &qs, MultiPolygon::Disjunction);
+    let scalar = canvas_algebra::baseline::select_scalar(&pts, &qs);
+    assert_eq!(canvas.records, scalar.records);
+}
+
+#[test]
+fn conjunction_equals_baseline() {
+    let pts = taxi_pickups(&extent(), 6_000, 6);
+    let qs = vec![
+        star_polygon(
+            &BBox::new(Point::new(20.0, 20.0), Point::new(70.0, 70.0)),
+            48,
+            0.4,
+            4,
+        ),
+        star_polygon(
+            &BBox::new(Point::new(35.0, 35.0), Point::new(85.0, 85.0)),
+            48,
+            0.4,
+            5,
+        ),
+    ];
+    let batch = PointBatch::from_points(pts.clone());
+    let vp = Viewport::square_pixels(extent(), 256);
+    let mut dev = Device::nvidia();
+    let canvas =
+        selection::select_points_multi(&mut dev, vp, &batch, &qs, MultiPolygon::Conjunction);
+    let scalar = canvas_algebra::baseline::select_scalar_conjunction(&pts, &qs);
+    assert_eq!(canvas.records, scalar.records);
+}
+
+#[test]
+fn rect_halfspace_distance_constraints() {
+    let pts = uniform_points(&extent(), 5_000, 11);
+    let batch = PointBatch::from_points(pts.clone());
+    let vp = Viewport::square_pixels(extent(), 256);
+    let mut dev = Device::nvidia();
+
+    // Rect.
+    let sel = selection::select_points_in_rect(
+        &mut dev,
+        vp,
+        &batch,
+        Point::new(25.0, 30.0),
+        Point::new(70.0, 75.0),
+    );
+    let want: Vec<u32> = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| (25.0..=70.0).contains(&p.x) && (30.0..=75.0).contains(&p.y))
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(sel.records, want);
+
+    // Half space: y > x  <=>  x - y < 0.
+    let sel = selection::select_points_in_halfspace(&mut dev, vp, &batch, 1.0, -1.0, 0.0);
+    let want: Vec<u32> = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.x <= p.y)
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(sel.records, want);
+
+    // Distance.
+    let c = Point::new(40.0, 60.0);
+    let sel = selection::select_points_within_distance_exact(&mut dev, vp, &batch, c, 17.5);
+    let want: Vec<u32> = pts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.dist(c) <= 17.5)
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(sel.records, want);
+}
+
+#[test]
+fn polygon_data_selection_equals_vector_test() {
+    // The reuse claim (paper Section 5.1): the same operators select
+    // polygon records; results must match exact vector intersection.
+    let zones = neighborhoods(&extent(), 25, 3);
+    let q = star_polygon(
+        &BBox::new(Point::new(25.0, 25.0), Point::new(75.0, 75.0)),
+        64,
+        0.5,
+        9,
+    );
+    let table: AreaSource = std::sync::Arc::new(zones.clone());
+    let vp = Viewport::square_pixels(extent(), 256);
+    let mut dev = Device::nvidia();
+    let sel = selection::select_polygons_intersecting(&mut dev, vp, &table, &q);
+    let want: Vec<u32> = zones
+        .iter()
+        .enumerate()
+        .filter(|(_, z)| z.intersects(&q))
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(sel.records, want);
+    assert!(!want.is_empty());
+    assert!(want.len() < zones.len());
+}
+
+#[test]
+fn device_profile_does_not_change_answers() {
+    // Determinism across devices: the modeled hardware affects time,
+    // never results.
+    let pts = taxi_pickups(&extent(), 3_000, 21);
+    let q = star_polygon(
+        &BBox::new(Point::new(20.0, 20.0), Point::new(80.0, 80.0)),
+        64,
+        0.5,
+        22,
+    );
+    let batch = PointBatch::from_points(pts);
+    let vp = Viewport::square_pixels(extent(), 256);
+    let mut nv = Device::nvidia();
+    let mut intel = Device::intel();
+    let a = selection::select_points_in_polygon(&mut nv, vp, &batch, &q);
+    let b = selection::select_points_in_polygon(&mut intel, vp, &batch, &q);
+    assert_eq!(a.records, b.records);
+}
