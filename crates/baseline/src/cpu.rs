@@ -3,7 +3,7 @@
 //! OpenMP", Section 6).
 //!
 //! Both run the same PIP refinement over every input point; the parallel
-//! variant forks crossbeam scoped threads over point chunks, which is
+//! variant forks std scoped threads over point chunks, which is
 //! structurally what `#pragma omp parallel for` compiles to.
 
 use crate::pip::pip_counted;
@@ -105,12 +105,12 @@ pub fn select_parallel(
         return select_scalar(points, constraints);
     }
     let chunk = points.len().div_ceil(threads);
-    let results: Vec<BaselineResult> = crossbeam::thread::scope(|scope| {
+    let results: Vec<BaselineResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = points
             .chunks(chunk)
             .enumerate()
             .map(|(ci, slice)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut r = select_scalar(slice, constraints);
                     let base = (ci * chunk) as u32;
                     for rec in &mut r.records {
@@ -124,8 +124,7 @@ pub fn select_parallel(
             .into_iter()
             .map(|h| h.join().expect("baseline worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut out = BaselineResult::default();
     for r in results {
@@ -242,7 +241,10 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert_eq!(select_scalar(&[], &[square(0.0, 0.0, 1.0)]).records, vec![] as Vec<u32>);
+        assert_eq!(
+            select_scalar(&[], &[square(0.0, 0.0, 1.0)]).records,
+            vec![] as Vec<u32>
+        );
         let pts = random_points(5, 2);
         let r = select_scalar(&pts, &[]);
         assert!(r.records.is_empty());

@@ -50,7 +50,8 @@ pub fn select_gpu_baseline(
     }
     dev.pipeline().note_compute_edge_tests(out.edge_tests);
     // Result bitmap readback.
-    dev.pipeline().note_download(points.len().div_ceil(8) as u64);
+    dev.pipeline()
+        .note_download(points.len().div_ceil(8) as u64);
     out
 }
 

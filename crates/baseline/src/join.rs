@@ -4,7 +4,7 @@
 //! Section 5.2 contrasts with the RasterJoin-style canvas plan.
 
 use crate::pip::pip_counted;
-use canvas_geom::grid::GridIndex;
+use canvas_geom::grid::{GridIndexBuilder, VisitedMask};
 use canvas_geom::polygon::Polygon;
 use canvas_geom::rtree::RTree;
 use canvas_geom::{BBox, Point};
@@ -39,11 +39,17 @@ pub fn join_rtree(points: &[Point], polygons: &[Polygon]) -> JoinResult {
 
 /// Point–polygon join with a uniform-grid filter (alternative index; the
 /// paper's related work cites the grid file as the other classic).
+///
+/// The polygon MBRs go into the flat CSR [`canvas_geom::grid::GridIndex`];
+/// each point then
+/// probes exactly one cell, whose candidates are a contiguous,
+/// duplicate-free slice — no per-query allocation at all.
 pub fn join_grid(points: &[Point], polygons: &[Polygon], extent: BBox) -> JoinResult {
-    let mut grid = GridIndex::with_target_occupancy(extent, polygons.len().max(16), 4);
+    let mut builder = GridIndexBuilder::with_target_occupancy(extent, polygons.len().max(16), 4);
     for (j, poly) in polygons.iter().enumerate() {
-        grid.insert(j as u32, &poly.bbox());
+        builder.insert(j as u32, &poly.bbox());
     }
+    let grid = builder.build();
     let mut out = JoinResult::default();
     for (i, p) in points.iter().enumerate() {
         for &j in grid.query_point(*p) {
@@ -56,6 +62,42 @@ pub fn join_grid(points: &[Point], polygons: &[Polygon], extent: BBox) -> JoinRe
     }
     out.pairs.sort_unstable_by_key(|&(p, y)| (y, p));
     out.pairs.dedup();
+    out
+}
+
+/// The transposed grid join: points go into the CSR grid, each polygon
+/// issues one box query over its MBR. Multi-cell box queries would
+/// otherwise yield duplicate candidates (a cell per overlap), so the
+/// filter deduplicates through a reusable [`VisitedMask`] — the
+/// generation-stamped bitmap replaces the old sort+dedup allocation per
+/// query.
+pub fn join_grid_points_indexed(
+    points: &[Point],
+    polygons: &[Polygon],
+    extent: BBox,
+) -> JoinResult {
+    // Aspect-aware sizing (~1 point per cell): skewed extents get
+    // near-square cells instead of slivers, keeping box queries tight.
+    let mut builder = GridIndexBuilder::with_target_occupancy(extent, points.len().max(1), 1);
+    for (i, &p) in points.iter().enumerate() {
+        builder.insert_point(i as u32, p);
+    }
+    let grid = builder.build();
+    let mut out = JoinResult::default();
+    let mut visited = VisitedMask::new();
+    let mut candidates: Vec<u32> = Vec::new();
+    for (j, poly) in polygons.iter().enumerate() {
+        candidates.clear();
+        grid.query_into(&poly.bbox(), &mut visited, &mut candidates);
+        for &i in &candidates {
+            let (inside, edges) = pip_counted(points[i as usize], poly);
+            out.edge_tests += edges;
+            if inside {
+                out.pairs.push((i, j as u32));
+            }
+        }
+    }
+    out.pairs.sort_unstable_by_key(|&(p, y)| (y, p));
     out
 }
 
@@ -141,12 +183,24 @@ mod tests {
     }
 
     #[test]
+    fn point_indexed_grid_join_matches_rtree_join() {
+        let pts = random_points(600, 95);
+        let polys = vec![
+            square(10.0, 15.0, 25.0),
+            square(45.0, 50.0, 30.0),
+            square(5.0, 60.0, 38.0), // overlaps the second: shared candidates
+        ];
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let a = join_rtree(&pts, &polys);
+        let b = join_grid_points_indexed(&pts, &polys, extent);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
     fn index_filter_saves_edge_tests() {
         let pts = random_points(1000, 93);
         // Small disjoint polygons: most points filtered by the index.
-        let polys: Vec<Polygon> = (0..10)
-            .map(|i| square(10.0 * i as f64, 5.0, 4.0))
-            .collect();
+        let polys: Vec<Polygon> = (0..10).map(|i| square(10.0 * i as f64, 5.0, 4.0)).collect();
         let indexed = join_rtree(&pts, &polys);
         // Unindexed nested loop pays for every (point, polygon) pair.
         let mut brute_edges = 0u64;

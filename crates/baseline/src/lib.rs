@@ -5,7 +5,7 @@
 //! * [`cpu::select_scalar`] — the single-threaded CPU refinement every
 //!   speedup in Figures 9–10 is measured against,
 //! * [`cpu::select_parallel`] — the OpenMP-style parallel CPU baseline
-//!   (crossbeam fork-join over point chunks),
+//!   (scoped-thread fork-join over point chunks),
 //! * [`gpu::select_gpu_baseline`] — the "traditional GPU" approach
 //!   (\[11\] in the paper): one PIP thread per point, charged to the
 //!   device cost model (see the substitution note in that module),
@@ -26,5 +26,7 @@ pub use cpu::{
     select_parallel, select_scalar, select_scalar_bvh, select_scalar_conjunction, BaselineResult,
 };
 pub use gpu::select_gpu_baseline;
-pub use join::{aggregate_join_baseline, join_grid, join_rtree, JoinResult};
+pub use join::{
+    aggregate_join_baseline, join_grid, join_grid_points_indexed, join_rtree, JoinResult,
+};
 pub use pip::pip_counted;

@@ -4,9 +4,7 @@
 
 use canvas_bench::city_extent;
 use canvas_core::prelude::*;
-use canvas_core::queries::aggregate::{
-    aggregate_join_blend_plan, aggregate_join_rasterjoin,
-};
+use canvas_core::queries::aggregate::{aggregate_join_blend_plan, aggregate_join_rasterjoin};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
@@ -55,14 +53,10 @@ fn bench_aggregation(c: &mut Criterion) {
             &zones_n,
             |b, _| {
                 b.iter(|| {
-                    canvas_baseline::aggregate_join_baseline(
-                        &trips.pickups,
-                        &trips.fares,
-                        &zones,
-                    )
-                    .0
-                    .iter()
-                    .sum::<u64>()
+                    canvas_baseline::aggregate_join_baseline(&trips.pickups, &trips.fares, &zones)
+                        .0
+                        .iter()
+                        .sum::<u64>()
                 })
             },
         );

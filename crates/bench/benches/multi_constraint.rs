@@ -35,7 +35,11 @@ fn bench_multi_constraint(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("cpu_scalar", k), &k, |b, _| {
-            b.iter(|| canvas_baseline::select_scalar(&points, &polys).records.len())
+            b.iter(|| {
+                canvas_baseline::select_scalar(&points, &polys)
+                    .records
+                    .len()
+            })
         });
     }
     group.finish();

@@ -31,6 +31,21 @@ fn bench_selection_scaling(c: &mut Criterion) {
                     .len()
             })
         });
+        // The tiled CPU pipeline across thread counts: the speedup curve
+        // of the parallel execution mode (flat wall-clock on single-core
+        // hosts; the modeled numbers in BENCH_baseline.json carry the
+        // multi-core trajectory there).
+        for threads in [1usize, 2, 4, 8] {
+            let label = format!("{n}/t{threads}");
+            group.bench_with_input(BenchmarkId::new("canvas_cpu", &label), &threads, |b, &t| {
+                b.iter(|| {
+                    let mut dev = Device::cpu_parallel(t);
+                    select_points_in_polygon(&mut dev, vp, &batch, &poly)
+                        .records
+                        .len()
+                })
+            });
+        }
         group.bench_with_input(BenchmarkId::new("cpu_scalar", n), &n, |b, _| {
             b.iter(|| {
                 canvas_baseline::select_scalar(&points, std::slice::from_ref(&poly))
@@ -41,13 +56,9 @@ fn bench_selection_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gpu_baseline", n), &n, |b, _| {
             b.iter(|| {
                 let mut dev = Device::nvidia();
-                canvas_baseline::select_gpu_baseline(
-                    &mut dev,
-                    &points,
-                    std::slice::from_ref(&poly),
-                )
-                .records
-                .len()
+                canvas_baseline::select_gpu_baseline(&mut dev, &points, std::slice::from_ref(&poly))
+                    .records
+                    .len()
             })
         });
     }

@@ -39,6 +39,23 @@ fn bench_vary_polygon(c: &mut Criterion) {
                     .len()
             })
         });
+        // Tiled-pipeline thread sweep (see selection_scaling for the
+        // rationale).
+        for threads in [1usize, 2, 4, 8] {
+            let tlabel = format!("{label}/t{threads}");
+            group.bench_with_input(
+                BenchmarkId::new("canvas_cpu", &tlabel),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        let mut dev = Device::cpu_parallel(t);
+                        select_points_in_polygon(&mut dev, vp, &batch, &poly)
+                            .records
+                            .len()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -1,0 +1,161 @@
+//! Emits `BENCH_baseline.json`: the perf trajectory anchor for future
+//! PRs. Runs the 1M-point polygonal selection and the 1M-point grid
+//! join, sequential (`Device::cpu`) vs tiled-parallel
+//! (`Device::cpu_parallel(8)`), and records wall-clock plus modeled
+//! times. Run with:
+//!
+//! ```text
+//! cargo run --release -p canvas-bench --bin bench_baseline [-- output.json]
+//! ```
+//!
+//! Wall-clock speedups only materialize on multi-core hosts; the file
+//! records `host_cores` so readers can interpret the numbers (on a
+//! single-core container the parallel wall time is thread overhead, and
+//! the modeled times carry the multi-core trajectory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use canvas_bench::city_extent;
+use canvas_core::prelude::*;
+use canvas_core::queries::selection::select_points_in_polygon;
+use canvas_datagen as datagen;
+use canvas_geom::{BBox, Point};
+
+const N_POINTS: usize = 1_000_000;
+const RESOLUTION: u32 = 512;
+const PAR_THREADS: usize = 8;
+
+struct Sample {
+    name: &'static str,
+    wall_secs: f64,
+    modeled_secs: f64,
+    result_count: usize,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let extent = city_extent();
+    let points = datagen::taxi_pickups(&extent, N_POINTS, 42);
+    let batch = PointBatch::from_points(points.clone());
+    let mbr = BBox::new(Point::new(15.0, 15.0), Point::new(85.0, 85.0));
+    let poly = datagen::star_polygon(&mbr, 128, 0.5, 7);
+    let vp = Viewport::square_pixels(extent, RESOLUTION);
+
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // --- Selection: sequential tiled pipeline. ---
+    let mut dev = Device::cpu();
+    let (sel_seq, wall) = time(|| select_points_in_polygon(&mut dev, vp, &batch, &poly));
+    samples.push(Sample {
+        name: "selection_1m_seq",
+        wall_secs: wall,
+        modeled_secs: dev.modeled_time(),
+        result_count: sel_seq.records.len(),
+    });
+
+    // --- Selection: 8-thread tiled pipeline. ---
+    let mut dev = Device::cpu_parallel(PAR_THREADS);
+    let (sel_par, wall) = time(|| select_points_in_polygon(&mut dev, vp, &batch, &poly));
+    samples.push(Sample {
+        name: "selection_1m_par8",
+        wall_secs: wall,
+        modeled_secs: dev.modeled_time(),
+        result_count: sel_par.records.len(),
+    });
+    assert_eq!(
+        sel_seq.records, sel_par.records,
+        "sequential and parallel selections must agree"
+    );
+
+    // --- Join: 1M points × 32 zones through the CSR grid filter. ---
+    let zones = datagen::neighborhoods(&extent, 32, 11);
+    let (join_grid, wall) = time(|| canvas_baseline::join_grid(&points, &zones, extent));
+    samples.push(Sample {
+        name: "join_grid_1m_x32",
+        wall_secs: wall,
+        modeled_secs: 0.0,
+        result_count: join_grid.pairs.len(),
+    });
+    let (join_pts, wall) =
+        time(|| canvas_baseline::join_grid_points_indexed(&points, &zones, extent));
+    samples.push(Sample {
+        name: "join_grid_points_indexed_1m_x32",
+        wall_secs: wall,
+        modeled_secs: 0.0,
+        result_count: join_pts.pairs.len(),
+    });
+    assert_eq!(
+        join_grid.pairs, join_pts.pairs,
+        "grid join formulations must agree"
+    );
+
+    let seq = &samples[0];
+    let par = &samples[1];
+    let wall_speedup = seq.wall_secs / par.wall_secs;
+    let modeled_speedup = seq.modeled_secs / par.modeled_secs;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"n_points\": {N_POINTS},");
+    let _ = writeln!(json, "  \"resolution\": {RESOLUTION},");
+    let _ = writeln!(json, "  \"parallel_threads\": {PAR_THREADS},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        json,
+        "  \"selection_modeled_speedup_8t\": {modeled_speedup:.3},"
+    );
+    let _ = writeln!(json, "  \"selection_wall_speedup_8t\": {wall_speedup:.3},");
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.6}, \"modeled_secs\": {:.6}, \"result_count\": {}}}{}",
+            s.name,
+            s.wall_secs,
+            s.modeled_secs,
+            s.result_count,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_baseline.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // The acceptance bar for the parallel pipeline: ≥ 3× at 8 threads.
+    // The modeled ratio is a property of the device cost model (seq and
+    // par count identical work — that equality is proptest-enforced),
+    // so it sanity-checks the model, not the executor; the executor is
+    // gated on *wall clock*, which only means something with enough
+    // physical cores to run 8 workers. On smaller hosts the wall
+    // numbers are recorded for the trajectory but not asserted.
+    assert!(
+        modeled_speedup >= 3.0,
+        "modeled 8-thread speedup {modeled_speedup:.2}x below 3x"
+    );
+    if host_cores >= 8 {
+        assert!(
+            wall_speedup >= 3.0,
+            "wall 8-thread speedup {wall_speedup:.2}x below 3x on a {host_cores}-core host"
+        );
+    } else {
+        eprintln!(
+            "note: host has {host_cores} core(s); wall speedup {wall_speedup:.2}x recorded, \
+             3x gate applies on hosts with >= 8 cores"
+        );
+    }
+}

@@ -26,13 +26,10 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale needs a number");
-                        std::process::exit(2);
-                    });
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a number");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -104,7 +101,10 @@ fn main() {
     if want("resolution") {
         banner("A2: resolution ablation — approximate mode error vs time (Sec 5.1)");
         let rows = resolution_ablation(((100_000f64 * scale) as usize).max(1_000), seed + 7);
-        println!("{:>10} {:>12} {:>12}", "resolution", "wall (s)", "rel. error");
+        println!(
+            "{:>10} {:>12} {:>12}",
+            "resolution", "wall (s)", "rel. error"
+        );
         let mut csv = String::from("resolution,wall_secs,rel_error\n");
         for (res, wall, err) in &rows {
             println!("{res:>10} {wall:>12.4} {err:>12.5}");
@@ -184,9 +184,8 @@ fn reuse_demo(seed: u64) {
     );
     // Same constraint, polygon data — the same blend+mask operators:
     let zones: AreaSource = Arc::new(canvas_datagen::neighborhoods(&extent, 30, seed + 1));
-    let ysel = canvas_core::queries::selection::select_polygons_intersecting(
-        &mut dev, vp, &zones, &q,
-    );
+    let ysel =
+        canvas_core::queries::selection::select_polygons_intersecting(&mut dev, vp, &zones, &q);
     println!(
         "point data   : {} of 20000 records selected (plan: B[⊙] → M[Mp'])",
         psel.records.len()

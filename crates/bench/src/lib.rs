@@ -90,7 +90,11 @@ fn model_cpu(profile: &DeviceProfile, edge_tests: u64) -> f64 {
 ///
 /// `constraints` is the disjunction of query polygons (1 for Fig 9(a,b),
 /// 2 for Fig 9(c,d), varying shapes for Fig 10).
-pub fn run_selection(points: &[Point], constraints: &[Polygon], resolution: u32) -> Vec<Measurement> {
+pub fn run_selection(
+    points: &[Point],
+    constraints: &[Polygon],
+    resolution: u32,
+) -> Vec<Measurement> {
     let vp = Viewport::square_pixels(city_extent(), resolution);
     let batch = PointBatch::from_points(points.to_vec());
     let mut out = Vec::with_capacity(5);
@@ -139,13 +143,7 @@ pub fn run_selection(points: &[Point], constraints: &[Polygon], resolution: u32)
     let sel = if constraints.len() == 1 {
         selection::select_points_in_polygon(&mut dev, vp, &batch, &constraints[0])
     } else {
-        selection::select_points_multi(
-            &mut dev,
-            vp,
-            &batch,
-            constraints,
-            MultiPolygon::Disjunction,
-        )
+        selection::select_points_multi(&mut dev, vp, &batch, constraints, MultiPolygon::Disjunction)
     };
     let wall = t0.elapsed().as_secs_f64();
     out.push(Measurement {
@@ -161,13 +159,7 @@ pub fn run_selection(points: &[Point], constraints: &[Polygon], resolution: u32)
     let sel2 = if constraints.len() == 1 {
         selection::select_points_in_polygon(&mut dev, vp, &batch, &constraints[0])
     } else {
-        selection::select_points_multi(
-            &mut dev,
-            vp,
-            &batch,
-            constraints,
-            MultiPolygon::Disjunction,
-        )
+        selection::select_points_multi(&mut dev, vp, &batch, constraints, MultiPolygon::Disjunction)
     };
     out.push(Measurement {
         approach: CANVAS_INTEL,
@@ -223,7 +215,11 @@ pub fn figure9(sizes: &[usize], num_constraints: usize, resolution: u32, seed: u
         .map(|&n| Row {
             label: format!("{n} points"),
             x: n as f64,
-            measurements: run_selection(&all_points[..n.min(all_points.len())], &constraints, resolution),
+            measurements: run_selection(
+                &all_points[..n.min(all_points.len())],
+                &constraints,
+                resolution,
+            ),
         })
         .collect()
 }
@@ -277,7 +273,10 @@ pub fn aggregation_experiment(
     // Real administrative boundaries carry hundreds of vertices; PIP
     // baselines pay per vertex, the canvas does not (paper Section 6).
     let zones: AreaSource = Arc::new(datagen::neighborhoods_detailed(
-        &extent, num_zones, 150, seed + 1,
+        &extent,
+        num_zones,
+        150,
+        seed + 1,
     ));
 
     sizes
@@ -290,8 +289,7 @@ pub fn aggregation_experiment(
 
             // Traditional plan on CPU: index join + aggregate.
             let t0 = Instant::now();
-            let (counts, _, edges) =
-                baseline::aggregate_join_baseline(pickups, fares, &zones);
+            let (counts, _, edges) = baseline::aggregate_join_baseline(pickups, fares, &zones);
             let wall = t0.elapsed().as_secs_f64();
             let total: u64 = counts.iter().sum();
             measurements.push(Measurement {
@@ -391,7 +389,12 @@ pub fn resolution_ablation(n: usize, seed: u64) -> Vec<(u32, f64, f64)> {
 /// A3: blend-plan ablation — per-record multiway blend (unfused) vs the
 /// fused instanced draw the optimizer produces, for a disjunction of
 /// `k` constraint polygons. Returns (k, unfused_modeled, fused_modeled).
-pub fn blend_ablation(n: usize, ks: &[usize], resolution: u32, seed: u64) -> Vec<(usize, f64, f64)> {
+pub fn blend_ablation(
+    n: usize,
+    ks: &[usize],
+    resolution: u32,
+    seed: u64,
+) -> Vec<(usize, f64, f64)> {
     let extent = city_extent();
     let points = Arc::new(PointBatch::from_points(datagen::taxi_pickups(
         &extent, n, seed,

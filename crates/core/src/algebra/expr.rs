@@ -18,14 +18,26 @@ pub enum SourceSpec {
     /// rendered as one accumulated canvas).
     Points(Arc<PointBatch>),
     /// One polygon record from a table, with its texel id.
-    Polygon { table: AreaSource, record: usize, id: u32 },
+    Polygon {
+        table: AreaSource,
+        record: usize,
+        id: u32,
+    },
     /// A whole polygon table rendered in one instanced draw with the
     /// given internal blend (the fused `B*` form).
     PolygonSet { table: AreaSource, blend: BlendFn },
     /// `Circ[(x,y), r]()`.
-    Circle { center: canvas_geom::Point, radius: f64, id: u32 },
+    Circle {
+        center: canvas_geom::Point,
+        radius: f64,
+        id: u32,
+    },
     /// `Rect[l1, l2]()`.
-    Rect { l1: canvas_geom::Point, l2: canvas_geom::Point, id: u32 },
+    Rect {
+        l1: canvas_geom::Point,
+        l2: canvas_geom::Point,
+        id: u32,
+    },
     /// `HS[a, b, c]()`.
     HalfSpace { a: f64, b: f64, c: f64, id: u32 },
     /// An already-materialized canvas (sub-query result).
@@ -81,9 +93,15 @@ pub enum Expr {
         right: Box<Expr>,
     },
     /// `B*[⊙](inputs…)`.
-    MultiBlend { op: BlendFn, inputs: Vec<Expr> },
+    MultiBlend {
+        op: BlendFn,
+        inputs: Vec<Expr>,
+    },
     /// `M[M](input)`.
-    Mask { spec: MaskSpec, input: Box<Expr> },
+    Mask {
+        spec: MaskSpec,
+        input: Box<Expr>,
+    },
     /// `G[γ](input)` with position-form γ.
     GeomTransform {
         gamma: PositionMap,
@@ -247,7 +265,11 @@ impl Expr {
                 right.plan_into(out, depth + 1);
             }
             Expr::MultiBlend { op, inputs } => {
-                out.push_str(&format!("{pad}B*[{}] ({} inputs)\n", op.symbol(), inputs.len()));
+                out.push_str(&format!(
+                    "{pad}B*[{}] ({} inputs)\n",
+                    op.symbol(),
+                    inputs.len()
+                ));
                 for e in inputs {
                     e.plan_into(out, depth + 1);
                 }
@@ -423,9 +445,7 @@ mod tests {
         let site = Point::new(5.0, 5.0);
         let plan = Expr::value_transform(
             "voronoi step",
-            Arc::new(move |p: Point, _| {
-                crate::info::Texel::area(0, p.dist_sq(site) as f32, 0.0)
-            }),
+            Arc::new(move |p: Point, _| crate::info::Texel::area(0, p.dist_sq(site) as f32, 0.0)),
             Expr::literal(Canvas::empty(vp())),
         );
         assert!(plan.plan().contains("V[voronoi step]"));

@@ -52,8 +52,7 @@ pub struct PlanChoice {
 /// Predicted pipeline work of the canvas selection plan.
 pub fn canvas_plan_stats(s: &SelectionStats) -> PipelineStats {
     let texels = (s.resolution as u64).pow(2);
-    let constraint_fragments =
-        ((texels as f64) * s.coverage * s.num_constraints as f64) as u64;
+    let constraint_fragments = ((texels as f64) * s.coverage * s.num_constraints as f64) as u64;
     PipelineStats {
         // points render + constraint render + blend + mask.
         passes: 4,
@@ -65,8 +64,7 @@ pub fn canvas_plan_stats(s: &SelectionStats) -> PipelineStats {
         fullscreen_texels: 2 * texels, // blend pass + mask pass
         scatter_reads: 0,
         scatter_writes: 0,
-        bytes_uploaded: s.num_points * 16
-            + (s.num_constraints * s.avg_vertices) as u64 * 16,
+        bytes_uploaded: s.num_points * 16 + (s.num_constraints * s.avg_vertices) as u64 * 16,
         bytes_downloaded: s.num_points / 8,
         compute_edge_tests: 0,
     }

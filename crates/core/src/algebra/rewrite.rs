@@ -79,10 +79,7 @@ pub fn flatten_multiblend(e: Expr) -> Expr {
 
 fn collect(op: BlendFn, e: Expr, out: &mut Vec<Expr>) {
     match e {
-        Expr::MultiBlend {
-            op: inner,
-            inputs,
-        } if inner == op => out.extend(inputs),
+        Expr::MultiBlend { op: inner, inputs } if inner == op => out.extend(inputs),
         Expr::Blend {
             op: inner,
             left,

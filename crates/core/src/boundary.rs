@@ -135,7 +135,12 @@ impl BoundaryIndex {
     /// Merges another index, remapping its source indexes through
     /// `area_remap`/`line_remap` (used when blending canvases whose
     /// geometry source tables are concatenated).
-    pub fn merge_remapped(&mut self, other: &BoundaryIndex, area_remap: &[u16], line_remap: &[u16]) {
+    pub fn merge_remapped(
+        &mut self,
+        other: &BoundaryIndex,
+        area_remap: &[u16],
+        line_remap: &[u16],
+    ) {
         self.points.extend_from_slice(&other.points);
         self.areas.extend(other.areas.iter().map(|e| AreaEntry {
             pixel: e.pixel,

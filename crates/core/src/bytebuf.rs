@@ -1,0 +1,169 @@
+//! Minimal big-endian byte-buffer primitives used by the canvas codec.
+//!
+//! API-compatible subset of the `bytes` crate (`BytesMut`/`Bytes` writers
+//! plus an advancing `Buf` reader over `&[u8]`), vendored because this
+//! build environment has no network access. Byte order is big-endian,
+//! matching `bytes`' default `put_*`/`get_*` methods, so blobs stay
+//! compatible if the real crate is swapped back in.
+
+/// Immutable byte blob (freeze result). Derefs to `[u8]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Growable write buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.data)
+    }
+}
+
+/// Advancing big-endian reader over a byte slice.
+///
+/// Methods panic when the slice is too short — callers bounds-check with
+/// [`Buf::remaining`] first (the codec's `need` helper).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16(&mut self) -> u16;
+    fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
+    fn get_f32(&mut self) -> f32;
+    fn get_f64(&mut self) -> f64;
+}
+
+macro_rules! take {
+    ($self:ident, $n:literal) => {{
+        let (head, rest) = $self.split_at($n);
+        *$self = rest;
+        let mut arr = [0u8; $n];
+        arr.copy_from_slice(head);
+        arr
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        take!(self, 1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(take!(self, 2))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(take!(self, 4))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(take!(self, 8))
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(take!(self, 4))
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(take!(self, 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        let blob = w.freeze();
+        let mut r: &[u8] = &blob;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 4 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 300);
+        assert_eq!(r.get_u32(), 70_000);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_f32(), 1.5);
+        assert_eq!(r.get_f64(), -2.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut w = BytesMut::default();
+        w.put_u32(0x0102_0304);
+        let blob = w.freeze();
+        assert_eq!(&blob[..], &[1, 2, 3, 4]);
+        assert_eq!(blob.to_vec(), vec![1, 2, 3, 4]);
+    }
+}

@@ -76,13 +76,7 @@ impl Canvas {
 
     /// Simultaneous mutable access to the texel plane, cover plane and
     /// boundary index (operators need split borrows across the planes).
-    pub fn planes_mut(
-        &mut self,
-    ) -> (
-        &mut Texture<Texel>,
-        &mut Texture<u16>,
-        &mut BoundaryIndex,
-    ) {
+    pub fn planes_mut(&mut self) -> (&mut Texture<Texel>, &mut Texture<u16>, &mut BoundaryIndex) {
         (&mut self.texels, &mut self.cover, &mut self.boundary)
     }
 
@@ -180,11 +174,7 @@ impl Canvas {
 
     /// Number of non-∅ pixels.
     pub fn non_null_count(&self) -> usize {
-        self.texels
-            .texels()
-            .iter()
-            .filter(|t| !t.is_null())
-            .count()
+        self.texels.texels().iter().filter(|t| !t.is_null()).count()
     }
 
     /// Iterator over `(x, y, texel)` for non-∅ pixels.
@@ -218,11 +208,7 @@ impl Canvas {
 
     /// Sum of point-entry weights (exact SUM aggregations).
     pub fn point_weight_sum(&self) -> f64 {
-        self.boundary
-            .points()
-            .iter()
-            .map(|e| e.weight as f64)
-            .sum()
+        self.boundary.points().iter().map(|e| e.weight as f64).sum()
     }
 
     /// Distinct record ids present in the 2-primitive rows of non-∅
@@ -300,8 +286,8 @@ impl PointBatch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use canvas_geom::BBox;
     use crate::boundary::PointEntry;
+    use canvas_geom::BBox;
 
     fn vp() -> Viewport {
         Viewport::new(
@@ -364,7 +350,10 @@ mod tests {
             record: 0,
         });
         c.boundary_mut().sort();
-        assert_eq!(c.exact_area_count(c.pixel_index(2, 2), Point::new(2.5, 2.5)), 1);
+        assert_eq!(
+            c.exact_area_count(c.pixel_index(2, 2), Point::new(2.5, 2.5)),
+            1
+        );
         // In the boundary pixel, the point inside the square counts...
         assert_eq!(c.exact_area_count(pix, Point::new(4.9, 4.9)), 1);
         // ...and a point in the same pixel but outside does not (pixel

@@ -31,6 +31,27 @@ impl Device {
         Device::new(DeviceProfile::intel_uhd_630())
     }
 
+    /// Single-threaded CPU execution of the tiled software pipeline —
+    /// the sequential reference the parallel mode is verified against.
+    pub fn cpu() -> Self {
+        Device::new(DeviceProfile::cpu_parallel_n(1))
+    }
+
+    /// `n`-thread CPU execution: the same tiled pipeline with tiles and
+    /// full-screen bands spread across `n` OS threads. Results are
+    /// bit-identical to [`Device::cpu`] at any `n` (tiles merge in a
+    /// fixed order; per-pixel blend order is the input order).
+    pub fn cpu_parallel(threads: usize) -> Self {
+        let mut dev = Device::new(DeviceProfile::cpu_parallel_n(threads));
+        dev.pipeline.set_threads(threads);
+        dev
+    }
+
+    /// Worker threads the pipeline fans work out to (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.pipeline.threads()
+    }
+
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
     }

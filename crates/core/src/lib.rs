@@ -50,6 +50,7 @@
 
 pub mod algebra;
 pub mod boundary;
+pub mod bytebuf;
 pub mod canvas;
 pub mod device;
 pub mod info;
@@ -61,9 +62,9 @@ pub mod table;
 pub mod viz;
 
 pub use canvas::{Canvas, PointBatch};
-pub use table::{SpatialTable, TableError};
 pub use device::Device;
 pub use info::{BlendFn, DimInfo, Texel};
+pub use table::{SpatialTable, TableError};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
@@ -71,14 +72,13 @@ pub mod prelude {
     pub use crate::device::Device;
     pub use crate::info::{BlendFn, DimInfo, Texel};
     pub use crate::ops::{
-        blend, circle_canvas, dissect, dissect_iter, group_viewport, halfspace_canvas,
-        map_scatter, mask, multiway_blend, rect_canvas, transform_by_value,
-        transform_positions, value_transform, CountCond, MaskSpec, PositionMap, ValueMap,
+        blend, circle_canvas, dissect, dissect_iter, group_viewport, halfspace_canvas, map_scatter,
+        mask, multiway_blend, rect_canvas, transform_by_value, transform_positions,
+        value_transform, CountCond, MaskSpec, PositionMap, ValueMap,
     };
     pub use crate::queries;
     pub use crate::source::{
-        render_points, render_polygon, render_polygon_set, render_polylines,
-        render_query_polygon,
+        render_points, render_polygon, render_polygon_set, render_polylines, render_query_polygon,
     };
     pub use canvas_raster::Viewport;
 }

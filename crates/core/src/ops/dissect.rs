@@ -104,10 +104,7 @@ mod tests {
         let c = render_points(
             &mut dev,
             vp(),
-            &PointBatch::from_points(vec![
-                Point::new(1.5, 1.5),
-                Point::new(8.5, 8.5),
-            ]),
+            &PointBatch::from_points(vec![Point::new(1.5, 1.5), Point::new(8.5, 8.5)]),
         );
         let out = map_scatter(
             &mut dev,

@@ -47,7 +47,10 @@ pub enum MaskSpec {
     AreaCount(CountCond),
     /// Arbitrary texel predicate (no refinement) for custom queries;
     /// the string names the condition in plan diagrams.
-    Texel(&'static str, std::sync::Arc<dyn Fn(&Texel) -> bool + Send + Sync>),
+    Texel(
+        &'static str,
+        std::sync::Arc<dyn Fn(&Texel) -> bool + Send + Sync>,
+    ),
 }
 
 impl std::fmt::Debug for MaskSpec {
@@ -91,87 +94,87 @@ pub fn mask(dev: &mut Device, c: &Canvas, spec: &MaskSpec) -> Canvas {
     }
 }
 
-/// Coarse texel-level mask (full-screen pass only).
-fn mask_texel(dev: &mut Device, c: &Canvas, pred: impl Fn(&Texel) -> bool) -> Canvas {
+/// Coarse texel-level mask (full-screen pass, band-parallel over the
+/// texel + cover planes).
+fn mask_texel(dev: &mut Device, c: &Canvas, pred: impl Fn(&Texel) -> bool + Sync) -> Canvas {
     let mut out = c.clone();
     {
         let (texels, cover, _) = out.planes_mut();
-        let cover_ref: &mut canvas_raster::Texture<u16> = cover;
-        dev.pipeline().map_texels(texels, |x, y, t| {
-            if t.is_null() || pred(&t) {
-                t
-            } else {
-                cover_ref.set(x, y, 0);
-                Texel::null()
-            }
-        });
+        dev.pipeline()
+            .map_planes_inplace(texels, cover, |_, _, t, cov| {
+                if !t.is_null() && !pred(t) {
+                    *t = Texel::null();
+                    *cov = 0;
+                }
+            });
     }
     prune_boundary(&mut out);
     out
 }
 
-/// The point-selection mask with exact refinement.
+/// The point-selection mask with exact refinement, band-parallel over
+/// the split texel + cover planes: every band runs the per-pixel test
+/// (and the exact boundary refinement where needed) independently,
+/// collecting its surviving point entries locally; bands concatenate in
+/// row-major order, so the result is identical at any thread count.
 fn mask_point_in_areas(dev: &mut Device, c: &Canvas, cond: CountCond) -> Canvas {
     let mut out = c.clone();
-    let mut kept_points: Vec<crate::boundary::PointEntry> = Vec::new();
-    {
+    let kept_points: Vec<crate::boundary::PointEntry> = {
         let (texels, cover, _) = out.planes_mut();
-        let cover_ref: &mut canvas_raster::Texture<u16> = cover;
         let width = c.viewport().width();
-        dev.pipeline().map_texels(texels, |x, y, t| {
-            if t.is_null() {
-                return t;
-            }
-            let pixel = y * width + x;
-            if !t.has(0) {
-                // No point here: the selection result only keeps
-                // intersection pixels.
-                cover_ref.set(x, y, 0);
-                return Texel::null();
-            }
-            let boundary_areas = c.boundary().areas_at(pixel);
-            if boundary_areas.is_empty() {
-                // Uniform pixel: the certain-cover count is the exact
-                // polygon incidence for every location in the pixel.
-                let count = cover_ref.get(x, y) as u32;
-                if cond.eval(count) {
-                    kept_points.extend_from_slice(c.boundary().points_at(pixel));
-                    t
-                } else {
-                    cover_ref.set(x, y, 0);
-                    Texel::null()
+        dev.pipeline()
+            .map_planes(texels, cover, |x, y, t, cov, kept| {
+                if t.is_null() {
+                    return;
                 }
-            } else {
-                // Boundary pixel: refine each exact point location
-                // against the vector polygons (paper Section 5).
-                let mut count_kept = 0u32;
-                let mut weight_sum = 0.0f32;
-                for e in c.boundary().points_at(pixel) {
-                    let exact = c.exact_area_count(pixel, e.loc);
-                    if cond.eval(exact) {
-                        kept_points.push(*e);
-                        count_kept += 1;
-                        weight_sum += e.weight;
+                let pixel = y * width + x;
+                if !t.has(0) {
+                    // No point here: the selection result only keeps
+                    // intersection pixels.
+                    *cov = 0;
+                    *t = Texel::null();
+                    return;
+                }
+                let boundary_areas = c.boundary().areas_at(pixel);
+                if boundary_areas.is_empty() {
+                    // Uniform pixel: the certain-cover count is the exact
+                    // polygon incidence for every location in the pixel.
+                    let count = *cov as u32;
+                    if cond.eval(count) {
+                        kept.extend_from_slice(c.boundary().points_at(pixel));
+                    } else {
+                        *cov = 0;
+                        *t = Texel::null();
+                    }
+                } else {
+                    // Boundary pixel: refine each exact point location
+                    // against the vector polygons (paper Section 5).
+                    let mut count_kept = 0u32;
+                    let mut weight_sum = 0.0f32;
+                    for e in c.boundary().points_at(pixel) {
+                        let exact = c.exact_area_count(pixel, e.loc);
+                        if cond.eval(exact) {
+                            kept.push(*e);
+                            count_kept += 1;
+                            weight_sum += e.weight;
+                        }
+                    }
+                    if count_kept == 0 {
+                        *cov = 0;
+                        *t = Texel::null();
+                    } else {
+                        // Rewrite s[0] with the refined count / weight sum so
+                        // downstream aggregation scatters stay exact.
+                        let mut info = t.get(0).expect("checked above");
+                        info.v1 = count_kept as f32;
+                        info.v2 = weight_sum;
+                        t.set(0, info);
                     }
                 }
-                if count_kept == 0 {
-                    cover_ref.set(x, y, 0);
-                    Texel::null()
-                } else {
-                    // Rewrite s[0] with the refined count / weight sum so
-                    // downstream aggregation scatters stay exact.
-                    let mut t2 = t;
-                    let mut info = t.get(0).expect("checked above");
-                    info.v1 = count_kept as f32;
-                    info.v2 = weight_sum;
-                    t2.set(0, info);
-                    t2
-                }
-            }
-        });
-    }
+            })
+    };
     // Replace point entries with the refined set (already pixel-ordered
-    // because the pass runs row-major) and drop boundary entries of
+    // because bands concatenate row-major) and drop boundary entries of
     // nulled pixels.
     let texels = out.texels().clone();
     let width = texels.width();

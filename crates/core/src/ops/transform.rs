@@ -26,8 +26,14 @@ use canvas_raster::Viewport;
 #[derive(Clone)]
 pub enum PositionMap {
     Translate(Point),
-    RotateAround { center: Point, angle: f64 },
-    ScaleAround { center: Point, factor: f64 },
+    RotateAround {
+        center: Point,
+        angle: f64,
+    },
+    ScaleAround {
+        center: Point,
+        factor: f64,
+    },
     /// Arbitrary map (must be injective on the data for Definition-
     /// faithful semantics).
     Custom(Arc<dyn Fn(Point) -> Point + Send + Sync>),
@@ -37,12 +43,8 @@ impl PositionMap {
     pub fn apply(&self, p: Point) -> Point {
         match self {
             PositionMap::Translate(d) => p + *d,
-            PositionMap::RotateAround { center, angle } => {
-                (p - *center).rotated(*angle) + *center
-            }
-            PositionMap::ScaleAround { center, factor } => {
-                (p - *center) * *factor + *center
-            }
+            PositionMap::RotateAround { center, angle } => (p - *center).rotated(*angle) + *center,
+            PositionMap::ScaleAround { center, factor } => (p - *center) * *factor + *center,
             PositionMap::Custom(f) => f(p),
         }
     }
@@ -97,8 +99,7 @@ pub fn transform_positions(
             continue;
         }
         let new_table: crate::canvas::AreaSource = Arc::new(transformed);
-        let rendered =
-            source::render_polygon_set(dev, target_vp, &new_table, BlendFn::AreaCount);
+        let rendered = source::render_polygon_set(dev, target_vp, &new_table, BlendFn::AreaCount);
         out = crate::ops::blend::blend(dev, &out, &rendered, BlendFn::Over);
     }
 
@@ -130,12 +131,15 @@ fn transform_polygon(poly: &Polygon, gamma: &PositionMap) -> Option<Polygon> {
     Some(Polygon::new(outer, holes))
 }
 
+/// Shared texel→target function of a [`ValueMap`].
+pub type ValueMapFn = Arc<dyn Fn(&Texel) -> Option<Point> + Send + Sync>;
+
 /// Value-form γ: computes a target location from a texel (`None` drops
 /// the texel, mirroring ∅ handling).
 #[derive(Clone)]
 pub struct ValueMap {
     pub name: &'static str,
-    pub f: Arc<dyn Fn(&Texel) -> Option<Point> + Send + Sync>,
+    pub f: ValueMapFn,
 }
 
 impl ValueMap {
@@ -145,9 +149,7 @@ impl ValueMap {
     pub fn area_id_slot() -> Self {
         ValueMap {
             name: "γc: s[2].id → slot",
-            f: Arc::new(|t: &Texel| {
-                t.get(2).map(|a| Point::new(a.id as f64 + 0.5, 0.5))
-            }),
+            f: Arc::new(|t: &Texel| t.get(2).map(|a| Point::new(a.id as f64 + 0.5, 0.5))),
         }
     }
 
@@ -165,9 +167,7 @@ impl ValueMap {
     pub fn point_id_lookup(name: &'static str, table: Arc<Vec<Point>>) -> Self {
         ValueMap {
             name,
-            f: Arc::new(move |t: &Texel| {
-                t.get(0).map(|p| table[p.id as usize])
-            }),
+            f: Arc::new(move |t: &Texel| t.get(0).map(|p| table[p.id as usize])),
         }
     }
 }
@@ -182,7 +182,10 @@ impl std::fmt::Debug for ValueMap {
 /// space for aggregation scatters (`γc`).
 pub fn group_viewport(num_groups: u32) -> Viewport {
     Viewport::new(
-        canvas_geom::BBox::new(Point::new(0.0, 0.0), Point::new(num_groups.max(1) as f64, 1.0)),
+        canvas_geom::BBox::new(
+            Point::new(0.0, 0.0),
+            Point::new(num_groups.max(1) as f64, 1.0),
+        ),
         num_groups.max(1),
         1,
     )

@@ -63,14 +63,7 @@ pub fn rect_canvas(dev: &mut Device, vp: Viewport, l1: Point, l2: Point, id: u32
 /// `C = HS[a, b, c]()` — canvas of the half-space `ax + by + c < 0`,
 /// materialized as the viewport extent clipped by the directed line (a
 /// half-space drawn onto a finite canvas is exactly that intersection).
-pub fn halfspace_canvas(
-    dev: &mut Device,
-    vp: Viewport,
-    a: f64,
-    b: f64,
-    c: f64,
-    id: u32,
-) -> Canvas {
+pub fn halfspace_canvas(dev: &mut Device, vp: Viewport, a: f64, b: f64, c: f64, id: u32) -> Canvas {
     let extent_ring = vp.world().corners().to_vec();
     let clipped = clip_ring_halfplane(&extent_ring, a, b, c);
     match Polygon::simple(clipped) {
@@ -107,7 +100,13 @@ mod tests {
     #[test]
     fn rect_canvas_covers_box() {
         let mut dev = Device::nvidia();
-        let c = rect_canvas(&mut dev, vp(), Point::new(6.0, 2.0), Point::new(2.0, 6.0), 1);
+        let c = rect_canvas(
+            &mut dev,
+            vp(),
+            Point::new(6.0, 2.0),
+            Point::new(2.0, 6.0),
+            1,
+        );
         assert!(c.value_at(Point::new(4.0, 4.0)).has(2));
         assert!(c.value_at(Point::new(8.0, 8.0)).is_null());
         let t = c.value_at(Point::new(4.0, 4.0));
@@ -117,7 +116,13 @@ mod tests {
     #[test]
     fn degenerate_rect_is_empty() {
         let mut dev = Device::nvidia();
-        let c = rect_canvas(&mut dev, vp(), Point::new(3.0, 3.0), Point::new(3.0, 8.0), 1);
+        let c = rect_canvas(
+            &mut dev,
+            vp(),
+            Point::new(3.0, 3.0),
+            Point::new(3.0, 8.0),
+            1,
+        );
         assert!(c.is_empty());
     }
 

@@ -12,11 +12,7 @@ use canvas_geom::Point;
 
 /// `C' = V[f](C)`. The function receives the *world* coordinates of each
 /// location (pixel center under discretization) and its current value.
-pub fn value_transform(
-    dev: &mut Device,
-    c: &Canvas,
-    f: impl Fn(Point, Texel) -> Texel,
-) -> Canvas {
+pub fn value_transform(dev: &mut Device, c: &Canvas, f: impl Fn(Point, Texel) -> Texel) -> Canvas {
     let mut out = c.clone();
     let vp = *c.viewport();
     {
@@ -72,9 +68,7 @@ mod tests {
         // Voronoi building block.
         let mut dev = Device::nvidia();
         let c = Canvas::empty(vp());
-        let out = value_transform(&mut dev, &c, |p, _| {
-            Texel::area(0, p.norm_sq() as f32, 0.0)
-        });
+        let out = value_transform(&mut dev, &c, |p, _| Texel::area(0, p.norm_sq() as f32, 0.0));
         let d_near = out.texel(0, 0).get(2).unwrap().v1;
         let d_far = out.texel(9, 9).get(2).unwrap().v1;
         assert!(d_near < d_far);

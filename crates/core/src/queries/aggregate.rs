@@ -18,9 +18,7 @@
 use crate::canvas::{AreaSource, PointBatch};
 use crate::device::Device;
 use crate::info::BlendFn;
-use crate::ops::{
-    group_viewport, map_scatter, CountCond, MaskSpec, ValueMap,
-};
+use crate::ops::{group_viewport, map_scatter, CountCond, MaskSpec, ValueMap};
 use canvas_geom::polygon::Polygon;
 use canvas_raster::Viewport;
 
@@ -61,11 +59,7 @@ pub fn count_points_in_polygon(
         group_viewport(2),
         BlendFn::Accumulate,
     );
-    groups
-        .texel(1, 0)
-        .get(0)
-        .map(|i| i.v1 as u64)
-        .unwrap_or(0)
+    groups.texel(1, 0).get(0).map(|i| i.v1 as u64).unwrap_or(0)
 }
 
 /// `SELECT SUM(w) FROM D_P WHERE Location INSIDE Q` — same plan, reading
@@ -308,12 +302,8 @@ mod tests {
             .filter(|(p, _)| q.contains_closed(**p))
             .map(|(_, w)| *w as f64)
             .sum();
-        let got = sum_points_in_polygon(
-            &mut dev,
-            vp(),
-            &PointBatch::with_weights(pts, weights),
-            &q,
-        );
+        let got =
+            sum_points_in_polygon(&mut dev, vp(), &PointBatch::with_weights(pts, weights), &q);
         assert_eq!(got, expect);
     }
 
@@ -327,12 +317,8 @@ mod tests {
         ];
         let weights = vec![5.0, 2.0, 100.0];
         let q = square(20.0, 20.0, 20.0);
-        let mm = minmax_points_in_polygon(
-            &mut dev,
-            vp(),
-            &PointBatch::with_weights(pts, weights),
-            &q,
-        );
+        let mm =
+            minmax_points_in_polygon(&mut dev, vp(), &PointBatch::with_weights(pts, weights), &q);
         assert_eq!(mm, Some((2.0, 5.0)));
     }
 
@@ -341,8 +327,7 @@ mod tests {
         let mut dev = Device::nvidia();
         let pts = vec![Point::new(90.0, 90.0)];
         let q = square(10.0, 10.0, 20.0);
-        let mm =
-            minmax_points_in_polygon(&mut dev, vp(), &PointBatch::from_points(pts), &q);
+        let mm = minmax_points_in_polygon(&mut dev, vp(), &PointBatch::from_points(pts), &q);
         assert_eq!(mm, None);
     }
 
@@ -434,12 +419,7 @@ mod tests {
         let g = aggregate_join_rasterjoin(&mut dev, vp(), &batch, &empty);
         assert!(g.counts.is_empty());
         let polys: AreaSource = Arc::new(vec![square(0.0, 0.0, 10.0)]);
-        let g = aggregate_join_rasterjoin(
-            &mut dev,
-            vp(),
-            &PointBatch::from_points(vec![]),
-            &polys,
-        );
+        let g = aggregate_join_rasterjoin(&mut dev, vp(), &PointBatch::from_points(vec![]), &polys);
         assert_eq!(g.counts, vec![0]);
     }
 }

@@ -72,9 +72,7 @@ pub fn join_polygons_polygons(
             if sel.is_empty() {
                 continue;
             }
-            let certain = sel
-                .non_null()
-                .any(|(x, y, _)| sel.cover().get(x, y) >= 2);
+            let certain = sel.non_null().any(|(x, y, _)| sel.cover().get(x, y) >= 2);
             if certain || a.intersects(&right[j as usize]) {
                 pairs.push((i as u32, j));
             }
@@ -108,9 +106,7 @@ pub fn distance_join(
     let r2 = radius * radius;
     candidate_pairs
         .into_iter()
-        .filter(|&(p, c)| {
-            left.points[p as usize].dist_sq(right.points[c as usize]) <= r2
-        })
+        .filter(|&(p, c)| left.points[p as usize].dist_sq(right.points[c as usize]) <= r2)
         .collect()
 }
 

@@ -76,8 +76,7 @@ pub fn select_od(
         return Vec::new();
     }
     // Stage 1: C_origin ← M[Mp](B[⊙](C_P, C_Q1)).
-    let origin_sel: PointSelection =
-        select_points_in_polygon(dev, vp, &trips.origin_batch(), q1);
+    let origin_sel: PointSelection = select_points_in_polygon(dev, vp, &trips.origin_batch(), q1);
     if origin_sel.records.is_empty() {
         return Vec::new();
     }

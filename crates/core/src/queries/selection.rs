@@ -49,11 +49,7 @@ pub fn points_in_polygon_plan(data: Arc<PointBatch>, q: Polygon) -> Expr {
 
 /// Builds the Figure 8(b) multi-constraint plan:
 /// `C_result ← M[Mp'](B[⊙](C_P, B*[⊕](C_Q…)))`.
-pub fn points_in_polygons_plan(
-    data: Arc<PointBatch>,
-    qs: &[Polygon],
-    mode: MultiPolygon,
-) -> Expr {
+pub fn points_in_polygons_plan(data: Arc<PointBatch>, qs: &[Polygon], mode: MultiPolygon) -> Expr {
     let cond = match mode {
         MultiPolygon::Disjunction => CountCond::Ge(1),
         MultiPolygon::Conjunction => CountCond::Eq(qs.len() as u32),
@@ -211,19 +207,12 @@ pub fn select_lines_intersecting(
     // Candidate records from the surviving line entries; exact-refine
     // each (conservative coverage of both line and polygon can overlap
     // without true intersection).
-    let mut candidates: Vec<u32> = sel
-        .boundary()
-        .lines()
-        .iter()
-        .map(|e| e.record)
-        .collect();
+    let mut candidates: Vec<u32> = sel.boundary().lines().iter().map(|e| e.record).collect();
     candidates.sort_unstable();
     candidates.dedup();
     let records: Vec<u32> = candidates
         .into_iter()
-        .filter(|&r| {
-            canvas_geom::distance::polyline_intersects_polygon(&data[r as usize], q)
-        })
+        .filter(|&r| canvas_geom::distance::polyline_intersects_polygon(&data[r as usize], q))
         .collect();
     PolygonSelection { records }
 }
@@ -257,9 +246,7 @@ pub fn select_polygons_intersecting(
             continue;
         }
         // Certain if any surviving pixel is fully covered by both.
-        let certain = sel
-            .non_null()
-            .any(|(x, y, _)| sel.cover().get(x, y) >= 2);
+        let certain = sel.non_null().any(|(x, y, _)| sel.cover().get(x, y) >= 2);
         if certain || poly.intersects(q) {
             records.push(i as u32);
         }
@@ -424,8 +411,7 @@ mod tests {
         let data = PointBatch::from_points(pts.clone());
         let center = Point::new(50.0, 50.0);
         let d = 23.0;
-        let sel =
-            select_points_within_distance_exact(&mut dev, vp(64), &data, center, d);
+        let sel = select_points_within_distance_exact(&mut dev, vp(64), &data, center, d);
         let expect: Vec<u32> = pts
             .iter()
             .enumerate()

@@ -51,7 +51,13 @@ pub fn skyline_of_selection(
     sites: &[Point],
 ) -> Vec<u32> {
     let sel = select_points_in_polygon(dev, vp, data, constraint);
-    let pts: Vec<Point> = sel.canvas.boundary().points().iter().map(|e| e.loc).collect();
+    let pts: Vec<Point> = sel
+        .canvas
+        .boundary()
+        .points()
+        .iter()
+        .map(|e| e.loc)
+        .collect();
     let ids: Vec<u32> = sel
         .canvas
         .boundary()

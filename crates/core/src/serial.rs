@@ -12,9 +12,9 @@
 //! re-attached by the caller on load (the canvas↔tuple duality).
 
 use crate::boundary::PointEntry;
+use crate::bytebuf::{Buf, Bytes, BytesMut};
 use crate::canvas::Canvas;
 use crate::info::{DimInfo, Texel};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use canvas_geom::{BBox, Point};
 use canvas_raster::{Texture, Viewport};
 
@@ -264,10 +264,7 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode(&[]).unwrap_err(), DecodeError::Truncated);
-        assert_eq!(
-            decode(&[0u8; 64]).unwrap_err(),
-            DecodeError::BadMagic
-        );
+        assert_eq!(decode(&[0u8; 64]).unwrap_err(), DecodeError::BadMagic);
         let mut blob = encode(&sample()).to_vec();
         blob[4] = 0xFF; // version bytes
         assert!(matches!(
@@ -285,21 +282,15 @@ mod tests {
         let c = sample();
         let back = decode(&encode(&c)).unwrap();
         let mut dev = Device::nvidia();
-        let spec = crate::ops::MaskSpec::Texel(
-            "has point",
-            std::sync::Arc::new(|t: &Texel| t.has(0)),
-        );
+        let spec =
+            crate::ops::MaskSpec::Texel("has point", std::sync::Arc::new(|t: &Texel| t.has(0)));
         let masked = crate::ops::mask(&mut dev, &back, &spec);
         assert_eq!(masked.point_records(), vec![0, 1, 2]);
     }
 
     #[test]
     fn empty_canvas_roundtrip() {
-        let vp = Viewport::new(
-            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
-            4,
-            4,
-        );
+        let vp = Viewport::new(BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 4, 4);
         let c = Canvas::empty(vp);
         let back = decode(&encode(&c)).unwrap();
         assert!(back.is_empty());

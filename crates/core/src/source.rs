@@ -32,7 +32,7 @@ pub fn render_points(dev: &mut Device, vp: Viewport, batch: &PointBatch) -> Canv
     let weights = &batch.weights;
     {
         let (texels, _, _) = canvas.planes_mut();
-        dev.pipeline().draw_points(
+        dev.pipeline().draw_points_tiled(
             &vp,
             texels,
             &batch.points,
@@ -42,8 +42,6 @@ pub fn render_points(dev: &mut Device, vp: Viewport, batch: &PointBatch) -> Canv
     }
     // Exact locations for refinement and result extraction (the paper
     // stores "the actual location of the points" per pixel).
-    let width = vp.width() as u32;
-    let _ = width;
     for (i, &p) in batch.points.iter().enumerate() {
         if let Some((x, y)) = vp.world_to_pixel(p) {
             let pixel = canvas.pixel_index(x, y);
@@ -92,33 +90,24 @@ pub fn render_polygon_with(
     dev.pipeline()
         .note_upload((poly.num_vertices() * 16) as u64);
 
-    let mut boundary_entries: Vec<AreaEntry> = Vec::new();
-    let width = vp.width();
-    {
+    let boundary = {
         let (texels, cover, _) = canvas.planes_mut();
-        dev.pipeline().draw_polygon(
+        dev.pipeline().draw_polygons_tiled(
             &vp,
             texels,
-            poly,
+            cover,
+            std::slice::from_ref(poly),
             conservative,
-            |frag| {
-                let pixel = frag.y * width + frag.x;
-                if frag.boundary {
-                    boundary_entries.push(AreaEntry {
-                        pixel,
-                        source,
-                        record: record as u32,
-                    });
-                } else {
-                    cover.update(frag.x, frag.y, |c| c.saturating_add(1));
-                }
-                texel
-            },
+            |_, _| texel,
             |d, s| d.over(s),
-        );
-    }
-    for e in boundary_entries {
-        canvas.boundary_mut().push_area(e);
+        )
+    };
+    for (_, pixel) in boundary {
+        canvas.boundary_mut().push_area(AreaEntry {
+            pixel,
+            source,
+            record: record as u32,
+        });
     }
     canvas.boundary_mut().sort();
     canvas
@@ -135,37 +124,28 @@ pub fn render_polygon_set(
 ) -> Canvas {
     let mut canvas = Canvas::empty(vp);
     let source = canvas.add_area_source(table.clone());
-    let mut boundary_entries: Vec<AreaEntry> = Vec::new();
-    let width = vp.width();
     let upload: u64 = table.iter().map(|p| (p.num_vertices() * 16) as u64).sum();
     dev.pipeline().note_upload(upload);
-    {
+    let boundary = {
         // One instanced draw for the whole table (a single pass — this
         // is the fusion the Section 5.1 multi-constraint plan relies on).
         let (texels, cover, _) = canvas.planes_mut();
-        dev.pipeline().draw_polygons_batch(
+        dev.pipeline().draw_polygons_tiled(
             &vp,
             texels,
+            cover,
             table,
             true,
-            |record, frag| {
-                let pixel = frag.y * width + frag.x;
-                if frag.boundary {
-                    boundary_entries.push(AreaEntry {
-                        pixel,
-                        source,
-                        record,
-                    });
-                } else {
-                    cover.update(frag.x, frag.y, |c| c.saturating_add(1));
-                }
-                Texel::area(record, 1.0, 0.0)
-            },
+            |record, _| Texel::area(record, 1.0, 0.0),
             |d, s| blend.apply(d, s),
-        );
-    }
-    for e in boundary_entries {
-        canvas.boundary_mut().push_area(e);
+        )
+    };
+    for (record, pixel) in boundary {
+        canvas.boundary_mut().push_area(AreaEntry {
+            pixel,
+            source,
+            record,
+        });
     }
     canvas.boundary_mut().sort();
     canvas
@@ -176,30 +156,24 @@ pub fn render_polygon_set(
 pub fn render_polylines(dev: &mut Device, vp: Viewport, table: &LineSource) -> Canvas {
     let mut canvas = Canvas::empty(vp);
     let source = canvas.add_line_source(table.clone());
-    let mut entries: Vec<LineEntry> = Vec::new();
-    let width = vp.width();
-    for (record, line) in table.iter().enumerate() {
-        dev.pipeline()
-            .note_upload((line.vertices().len() * 16) as u64);
-        let texel = Texel::line(record as u32, 1.0, 0.0);
+    let upload: u64 = table.iter().map(|l| (l.vertices().len() * 16) as u64).sum();
+    dev.pipeline().note_upload(upload);
+    let boundary = {
         let (texels, _, _) = canvas.planes_mut();
-        dev.pipeline().draw_polyline(
+        dev.pipeline().draw_polylines_tiled(
             &vp,
             texels,
-            line,
-            |frag| {
-                entries.push(LineEntry {
-                    pixel: frag.y * width + frag.x,
-                    source,
-                    record: record as u32,
-                });
-                texel
-            },
+            table,
+            |record, _| Texel::line(record, 1.0, 0.0),
             |d, s| d.over(s),
-        );
-    }
-    for e in entries {
-        canvas.boundary_mut().push_line(e);
+        )
+    };
+    for (record, pixel) in boundary {
+        canvas.boundary_mut().push_line(LineEntry {
+            pixel,
+            source,
+            record,
+        });
     }
     canvas.boundary_mut().sort();
     canvas
@@ -363,7 +337,10 @@ mod tests {
         // pixel (2,2) spans [2,3)², entirely inside the square.
         assert_eq!(c.exact_area_count(bpix, Point::new(2.5, 2.5)), 1);
         // A location outside the polygon in an exterior pixel.
-        assert_eq!(c.exact_area_count(c.pixel_index(0, 0), Point::new(0.5, 0.5)), 0);
+        assert_eq!(
+            c.exact_area_count(c.pixel_index(0, 0), Point::new(0.5, 0.5)),
+            0
+        );
     }
 
     #[test]
@@ -416,8 +393,7 @@ mod tests {
         ])
         .unwrap();
         let holed = Polygon::new(outer, vec![hole]);
-        let connector =
-            Polyline::new(vec![Point::new(3.5, 5.0), Point::new(5.0, 5.0)]).unwrap();
+        let connector = Polyline::new(vec![Point::new(3.5, 5.0), Point::new(5.0, 5.0)]).unwrap();
         let mut obj = GeomObject::new(vec![]);
         obj.push(Primitive::Area(ellipse));
         obj.push(Primitive::Area(holed));
@@ -451,11 +427,8 @@ mod tests {
     #[test]
     fn polyline_renders_all_boundary() {
         let mut dev = Device::nvidia();
-        let line = canvas_geom::Polyline::new(vec![
-            Point::new(1.5, 1.5),
-            Point::new(8.5, 1.5),
-        ])
-        .unwrap();
+        let line =
+            canvas_geom::Polyline::new(vec![Point::new(1.5, 1.5), Point::new(8.5, 1.5)]).unwrap();
         let table: LineSource = Arc::new(vec![line]);
         let c = render_polylines(&mut dev, vp(), &table);
         assert!(c.non_null_count() >= 8);

@@ -14,7 +14,7 @@ use crate::device::Device;
 use crate::queries::selection;
 use canvas_geom::polygon::Polygon;
 use canvas_geom::wkt::{parse_wkt, WktError};
-use canvas_geom::{BBox, GeomObject, Primitive};
+use canvas_geom::{BBox, GeomObject, Point, Primitive};
 use canvas_raster::Viewport;
 
 /// Errors from table construction and queries.
@@ -143,6 +143,31 @@ impl SpatialTable {
         Viewport::square_pixels(b.inflated(margin), max_dim)
     }
 
+    /// A flat CSR grid index over the records' bounding boxes, sized for
+    /// roughly `items_per_cell` records per cell — the filter-step index
+    /// for candidate pruning before canvas evaluation (e.g. restricting
+    /// a join's polygon side to records whose MBR meets the query MBR).
+    pub fn grid_index(&self, items_per_cell: usize) -> canvas_geom::grid::GridIndex {
+        // An empty table (or a degenerate single-point extent) has an
+        // empty bbox, which the builder rejects; a unit extent gives a
+        // valid, trivially empty index instead.
+        let extent = self.extent().inflated(1e-9);
+        let extent = if extent.is_empty() {
+            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        } else {
+            extent
+        };
+        let mut b = canvas_geom::grid::GridIndexBuilder::with_target_occupancy(
+            extent,
+            self.len().max(1),
+            items_per_cell.max(1),
+        );
+        for (i, o) in self.objects.iter().enumerate() {
+            b.insert(i as u32, &o.bbox());
+        }
+        b.build()
+    }
+
     /// The table as a point batch, if every record is a single point.
     /// `weight_attr` selects the weight column (unit weights otherwise).
     pub fn as_points(&self, weight_attr: Option<&str>) -> Result<PointBatch, TableError> {
@@ -227,10 +252,7 @@ mod tests {
 
     #[test]
     fn wkt_loading_and_extent() {
-        let t = SpatialTable::from_wkt_lines(
-            "POINT (1 2)\n\nPOINT (5 6)\nPOINT (3 0)\n",
-        )
-        .unwrap();
+        let t = SpatialTable::from_wkt_lines("POINT (1 2)\n\nPOINT (5 6)\nPOINT (3 0)\n").unwrap();
         assert_eq!(t.len(), 3);
         let b = t.extent();
         assert_eq!(b.min, Point::new(1.0, 0.0));
@@ -300,10 +322,8 @@ mod tests {
 
     #[test]
     fn line_table_selection() {
-        let t = SpatialTable::from_wkt_lines(
-            "LINESTRING (0 5, 10 5)\nLINESTRING (0 20, 10 20)",
-        )
-        .unwrap();
+        let t = SpatialTable::from_wkt_lines("LINESTRING (0 5, 10 5)\nLINESTRING (0 20, 10 20)")
+            .unwrap();
         let q = Polygon::simple(vec![
             Point::new(4.0, 0.0),
             Point::new(6.0, 0.0),
@@ -312,10 +332,8 @@ mod tests {
         ])
         .unwrap();
         let mut dev = Device::nvidia();
-        let vp = Viewport::square_pixels(
-            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 25.0)),
-            128,
-        );
+        let vp =
+            Viewport::square_pixels(BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 25.0)), 128);
         let ids = t.select_in_polygon(&mut dev, vp, &q).unwrap();
         assert_eq!(ids, vec![0]);
     }
@@ -332,10 +350,8 @@ mod tests {
         ])
         .unwrap();
         let mut dev = Device::nvidia();
-        let vp = Viewport::square_pixels(
-            BBox::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)),
-            32,
-        );
+        let vp =
+            Viewport::square_pixels(BBox::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)), 32);
         assert!(t.select_in_polygon(&mut dev, vp, &q).is_err());
     }
 
@@ -346,5 +362,32 @@ mod tests {
         let batch = t.as_points(Some("fare")).unwrap();
         assert_eq!(batch.weights, vec![7.5, 2.5]);
         assert!(t.as_points(Some("missing")).is_err());
+    }
+
+    #[test]
+    fn grid_index_on_empty_and_singleton_tables() {
+        // Regression: empty tables fold to BBox::EMPTY, which the grid
+        // builder rejects — grid_index must not panic.
+        let empty = SpatialTable::new();
+        let g = empty.grid_index(4);
+        assert!(g.is_empty());
+        let one = SpatialTable::from_wkt_lines("POINT (3 3)").unwrap();
+        let g = one.grid_index(4);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grid_index_filters_candidates() {
+        let t =
+            SpatialTable::from_wkt_lines("POINT (1 1)\nPOINT (9 9)\nPOINT (1.2 0.8)\nPOINT (5 5)")
+                .unwrap();
+        let grid = t.grid_index(1);
+        assert_eq!(grid.len(), 4);
+        // A query near the first cluster must see records 0 and 2 but
+        // can prune the far corner.
+        let q = BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let hits = grid.query(&q);
+        assert!(hits.contains(&0) && hits.contains(&2), "hits {hits:?}");
+        assert!(!hits.contains(&1), "far record must be pruned: {hits:?}");
     }
 }

@@ -185,11 +185,7 @@ mod tests {
 
     #[test]
     fn empty_canvas_renders_blank() {
-        let vp = Viewport::new(
-            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
-            4,
-            4,
-        );
+        let vp = Viewport::new(BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), 4, 4);
         let c = Canvas::empty(vp);
         let art = to_ascii(&c, 4, 4, Shade::Support);
         assert!(art.chars().all(|ch| ch == ' ' || ch == '\n'));

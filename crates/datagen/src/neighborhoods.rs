@@ -98,9 +98,7 @@ fn voronoi_cell(extent: &BBox, sites: &[Point], i: usize, site: Point) -> Polygo
         // |p - site|² < |p - other|²  ⇔  a·x + b·y + c < 0 with
         let a = 2.0 * (other.x - site.x);
         let b = 2.0 * (other.y - site.y);
-        let c = site.x * site.x + site.y * site.y
-            - other.x * other.x
-            - other.y * other.y;
+        let c = site.x * site.x + site.y * site.y - other.x * other.x - other.y * other.y;
         ring = clip_ring_halfplane(&ring, a, b, c);
         if ring.len() < 3 {
             break;
@@ -153,9 +151,7 @@ mod tests {
             let p = Point::new(next() * 100.0, next() * 100.0);
             let strictly_inside = polys
                 .iter()
-                .filter(|poly| {
-                    matches!(poly.contains(p), canvas_geom::Containment::Inside)
-                })
+                .filter(|poly| matches!(poly.contains(p), canvas_geom::Containment::Inside))
                 .count();
             assert!(strictly_inside <= 1, "point {p} in {strictly_inside} cells");
         }

@@ -65,9 +65,7 @@ pub fn fit_to_bbox(poly: &Polygon, target: &BBox) -> Polygon {
     let holes = poly
         .holes()
         .iter()
-        .filter_map(|h| {
-            canvas_geom::Ring::new(h.vertices().iter().map(|v| map(*v)).collect()).ok()
-        })
+        .filter_map(|h| canvas_geom::Ring::new(h.vertices().iter().map(|v| map(*v)).collect()).ok())
         .collect();
     Polygon::new(outer, holes)
 }
@@ -177,10 +175,7 @@ mod tests {
         for (target, tol) in [(0.03, 0.02), (0.25, 0.04), (0.5, 0.05), (0.83, 0.05)] {
             let poly = calibrated_polygon(&extent(), &pts, target, 48, 13);
             let s = selectivity(&poly, &pts);
-            assert!(
-                (s - target).abs() <= tol,
-                "target {target}, got {s}"
-            );
+            assert!((s - target).abs() <= tol, "target {target}, got {s}");
         }
     }
 

@@ -119,10 +119,7 @@ mod tests {
         assert_eq!(full.len(), 2000);
         // Uniform slots: roughly half the trips.
         assert!((half.len() as f64 - 1000.0).abs() < 150.0, "{}", half.len());
-        assert!(half
-            .time_slots
-            .iter()
-            .all(|&s| s < 5));
+        assert!(half.time_slots.iter().all(|&s| s < 5));
     }
 
     #[test]
@@ -140,8 +137,8 @@ mod tests {
         by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let q = by_dist.len() / 4;
         let short_avg: f32 = by_dist[..q].iter().map(|x| x.1).sum::<f32>() / q as f32;
-        let long_avg: f32 = by_dist[3 * q..].iter().map(|x| x.1).sum::<f32>()
-            / (by_dist.len() - 3 * q) as f32;
+        let long_avg: f32 =
+            by_dist[3 * q..].iter().map(|x| x.1).sum::<f32>() / (by_dist.len() - 3 * q) as f32;
         assert!(long_avg > short_avg);
     }
 

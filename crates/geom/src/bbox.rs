@@ -80,9 +80,7 @@ impl BBox {
 
     /// True if `other` lies fully inside `self` (closed).
     pub fn contains_box(&self, other: &BBox) -> bool {
-        !other.is_empty()
-            && self.contains(other.min)
-            && self.contains(other.max)
+        !other.is_empty() && self.contains(other.min) && self.contains(other.max)
     }
 
     /// Closed intersection test.

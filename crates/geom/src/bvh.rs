@@ -152,7 +152,9 @@ fn build_node(edges: &mut [Edge], start: usize, end: usize, nodes: &mut Vec<Node
                 e.a.y + e.b.y
             }
         };
-        key(l).partial_cmp(&key(r)).unwrap_or(std::cmp::Ordering::Equal)
+        key(l)
+            .partial_cmp(&key(r))
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let split = start + mid;
     let left = build_node(edges, start, split, nodes);

@@ -143,20 +143,16 @@ mod tests {
     fn polyline_polygon_intersection() {
         let sq = unit_square();
         // Crossing through.
-        let crossing =
-            Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
+        let crossing = Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
         assert!(polyline_intersects_polygon(&crossing, &sq));
         // Fully inside.
-        let inside =
-            Polyline::new(vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)]).unwrap();
+        let inside = Polyline::new(vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)]).unwrap();
         assert!(polyline_intersects_polygon(&inside, &sq));
         // Fully outside.
-        let outside =
-            Polyline::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 3.0)]).unwrap();
+        let outside = Polyline::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 3.0)]).unwrap();
         assert!(!polyline_intersects_polygon(&outside, &sq));
         // Touching a corner.
-        let touching =
-            Polyline::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).unwrap();
+        let touching = Polyline::new(vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).unwrap();
         assert!(polyline_intersects_polygon(&touching, &sq));
     }
 

@@ -126,9 +126,6 @@ mod tests {
     fn tiny_inputs() {
         assert!(convex_hull(&[]).is_empty());
         assert_eq!(convex_hull(&[Point::ORIGIN]).len(), 1);
-        assert_eq!(
-            convex_hull(&[Point::ORIGIN, Point::new(1.0, 1.0)]).len(),
-            2
-        );
+        assert_eq!(convex_hull(&[Point::ORIGIN, Point::new(1.0, 1.0)]).len(), 2);
     }
 }

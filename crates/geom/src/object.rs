@@ -170,8 +170,7 @@ mod tests {
         ])
         .unwrap();
         let holed = Polygon::new(outer, vec![hole]);
-        let connector =
-            Polyline::new(vec![Point::new(-3.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
+        let connector = Polyline::new(vec![Point::new(-3.0, 0.0), Point::new(2.0, 0.0)]).unwrap();
         let mut o = GeomObject::new(vec![]);
         o.push(Primitive::Area(ellipse));
         o.push(Primitive::Area(holed));

@@ -30,9 +30,7 @@ impl Polyline {
 
     /// Iterator over the constituent segments.
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.vertices
-            .windows(2)
-            .map(|w| Segment::new(w[0], w[1]))
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
     }
 
     pub fn length(&self) -> f64 {
@@ -121,8 +119,7 @@ mod tests {
     #[test]
     fn intersection_between_polylines() {
         let z = zigzag();
-        let horiz =
-            Polyline::new(vec![Point::new(0.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
+        let horiz = Polyline::new(vec![Point::new(0.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
         assert!(z.intersects(&horiz));
         let far = Polyline::new(vec![Point::new(0.0, 5.0), Point::new(2.0, 5.0)]).unwrap();
         assert!(!z.intersects(&far));

@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn pip_interior_exterior() {
         let sq = square();
-        assert_eq!(point_in_ring(Point::new(2.0, 2.0), &sq), Containment::Inside);
+        assert_eq!(
+            point_in_ring(Point::new(2.0, 2.0), &sq),
+            Containment::Inside
+        );
         assert_eq!(
             point_in_ring(Point::new(5.0, 2.0), &sq),
             Containment::Outside

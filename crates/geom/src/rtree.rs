@@ -144,9 +144,7 @@ fn pack_level(entries: &mut [(u32, BBox)], nodes: &mut Vec<Node>, is_leaf: bool)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         for group in slice.chunks(NODE_CAPACITY) {
-            let bbox = group
-                .iter()
-                .fold(BBox::EMPTY, |acc, (_, b)| acc.union(b));
+            let bbox = group.iter().fold(BBox::EMPTY, |acc, (_, b)| acc.union(b));
             nodes.push(Node {
                 bbox,
                 children: group.iter().map(|(id, _)| *id).collect(),
@@ -265,9 +263,6 @@ mod tests {
         // Every point must be findable.
         assert_eq!(t.query_point(Point::new(0.0, 0.0)), vec![0]);
         let last = pts.len() - 1;
-        assert_eq!(
-            t.query_point(pts[last]),
-            vec![last as u32]
-        );
+        assert_eq!(t.query_point(pts[last]), vec![last as u32]);
     }
 }

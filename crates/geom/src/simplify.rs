@@ -35,8 +35,8 @@ fn rdp(points: &[Point], lo: usize, hi: usize, epsilon: f64, keep: &mut [bool]) 
     }
     let seg = Segment::new(points[lo], points[hi]);
     let (mut worst, mut worst_d) = (lo, -1.0f64);
-    for i in (lo + 1)..hi {
-        let d = crate::distance::point_segment_dist(points[i], &seg);
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = crate::distance::point_segment_dist(*p, &seg);
         if d > worst_d {
             worst_d = d;
             worst = i;
@@ -51,8 +51,7 @@ fn rdp(points: &[Point], lo: usize, hi: usize, epsilon: f64, keep: &mut [bool]) 
 
 /// Simplifies a polyline (endpoints preserved).
 pub fn simplify_polyline(line: &Polyline, epsilon: f64) -> Polyline {
-    Polyline::new(simplify_chain(line.vertices(), epsilon))
-        .unwrap_or_else(|| line.clone())
+    Polyline::new(simplify_chain(line.vertices(), epsilon)).unwrap_or_else(|| line.clone())
 }
 
 /// Simplifies a polygon's rings. The ring is treated as a closed chain
@@ -61,8 +60,7 @@ pub fn simplify_polyline(line: &Polyline, epsilon: f64) -> Polyline {
 /// tolerance scale) are dropped for holes / kept unsimplified for the
 /// outer ring.
 pub fn simplify_polygon(poly: &Polygon, epsilon: f64) -> Polygon {
-    let outer = simplify_ring(poly.outer(), epsilon)
-        .unwrap_or_else(|| poly.outer().clone());
+    let outer = simplify_ring(poly.outer(), epsilon).unwrap_or_else(|| poly.outer().clone());
     let holes = poly
         .holes()
         .iter()

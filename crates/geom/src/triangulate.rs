@@ -348,9 +348,12 @@ mod tests {
         let tris = triangulate_polygon(&poly);
         assert!(approx_eq(triangles_area(&tris), poly.area()));
         for hole_center in [Point::new(3.0, 3.0), Point::new(9.0, 3.0)] {
-            assert!(!tris
-                .iter()
-                .any(|t| point_strictly_in_triangle(hole_center, t[0], t[1], t[2])));
+            assert!(!tris.iter().any(|t| point_strictly_in_triangle(
+                hole_center,
+                t[0],
+                t[1],
+                t[2]
+            )));
         }
     }
 

@@ -20,16 +20,24 @@
 //!   coverage kernels (standard + conservative modes),
 //! * [`pipeline::Pipeline`] — draw calls with programmable fragment
 //!   shading and blending, full-screen passes, scatter passes,
+//! * [`tile`] + [`par`] — the fixed-size tile decomposition and the
+//!   deterministic fork-join executor behind the tiled draw paths
+//!   (`draw_points_tiled`, `draw_polygons_tiled`, `draw_polylines_tiled`):
+//!   primitives are binned to 64×64 tiles and each tile is rasterized
+//!   independently, sequentially or across threads with bit-identical
+//!   results,
 //! * [`stats::PipelineStats`] + [`device::DeviceProfile`] — work
 //!   counting and the calibrated cost model that substitutes for the
 //!   paper's two physical GPUs (see DESIGN.md §2 for the substitution
 //!   rationale).
 
 pub mod device;
+pub mod par;
 pub mod pipeline;
 pub mod rasterize;
 pub mod stats;
 pub mod texture;
+pub mod tile;
 pub mod viewport;
 
 pub use device::DeviceProfile;
@@ -37,4 +45,5 @@ pub use pipeline::{Frag, Pipeline};
 pub use rasterize::RasterMode;
 pub use stats::PipelineStats;
 pub use texture::Texture;
+pub use tile::{TileGrid, TileRect, TILE_SIZE};
 pub use viewport::Viewport;

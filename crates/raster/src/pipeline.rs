@@ -15,12 +15,14 @@
 //! the programmable blend `⊙ : S³ × S³ → S³` of the algebra. All work is
 //! counted in [`PipelineStats`] for the device cost model.
 
+use crate::par;
 use crate::rasterize::{
-    rasterize_line_supercover, rasterize_point, rasterize_polygon_fill, rasterize_triangle,
-    RasterMode,
+    rasterize_line_supercover, rasterize_point, rasterize_polygon_fill,
+    rasterize_polygon_fill_rect, rasterize_triangle, RasterMode,
 };
 use crate::stats::PipelineStats;
 use crate::texture::Texture;
+use crate::tile::TileGrid;
 use crate::viewport::Viewport;
 use canvas_geom::polygon::Polygon;
 use canvas_geom::polyline::Polyline;
@@ -39,18 +41,43 @@ pub struct Frag {
 
 /// The software graphics pipeline. Owns work counters and scratch
 /// buffers; framebuffers ([`Texture`]s) are passed per call.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Pipeline {
     stats: PipelineStats,
     /// Generation-stamped visited marks for exactly-once fragment
     /// emission within a single polygon/polyline draw (O(1) reset).
     stamps: Vec<u32>,
     generation: u32,
+    /// Worker count for the tiled draw paths and full-screen passes.
+    /// `1` runs the identical tiled code inline (results are
+    /// bit-identical at any thread count by construction).
+    threads: usize,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            stats: PipelineStats::default(),
+            stamps: Vec::new(),
+            generation: 0,
+            threads: 1,
+        }
+    }
 }
 
 impl Pipeline {
     pub fn new() -> Self {
         Pipeline::default()
+    }
+
+    /// Sets the worker count used by the tiled draw paths and parallel
+    /// full-screen passes (set from `Device::cpu_parallel`).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Snapshot of the cumulative work counters.
@@ -381,8 +408,8 @@ impl Pipeline {
     /// algebra's tool for aligning them).
     pub fn blend_into<P, B>(&mut self, dst: &mut Texture<P>, src: &Texture<P>, blend: B)
     where
-        P: Copy + Default,
-        B: Fn(P, P) -> P,
+        P: Copy + Default + Send + Sync,
+        B: Fn(P, P) -> P + Sync,
     {
         assert_eq!(
             (dst.width(), dst.height()),
@@ -392,9 +419,93 @@ impl Pipeline {
         self.begin_pass();
         self.stats.fullscreen_texels += dst.len() as u64;
         self.stats.blend_ops += dst.len() as u64;
-        for (d, s) in dst.texels_mut().iter_mut().zip(src.texels()) {
-            *d = blend(*d, *s);
-        }
+        // Band-parallel when the device has workers: per-texel blends are
+        // independent, so the decomposition cannot change the result.
+        let band = dst
+            .len()
+            .div_ceil(self.threads.max(1))
+            .max(dst.width() as usize);
+        par::for_each_band_pair(
+            self.threads,
+            band,
+            dst.texels_mut(),
+            src.texels(),
+            |d_chunk, s_chunk| {
+                for (d, s) in d_chunk.iter_mut().zip(s_chunk) {
+                    *d = blend(*d, *s);
+                }
+            },
+        );
+    }
+
+    /// Full-screen pass over two aligned planes (texel + cover) with a
+    /// band-local collector — the parallel form of the Mask operator's
+    /// per-pixel test. `f` may rewrite both texels and push entries into
+    /// the collector; collected values are returned concatenated in
+    /// row-major band order, so the output is identical at any thread
+    /// count.
+    pub fn map_planes<A, C, T, F>(&mut self, a: &mut Texture<A>, c: &mut Texture<C>, f: F) -> Vec<T>
+    where
+        A: Copy + Default + Send,
+        C: Copy + Default + Send,
+        T: Send,
+        F: Fn(u32, u32, &mut A, &mut C, &mut Vec<T>) + Sync,
+    {
+        assert_eq!(
+            (a.width(), a.height()),
+            (c.width(), c.height()),
+            "planes must share dimensions"
+        );
+        self.begin_pass();
+        self.stats.fullscreen_texels += a.len() as u64;
+        let w = a.width() as usize;
+        let parts = par::for_each_band2(
+            self.threads,
+            w,
+            a.texels_mut(),
+            c.texels_mut(),
+            |row0, band_a, band_c| {
+                let mut collected = Vec::new();
+                for (j, (ta, tc)) in band_a.iter_mut().zip(band_c.iter_mut()).enumerate() {
+                    let x = (j % w) as u32;
+                    let y = (row0 + j / w) as u32;
+                    f(x, y, ta, tc, &mut collected);
+                }
+                collected
+            },
+        );
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Collector-free [`map_planes`](Self::map_planes): a pure in-place
+    /// per-pixel rewrite of two aligned planes (the coarse Mask pass).
+    pub fn map_planes_inplace<A, C, F>(&mut self, a: &mut Texture<A>, c: &mut Texture<C>, f: F)
+    where
+        A: Copy + Default + Send,
+        C: Copy + Default + Send,
+        F: Fn(u32, u32, &mut A, &mut C) + Sync,
+    {
+        assert_eq!(
+            (a.width(), a.height()),
+            (c.width(), c.height()),
+            "planes must share dimensions"
+        );
+        self.begin_pass();
+        self.stats.fullscreen_texels += a.len() as u64;
+        let w = a.width() as usize;
+        par::for_each_band2(
+            self.threads,
+            w,
+            a.texels_mut(),
+            c.texels_mut(),
+            |row0, band_a, band_c| {
+                for (j, (ta, tc)) in band_a.iter_mut().zip(band_c.iter_mut()).enumerate() {
+                    let x = (j % w) as u32;
+                    let y = (row0 + j / w) as u32;
+                    f(x, y, ta, tc);
+                }
+            },
+        );
     }
 
     /// Scatter pass: for every source texel, `target` chooses a world
@@ -434,6 +545,432 @@ impl Pipeline {
         self.stats.blend_ops += writes;
     }
 
+    // ------------------------------------------------------------------
+    // Tiled draw paths (the data-parallel execution model).
+    //
+    // Primitives are binned to fixed-size framebuffer tiles; every tile
+    // copies its planes in, rasterizes its binned primitives in input
+    // order, and copies the result back in row-major tile order. The
+    // same code runs at every thread count, so sequential and parallel
+    // executions are bit-identical by construction (the per-pixel blend
+    // order is the input primitive order either way).
+    // ------------------------------------------------------------------
+
+    /// Tile-parallel point draw — the batched form of
+    /// [`draw_points`](Self::draw_points). Coincident points still blend
+    /// in input order within their pixel.
+    pub fn draw_points_tiled<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        points: &[Point],
+        shade: S,
+        blend: B,
+    ) where
+        P: Copy + Default + Send + Sync,
+        S: Fn(u32, Point) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
+        self.begin_pass();
+        self.stats.vertices += points.len() as u64;
+        self.stats.primitives += points.len() as u64;
+        if points.is_empty() {
+            return;
+        }
+        let threads = self.threads;
+        // Single-worker fast path: binning and tile copies only pay off
+        // when tiles run concurrently. The direct draw blends per pixel
+        // in input order, exactly like the per-tile replay, so results
+        // are bit-identical to the parallel path (asserted in tests).
+        if threads == 1 {
+            let mut fragments = 0u64;
+            for (i, &p) in points.iter().enumerate() {
+                rasterize_point(vp, p, |x, y| {
+                    let src = shade(i as u32, p);
+                    fb.update(x, y, |dst| blend(dst, src));
+                    fragments += 1;
+                });
+            }
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += fragments;
+            self.stats.blend_ops += fragments;
+            return;
+        }
+        let grid = TileGrid::new(vp.width(), vp.height());
+
+        // Chunk-parallel binning; chunks merge in input order so every
+        // tile sees its points in global input order. The workers emit
+        // (tile, x, y, idx) so the sequential merge is a plain push and
+        // the per-tile pass never recomputes coordinates.
+        let chunk_size = points.len().div_ceil(threads).max(1);
+        let chunks: Vec<&[Point]> = points.chunks(chunk_size).collect();
+        let parts: Vec<Vec<(u32, u32, u32, u32)>> = par::run_indexed(threads, chunks.len(), |ci| {
+            let base = (ci * chunk_size) as u32;
+            let mut local = Vec::with_capacity(chunks[ci].len());
+            for (k, &p) in chunks[ci].iter().enumerate() {
+                if let Some((x, y)) = vp.world_to_pixel(p) {
+                    local.push((grid.tile_of(x, y) as u32, x, y, base + k as u32));
+                }
+            }
+            local
+        });
+        let mut bins: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); grid.num_tiles()];
+        for part in &parts {
+            for &(tile, x, y, idx) in part {
+                bins[tile as usize].push((x, y, idx));
+            }
+        }
+
+        let work: Vec<usize> = (0..grid.num_tiles())
+            .filter(|&t| !bins[t].is_empty())
+            .collect();
+        let fb_ref: &Texture<P> = fb;
+        let results: Vec<(usize, Vec<P>, u64)> = par::run_indexed(threads, work.len(), |wi| {
+            let t = work[wi];
+            let rect = grid.rect(t);
+            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut fragments = 0u64;
+            for &(x, y, idx) in &bins[t] {
+                let src = shade(idx, points[idx as usize]);
+                let li = rect.local_index(x, y);
+                tex[li] = blend(tex[li], src);
+                fragments += 1;
+            }
+            (t, tex, fragments)
+        });
+        for (t, tex, fragments) in results {
+            let rect = grid.rect(t);
+            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += fragments; // points need exact coords
+            self.stats.blend_ops += fragments;
+        }
+    }
+
+    /// Tile-parallel batched polygon draw — the tiled form of
+    /// [`draw_polygons_batch`](Self::draw_polygons_batch), fused with the
+    /// canvas bookkeeping both render paths need: interior fragments
+    /// raise the certain-`cover` plane, conservative boundary fragments
+    /// are returned as `(record, pixel)` pairs (in deterministic
+    /// tile-major, record-minor order) for the caller's boundary index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn draw_polygons_tiled<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        cover: &mut Texture<u16>,
+        polys: &[Polygon],
+        conservative: bool,
+        shade: S,
+        blend: B,
+    ) -> Vec<(u32, u32)>
+    where
+        P: Copy + Default + Send + Sync,
+        S: Fn(u32, Frag) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
+        self.begin_pass();
+        for poly in polys {
+            self.stats.vertices += poly.num_vertices() as u64;
+            self.stats.primitives += 1 + poly.holes().len() as u64;
+        }
+        let threads = self.threads;
+        let width = vp.width();
+        // Single-worker fast path: skip binning and tile plane copies and
+        // rasterize against the whole framebuffer. Per pixel, records
+        // blend in ascending order — the same order the tiled replay
+        // produces — so canvases come out bit-identical (asserted in
+        // tests; the raw boundary list differs only in pre-sort order).
+        if threads == 1 {
+            let mut boundary: Vec<(u32, u32)> = Vec::new();
+            let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
+            for (pi, poly) in polys.iter().enumerate() {
+                let pi = pi as u32;
+                let gen = self.fresh_generation(fb.len());
+                let stamps = &mut self.stamps;
+                if conservative {
+                    for edge in poly.edges() {
+                        rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
+                            let idx = (y * width + x) as usize;
+                            if stamps[idx] != gen {
+                                stamps[idx] = gen;
+                                let src = shade(
+                                    pi,
+                                    Frag {
+                                        x,
+                                        y,
+                                        boundary: true,
+                                    },
+                                );
+                                fb.update(x, y, |dst| blend(dst, src));
+                                boundary.push((pi, y * width + x));
+                                fragments += 1;
+                                boundary_fragments += 1;
+                            }
+                        });
+                    }
+                }
+                rasterize_polygon_fill(vp, poly, |x, y| {
+                    let idx = (y * width + x) as usize;
+                    if stamps[idx] != gen {
+                        stamps[idx] = gen;
+                        let src = shade(
+                            pi,
+                            Frag {
+                                x,
+                                y,
+                                boundary: false,
+                            },
+                        );
+                        fb.update(x, y, |dst| blend(dst, src));
+                        cover.update(x, y, |c| c.saturating_add(1));
+                        fragments += 1;
+                    }
+                });
+            }
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += boundary_fragments;
+            self.stats.blend_ops += fragments;
+            return boundary;
+        }
+        let grid = TileGrid::new(vp.width(), vp.height());
+
+        // Bin polygons to the tiles their bounding boxes overlap.
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); grid.num_tiles()];
+        for (pi, poly) in polys.iter().enumerate() {
+            if let Some((x0, y0, x1, y1)) = vp.pixel_range(&poly.bbox()) {
+                for t in grid.tiles_overlapping(x0, y0, x1, y1) {
+                    bins[t].push(pi as u32);
+                }
+            }
+        }
+
+        let work: Vec<usize> = (0..grid.num_tiles())
+            .filter(|&t| !bins[t].is_empty())
+            .collect();
+        let fb_ref: &Texture<P> = fb;
+        let cover_ref: &Texture<u16> = cover;
+        type TileOut<P> = (usize, Vec<P>, Vec<u16>, Vec<(u32, u32)>, u64, u64);
+        let results: Vec<TileOut<P>> = par::run_indexed(threads, work.len(), |wi| {
+            let t = work[wi];
+            let rect = grid.rect(t);
+            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut cov = cover_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut stamps = vec![0u32; rect.len()];
+            let mut boundary: Vec<(u32, u32)> = Vec::new();
+            let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
+            for (gen0, &pi) in bins[t].iter().enumerate() {
+                let gen = gen0 as u32 + 1;
+                let poly = &polys[pi as usize];
+                if conservative {
+                    for edge in poly.edges() {
+                        // Supercover pixels never leave the edge's pixel
+                        // bbox, so edges that cannot touch this tile are
+                        // rejected before the O(length) walk.
+                        let Some((ex0, ey0, ex1, ey1)) =
+                            vp.pixel_range(&canvas_geom::BBox::from_corners(edge.a, edge.b))
+                        else {
+                            continue;
+                        };
+                        if !rect.intersects_range(ex0, ey0, ex1, ey1) {
+                            continue;
+                        }
+                        rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
+                            if !rect.contains(x, y) {
+                                return;
+                            }
+                            let li = rect.local_index(x, y);
+                            if stamps[li] != gen {
+                                stamps[li] = gen;
+                                let src = shade(
+                                    pi,
+                                    Frag {
+                                        x,
+                                        y,
+                                        boundary: true,
+                                    },
+                                );
+                                tex[li] = blend(tex[li], src);
+                                boundary.push((pi, y * width + x));
+                                fragments += 1;
+                                boundary_fragments += 1;
+                            }
+                        });
+                    }
+                }
+                rasterize_polygon_fill_rect(
+                    vp,
+                    poly,
+                    rect.x0,
+                    rect.y0,
+                    rect.x0 + rect.w - 1,
+                    rect.y0 + rect.h - 1,
+                    |x, y| {
+                        let li = rect.local_index(x, y);
+                        if stamps[li] != gen {
+                            stamps[li] = gen;
+                            let src = shade(
+                                pi,
+                                Frag {
+                                    x,
+                                    y,
+                                    boundary: false,
+                                },
+                            );
+                            tex[li] = blend(tex[li], src);
+                            cov[li] = cov[li].saturating_add(1);
+                            fragments += 1;
+                        }
+                    },
+                );
+            }
+            (t, tex, cov, boundary, fragments, boundary_fragments)
+        });
+
+        let mut all_boundary = Vec::new();
+        for (t, tex, cov, boundary, fragments, boundary_fragments) in results {
+            let rect = grid.rect(t);
+            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+            cover.write_rect(rect.x0, rect.y0, rect.w, rect.h, &cov);
+            all_boundary.extend(boundary);
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += boundary_fragments;
+            self.stats.blend_ops += fragments;
+        }
+        all_boundary
+    }
+
+    /// Tile-parallel polyline table draw — the tiled form of one
+    /// [`draw_polyline`](Self::draw_polyline) call per record. Every
+    /// covered pixel is a conservative boundary pixel; the returned
+    /// `(record, pixel)` pairs are in deterministic order.
+    pub fn draw_polylines_tiled<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        lines: &[Polyline],
+        shade: S,
+        blend: B,
+    ) -> Vec<(u32, u32)>
+    where
+        P: Copy + Default + Send + Sync,
+        S: Fn(u32, Frag) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
+        self.begin_pass();
+        for line in lines {
+            self.stats.vertices += line.vertices().len() as u64;
+            self.stats.primitives += line.num_segments() as u64;
+        }
+        let threads = self.threads;
+        let width = vp.width();
+        // Single-worker fast path (see draw_polygons_tiled).
+        if threads == 1 {
+            let mut boundary: Vec<(u32, u32)> = Vec::new();
+            let mut fragments = 0u64;
+            for (li, line) in lines.iter().enumerate() {
+                let li = li as u32;
+                let gen = self.fresh_generation(fb.len());
+                let stamps = &mut self.stamps;
+                for seg in line.segments() {
+                    rasterize_line_supercover(vp, seg.a, seg.b, |x, y| {
+                        let idx = (y * width + x) as usize;
+                        if stamps[idx] != gen {
+                            stamps[idx] = gen;
+                            let src = shade(
+                                li,
+                                Frag {
+                                    x,
+                                    y,
+                                    boundary: true,
+                                },
+                            );
+                            fb.update(x, y, |dst| blend(dst, src));
+                            boundary.push((li, y * width + x));
+                            fragments += 1;
+                        }
+                    });
+                }
+            }
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += fragments;
+            self.stats.blend_ops += fragments;
+            return boundary;
+        }
+        let grid = TileGrid::new(vp.width(), vp.height());
+
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); grid.num_tiles()];
+        for (li, line) in lines.iter().enumerate() {
+            if let Some((x0, y0, x1, y1)) = vp.pixel_range(&line.bbox()) {
+                for t in grid.tiles_overlapping(x0, y0, x1, y1) {
+                    bins[t].push(li as u32);
+                }
+            }
+        }
+
+        let work: Vec<usize> = (0..grid.num_tiles())
+            .filter(|&t| !bins[t].is_empty())
+            .collect();
+        let fb_ref: &Texture<P> = fb;
+        // (tile, texels, boundary entries, fragment count)
+        type LineTileOut<P> = (usize, Vec<P>, Vec<(u32, u32)>, u64);
+        let results: Vec<LineTileOut<P>> = par::run_indexed(threads, work.len(), |wi| {
+            let t = work[wi];
+            let rect = grid.rect(t);
+            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut stamps = vec![0u32; rect.len()];
+            let mut boundary: Vec<(u32, u32)> = Vec::new();
+            let mut fragments = 0u64;
+            for (gen0, &li) in bins[t].iter().enumerate() {
+                let gen = gen0 as u32 + 1;
+                for seg in lines[li as usize].segments() {
+                    // Same per-segment tile reject as the polygon
+                    // boundary pass.
+                    let Some((ex0, ey0, ex1, ey1)) =
+                        vp.pixel_range(&canvas_geom::BBox::from_corners(seg.a, seg.b))
+                    else {
+                        continue;
+                    };
+                    if !rect.intersects_range(ex0, ey0, ex1, ey1) {
+                        continue;
+                    }
+                    rasterize_line_supercover(vp, seg.a, seg.b, |x, y| {
+                        if !rect.contains(x, y) {
+                            return;
+                        }
+                        let idx = rect.local_index(x, y);
+                        if stamps[idx] != gen {
+                            stamps[idx] = gen;
+                            let src = shade(
+                                li,
+                                Frag {
+                                    x,
+                                    y,
+                                    boundary: true,
+                                },
+                            );
+                            tex[idx] = blend(tex[idx], src);
+                            boundary.push((li, y * width + x));
+                            fragments += 1;
+                        }
+                    });
+                }
+            }
+            (t, tex, boundary, fragments)
+        });
+
+        let mut all_boundary = Vec::new();
+        for (t, tex, boundary, fragments) in results {
+            let rect = grid.rect(t);
+            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+            all_boundary.extend(boundary);
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += fragments;
+            self.stats.blend_ops += fragments;
+        }
+        all_boundary
+    }
+
     /// Parallel full-screen pass over row bands using scoped threads.
     ///
     /// Semantically identical to [`map_texels`](Self::map_texels); used
@@ -447,24 +984,13 @@ impl Pipeline {
         self.begin_pass();
         self.stats.fullscreen_texels += fb.len() as u64;
         let w = fb.width() as usize;
-        let threads = threads.max(1);
-        let rows_per = (fb.height() as usize).div_ceil(threads);
-        let band = rows_per * w;
-        let texels = fb.texels_mut();
-        crossbeam::thread::scope(|scope| {
-            for (bi, chunk) in texels.chunks_mut(band.max(1)).enumerate() {
-                let f = &f;
-                scope.spawn(move |_| {
-                    let base = bi * rows_per;
-                    for (j, t) in chunk.iter_mut().enumerate() {
-                        let x = (j % w) as u32;
-                        let y = (base + j / w) as u32;
-                        *t = f(x, y, *t);
-                    }
-                });
+        par::for_each_band1(threads.max(1), w, fb.texels_mut(), |row0, band| {
+            for (j, t) in band.iter_mut().enumerate() {
+                let x = (j % w) as u32;
+                let y = (row0 + j / w) as u32;
+                *t = f(x, y, *t);
             }
-        })
-        .expect("raster worker thread panicked");
+        });
     }
 }
 
@@ -671,6 +1197,230 @@ mod tests {
         assert_eq!(st.compute_edge_tests, 99);
         pl.reset_stats();
         assert_eq!(pl.stats(), PipelineStats::default());
+    }
+
+    fn vp_big() -> Viewport {
+        // 3×2 tiles of 64px (with clipped edge tiles).
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            150,
+            100,
+        )
+    }
+
+    fn star(cx: f64, cy: f64, n: usize) -> Polygon {
+        let verts: Vec<Point> = (0..n)
+            .map(|i| {
+                let ang = std::f64::consts::TAU * i as f64 / n as f64;
+                let r = if i % 2 == 0 { 40.0 } else { 22.0 };
+                Point::new(cx + r * ang.cos(), cy + r * ang.sin())
+            })
+            .collect();
+        Polygon::simple(verts).unwrap()
+    }
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 110.0 - 5.0, next() * 110.0 - 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn tiled_points_match_legacy_draw() {
+        let vp = vp_big();
+        let pts = pseudo_points(5_000, 41);
+        let mut legacy: Texture<u32> = Texture::new(150, 100);
+        let mut pl = Pipeline::new();
+        pl.draw_points(
+            &vp,
+            &mut legacy,
+            &pts,
+            |i, _| i + 1,
+            |d, s| d.wrapping_add(s),
+        );
+        let legacy_stats = pl.stats();
+        for threads in [1usize, 4] {
+            let mut tiled: Texture<u32> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            pt.draw_points_tiled(
+                &vp,
+                &mut tiled,
+                &pts,
+                |i, _| i + 1,
+                |d, s| d.wrapping_add(s),
+            );
+            assert_eq!(legacy, tiled, "threads={threads}");
+            assert_eq!(legacy_stats.fragments, pt.stats().fragments);
+            assert_eq!(legacy_stats.blend_ops, pt.stats().blend_ops);
+        }
+    }
+
+    #[test]
+    fn tiled_polygons_match_legacy_draw() {
+        let vp = vp_big();
+        let polys = vec![
+            star(40.0, 40.0, 17),
+            star(70.0, 60.0, 23),
+            star(20.0, 80.0, 9),
+        ];
+        // Legacy reference: batch draw plus manual cover/boundary
+        // bookkeeping (what the canvas layer used to do inline).
+        let mut legacy: Texture<u32> = Texture::new(150, 100);
+        let mut legacy_cover: Texture<u16> = Texture::new(150, 100);
+        let mut legacy_boundary: Vec<(u32, u32)> = Vec::new();
+        let mut pl = Pipeline::new();
+        pl.draw_polygons_batch(
+            &vp,
+            &mut legacy,
+            &polys,
+            true,
+            |pi, frag| {
+                if frag.boundary {
+                    legacy_boundary.push((pi, frag.y * 150 + frag.x));
+                } else {
+                    legacy_cover.update(frag.x, frag.y, |c| c + 1);
+                }
+                pi + 1
+            },
+            |d, s| d.max(s),
+        );
+        for threads in [1usize, 4] {
+            let mut tiled: Texture<u32> = Texture::new(150, 100);
+            let mut cover: Texture<u16> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let boundary = pt.draw_polygons_tiled(
+                &vp,
+                &mut tiled,
+                &mut cover,
+                &polys,
+                true,
+                |pi, _| pi + 1,
+                |d, s| d.max(s),
+            );
+            assert_eq!(legacy, tiled, "texels, threads={threads}");
+            assert_eq!(legacy_cover, cover, "cover, threads={threads}");
+            // Same boundary pixel set per record (emission order differs:
+            // legacy is per-polygon global, tiled is per-tile).
+            let mut a = legacy_boundary.clone();
+            let mut b = boundary;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "boundary entries, threads={threads}");
+            assert_eq!(pl.stats().fragments, pt.stats().fragments);
+            assert_eq!(pl.stats().boundary_fragments, pt.stats().boundary_fragments);
+        }
+    }
+
+    #[test]
+    fn tiled_polylines_match_legacy_draw() {
+        let vp = vp_big();
+        let lines = vec![
+            Polyline::new(vec![
+                Point::new(2.0, 3.0),
+                Point::new(95.0, 40.0),
+                Point::new(40.0, 95.0),
+            ])
+            .unwrap(),
+            Polyline::new(vec![Point::new(-10.0, 50.0), Point::new(120.0, 55.0)]).unwrap(),
+        ];
+        let mut legacy: Texture<u32> = Texture::new(150, 100);
+        let mut pl = Pipeline::new();
+        for (li, line) in lines.iter().enumerate() {
+            pl.draw_polyline(&vp, &mut legacy, line, |_| li as u32 + 1, |d, s| d | s);
+        }
+        for threads in [1usize, 4] {
+            let mut tiled: Texture<u32> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let boundary =
+                pt.draw_polylines_tiled(&vp, &mut tiled, &lines, |li, _| li + 1, |d, s| d | s);
+            assert_eq!(legacy, tiled, "threads={threads}");
+            assert_eq!(pl.stats().fragments, pt.stats().fragments);
+            // Every emitted pixel is boundary-linked exactly once per record.
+            assert_eq!(boundary.len() as u64, pt.stats().fragments);
+        }
+    }
+
+    #[test]
+    fn tiled_parallel_identical_across_thread_counts() {
+        let vp = vp_big();
+        let pts = pseudo_points(3_000, 99);
+        let polys = vec![star(50.0, 50.0, 31)];
+        type Snapshot = (Texture<u32>, Texture<u16>, Vec<(u32, u32)>);
+        let mut reference: Option<Snapshot> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut fb: Texture<u32> = Texture::new(150, 100);
+            let mut cover: Texture<u16> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            pt.draw_points_tiled(&vp, &mut fb, &pts, |i, _| i, |d, s| d ^ s);
+            let mut boundary = pt.draw_polygons_tiled(
+                &vp,
+                &mut fb,
+                &mut cover,
+                &polys,
+                true,
+                |_, f| (f.x + f.y) * 3,
+                |d, s| d.wrapping_add(s),
+            );
+            // Raw emission order is record-major in the 1-thread fast
+            // path and tile-major in parallel runs; canvases consume the
+            // list pixel-sorted (record-ascending ties), so normalize
+            // the same way before comparing.
+            boundary.sort_unstable_by_key(|&(record, pixel)| (pixel, record));
+            match &reference {
+                None => reference = Some((fb, cover, boundary)),
+                Some((rf, rc, rb)) => {
+                    assert_eq!(rf, &fb, "texels diverge at {threads} threads");
+                    assert_eq!(rc, &cover, "cover diverges at {threads} threads");
+                    assert_eq!(rb, &boundary, "boundary diverges at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_planes_collects_in_row_major_order() {
+        for threads in [1usize, 3] {
+            let mut a: Texture<u32> = Texture::new(10, 9);
+            let mut c: Texture<u16> = Texture::new(10, 9);
+            let mut pl = Pipeline::new();
+            pl.set_threads(threads);
+            let collected = pl.map_planes(&mut a, &mut c, |x, y, t, cov, out| {
+                *t = x + y;
+                *cov = 1;
+                if x == y {
+                    out.push(y * 10 + x);
+                }
+            });
+            assert_eq!(collected, vec![0, 11, 22, 33, 44, 55, 66, 77, 88]);
+            assert_eq!(a.get(3, 5), 8);
+            assert!(c.iter().all(|(_, _, v)| v == 1));
+            assert_eq!(pl.stats().fullscreen_texels, 90);
+        }
+    }
+
+    #[test]
+    fn blend_into_parallel_matches_sequential() {
+        let mut src: Texture<u32> = Texture::new(33, 21);
+        let mut pl = Pipeline::new();
+        pl.map_texels(&mut src, |x, y, _| x * 7 + y);
+        let mut seq: Texture<u32> = Texture::filled(33, 21, 5);
+        pl.blend_into(&mut seq, &src, |d, s| d.wrapping_mul(31).wrapping_add(s));
+        let mut par: Texture<u32> = Texture::filled(33, 21, 5);
+        let mut pp = Pipeline::new();
+        pp.set_threads(4);
+        pp.blend_into(&mut par, &src, |d, s| d.wrapping_mul(31).wrapping_add(s));
+        assert_eq!(seq, par);
     }
 
     #[test]

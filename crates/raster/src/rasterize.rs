@@ -48,10 +48,10 @@ pub fn rasterize_line_supercover(
     let (mut t0, mut t1) = (0.0f64, 1.0f64);
     let d = pb - pa;
     let clips = [
-        (-d.x, pa.x),       // x >= 0
-        (d.x, w - pa.x),    // x <= w
-        (-d.y, pa.y),       // y >= 0
-        (d.y, h - pa.y),    // y <= h
+        (-d.x, pa.x),    // x >= 0
+        (d.x, w - pa.x), // x <= w
+        (-d.y, pa.y),    // y >= 0
+        (d.y, h - pa.y), // y <= h
     ];
     for (den, num) in clips {
         if den == 0.0 {
@@ -86,13 +86,21 @@ pub fn rasterize_line_supercover(
 
     // Parametric distance to the next vertical / horizontal cell border.
     let mut t_max_x = if dir.x != 0.0 {
-        let next = if step_x > 0 { cx as f64 + 1.0 } else { cx as f64 };
+        let next = if step_x > 0 {
+            cx as f64 + 1.0
+        } else {
+            cx as f64
+        };
         (next - p0.x) / dir.x
     } else {
         f64::INFINITY
     };
     let mut t_max_y = if dir.y != 0.0 {
-        let next = if step_y > 0 { cy as f64 + 1.0 } else { cy as f64 };
+        let next = if step_y > 0 {
+            cy as f64 + 1.0
+        } else {
+            cy as f64
+        };
         (next - p0.y) / dir.y
     } else {
         f64::INFINITY
@@ -272,10 +280,33 @@ fn triangle_overlaps_pixel(v: &[Point; 3], px: f64, py: f64) -> bool {
 
 /// Scanline even–odd fill of a polygon (outer ring + holes) at pixel
 /// centers. Emits each covered pixel exactly once.
-pub fn rasterize_polygon_fill(vp: &Viewport, poly: &Polygon, mut emit: impl FnMut(u32, u32)) {
-    let Some((_, y0, _, y1)) = vp.pixel_range(&poly.bbox()) else {
+pub fn rasterize_polygon_fill(vp: &Viewport, poly: &Polygon, emit: impl FnMut(u32, u32)) {
+    rasterize_polygon_fill_rect(vp, poly, 0, 0, vp.width() - 1, vp.height() - 1, emit);
+}
+
+/// [`rasterize_polygon_fill`] restricted to the inclusive pixel rect
+/// `(rx0, ry0)..=(rx1, ry1)` — the tile-local fill of the tiled
+/// pipeline. Emits exactly the pixels the unrestricted fill would emit
+/// inside the rect: scanlines outside are skipped and spans are clamped
+/// to the rect's columns in integer pixel space, so tiling introduces no
+/// floating-point divergence at tile borders.
+pub fn rasterize_polygon_fill_rect(
+    vp: &Viewport,
+    poly: &Polygon,
+    rx0: u32,
+    ry0: u32,
+    rx1: u32,
+    ry1: u32,
+    mut emit: impl FnMut(u32, u32),
+) {
+    let Some((_, by0, _, by1)) = vp.pixel_range(&poly.bbox()) else {
         return;
     };
+    let y0 = by0.max(ry0);
+    let y1 = by1.min(ry1);
+    if y0 > y1 {
+        return;
+    }
     let rings: Vec<&Ring> = std::iter::once(poly.outer())
         .chain(poly.holes().iter())
         .collect();
@@ -303,9 +334,11 @@ pub fn rasterize_polygon_fill(vp: &Viewport, poly: &Polygon, mut emit: impl FnMu
         let wx0 = vp.world().min.x;
         for pair in crossings.chunks_exact(2) {
             let (xa, xb) = (pair[0], pair[1]);
-            // Pixels whose center x lies in (xa, xb).
-            let first = (((xa - wx0) / pw - 0.5).floor() as i64 + 1).max(0);
-            let last = (((xb - wx0) / pw - 0.5).ceil() as i64 - 1).min(vp.width() as i64 - 1);
+            // Pixels whose center x lies in (xa, xb), clamped to the rect.
+            let first = (((xa - wx0) / pw - 0.5).floor() as i64 + 1).max(rx0 as i64);
+            let last = (((xb - wx0) / pw - 0.5).ceil() as i64 - 1)
+                .min(vp.width() as i64 - 1)
+                .min(rx1 as i64);
             for px in first..=last {
                 emit(px as u32, py);
             }
@@ -584,6 +617,32 @@ mod tests {
         assert!(!got.contains(&(4, 4))); // hole pixel (center 4.5,4.5)
         assert!(!got.contains(&(5, 5)));
         assert!(got.contains(&(7, 5)));
+    }
+
+    #[test]
+    fn rect_fill_equals_full_fill_intersection() {
+        let vp = vp10();
+        let poly = Polygon::simple(vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 2.0),
+            Point::new(7.5, 8.5),
+            Point::new(3.0, 6.0),
+        ])
+        .unwrap();
+        let mut full = BTreeSet::new();
+        rasterize_polygon_fill(&vp, &poly, |x, y| {
+            full.insert((x, y));
+        });
+        // Quarter tiles: the union of rect-restricted fills must equal
+        // the full fill, with no pixel emitted by two rects.
+        let mut union = BTreeSet::new();
+        for (rx0, ry0, rx1, ry1) in [(0, 0, 4, 4), (5, 0, 9, 4), (0, 5, 4, 9), (5, 5, 9, 9)] {
+            rasterize_polygon_fill_rect(&vp, &poly, rx0, ry0, rx1, ry1, |x, y| {
+                assert!(x >= rx0 && x <= rx1 && y >= ry0 && y <= ry1);
+                assert!(union.insert((x, y)), "pixel ({x},{y}) emitted twice");
+            });
+        }
+        assert_eq!(full, union);
     }
 
     #[test]

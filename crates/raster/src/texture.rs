@@ -113,15 +113,41 @@ impl<P: Copy + Default> Texture<P> {
     /// Iterator over `(x, y, texel)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, P)> + '_ {
         let w = self.width as usize;
-        self.texels.iter().enumerate().map(move |(i, t)| {
-            ((i % w) as u32, (i / w) as u32, *t)
-        })
+        self.texels
+            .iter()
+            .enumerate()
+            .map(move |(i, t)| ((i % w) as u32, (i / w) as u32, *t))
     }
 
     /// Approximate GPU memory footprint in bytes (used by the transfer
     /// cost model).
     pub fn size_bytes(&self) -> usize {
         self.texels.len() * std::mem::size_of::<P>()
+    }
+
+    /// Copies the rectangle `[x0, x0+w) × [y0, y0+h)` into a flat
+    /// row-major buffer of length `w * h` (tile copy-in).
+    pub fn read_rect(&self, x0: u32, y0: u32, w: u32, h: u32) -> Vec<P> {
+        debug_assert!(x0 + w <= self.width && y0 + h <= self.height);
+        let mut out = Vec::with_capacity((w as usize) * (h as usize));
+        for y in y0..y0 + h {
+            let row = self.index(x0, y);
+            out.extend_from_slice(&self.texels[row..row + w as usize]);
+        }
+        out
+    }
+
+    /// Writes a flat row-major buffer of length `w * h` back into the
+    /// rectangle `[x0, x0+w) × [y0, y0+h)` (tile copy-out).
+    pub fn write_rect(&mut self, x0: u32, y0: u32, w: u32, h: u32, src: &[P]) {
+        debug_assert!(x0 + w <= self.width && y0 + h <= self.height);
+        debug_assert_eq!(src.len(), (w as usize) * (h as usize));
+        for (ry, y) in (y0..y0 + h).enumerate() {
+            let dst_row = self.index(x0, y);
+            let src_row = ry * w as usize;
+            self.texels[dst_row..dst_row + w as usize]
+                .copy_from_slice(&src[src_row..src_row + w as usize]);
+        }
     }
 }
 
@@ -188,5 +214,27 @@ mod tests {
     fn size_bytes() {
         let t: Texture<u64> = Texture::new(8, 8);
         assert_eq!(t.size_bytes(), 64 * 8);
+    }
+
+    #[test]
+    fn rect_roundtrip() {
+        let mut t: Texture<u32> = Texture::new(8, 6);
+        for y in 0..6 {
+            for x in 0..8 {
+                t.set(x, y, 100 * y + x);
+            }
+        }
+        let tile = t.read_rect(2, 1, 3, 4);
+        assert_eq!(tile.len(), 12);
+        assert_eq!(tile[0], 102); // (2, 1)
+        assert_eq!(tile[3], 202); // (2, 2)
+        let mut copy = t.clone();
+        let doubled: Vec<u32> = tile.iter().map(|v| v * 2).collect();
+        copy.write_rect(2, 1, 3, 4, &doubled);
+        assert_eq!(copy.get(2, 1), 204);
+        assert_eq!(copy.get(4, 4), 2 * t.get(4, 4));
+        // Outside the rect untouched.
+        assert_eq!(copy.get(0, 0), 0);
+        assert_eq!(copy.get(7, 5), t.get(7, 5));
     }
 }

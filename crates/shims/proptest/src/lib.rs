@@ -1,0 +1,429 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This build environment has no network access, so the workspace vendors
+//! the slice of the proptest 1.x API its property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges and
+//!   tuples,
+//! * `prop::collection::vec`, `prop::sample::select`,
+//!   `prop::array::uniform3`.
+//!
+//! Differences from upstream, deliberately accepted: no shrinking (a
+//! failing case reports its inputs via the assertion message instead of a
+//! minimized counterexample), and generation is seeded deterministically
+//! from the test name so CI runs are reproducible.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value` (upstream: a search strategy;
+    /// here: plain generation, no shrink tree).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy producing one fixed value (upstream `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let unit = rng.unit_f64() as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty integer range strategy");
+                    let r = (rng.next_u64() as u128 % span as u128) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod test_runner {
+    /// Per-test deterministic generator (SplitMix64-seeded xorshift).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name so every test gets a stable, distinct
+        /// stream across runs and platforms.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h.max(1) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // SplitMix64 step.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s with uniformly chosen length (upstream
+    /// `prop::collection::vec`).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed set (upstream
+    /// `prop::sample::select`).
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_array {
+        ($name:ident, $wrapper:ident, $n:literal) => {
+            /// Strategy for `[T; N]` from one element strategy.
+            pub struct $wrapper<S>(S);
+
+            pub fn $name<S: Strategy>(element: S) -> $wrapper<S> {
+                $wrapper(element)
+            }
+
+            impl<S: Strategy> Strategy for $wrapper<S> {
+                type Value = [S::Value; $n];
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    core::array::from_fn(|_| self.0.generate(rng))
+                }
+            }
+        };
+    }
+    uniform_array!(uniform2, Uniform2, 2);
+    uniform_array!(uniform3, Uniform3, 3);
+    uniform_array!(uniform4, Uniform4, 4);
+}
+
+/// Namespace mirror of upstream's `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!{ @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg ($cfg:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case}: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion `left == right` failed: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion `left != right` failed\n  both: {:?}",
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 0.0f64..10.0,
+            pair in (0u32..5, 1usize..4),
+        ) {
+            let (a, b) = pair;
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((1..4).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn collections(v in prop::collection::vec(0u8..10, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn mapped(p in (0u32..3, 0u32..3).prop_map(|(x, y)| x * 10 + y)) {
+            prop_assert!(p <= 22);
+        }
+
+        #[test]
+        fn arrays_and_select(
+            xs in prop::array::uniform3(0u16..100),
+            pick in prop::sample::select(vec![2u32, 4, 8]),
+        ) {
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let mut r1 = TestRng::for_test("abc");
+        let mut r2 = TestRng::for_test("abc");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

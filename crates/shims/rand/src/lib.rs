@@ -1,0 +1,174 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! This build environment has no network access, so the workspace vendors
+//! the tiny slice of the rand 0.8 API that `canvas-datagen` uses:
+//! `StdRng::seed_from_u64`, and `Rng::gen_range` over half-open and
+//! inclusive ranges of floats and integers. The generator is SplitMix64
+//! feeding xoshiro256** — deterministic per seed, statistically solid for
+//! synthetic-workload generation, and *not* a drop-in numerical match for
+//! upstream `StdRng` (sequences differ; all consumers only require
+//! determinism, not specific values).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Subset of the `rand::Rng` trait surface used by this workspace.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi, inclusive) = range.bounds();
+        T::sample(self, lo, hi, inclusive)
+    }
+}
+
+/// Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// xoshiro256** seeded via SplitMix64 (the reference seeding scheme).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Unifies `Range<T>` and `RangeInclusive<T>` for `gen_range`.
+pub trait IntoUniformRange<T: Copy> {
+    /// Returns `(low, high, inclusive)`.
+    fn bounds(&self) -> (T, T, bool);
+}
+
+impl<T: Copy + PartialOrd> IntoUniformRange<T> for Range<T> {
+    fn bounds(&self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: Copy + PartialOrd> IntoUniformRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "gen_range: empty f64 range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        f64::sample(rng, lo as f64, hi as f64, inclusive) as f32
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (hi as i128) - (lo as i128) + 1
+                } else {
+                    (hi as i128) - (lo as i128)
+                };
+                assert!(span > 0, "gen_range: empty integer range");
+                // Modulo reduction; bias is < 2^-64 × span, irrelevant for
+                // synthetic workload generation.
+                let r = (rng.next_u64() as u128 % span as u128) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(2.5..7.5);
+            assert!((2.5..7.5).contains(&f));
+            let i: u8 = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&i));
+            let u: u16 = rng.gen_range(0..96);
+            assert!(u < 96);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            let f = rng.gen_range(0.0..1.0);
+            buckets[(f * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+}

@@ -37,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- A hand-drawn query region -------------------------------------
-    let query = canvas_geom::wkt::parse_wkt(
-        "POLYGON ((20 20, 60 15, 70 50, 45 70, 15 55, 20 20))",
-    )?;
+    let query =
+        canvas_geom::wkt::parse_wkt("POLYGON ((20 20, 60 15, 70 50, 45 70, 15 55, 20 20))")?;
     let q = match &query.primitives()[0] {
         canvas_geom::Primitive::Area(p) => p.clone(),
         _ => unreachable!(),
@@ -69,6 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("results")?;
     std::fs::write("results/query_region.pgm", &pgm)?;
     println!("\nwrote results/query_region.pgm ({} bytes)", pgm.len());
-    println!("\nquery region as ASCII:\n{}", viz::to_ascii(&canvas, 48, 20, viz::Shade::Support));
+    println!(
+        "\nquery region as ASCII:\n{}",
+        viz::to_ascii(&canvas, 48, 20, viz::Shade::Support)
+    );
     Ok(())
 }

@@ -62,7 +62,5 @@ fn main() {
         println!();
     }
     let total: u64 = matrix.iter().flatten().sum();
-    println!(
-        "\n{total} of {n} trips have both endpoints inside the partition extent"
-    );
+    println!("\n{total} of {n} trips have both endpoints inside the partition extent");
 }

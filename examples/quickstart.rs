@@ -43,8 +43,7 @@ fn main() {
     );
     println!("query plan:\n{}", plan.plan());
 
-    let result =
-        queries::selection::select_points_in_polygon(&mut dev, vp, &data, &neighborhood);
+    let result = queries::selection::select_points_in_polygon(&mut dev, vp, &data, &neighborhood);
     println!("selected restaurant ids: {:?}", result.records);
     for &id in &result.records {
         println!("  restaurant {id} at {}", restaurants[id as usize]);

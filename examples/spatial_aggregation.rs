@@ -31,11 +31,8 @@ fn main() {
 
     // Traditional plan for the cross-check.
     let t0 = Instant::now();
-    let (counts, sums, _) = canvas_algebra::baseline::aggregate_join_baseline(
-        &trips.pickups,
-        &trips.fares,
-        &zones,
-    );
+    let (counts, sums, _) =
+        canvas_algebra::baseline::aggregate_join_baseline(&trips.pickups, &trips.fares, &zones);
     let baseline_wall = t0.elapsed();
     assert_eq!(agg.counts, counts, "plans must agree");
     for (a, b) in agg.sums.iter().zip(&sums) {

@@ -29,8 +29,8 @@ pub use canvas_raster as raster;
 pub mod prelude {
     pub use canvas_core::prelude::*;
     pub use canvas_datagen::{
-        calibrated_polygon, generate_trips, neighborhoods, neighborhoods_detailed,
-        star_polygon, taxi_pickups, uniform_points,
+        calibrated_polygon, generate_trips, neighborhoods, neighborhoods_detailed, star_polygon,
+        taxi_pickups, uniform_points,
     };
     pub use canvas_geom::{BBox, GeomObject, Point, Polygon, Polyline, Primitive};
 }

@@ -50,8 +50,7 @@ fn taxi_pipeline_end_to_end() {
     let flows = od::select_od(&mut dev, vp, &trips.od_batch(), &downtown, &airport);
     let expect = (0..trips.len())
         .filter(|&i| {
-            downtown.contains_closed(trips.pickups[i])
-                && airport.contains_closed(trips.dropoffs[i])
+            downtown.contains_closed(trips.pickups[i]) && airport.contains_closed(trips.dropoffs[i])
         })
         .count();
     assert_eq!(flows.len(), expect);
@@ -98,15 +97,17 @@ fn paper_shape_claims_hold_under_cost_model() {
 
     // GPU PIP baseline.
     let mut gb = Device::nvidia();
-    let b1 = canvas_algebra::baseline::select_gpu_baseline(&mut gb, &pts, std::slice::from_ref(&q1));
+    let b1 =
+        canvas_algebra::baseline::select_gpu_baseline(&mut gb, &pts, std::slice::from_ref(&q1));
     let gpu_baseline_time = gb.modeled_time();
 
     // CPU scalar (modeled from counted edge tests).
     let cpu = canvas_algebra::baseline::select_scalar(&pts, std::slice::from_ref(&q1));
-    let cpu_time = canvas_raster::DeviceProfile::cpu_scalar().estimate(&canvas_raster::PipelineStats {
-        compute_edge_tests: cpu.edge_tests,
-        ..Default::default()
-    });
+    let cpu_time =
+        canvas_raster::DeviceProfile::cpu_scalar().estimate(&canvas_raster::PipelineStats {
+            compute_edge_tests: cpu.edge_tests,
+            ..Default::default()
+        });
     assert_eq!(c1.records, b1.records);
 
     // Claim 1: every GPU approach is >= 2 orders of magnitude over CPU.
@@ -119,7 +120,11 @@ fn paper_shape_claims_hold_under_cost_model() {
     // Claim 2 (incl. the Intel observation): integrated GPU is slower
     // than discrete but still far ahead of the CPU.
     assert!(intel_time > nv_time);
-    assert!(cpu_time / intel_time > 20.0, "intel {}", cpu_time / intel_time);
+    assert!(
+        cpu_time / intel_time > 20.0,
+        "intel {}",
+        cpu_time / intel_time
+    );
     // Claim 3: the canvas margin over the GPU baseline grows with the
     // number of constraints.
     let mut nv2 = Device::nvidia();

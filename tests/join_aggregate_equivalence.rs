@@ -20,8 +20,12 @@ fn type1_join_equals_baseline_join() {
     let zones = neighborhoods(&extent(), 15, 32);
     let table: AreaSource = Arc::new(zones.clone());
     let mut dev = Device::nvidia();
-    let canvas_pairs =
-        join::join_points_polygons(&mut dev, vp(), &PointBatch::from_points(pts.clone()), &table);
+    let canvas_pairs = join::join_points_polygons(
+        &mut dev,
+        vp(),
+        &PointBatch::from_points(pts.clone()),
+        &table,
+    );
     let baseline_pairs = canvas_algebra::baseline::join_rtree(&pts, &zones).pairs;
     assert_eq!(canvas_pairs, baseline_pairs);
     assert!(!canvas_pairs.is_empty());
@@ -94,18 +98,21 @@ fn all_three_aggregation_plans_agree_with_cpu_plan() {
     let fused = aggregate::aggregate_join_rasterjoin(&mut dev, vp(), &batch, &table);
     let unfused = aggregate::aggregate_join_blend_plan(&mut dev, vp(), &batch, &table);
     let materialized = aggregate::aggregate_join_materialized(&mut dev, vp(), &batch, &table);
-    let (cpu_counts, cpu_sums, _) = canvas_algebra::baseline::aggregate_join_baseline(
-        &trips.pickups,
-        &trips.fares,
-        &zones,
-    );
+    let (cpu_counts, cpu_sums, _) =
+        canvas_algebra::baseline::aggregate_join_baseline(&trips.pickups, &trips.fares, &zones);
 
     assert_eq!(fused.counts, cpu_counts, "fused vs cpu");
     assert_eq!(unfused.counts, cpu_counts, "unfused vs cpu");
     assert_eq!(materialized.counts, cpu_counts, "materialized vs cpu");
     for ((a, b), c) in fused.sums.iter().zip(&unfused.sums).zip(&cpu_sums) {
-        assert!((a - c).abs() < 1e-2 * c.abs().max(1.0), "fused sum {a} vs cpu {c}");
-        assert!((b - c).abs() < 1e-2 * c.abs().max(1.0), "unfused sum {b} vs cpu {c}");
+        assert!(
+            (a - c).abs() < 1e-2 * c.abs().max(1.0),
+            "fused sum {a} vs cpu {c}"
+        );
+        assert!(
+            (b - c).abs() < 1e-2 * c.abs().max(1.0),
+            "unfused sum {b} vs cpu {c}"
+        );
     }
     // Every pickup inside the partition is counted exactly once overall
     // (cells tile the extent; shared-boundary points may legitimately

@@ -136,6 +136,51 @@ proptest! {
         prop_assert_eq!(got.records, want);
     }
 
+    /// Sequential ≡ parallel: rendering and querying the same random
+    /// point/polygon workload on `Device::cpu` and `Device::cpu_parallel(n)`
+    /// produces **bit-identical** canvases — texel plane, certain-cover
+    /// plane, and boundary index all equal. This is what licenses the
+    /// tiled pipeline: tiles merge in a fixed order and per-pixel blend
+    /// order is the input primitive order, so thread count cannot leak
+    /// into results. (Point accumulation per pixel also relies on the
+    /// blend functions being associative-commutative per Section 3 —
+    /// asserted separately in `algebra_laws.rs` — but the tiled pipeline
+    /// does not even need that: it preserves input order outright.)
+    #[test]
+    fn sequential_equals_parallel_bitwise(
+        poly in arb_polygon(),
+        n in 50usize..600,
+        seed in 0u64..10_000,
+        threads in prop::sample::select(vec![2usize, 3, 4, 8]),
+        res in prop::sample::select(vec![64u32, 128, 256]),
+    ) {
+        let pts = uniform_points(&extent(), n, seed);
+        let batch = PointBatch::from_points(pts);
+        let vp = Viewport::square_pixels(extent(), res);
+
+        let mut seq_dev = Device::cpu();
+        let seq = selection::select_points_in_polygon(&mut seq_dev, vp, &batch, &poly);
+        let mut par_dev = Device::cpu_parallel(threads);
+        let par = selection::select_points_in_polygon(&mut par_dev, vp, &batch, &poly);
+
+        prop_assert_eq!(&seq.records, &par.records);
+        prop_assert_eq!(seq.canvas.texels(), par.canvas.texels());
+        prop_assert_eq!(seq.canvas.cover(), par.canvas.cover());
+        prop_assert_eq!(seq.canvas.boundary(), par.canvas.boundary());
+        // The modeled work is identical too: parallelism changes wall
+        // clock, never the counted pipeline work.
+        prop_assert_eq!(seq_dev.stats(), par_dev.stats());
+
+        // The polygon side alone (conservative render with boundary
+        // entries + cover counts) must also match plane-for-plane.
+        let table: AreaSource = std::sync::Arc::new(vec![poly]);
+        let c_seq = canvas_core::source::render_polygon(&mut seq_dev, vp, &table, 0, 1);
+        let c_par = canvas_core::source::render_polygon(&mut par_dev, vp, &table, 0, 1);
+        prop_assert_eq!(c_seq.texels(), c_par.texels());
+        prop_assert_eq!(c_seq.cover(), c_par.cover());
+        prop_assert_eq!(c_seq.boundary(), c_par.boundary());
+    }
+
     /// Voronoi canvas assignment matches the brute-force nearest site at
     /// every pixel center (up to exact ties).
     #[test]

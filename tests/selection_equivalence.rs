@@ -21,14 +21,22 @@ fn polygonal_selection_equals_baselines_across_seeds() {
         let mut dev = Device::nvidia();
         let canvas = selection::select_points_in_polygon(&mut dev, vp, &batch, &q);
         let scalar = canvas_algebra::baseline::select_scalar(&pts, std::slice::from_ref(&q));
-        let parallel =
-            canvas_algebra::baseline::select_parallel(&pts, std::slice::from_ref(&q), 4);
+        let parallel = canvas_algebra::baseline::select_parallel(&pts, std::slice::from_ref(&q), 4);
         let mut gdev = Device::nvidia();
-        let gpu =
-            canvas_algebra::baseline::select_gpu_baseline(&mut gdev, &pts, std::slice::from_ref(&q));
+        let gpu = canvas_algebra::baseline::select_gpu_baseline(
+            &mut gdev,
+            &pts,
+            std::slice::from_ref(&q),
+        );
 
-        assert_eq!(canvas.records, scalar.records, "seed {seed}: canvas vs scalar");
-        assert_eq!(scalar.records, parallel.records, "seed {seed}: scalar vs parallel");
+        assert_eq!(
+            canvas.records, scalar.records,
+            "seed {seed}: canvas vs scalar"
+        );
+        assert_eq!(
+            scalar.records, parallel.records,
+            "seed {seed}: scalar vs parallel"
+        );
         assert_eq!(scalar.records, gpu.records, "seed {seed}: scalar vs gpu");
         assert!(!canvas.records.is_empty());
     }
