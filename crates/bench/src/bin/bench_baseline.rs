@@ -102,6 +102,41 @@ fn main() {
         "grid join formulations must agree"
     );
 
+    // --- Executor fork/join latency: persistent pool vs scoped spawn. ---
+    // The reason the pool exists: every canvas operator is a short
+    // data-parallel pass, so per-pass dispatch overhead is on the
+    // critical path of operator chains. Measure an empty pass (the
+    // pure fork/join cost) both ways.
+    const DISPATCH_PASSES: usize = 300;
+    let pool = canvas_raster::WorkerPool::new(PAR_THREADS);
+    for _ in 0..20 {
+        let _ = pool.run_indexed(PAR_THREADS, |i| i); // warm-up: park/wake paths
+    }
+    let t0 = Instant::now();
+    for _ in 0..DISPATCH_PASSES {
+        let _ = pool.run_indexed(PAR_THREADS, |i| i);
+    }
+    let pool_dispatch_ns = t0.elapsed().as_nanos() as f64 / DISPATCH_PASSES as f64;
+    drop(pool);
+
+    let t0 = Instant::now();
+    for _ in 0..DISPATCH_PASSES {
+        // What raster::par did before the executor: fresh scoped OS
+        // threads per pass, same worker count, same trivial work.
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..PAR_THREADS - 1 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    let scoped_spawn_ns = t0.elapsed().as_nanos() as f64 / DISPATCH_PASSES as f64;
+    let dispatch_speedup = scoped_spawn_ns / pool_dispatch_ns;
+
     let seq = &samples[0];
     let par = &samples[1];
     let wall_speedup = seq.wall_secs / par.wall_secs;
@@ -118,6 +153,15 @@ fn main() {
         "  \"selection_modeled_speedup_8t\": {modeled_speedup:.3},"
     );
     let _ = writeln!(json, "  \"selection_wall_speedup_8t\": {wall_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"pool_dispatch_ns_per_pass\": {pool_dispatch_ns:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"scoped_spawn_ns_per_pass\": {scoped_spawn_ns:.0},"
+    );
+    let _ = writeln!(json, "  \"dispatch_speedup\": {dispatch_speedup:.2},");
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
@@ -146,6 +190,13 @@ fn main() {
     assert!(
         modeled_speedup >= 3.0,
         "modeled 8-thread speedup {modeled_speedup:.2}x below 3x"
+    );
+    // The persistent pool must beat per-pass scoped spawns on pure
+    // fork/join latency — that is its entire reason to exist.
+    assert!(
+        pool_dispatch_ns < scoped_spawn_ns,
+        "pool dispatch {pool_dispatch_ns:.0}ns/pass not below scoped spawn \
+         {scoped_spawn_ns:.0}ns/pass"
     );
     if host_cores >= 8 {
         assert!(

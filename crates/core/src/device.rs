@@ -4,9 +4,16 @@
 //! can be converted to modeled GPU time (see `canvas_raster::device` for
 //! the substitution rationale — this container has no physical GPU).
 
-use canvas_raster::{DeviceProfile, Pipeline, PipelineStats};
+use canvas_raster::{DeviceProfile, Pipeline, PipelineStats, WorkerPool};
+use std::sync::Arc;
 
 /// A pipeline bound to a device profile.
+///
+/// A `Device` owns its pipeline and, through it, a persistent
+/// [`WorkerPool`]: `cpu_parallel(n)` spawns the pool's `n - 1` workers
+/// **once**, every subsequent pass re-uses them (parked on a condvar
+/// between passes), and dropping the device joins them — no threads
+/// outlive it (the pool-shutdown leak check asserts this).
 #[derive(Debug)]
 pub struct Device {
     pipeline: Pipeline,
@@ -38,9 +45,10 @@ impl Device {
     }
 
     /// `n`-thread CPU execution: the same tiled pipeline with tiles and
-    /// full-screen bands spread across `n` OS threads. Results are
-    /// bit-identical to [`Device::cpu`] at any `n` (tiles merge in a
-    /// fixed order; per-pixel blend order is the input order).
+    /// full-screen bands spread across the device's persistent worker
+    /// pool (spawned here, once). Results are bit-identical to
+    /// [`Device::cpu`] at any `n` (tiles merge in a fixed order;
+    /// per-pixel blend order is the input order).
     pub fn cpu_parallel(threads: usize) -> Self {
         let mut dev = Device::new(DeviceProfile::cpu_parallel_n(threads));
         dev.pipeline.set_threads(threads);
@@ -50,6 +58,12 @@ impl Device {
     /// Worker threads the pipeline fans work out to (1 = sequential).
     pub fn threads(&self) -> usize {
         self.pipeline.threads()
+    }
+
+    /// The persistent worker pool executing this device's passes
+    /// (shared with every operator; sized by [`cpu_parallel`](Self::cpu_parallel)).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.pipeline.pool()
     }
 
     pub fn profile(&self) -> &DeviceProfile {

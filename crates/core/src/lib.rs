@@ -72,8 +72,8 @@ pub mod prelude {
     pub use crate::device::Device;
     pub use crate::info::{BlendFn, DimInfo, Texel};
     pub use crate::ops::{
-        blend, circle_canvas, dissect, dissect_iter, group_viewport, halfspace_canvas, map_scatter,
-        mask, multiway_blend, rect_canvas, transform_by_value, transform_positions,
+        blend, circle_canvas, dissect, dissect_iter, dissect_par, group_viewport, halfspace_canvas,
+        map_scatter, mask, multiway_blend, rect_canvas, transform_by_value, transform_positions,
         value_transform, CountCond, MaskSpec, PositionMap, ValueMap,
     };
     pub use crate::queries;

@@ -8,6 +8,10 @@
 //!
 //! The certain-cover planes add and the boundary indexes merge (with
 //! geometry-source remapping), so exactness survives composition.
+//!
+//! The texel and cover blend passes run band-parallel on the device's
+//! persistent worker pool (`Pipeline::blend_into`); per-texel blends
+//! are independent, so the decomposition cannot change the result.
 
 use crate::canvas::Canvas;
 use crate::device::Device;

@@ -31,6 +31,24 @@ pub fn dissect(c: &Canvas) -> Vec<Canvas> {
     dissect_iter(c).collect()
 }
 
+/// Pool-parallel materialized dissect: the non-∅ locations are listed
+/// once, then the single-pixel canvases are built across the device's
+/// worker pool with results returned **in location (row-major) order**
+/// — exactly the order [`dissect`] produces, at any thread count.
+///
+/// Takes `&Device` (it only borrows the pool) and, like [`dissect`],
+/// is a host-side materialization: it counts no pipeline work, because
+/// the definitional dissect has no GPU analogue — production plans use
+/// the fused [`map_scatter`] instead, which is fully counted.
+pub fn dissect_par(dev: &Device, c: &Canvas) -> Vec<Canvas> {
+    let vp = *c.viewport();
+    let items: Vec<(u32, u32, crate::info::Texel)> = c.non_null().collect();
+    dev.pool().run_indexed(items.len(), |i| {
+        let (x, y, t) = items[i];
+        Canvas::single_pixel(vp, x, y, t)
+    })
+}
+
 /// The derived Map operator `D*[γ] = G[γ](D(C))` (Section 3.2), fused
 /// into one scatter pass: conceptually each non-∅ location becomes its
 /// own canvas and is then moved by γ; operationally every texel scatters
@@ -94,6 +112,29 @@ mod tests {
     fn dissect_empty_yields_nothing() {
         let c = Canvas::empty(vp());
         assert_eq!(dissect(&c).len(), 0);
+    }
+
+    #[test]
+    fn dissect_par_matches_sequential() {
+        let mut dev = Device::cpu();
+        let c = render_points(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(vec![
+                Point::new(1.5, 1.5),
+                Point::new(3.5, 7.5),
+                Point::new(6.5, 2.5),
+            ]),
+        );
+        let seq = dissect(&c);
+        for threads in [1usize, 4] {
+            let pdev = Device::cpu_parallel(threads);
+            let par = dissect_par(&pdev, &c);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.texels(), b.texels(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

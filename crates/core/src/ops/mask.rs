@@ -8,6 +8,12 @@
 //! re-tested against the vector geometry, so query answers do not suffer
 //! pixel-resolution error. Uniform (non-boundary) pixels never need
 //! refinement because their whole area has one membership answer.
+//!
+//! Both mask passes execute band-parallel on the device's persistent
+//! worker pool (`Pipeline::map_planes` / `map_planes_inplace`): bands
+//! of the split texel + cover planes are claimed by pool executors and
+//! band-local collections concatenate in row-major order, so results
+//! are bit-identical at any thread count.
 
 use crate::canvas::Canvas;
 use crate::device::Device;

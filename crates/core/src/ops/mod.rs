@@ -22,7 +22,7 @@ pub mod utility;
 pub mod value;
 
 pub use blend::{blend, multiway_blend};
-pub use dissect::{dissect, dissect_iter, map_scatter};
+pub use dissect::{dissect, dissect_iter, dissect_par, map_scatter};
 pub use mask::{mask, CountCond, MaskSpec};
 pub use transform::{
     group_viewport, transform_by_value, transform_positions, PositionMap, ValueMap,

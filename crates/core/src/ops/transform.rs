@@ -194,6 +194,11 @@ pub fn group_viewport(num_groups: u32) -> Viewport {
 /// `C' = G[γ](C)` with value-form γ: a scatter pass. Texels move to
 /// `γ(value)` in the target viewport and collisions are resolved by
 /// `combine` (the aggregation plans use [`BlendFn::Accumulate`]).
+///
+/// Runs as a pool-parallel scatter: workers evaluate γ over source
+/// bands while the calling thread applies the collision blends in
+/// source row-major order — the exact order of the sequential scatter,
+/// so the result is bit-identical at any thread count.
 pub fn transform_by_value(
     dev: &mut Device,
     c: &Canvas,
@@ -205,7 +210,7 @@ pub fn transform_by_value(
     {
         let (texels, _, _) = out.planes_mut();
         let f = &gamma.f;
-        dev.pipeline().scatter(
+        dev.pipeline().scatter_shared(
             c.texels(),
             &target_vp,
             texels,

@@ -12,13 +12,22 @@ use canvas_geom::Point;
 
 /// `C' = V[f](C)`. The function receives the *world* coordinates of each
 /// location (pixel center under discretization) and its current value.
-pub fn value_transform(dev: &mut Device, c: &Canvas, f: impl Fn(Point, Texel) -> Texel) -> Canvas {
+///
+/// Executes as a band-parallel full-screen pass on the device's worker
+/// pool (per-texel rewrites are independent, so the decomposition
+/// cannot change the result — bit-identical at any thread count). Small
+/// planes run inline under the executor's minimum-work policy.
+pub fn value_transform(
+    dev: &mut Device,
+    c: &Canvas,
+    f: impl Fn(Point, Texel) -> Texel + Sync,
+) -> Canvas {
     let mut out = c.clone();
     let vp = *c.viewport();
     {
         let (texels, _, _) = out.planes_mut();
         dev.pipeline()
-            .map_texels(texels, |x, y, t| f(vp.pixel_center(x, y), t));
+            .par_map_texels(texels, |x, y, t| f(vp.pixel_center(x, y), t));
     }
     out
 }

@@ -120,6 +120,13 @@ pub fn minmax_points_in_polygon(
 /// the pixel's partial aggregate to their polygon's slot, conservative
 /// boundary fragments refine per exact point location (charged to the
 /// device as compute edge tests).
+///
+/// The fragment kernel runs **chunk-parallel on the device's worker
+/// pool**: contiguous polygon chunks are claimed by executors, each
+/// accumulating into its own per-record slots (a record's fragments are
+/// visited by exactly one executor, in the sequential emission order),
+/// and the chunks stitch back in order — so counts *and* float sums are
+/// bit-identical to the sequential run at any thread count.
 pub fn aggregate_join_rasterjoin(
     dev: &mut Device,
     vp: Viewport,
@@ -139,44 +146,58 @@ pub fn aggregate_join_rasterjoin(
 
     // Fused B[⊙] + M[Mp] + D*[γc] over the whole polygon table.
     let width = vp.width();
-    let mut scratch: canvas_raster::Texture<crate::info::Texel> =
-        canvas_raster::Texture::new(vp.width(), vp.height());
-    let mut refine_edges = 0u64;
     dev.pipeline().note_upload(
         polygons
             .iter()
             .map(|p| (p.num_vertices() * 16) as u64)
             .sum(),
     );
-    dev.pipeline().draw_polygons_batch(
+    /// Per-chunk partial aggregates (slots for `range` only).
+    struct ChunkAcc {
+        range: std::ops::Range<usize>,
+        counts: Vec<u64>,
+        sums: Vec<f64>,
+        refine_edges: u64,
+    }
+    let chunks = dev.pipeline().visit_polygon_fragments(
         &vp,
-        &mut scratch,
         polygons,
         true,
-        |record, frag| {
+        |range| ChunkAcc {
+            counts: vec![0; range.len()],
+            sums: vec![0.0; range.len()],
+            range,
+            refine_edges: 0,
+        },
+        |acc, record, frag| {
             let j = record as usize;
+            let local = j - acc.range.start;
             if frag.boundary {
                 // Boundary pixel: exact per-point refinement against the
                 // vector polygon (the hybrid-index contract).
                 let pixel = frag.y * width + frag.x;
                 let poly = &polygons[j];
                 for e in density.boundary().points_at(pixel) {
-                    refine_edges += poly.num_vertices() as u64;
+                    acc.refine_edges += poly.num_vertices() as u64;
                     if poly.contains_closed(e.loc) {
-                        out.counts[j] += 1;
-                        out.sums[j] += e.weight as f64;
+                        acc.counts[local] += 1;
+                        acc.sums[local] += e.weight as f64;
                     }
                 }
             } else if let Some(info) = density.texel(frag.x, frag.y).get(0) {
                 // Uniform interior pixel: the whole pixel is inside, so
                 // the partial aggregate applies wholesale.
-                out.counts[j] += info.v1 as u64;
-                out.sums[j] += info.v2 as f64;
+                acc.counts[local] += info.v1 as u64;
+                acc.sums[local] += info.v2 as f64;
             }
-            crate::info::Texel::null()
         },
-        |d, _| d,
     );
+    let mut refine_edges = 0u64;
+    for acc in chunks {
+        out.counts[acc.range.clone()].copy_from_slice(&acc.counts);
+        out.sums[acc.range.clone()].copy_from_slice(&acc.sums);
+        refine_edges += acc.refine_edges;
+    }
     dev.pipeline().note_compute_edge_tests(refine_edges);
     out
 }
@@ -398,6 +419,37 @@ mod tests {
             dev_fused.modeled_time(),
             dev_plan.modeled_time()
         );
+    }
+
+    #[test]
+    fn rasterjoin_bit_identical_across_thread_counts() {
+        // The chunk-parallel fragment kernel must reproduce the
+        // sequential counts AND float sums exactly — each record's
+        // fragments fold on one executor in sequential order.
+        let pts = random_points(800, 7);
+        let weights: Vec<f32> = (0..pts.len())
+            .map(|i| 0.1 + (i % 13) as f32 * 0.7)
+            .collect();
+        let polys: AreaSource = Arc::new(vec![
+            square(5.0, 5.0, 40.0),
+            square(50.0, 50.0, 45.0),
+            square(30.0, 30.0, 40.0),
+            square(10.0, 60.0, 25.0),
+            square(60.0, 10.0, 25.0),
+        ]);
+        let batch = PointBatch::with_weights(pts, weights);
+        let mut seq_dev = Device::cpu();
+        let reference = aggregate_join_rasterjoin(&mut seq_dev, vp(), &batch, &polys);
+        for threads in [2usize, 3, 8] {
+            let mut dev = Device::cpu_parallel(threads);
+            let got = aggregate_join_rasterjoin(&mut dev, vp(), &batch, &polys);
+            assert_eq!(reference.counts, got.counts, "counts at {threads} threads");
+            // Bit-identical floats, not approximate.
+            let a: Vec<u64> = reference.sums.iter().map(|s| s.to_bits()).collect();
+            let b: Vec<u64> = got.sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b, "sums diverge at {threads} threads");
+            assert_eq!(seq_dev.stats(), dev.stats(), "stats at {threads} threads");
+        }
     }
 
     #[test]

@@ -18,24 +18,30 @@ use crate::canvas::{AreaSource, PointBatch};
 use crate::device::Device;
 use crate::info::BlendFn;
 use crate::ops::{CountCond, MaskSpec};
+use canvas_geom::grid::{GridIndex, VisitedMask};
 use canvas_geom::polygon::Polygon;
 use canvas_geom::rtree::RTree;
 use canvas_raster::Viewport;
 
-/// Type I join: all `(point_record, polygon_record)` pairs with the
-/// point inside the polygon (exact). Pairs are sorted by polygon then
-/// point record.
-pub fn join_points_polygons(
+/// Shared Type I body: the canvas chain per polygon, with a pluggable
+/// filter step (`keep`) deciding which polygons get canvas work at all.
+/// Both the unpruned and the grid-pruned entry points call this, so the
+/// blend/mask formulation can never drift between them.
+fn join_points_polygons_filtered(
     dev: &mut Device,
     vp: Viewport,
     points: &PointBatch,
     polygons: &AreaSource,
+    mut keep: impl FnMut(&Polygon) -> bool,
 ) -> Vec<(u32, u32)> {
     // Render the point side once; every polygon reuses it (this sharing
     // is what the RasterJoin aggregation plan exploits too).
     let cp = crate::source::render_points(dev, vp, points);
     let mut pairs = Vec::new();
-    for (j, _poly) in polygons.iter().enumerate() {
+    for (j, poly) in polygons.iter().enumerate() {
+        if !keep(poly) {
+            continue;
+        }
         let cy = crate::source::render_polygon(dev, vp, polygons, j, j as u32);
         let merged = crate::ops::blend(dev, &cp, &cy, BlendFn::PointOverArea);
         let sel = crate::ops::mask(dev, &merged, &MaskSpec::PointInAreas(CountCond::Ge(1)));
@@ -47,6 +53,39 @@ pub fn join_points_polygons(
     pairs
 }
 
+/// Type I join: all `(point_record, polygon_record)` pairs with the
+/// point inside the polygon (exact). Pairs are sorted by polygon then
+/// point record.
+pub fn join_points_polygons(
+    dev: &mut Device,
+    vp: Viewport,
+    points: &PointBatch,
+    polygons: &AreaSource,
+) -> Vec<(u32, u32)> {
+    join_points_polygons_filtered(dev, vp, points, polygons, |_| true)
+}
+
+/// [`join_points_polygons`] with CSR-grid candidate pruning: the
+/// caller supplies a [`GridIndex`] over the **point** side (ids =
+/// point record indices, extent covering every point — e.g.
+/// `SpatialTable::grid_index`). Polygons whose MBR cell range holds no
+/// candidate points are skipped before any canvas work: no polygon
+/// render, no full-screen blend, no mask pass. Results are identical
+/// to the unpruned join — a point inside a polygon always registers in
+/// a cell overlapping that polygon's MBR, so pruned polygons provably
+/// contribute no pairs.
+pub fn join_points_polygons_pruned(
+    dev: &mut Device,
+    vp: Viewport,
+    points: &PointBatch,
+    polygons: &AreaSource,
+    point_index: &GridIndex,
+) -> Vec<(u32, u32)> {
+    join_points_polygons_filtered(dev, vp, points, polygons, |poly| {
+        point_index.query_iter(&poly.bbox()).next().is_some()
+    })
+}
+
 /// Type II join: all intersecting `(left_record, right_record)` polygon
 /// pairs (exact). An STR R-tree over the right side prunes candidates.
 pub fn join_polygons_polygons(
@@ -56,16 +95,33 @@ pub fn join_polygons_polygons(
     right: &AreaSource,
 ) -> Vec<(u32, u32)> {
     let tree = RTree::bulk_load(right.iter().map(|p| p.bbox()).collect());
+    join_polygons_polygons_filtered(dev, vp, left, right, |a, out| {
+        tree.query_into(&a.bbox(), out)
+    })
+}
+
+/// Shared Type II body: per left record, `candidates` fills the
+/// MBR-filter result for the right side (any index may serve it); the
+/// canvas + exact-refinement test then decides each surviving pair.
+/// Single home of the pair test, shared by the R-tree and grid-index
+/// entry points.
+fn join_polygons_polygons_filtered(
+    dev: &mut Device,
+    vp: Viewport,
+    left: &AreaSource,
+    right: &AreaSource,
+    mut candidates: impl FnMut(&Polygon, &mut Vec<u32>),
+) -> Vec<(u32, u32)> {
     let mut pairs = Vec::new();
-    let mut candidates = Vec::new();
+    let mut cand = Vec::new();
     for (i, a) in left.iter().enumerate() {
-        candidates.clear();
-        tree.query_into(&a.bbox(), &mut candidates);
-        if candidates.is_empty() {
+        cand.clear();
+        candidates(a, &mut cand);
+        if cand.is_empty() {
             continue;
         }
         let ca = crate::source::render_polygon(dev, vp, left, i, i as u32);
-        for &j in &candidates {
+        for &j in &cand {
             let cb = crate::source::render_polygon(dev, vp, right, j as usize, j);
             let merged = crate::ops::blend(dev, &ca, &cb, BlendFn::AreaCount);
             let sel = crate::ops::mask(dev, &merged, &MaskSpec::AreaCount(CountCond::Eq(2)));
@@ -80,6 +136,25 @@ pub fn join_polygons_polygons(
     }
     pairs.sort_unstable();
     pairs
+}
+
+/// [`join_polygons_polygons`] with the MBR filter served by a CSR
+/// [`GridIndex`] over the **right** side (ids = right record indices)
+/// instead of an R-tree — the same flat filter-refine structure the
+/// tiled pipeline uses, and the index a `SpatialTable` already carries.
+/// Results are identical: the grid returns an MBR-overlap superset and
+/// the canvas + exact refinement decide membership.
+pub fn join_polygons_polygons_pruned(
+    dev: &mut Device,
+    vp: Viewport,
+    left: &AreaSource,
+    right: &AreaSource,
+    right_index: &GridIndex,
+) -> Vec<(u32, u32)> {
+    let mut visited = VisitedMask::new();
+    join_polygons_polygons_filtered(dev, vp, left, right, |a, out| {
+        right_index.query_into(&a.bbox(), &mut visited, out)
+    })
 }
 
 /// Type III distance join: pairs `(left_record, right_record)` with
@@ -230,6 +305,69 @@ mod tests {
         want.sort_unstable_by_key(|&(p, y)| (y, p));
         assert_eq!(got, want);
         assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn pruned_type1_join_equals_unpruned_and_saves_work() {
+        let mut dev = Device::nvidia();
+        let pts = random_points(300, 23);
+        // Many polygons far from every point: the index must prune them
+        // without changing the result.
+        let mut polys = vec![
+            square(10.0, 10.0, 30.0),
+            square(50.0, 50.0, 40.0),
+            square(25.0, 25.0, 30.0),
+        ];
+        for k in 0..20 {
+            polys.push(square(200.0 + 10.0 * k as f64, 500.0, 5.0));
+        }
+        let polys: AreaSource = Arc::new(polys);
+        let batch = PointBatch::from_points(pts);
+        let want = join_points_polygons(&mut dev, vp(), &batch, &polys);
+        let index = GridIndex::from_points(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            16,
+            16,
+            batch.points.iter().enumerate().map(|(i, &p)| (i as u32, p)),
+        );
+        let mut pruned_dev = Device::nvidia();
+        let got = join_points_polygons_pruned(&mut pruned_dev, vp(), &batch, &polys, &index);
+        assert_eq!(got, want);
+        // The pruned plan must have rendered far fewer polygon canvases.
+        assert!(
+            pruned_dev.stats().passes < dev.stats().passes,
+            "pruning saved no passes: {} vs {}",
+            pruned_dev.stats().passes,
+            dev.stats().passes
+        );
+    }
+
+    #[test]
+    fn pruned_type2_join_equals_rtree_filtered() {
+        let mut dev = Device::nvidia();
+        let left: AreaSource = Arc::new(vec![
+            square(5.0, 5.0, 20.0),
+            square(60.0, 60.0, 20.0),
+            square(40.0, 5.0, 20.0),
+        ]);
+        let right: AreaSource = Arc::new(vec![
+            square(15.0, 15.0, 20.0),
+            square(90.0, 90.0, 5.0),
+            square(50.0, 10.0, 20.0),
+            square(65.0, 65.0, 5.0),
+        ]);
+        let want = join_polygons_polygons(&mut dev, vp(), &left, &right);
+        let mut builder = canvas_geom::grid::GridIndexBuilder::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            8,
+            8,
+        );
+        for (j, p) in right.iter().enumerate() {
+            builder.insert(j as u32, &p.bbox());
+        }
+        let index = builder.build();
+        let got = join_polygons_polygons_pruned(&mut dev, vp(), &left, &right, &index);
+        assert_eq!(got, want);
     }
 
     #[test]

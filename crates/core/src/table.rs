@@ -221,6 +221,48 @@ impl SpatialTable {
         Ok(std::sync::Arc::new(lines))
     }
 
+    /// Type I join `self ⋈ polygons` (`self` all points): every
+    /// `(point_record, polygon_record)` pair with the point inside the
+    /// polygon. The table's CSR [`grid_index`](Self::grid_index) over
+    /// the point side serves the filter step — polygons whose MBR holds
+    /// no candidate points are pruned before any canvas work.
+    pub fn join_points_in_polygons(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        polygons: &SpatialTable,
+        items_per_cell: usize,
+    ) -> Result<Vec<(u32, u32)>, TableError> {
+        let points = self.as_points(None)?;
+        let polys = polygons.as_polygons()?;
+        let index = self.grid_index(items_per_cell);
+        Ok(crate::queries::join::join_points_polygons_pruned(
+            dev, vp, &points, &polys, &index,
+        ))
+    }
+
+    /// Type II join `self ⋈ right` (both all polygons): every
+    /// intersecting record pair, with the right table's
+    /// [`grid_index`](Self::grid_index) as the MBR filter.
+    pub fn join_intersecting_polygons(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        right: &SpatialTable,
+        items_per_cell: usize,
+    ) -> Result<Vec<(u32, u32)>, TableError> {
+        let left = self.as_polygons()?;
+        let right_polys = right.as_polygons()?;
+        let index = right.grid_index(items_per_cell);
+        Ok(crate::queries::join::join_polygons_polygons_pruned(
+            dev,
+            vp,
+            &left,
+            &right_polys,
+            &index,
+        ))
+    }
+
     /// `SELECT * FROM self WHERE Geometry INSIDE/INTERSECTS q` — the
     /// paper's headline: one entry point, any geometry type, same
     /// operators underneath. Returns matching record ids.
@@ -374,6 +416,59 @@ mod tests {
         let one = SpatialTable::from_wkt_lines("POINT (3 3)").unwrap();
         let g = one.grid_index(4);
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn table_joins_use_grid_index_and_match_direct_joins() {
+        // Production path for SpatialTable::grid_index: Type I and
+        // Type II joins pruned through the CSR grid agree with the
+        // unpruned query formulations.
+        let mut pts = SpatialTable::new();
+        for p in [
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 8.0),
+            Point::new(3.0, 3.5),
+            Point::new(9.0, 1.0),
+        ] {
+            pts.push(GeomObject::point(p));
+        }
+        let zones = SpatialTable::from_wkt_lines(
+            "POLYGON ((1 1, 5 1, 5 5, 1 5, 1 1))\n\
+             POLYGON ((7 7, 10 7, 10 10, 7 10, 7 7))\n\
+             POLYGON ((20 20, 22 20, 22 22, 20 22, 20 20))",
+        )
+        .unwrap();
+        let mut dev = Device::nvidia();
+        let vp =
+            Viewport::square_pixels(BBox::new(Point::new(0.0, 0.0), Point::new(25.0, 25.0)), 128);
+        let got = pts
+            .join_points_in_polygons(&mut dev, vp, &zones, 2)
+            .unwrap();
+        let want = crate::queries::join::join_points_polygons(
+            &mut dev,
+            vp,
+            &pts.as_points(None).unwrap(),
+            &zones.as_polygons().unwrap(),
+        );
+        assert_eq!(got, want);
+        assert_eq!(got, vec![(0, 0), (2, 0), (1, 1)]);
+
+        let more = SpatialTable::from_wkt_lines(
+            "POLYGON ((3 3, 8 3, 8 8, 3 8, 3 3))\n\
+             POLYGON ((15 15, 18 15, 18 18, 15 18, 15 15))",
+        )
+        .unwrap();
+        let got2 = more
+            .join_intersecting_polygons(&mut dev, vp, &zones, 2)
+            .unwrap();
+        let want2 = crate::queries::join::join_polygons_polygons(
+            &mut dev,
+            vp,
+            &more.as_polygons().unwrap(),
+            &zones.as_polygons().unwrap(),
+        );
+        assert_eq!(got2, want2);
+        assert_eq!(got2, vec![(0, 0), (0, 1)]);
     }
 
     #[test]

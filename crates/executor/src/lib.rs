@@ -1,0 +1,135 @@
+//! # canvas-executor
+//!
+//! The **persistent execution substrate** of the canvas-algebra
+//! workspace: a std-only worker pool that is spawned once per `Device`,
+//! kept hot across operator chains, and joined on drop.
+//!
+//! The paper's algebra is fast because every operator decomposes into
+//! uniform data-parallel passes over canvases; resident engines like
+//! SPADE show that the win survives only if per-pass launch latency is
+//! tiny. Before this crate, every parallel pass forked and joined fresh
+//! OS threads (`std::thread::scope`); now passes are dispatched to
+//! parked workers through a condvar — microseconds instead of tens of
+//! microseconds, measured by `bench_baseline`'s
+//! `pool_dispatch_ns_per_pass` vs `scoped_spawn_ns_per_pass`.
+//!
+//! Three execution shapes, all with the same determinism contract
+//! (outputs merged in item order ⇒ parallel runs are bit-identical to
+//! sequential at any thread count):
+//!
+//! * [`WorkerPool::run_indexed`] — indexed fork-join with in-order
+//!   results (tile binning, tile rasterization),
+//! * [`WorkerPool::for_each_chunk`] / `for_each_band*` — chunk-claiming
+//!   in-place passes over planes (Blend, Mask, Value Transform),
+//! * [`WorkerPool::run_streaming`] — bounded-window produce/merge
+//!   pipelining (the streaming tile merge; peak memory capped by
+//!   [`Policy::stream_window`]).
+//!
+//! All scheduling tunables live in one [`Policy`] so every operator
+//! shares a single knob set.
+
+pub mod policy;
+pub mod pool;
+pub mod stream;
+
+pub use policy::{Policy, MIN_PARALLEL_ITEMS};
+pub use pool::{live_worker_count, WorkerPool};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn streaming_merges_in_order_and_matches_sequential() {
+        let pool = WorkerPool::new(4);
+        let mut merged = Vec::new();
+        pool.run_streaming(100, |i| i * 3, |i, v| merged.push((i, v)));
+        let want: Vec<(usize, usize)> = (0..100).map(|i| (i, i * 3)).collect();
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn streaming_sequential_fallback() {
+        let pool = WorkerPool::new(1);
+        let mut merged = Vec::new();
+        pool.run_streaming(10, |i| i, |i, v| merged.push((i, v)));
+        assert_eq!(merged.len(), 10);
+        assert!(merged
+            .iter()
+            .enumerate()
+            .all(|(k, &(i, v))| k == i && v == i));
+    }
+
+    #[test]
+    fn streaming_bounds_in_flight_items() {
+        // Track the high-water mark of produced-but-unmerged items; it
+        // must respect the policy window (+1 for the item being merged).
+        let policy = Policy {
+            stream_window_per_worker: 1,
+            ..Policy::default()
+        };
+        let pool = WorkerPool::with_policy(4, policy);
+        let window = pool.policy().stream_window(pool.worker_count());
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run_streaming(
+            200,
+            |i| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                i
+            },
+            |_, _| {
+                live.fetch_sub(1, Ordering::SeqCst);
+            },
+        );
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            peak <= window + 1,
+            "peak in-flight {peak} exceeds window {window}+1"
+        );
+    }
+
+    #[test]
+    fn streaming_producer_panic_propagates() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_streaming(
+                50,
+                |i| {
+                    if i == 20 {
+                        panic!("producer boom");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        }));
+        assert!(result.is_err());
+        // Pool still healthy afterwards.
+        let mut n = 0;
+        pool.run_streaming(5, |i| i, |_, _| n += 1);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn streaming_merge_panic_propagates() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_streaming(
+                50,
+                |i| i,
+                |i, _| {
+                    if i == 10 {
+                        panic!("merge boom");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err());
+        let mut n = 0;
+        pool.run_streaming(5, |i| i, |_, _| n += 1);
+        assert_eq!(n, 5);
+    }
+}

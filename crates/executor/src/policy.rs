@@ -1,0 +1,65 @@
+//! The pool's scheduling policy — every tunable in one place.
+//!
+//! Before the executor existed, each band helper in `raster::par`
+//! carried its own copy of the minimum-work threshold; centralizing the
+//! knobs here means every canvas operator (Blend, Mask, Value
+//! Transform, scatter, the tiled draws) shares one tuning surface.
+
+/// Default for [`Policy::min_parallel_items`]. Below this many texels a
+/// full-screen pass runs inline: waking pool workers (a few
+/// microseconds per pass — far cheaper than OS-thread spawn, but not
+/// free) would exceed the work itself on small planes such as 64×64
+/// group viewports. The decomposition is deterministic either way, so
+/// the threshold can never affect results, only wall clock.
+pub const MIN_PARALLEL_ITEMS: usize = 1 << 16;
+
+/// Default for [`Policy::stream_window_per_worker`].
+pub const STREAM_WINDOW_PER_WORKER: usize = 2;
+
+/// Tunables consulted by every [`WorkerPool`](crate::WorkerPool)
+/// scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// Full-screen passes over fewer items than this run inline on the
+    /// calling thread (see [`MIN_PARALLEL_ITEMS`]). Consulted via
+    /// `WorkerPool::should_parallelize` by the band helpers, whose
+    /// items are texels; the coarse-item passes (`run_indexed`,
+    /// `for_each_chunk`, `run_streaming`) gate only on `n <= 1` and
+    /// leave granularity to their callers.
+    pub min_parallel_items: usize,
+    /// Streaming passes allow at most `window_per_worker × workers`
+    /// produced-but-unmerged items in flight (claim-gated), which is
+    /// what caps peak memory of the streaming tile merge.
+    pub stream_window_per_worker: usize,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            min_parallel_items: MIN_PARALLEL_ITEMS,
+            stream_window_per_worker: STREAM_WINDOW_PER_WORKER,
+        }
+    }
+}
+
+impl Policy {
+    /// In-flight window (in items) for a streaming pass on `workers`
+    /// concurrent producers. Never below 2 so a producer can always run
+    /// one item ahead of the merger.
+    pub fn stream_window(&self, workers: usize) -> usize {
+        (self.stream_window_per_worker * workers.max(1)).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_constants() {
+        let p = Policy::default();
+        assert_eq!(p.min_parallel_items, MIN_PARALLEL_ITEMS);
+        assert_eq!(p.stream_window(4), 8);
+        assert_eq!(p.stream_window(0), 2);
+    }
+}

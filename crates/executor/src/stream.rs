@@ -1,0 +1,248 @@
+//! Streaming produce/merge passes with bounded in-flight memory.
+//!
+//! The tiled draw paths used to materialize **every** tile buffer
+//! before a sequential blit; at huge resolutions that peaks at the full
+//! framebuffer again, defeating the point of tiling. A streaming pass
+//! instead lets workers publish finished items through a claim-gated
+//! channel while the calling thread merges them **in item order** —
+//! the merge order (and therefore the result) is identical to the
+//! sequential run, but at most `Policy::stream_window(workers)` items
+//! exist unmerged at any instant.
+//!
+//! The gate is on *claims*, not just queue capacity: a producer may not
+//! start item `i` until `i < merged + window`, so even pathological
+//! skew (one huge tile stalling the merge frontier while tiny tiles
+//! race ahead) cannot accumulate more than `window` finished items.
+//! This is the bounded pipelined hand-off 3DPipe argues for, in
+//! fork-join clothing.
+
+use crate::pool::WorkerPool;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Claim-gated reorder channel between producers and the merging
+/// caller. Item `i` may only be claimed once fewer than `window` items
+/// are outstanding past the merge frontier.
+struct StreamGate<T> {
+    state: Mutex<GateState<T>>,
+    /// Producers wait here for the merge frontier to advance.
+    can_claim: Condvar,
+    /// The merger waits here for the next in-order item.
+    has_items: Condvar,
+    n: usize,
+    window: usize,
+}
+
+struct GateState<T> {
+    next_claim: usize,
+    merged: usize,
+    ready: BTreeMap<usize, T>,
+    poisoned: bool,
+}
+
+impl<T> StreamGate<T> {
+    fn new(n: usize, window: usize) -> Self {
+        StreamGate {
+            state: Mutex::new(GateState {
+                next_claim: 0,
+                merged: 0,
+                ready: BTreeMap::new(),
+                poisoned: false,
+            }),
+            can_claim: Condvar::new(),
+            has_items: Condvar::new(),
+            n,
+            window: window.max(2),
+        }
+    }
+
+    /// Claims the next item index, blocking while the window is full.
+    /// `None` when all items are claimed or the pass is poisoned.
+    fn claim(&self) -> Option<usize> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if st.poisoned || st.next_claim >= self.n {
+                return None;
+            }
+            if st.next_claim < st.merged + self.window {
+                let i = st.next_claim;
+                st.next_claim += 1;
+                return Some(i);
+            }
+            st = self
+                .can_claim
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking [`claim`](Self::claim): `None` when the window is
+    /// full, every item is claimed, or the pass is poisoned — the
+    /// merging caller uses this to pick up production work instead of
+    /// idling when the next in-order item is not ready yet.
+    fn try_claim(&self) -> Option<usize> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.poisoned || st.next_claim >= self.n || st.next_claim >= st.merged + self.window {
+            return None;
+        }
+        let i = st.next_claim;
+        st.next_claim += 1;
+        Some(i)
+    }
+
+    fn publish(&self, i: usize, value: T) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.ready.insert(i, value);
+        self.has_items.notify_all();
+    }
+
+    /// Non-blocking [`take_next`](Self::take_next): `Ok(Some(..))` when
+    /// the in-order item is ready, `Ok(None)` when it is not yet,
+    /// `Err(())` on poison.
+    #[allow(clippy::result_unit_err)]
+    fn try_take_next(&self) -> Result<Option<(usize, T)>, ()> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.poisoned {
+            return Err(());
+        }
+        let next = st.merged;
+        match st.ready.remove(&next) {
+            Some(v) => {
+                st.merged += 1;
+                self.can_claim.notify_all();
+                Ok(Some((next, v)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Takes item `merged` once available; advances the frontier.
+    /// `None` on poison.
+    fn take_next(&self) -> Option<(usize, T)> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if st.poisoned {
+                return None;
+            }
+            let next = st.merged;
+            if let Some(v) = st.ready.remove(&next) {
+                st.merged += 1;
+                self.can_claim.notify_all();
+                return Some((next, v));
+            }
+            st = self
+                .has_items
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Aborts the pass: producers stop claiming, the merger stops
+    /// waiting. Used on either-side panic so nobody deadlocks.
+    fn poison(&self) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.poisoned = true;
+        self.can_claim.notify_all();
+        self.has_items.notify_all();
+    }
+}
+
+impl WorkerPool {
+    /// Streaming pass: background workers run `produce(i)` for
+    /// `i ∈ 0..n` (dynamically claimed) while the calling thread runs
+    /// `merge(i, item)` **strictly in ascending `i` order** — the same
+    /// order, and therefore the same result, as the sequential
+    /// `for i { merge(i, produce(i)) }` loop. At most
+    /// `policy.stream_window(workers)` produced-but-unmerged items are
+    /// in flight, which caps peak memory when items are large (tile
+    /// framebuffers).
+    ///
+    /// With no background workers the sequential loop runs verbatim —
+    /// one item lives at a time, the tightest possible memory bound.
+    pub fn run_streaming<T, F, M>(&self, n: usize, produce: F, mut merge: M)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        M: FnMut(usize, T),
+    {
+        if self.worker_count() == 0 || n <= 1 {
+            for i in 0..n {
+                merge(i, produce(i));
+            }
+            return;
+        }
+        let gate = StreamGate::new(n, self.policy().stream_window(self.worker_count()));
+        let producer = || {
+            while let Some(i) = gate.claim() {
+                match catch_unwind(AssertUnwindSafe(|| produce(i))) {
+                    Ok(v) => gate.publish(i, v),
+                    Err(payload) => {
+                        gate.poison();
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        };
+        // The caller primarily merges, but claims and produces items
+        // itself whenever the next in-order item is not ready — so all
+        // `threads` executors rasterize when the merge frontier is
+        // ahead, and no producer is lost at small thread counts. The
+        // dispatch is done by hand: publish the producer job to the
+        // workers, run the merge/produce loop here, then quiesce
+        // (poisoning on merge panic so blocked producers always drain).
+        self.run_split_pass(&producer, || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut done = 0;
+                while done < n {
+                    match gate.try_take_next() {
+                        Ok(Some((i, v))) => {
+                            merge(i, v);
+                            done += 1;
+                        }
+                        Err(()) => break, // poisoned: producer panicked
+                        Ok(None) => {
+                            // Frontier not ready: help produce instead
+                            // of idling (claim is window-gated, so this
+                            // cannot overrun the memory bound).
+                            if let Some(i) = gate.try_claim() {
+                                let v = produce(i);
+                                gate.publish(i, v);
+                            } else {
+                                match gate.take_next() {
+                                    Some((i, v)) => {
+                                        merge(i, v);
+                                        done += 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+            if outcome.is_err() {
+                gate.poison();
+            }
+            outcome
+        });
+    }
+}

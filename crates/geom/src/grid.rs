@@ -20,15 +20,83 @@
 use crate::bbox::BBox;
 use crate::point::Point;
 
-/// Accumulates insertions, then packs them into a [`GridIndex`] with a
-/// two-pass counting-sort build.
-#[derive(Clone, Debug)]
-pub struct GridIndexBuilder {
+/// The shared extent/dims/cell math of a uniform grid — **one**
+/// definition used by both [`GridIndexBuilder`] (build time) and
+/// [`GridIndex`] (query time), so the two can never disagree about
+/// which cell a coordinate falls in (they used to carry independent
+/// copies of this arithmetic, a standing drift hazard).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridGeometry {
     extent: BBox,
     nx: usize,
     ny: usize,
     cell_w: f64,
     cell_h: f64,
+}
+
+impl GridGeometry {
+    /// Geometry of an `nx × ny` grid over `extent`.
+    ///
+    /// Panics if the extent is empty or a dimension is zero — grids are
+    /// built by callers that guarantee a valid extent.
+    pub fn new(extent: BBox, nx: usize, ny: usize) -> Self {
+        assert!(!extent.is_empty(), "grid extent must be non-empty");
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
+        GridGeometry {
+            extent,
+            nx,
+            ny,
+            cell_w: extent.width() / nx as f64,
+            cell_h: extent.height() / ny as f64,
+        }
+    }
+
+    pub fn extent(&self) -> &BBox {
+        &self.extent
+    }
+
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell coordinates of a point, clamped into the grid.
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.extent.min.x) / self.cell_w) as isize;
+        let cy = ((p.y - self.extent.min.y) / self.cell_h) as isize;
+        (
+            cx.clamp(0, self.nx as isize - 1) as usize,
+            cy.clamp(0, self.ny as isize - 1) as usize,
+        )
+    }
+
+    /// Flat row-major index of a cell.
+    pub fn cell_index(&self, cx: usize, cy: usize) -> usize {
+        debug_assert!(cx < self.nx && cy < self.ny);
+        cy * self.nx + cx
+    }
+
+    /// Inclusive cell range covered by a box (clipped to the extent);
+    /// `None` when the box misses the grid entirely.
+    pub fn cell_range(&self, b: &BBox) -> Option<(usize, usize, usize, usize)> {
+        let clipped = b.intersection(&self.extent);
+        if clipped.is_empty() {
+            return None;
+        }
+        let (x0, y0) = self.cell_of(clipped.min);
+        let (x1, y1) = self.cell_of(clipped.max);
+        Some((x0, y0, x1, y1))
+    }
+}
+
+/// Accumulates insertions, then packs them into a [`GridIndex`] with a
+/// two-pass counting-sort build.
+#[derive(Clone, Debug)]
+pub struct GridIndexBuilder {
+    geom: GridGeometry,
     /// `(id, x0, y0, x1, y1)` inclusive cell ranges, in insertion order.
     items: Vec<(u32, u32, u32, u32, u32)>,
 }
@@ -39,14 +107,8 @@ impl GridIndexBuilder {
     /// Panics if the extent is empty or a dimension is zero — the index
     /// is built by internal callers that guarantee a valid extent.
     pub fn new(extent: BBox, nx: usize, ny: usize) -> Self {
-        assert!(!extent.is_empty(), "grid extent must be non-empty");
-        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
         GridIndexBuilder {
-            extent,
-            nx,
-            ny,
-            cell_w: extent.width() / nx as f64,
-            cell_h: extent.height() / ny as f64,
+            geom: GridGeometry::new(extent, nx, ny),
             items: Vec::new(),
         }
     }
@@ -64,33 +126,27 @@ impl GridIndexBuilder {
         GridIndexBuilder::new(extent, nx, ny)
     }
 
-    fn cell_of(&self, p: Point) -> (usize, usize) {
-        let cx = ((p.x - self.extent.min.x) / self.cell_w) as isize;
-        let cy = ((p.y - self.extent.min.y) / self.cell_h) as isize;
-        (
-            cx.clamp(0, self.nx as isize - 1) as usize,
-            cy.clamp(0, self.ny as isize - 1) as usize,
-        )
+    /// The shared build/query cell geometry (moved into the built
+    /// [`GridIndex`] unchanged).
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geom
     }
 
     /// Registers an item covering `bbox` (every overlapping cell).
     pub fn insert(&mut self, id: u32, bbox: &BBox) {
-        let clipped = bbox.intersection(&self.extent);
-        if clipped.is_empty() {
+        let Some((x0, y0, x1, y1)) = self.geom.cell_range(bbox) else {
             return;
-        }
-        let (x0, y0) = self.cell_of(clipped.min);
-        let (x1, y1) = self.cell_of(clipped.max);
+        };
         self.items
             .push((id, x0 as u32, y0 as u32, x1 as u32, y1 as u32));
     }
 
     /// Registers a point item (exactly one cell).
     pub fn insert_point(&mut self, id: u32, p: Point) {
-        if !self.extent.contains(p) {
+        if !self.geom.extent().contains(p) {
             return;
         }
-        let (cx, cy) = self.cell_of(p);
+        let (cx, cy) = self.geom.cell_of(p);
         self.items
             .push((id, cx as u32, cy as u32, cx as u32, cy as u32));
     }
@@ -101,12 +157,13 @@ impl GridIndexBuilder {
     /// pass 2 scatters ids into `entries`. Within a cell, entries keep
     /// insertion order.
     pub fn build(self) -> GridIndex {
-        let cells = self.nx * self.ny;
+        let geom = self.geom;
+        let cells = geom.num_cells();
         let mut cell_offsets = vec![0u32; cells + 1];
         for &(_, x0, y0, x1, y1) in &self.items {
             for cy in y0..=y1 {
                 for cx in x0..=x1 {
-                    cell_offsets[cy as usize * self.nx + cx as usize + 1] += 1;
+                    cell_offsets[geom.cell_index(cx as usize, cy as usize) + 1] += 1;
                 }
             }
         }
@@ -118,18 +175,14 @@ impl GridIndexBuilder {
         for &(id, x0, y0, x1, y1) in &self.items {
             for cy in y0..=y1 {
                 for cx in x0..=x1 {
-                    let cell = cy as usize * self.nx + cx as usize;
+                    let cell = geom.cell_index(cx as usize, cy as usize);
                     entries[cursor[cell] as usize] = id;
                     cursor[cell] += 1;
                 }
             }
         }
         GridIndex {
-            extent: self.extent,
-            nx: self.nx,
-            ny: self.ny,
-            cell_w: self.cell_w,
-            cell_h: self.cell_h,
+            geom,
             cell_offsets,
             entries,
             len: self.items.len(),
@@ -138,14 +191,12 @@ impl GridIndexBuilder {
 }
 
 /// A uniform grid over a fixed extent indexing items by bounding box,
-/// CSR-packed (see module docs). Built via [`GridIndexBuilder`].
+/// CSR-packed (see module docs). Built via [`GridIndexBuilder`], whose
+/// [`GridGeometry`] it inherits — query-time cell math is the same
+/// object that placed the entries.
 #[derive(Clone, Debug)]
 pub struct GridIndex {
-    extent: BBox,
-    nx: usize,
-    ny: usize,
-    cell_w: f64,
-    cell_h: f64,
+    geom: GridGeometry,
     /// `cells + 1` prefix sums into `entries`.
     cell_offsets: Vec<u32>,
     /// Record ids, grouped by cell, insertion-ordered within a cell.
@@ -182,12 +233,17 @@ impl GridIndex {
         b.build()
     }
 
+    /// The shared build/query cell geometry.
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geom
+    }
+
     pub fn extent(&self) -> &BBox {
-        &self.extent
+        self.geom.extent()
     }
 
     pub fn dims(&self) -> (usize, usize) {
-        (self.nx, self.ny)
+        self.geom.dims()
     }
 
     /// Number of inserted items (not entries; items spanning k cells still
@@ -205,29 +261,10 @@ impl GridIndex {
         self.entries.len()
     }
 
-    fn cell_of(&self, p: Point) -> (usize, usize) {
-        let cx = ((p.x - self.extent.min.x) / self.cell_w) as isize;
-        let cy = ((p.y - self.extent.min.y) / self.cell_h) as isize;
-        (
-            cx.clamp(0, self.nx as isize - 1) as usize,
-            cy.clamp(0, self.ny as isize - 1) as usize,
-        )
-    }
-
-    fn cell_range(&self, b: &BBox) -> Option<(usize, usize, usize, usize)> {
-        let clipped = b.intersection(&self.extent);
-        if clipped.is_empty() {
-            return None;
-        }
-        let (x0, y0) = self.cell_of(clipped.min);
-        let (x1, y1) = self.cell_of(clipped.max);
-        Some((x0, y0, x1, y1))
-    }
-
     /// CSR slice of one cell.
     #[inline]
     fn cell_entries(&self, cx: usize, cy: usize) -> &[u32] {
-        let cell = cy * self.nx + cx;
+        let cell = self.geom.cell_index(cx, cy);
         let lo = self.cell_offsets[cell] as usize;
         let hi = self.cell_offsets[cell + 1] as usize;
         &self.entries[lo..hi]
@@ -239,7 +276,7 @@ impl GridIndex {
     /// [`query_into`](Self::query_into) with a [`VisitedMask`], or use
     /// the allocating [`query`](Self::query) convenience.
     pub fn query_iter<'a>(&'a self, b: &BBox) -> impl Iterator<Item = u32> + 'a {
-        let range = self.cell_range(b);
+        let range = self.geom.cell_range(b);
         range
             .into_iter()
             .flat_map(move |(x0, y0, x1, y1)| {
@@ -274,10 +311,10 @@ impl GridIndex {
     /// Candidate ids in the cell containing `p` — a contiguous CSR slice,
     /// duplicate-free by construction (an item registers once per cell).
     pub fn query_point(&self, p: Point) -> &[u32] {
-        if !self.extent.contains(p) {
+        if !self.geom.extent().contains(p) {
             return &[];
         }
-        let (cx, cy) = self.cell_of(p);
+        let (cx, cy) = self.geom.cell_of(p);
         self.cell_entries(cx, cy)
     }
 }
@@ -494,6 +531,31 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn builder_and_index_share_identical_geometry() {
+        // The whole point of GridGeometry: the cell math that placed an
+        // entry is the same object the query uses, so a point inserted
+        // at build time is always found by a query at the same spot.
+        let b = GridIndexBuilder::new(extent(), 7, 5);
+        let build_geom = *b.geometry();
+        let g = b.build();
+        assert_eq!(build_geom, *g.geometry());
+        // Probe awkward coordinates (cell edges, extent corners): the
+        // shared cell_of must agree with where query_point looks.
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(10.0 / 7.0, 10.0 / 5.0),
+            Point::new(3.0 * 10.0 / 7.0, 2.0 * 10.0 / 5.0),
+            Point::new(9.999999, 0.000001),
+        ] {
+            let mut bb = GridIndexBuilder::new(extent(), 7, 5);
+            bb.insert_point(42, p);
+            let gg = bb.build();
+            assert_eq!(gg.query_point(p), &[42], "probe {p:?}");
         }
     }
 

@@ -39,6 +39,7 @@ pub mod triangulate;
 pub mod wkt;
 
 pub use bbox::BBox;
+pub use grid::{GridGeometry, GridIndex, GridIndexBuilder, VisitedMask};
 pub use object::{GeomObject, Primitive};
 pub use point::Point;
 pub use polygon::{Polygon, Ring};

@@ -21,11 +21,15 @@
 //! * [`pipeline::Pipeline`] — draw calls with programmable fragment
 //!   shading and blending, full-screen passes, scatter passes,
 //! * [`tile`] + [`par`] — the fixed-size tile decomposition and the
-//!   deterministic fork-join executor behind the tiled draw paths
+//!   deterministic executor behind the tiled draw paths
 //!   (`draw_points_tiled`, `draw_polygons_tiled`, `draw_polylines_tiled`):
 //!   primitives are binned to 64×64 tiles and each tile is rasterized
-//!   independently, sequentially or across threads with bit-identical
-//!   results,
+//!   independently on a **persistent worker pool** (the
+//!   `canvas-executor` crate — spawned once per `Device`, parked
+//!   between passes, joined on drop), with finished tiles streamed
+//!   through a bounded channel and blitted in fixed tile order so
+//!   results are bit-identical at any thread count and peak memory
+//!   stays capped at huge resolutions,
 //! * [`stats::PipelineStats`] + [`device::DeviceProfile`] — work
 //!   counting and the calibrated cost model that substitutes for the
 //!   paper's two physical GPUs (see DESIGN.md §2 for the substitution
@@ -41,6 +45,7 @@ pub mod tile;
 pub mod viewport;
 
 pub use device::DeviceProfile;
+pub use par::{live_worker_count, Policy, WorkerPool};
 pub use pipeline::{Frag, Pipeline};
 pub use rasterize::RasterMode;
 pub use stats::PipelineStats;

@@ -1,271 +1,49 @@
-//! Deterministic fork-join execution helpers for the tiled pipeline.
+//! Deterministic parallel execution — a thin façade over the
+//! [`canvas-executor`](canvas_executor) worker pool.
 //!
-//! The paper's thesis is that canvas operators decompose into independent
-//! per-pixel (here: per-tile, per-band) work items. These helpers run such
-//! items across OS threads with **deterministic result order**: outputs
-//! are always returned in item order, so the merged result of a parallel
-//! run is bit-identical to the sequential run no matter how the scheduler
-//! interleaves workers. (`rayon` would provide the same shape; this
-//! build environment is offline, so the workspace uses `std::thread`
-//! scoped fork-join directly — the work items are coarse enough that a
-//! work-stealing runtime would add nothing.)
+//! The paper's thesis is that canvas operators decompose into
+//! independent per-pixel (here: per-tile, per-band) work items. Earlier
+//! revisions of this module ran such items on freshly spawned scoped OS
+//! threads at every pass; the execution primitives now live in the
+//! `canvas-executor` crate as methods on a **persistent**
+//! [`WorkerPool`] that each [`Pipeline`](crate::Pipeline) owns (spawned
+//! once by `Device::cpu_parallel(n)`, parked between passes, joined on
+//! drop). The determinism contract is unchanged: outputs merge in item
+//! order, so a parallel run is bit-identical to the sequential run no
+//! matter how the scheduler interleaves workers.
+//!
+//! Mapping from the old free functions to the pool API:
+//!
+//! | before (scoped threads)      | now                                  |
+//! |------------------------------|--------------------------------------|
+//! | `par::run_indexed(threads,…)`| [`WorkerPool::run_indexed`]          |
+//! | `par::for_each_band1(…)`     | [`WorkerPool::for_each_band1`]       |
+//! | `par::for_each_band2(…)`     | [`WorkerPool::for_each_band2`]       |
+//! | `par::for_each_band_pair(…)` | [`WorkerPool::for_each_band_pair`]   |
+//! | (full tile materialization)  | [`WorkerPool::run_streaming`]        |
+//!
+//! The per-helper copies of the minimum-work threshold are gone too:
+//! the single knob lives in [`Policy::min_parallel_items`], consulted
+//! through `WorkerPool::should_parallelize` by every *full-screen band
+//! helper* (`for_each_band1/2/_pair`, and `scatter_shared` in the
+//! pipeline) — the passes whose per-item cost is a texel. The indexed
+//! and streaming passes (`run_indexed`, `for_each_chunk`,
+//! `run_streaming`) carry coarse items of caller-known cost (a tile, a
+//! binning chunk), so they gate only on trivial sizes (`n <= 1`);
+//! their callers decide coarseness.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Runs `f(0..n)` with up to `threads` workers pulling items from a
-/// shared queue; returns the results **in item order**.
-///
-/// `threads <= 1` (or a single item) runs inline with zero overhead —
-/// the sequential path and the parallel path execute the exact same
-/// per-item closure, which is what makes them bit-identical.
-pub fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let counter = AtomicUsize::new(0);
-    let workers = threads.min(n);
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let counter = &counter;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    });
-    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
-    all.sort_by_key(|&(i, _)| i);
-    all.into_iter().map(|(_, t)| t).collect()
-}
-
-/// Row count per band when splitting `rows` across `threads` workers.
-fn band_rows(rows: usize, threads: usize) -> usize {
-    rows.div_ceil(threads.max(1)).max(1)
-}
-
-/// Below this many texels a full-screen pass runs inline: OS-thread
-/// spawn/join (~tens of microseconds per worker) would exceed the work
-/// itself on small planes (e.g. 64x64 group viewports), making
-/// "parallel" passes a net slowdown. Decomposition stays deterministic
-/// either way, so the threshold cannot affect results.
-pub const MIN_PARALLEL_ITEMS: usize = 1 << 16;
-
-/// Splits one plane (`width` texels per row) into horizontal bands and
-/// runs `f(first_row, band)` on each, in parallel. Single-plane sibling
-/// of [`for_each_band2`].
-pub fn for_each_band1<A, F>(threads: usize, width: usize, a: &mut [A], f: F)
-where
-    A: Send,
-    F: Fn(usize, &mut [A]) + Sync,
-{
-    if width == 0 || a.is_empty() {
-        return;
-    }
-    let rows = a.len() / width;
-    let band = band_rows(rows, threads) * width;
-    if threads <= 1 || rows <= 1 || a.len() < MIN_PARALLEL_ITEMS {
-        for (bi, ba) in a.chunks_mut(band).enumerate() {
-            f(bi * band / width, ba);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        for (bi, ba) in a.chunks_mut(band).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(bi * band / width, ba));
-        }
-    });
-}
-
-/// Splits two parallel planes (equal length, `width` texels per row) into
-/// horizontal bands and runs `f(first_row, band_a, band_b)` on each band,
-/// returning the per-band outputs in top-to-bottom order.
-///
-/// With `threads <= 1` the whole plane is one band processed inline.
-/// Used by the Mask operator: per-pixel tests over the texel + cover
-/// planes with band-local collection of refined boundary entries.
-pub fn for_each_band2<A, C, T, F>(
-    threads: usize,
-    width: usize,
-    a: &mut [A],
-    c: &mut [C],
-    f: F,
-) -> Vec<T>
-where
-    A: Send,
-    C: Send,
-    T: Send,
-    F: Fn(usize, &mut [A], &mut [C]) -> T + Sync,
-{
-    assert_eq!(a.len(), c.len(), "planes must have equal texel counts");
-    if width == 0 || a.is_empty() {
-        return Vec::new();
-    }
-    let rows = a.len() / width;
-    let band = band_rows(rows, threads) * width;
-    if threads <= 1 || rows <= 1 || a.len() < MIN_PARALLEL_ITEMS {
-        return a
-            .chunks_mut(band)
-            .zip(c.chunks_mut(band))
-            .enumerate()
-            .map(|(bi, (ba, bc))| f(bi * band / width, ba, bc))
-            .collect();
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = a
-            .chunks_mut(band)
-            .zip(c.chunks_mut(band))
-            .enumerate()
-            .map(|(bi, (ba, bc))| {
-                let f = &f;
-                scope.spawn(move || f(bi * band / width, ba, bc))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("band worker panicked"))
-            .collect()
-    })
-}
-
-/// Band-parallel in-place combine of `dst` with a same-length read-only
-/// `src` (the full-screen Blend pass). `f` receives aligned chunks.
-pub fn for_each_band_pair<D, S, F>(threads: usize, band_len: usize, dst: &mut [D], src: &[S], f: F)
-where
-    D: Send,
-    S: Sync,
-    F: Fn(&mut [D], &[S]) + Sync,
-{
-    assert_eq!(dst.len(), src.len(), "planes must have equal texel counts");
-    let band_len = band_len.max(1);
-    if threads <= 1 || dst.len() <= band_len || dst.len() < MIN_PARALLEL_ITEMS {
-        for (d, s) in dst.chunks_mut(band_len).zip(src.chunks(band_len)) {
-            f(d, s);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        for (d, s) in dst.chunks_mut(band_len).zip(src.chunks(band_len)) {
-            let f = &f;
-            scope.spawn(move || f(d, s));
-        }
-    });
-}
+pub use canvas_executor::{live_worker_count, Policy, WorkerPool, MIN_PARALLEL_ITEMS};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn run_indexed_order_is_deterministic() {
-        let seq = run_indexed(1, 100, |i| i * i);
-        let par = run_indexed(4, 100, |i| i * i);
-        assert_eq!(seq, par);
-        assert_eq!(seq[7], 49);
-    }
-
-    #[test]
-    fn run_indexed_empty_and_single() {
-        assert!(run_indexed(4, 0, |i| i).is_empty());
-        assert_eq!(run_indexed(4, 1, |i| i + 5), vec![5]);
-    }
-
-    #[test]
-    fn bands_cover_every_row_once() {
-        let width = 8;
-        let rows = 13;
-        for threads in [1, 3, 4, 16] {
-            let mut a = vec![0u32; width * rows];
-            let mut c = vec![0u16; width * rows];
-            let starts = for_each_band2(threads, width, &mut a, &mut c, |row0, ba, bc| {
-                for v in ba.iter_mut() {
-                    *v += 1;
-                }
-                for v in bc.iter_mut() {
-                    *v += 1;
-                }
-                (row0, ba.len())
-            });
-            assert!(a.iter().all(|&v| v == 1), "threads={threads}");
-            assert!(c.iter().all(|&v| v == 1));
-            // Bands tile the plane in order.
-            let mut expect_row = 0;
-            for (row0, len) in starts {
-                assert_eq!(row0, expect_row);
-                expect_row += len / width;
-            }
-            assert_eq!(expect_row, rows);
-        }
-    }
-
-    #[test]
-    fn bands_above_parallel_threshold_still_cover_once() {
-        // Large enough to take the threaded path (the small-plane tests
-        // above exercise the inline fast path).
-        let width = 512;
-        let rows = 160; // 81920 texels > MIN_PARALLEL_ITEMS
-        assert!(width * rows >= MIN_PARALLEL_ITEMS);
-        let mut a = vec![0u32; width * rows];
-        let mut c = vec![0u16; width * rows];
-        let bands = for_each_band2(4, width, &mut a, &mut c, |row0, ba, bc| {
-            for v in ba.iter_mut() {
-                *v += 1;
-            }
-            for v in bc.iter_mut() {
-                *v += 1;
-            }
-            (row0, ba.len())
-        });
-        assert!(a.iter().all(|&v| v == 1));
-        assert!(c.iter().all(|&v| v == 1));
-        assert_eq!(bands.iter().map(|&(_, l)| l).sum::<usize>(), width * rows);
-        let mut b1 = vec![0u64; width * rows];
-        for_each_band1(4, width, &mut b1, |_, band| {
-            for v in band.iter_mut() {
-                *v += 1;
-            }
-        });
-        assert!(b1.iter().all(|&v| v == 1));
-        let src = vec![2u32; width * rows];
-        let mut dst = vec![1u32; width * rows];
-        for_each_band_pair(4, width * rows / 4, &mut dst, &src, |d, s| {
-            for (dv, sv) in d.iter_mut().zip(s) {
-                *dv += *sv;
-            }
-        });
-        assert!(dst.iter().all(|&v| v == 3));
-    }
-
-    #[test]
-    fn band_pair_combines_elementwise() {
-        let src: Vec<u32> = (0..100).collect();
-        for threads in [1, 4] {
-            let mut dst = vec![1u32; 100];
-            for_each_band_pair(threads, 17, &mut dst, &src, |d, s| {
-                for (dv, sv) in d.iter_mut().zip(s) {
-                    *dv += *sv;
-                }
-            });
-            let want: Vec<u32> = (0..100).map(|i| i + 1).collect();
-            assert_eq!(dst, want);
-        }
+    fn facade_reexports_pool_api() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.policy().min_parallel_items, MIN_PARALLEL_ITEMS);
+        let out = pool.run_indexed(10, |i| i * 2);
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
     }
 }

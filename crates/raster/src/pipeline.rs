@@ -15,18 +15,19 @@
 //! the programmable blend `⊙ : S³ × S³ → S³` of the algebra. All work is
 //! counted in [`PipelineStats`] for the device cost model.
 
-use crate::par;
+use crate::par::WorkerPool;
 use crate::rasterize::{
     rasterize_line_supercover, rasterize_point, rasterize_polygon_fill,
     rasterize_polygon_fill_rect, rasterize_triangle, RasterMode,
 };
 use crate::stats::PipelineStats;
-use crate::texture::Texture;
+use crate::texture::{RawTexels, Texture};
 use crate::tile::TileGrid;
 use crate::viewport::Viewport;
 use canvas_geom::polygon::Polygon;
 use canvas_geom::polyline::Polyline;
 use canvas_geom::Point;
+use std::sync::Arc;
 
 /// A shaded fragment's rasterizer-provided context.
 #[derive(Clone, Copy, Debug)]
@@ -48,10 +49,26 @@ pub struct Pipeline {
     /// emission within a single polygon/polyline draw (O(1) reset).
     stamps: Vec<u32>,
     generation: u32,
-    /// Worker count for the tiled draw paths and full-screen passes.
-    /// `1` runs the identical tiled code inline (results are
-    /// bit-identical at any thread count by construction).
-    threads: usize,
+    /// Checked-out/checked-in generation-stamped stamp planes for the
+    /// chunk-parallel fragment visitor — reused across calls so the
+    /// aggregation hot path never re-allocates or re-zeroes a
+    /// full-viewport plane per chunk (the same O(1)-reset trick as
+    /// `stamps`, one buffer per concurrent executor).
+    fragment_scratch: std::sync::Mutex<Vec<StampPlane>>,
+    /// The persistent executor behind every tiled draw and parallel
+    /// full-screen pass. Workers are spawned once (`set_threads`) and
+    /// parked between passes; a 1-thread pool spawns nothing and runs
+    /// the identical decomposition inline (results are bit-identical
+    /// at any thread count by construction).
+    pool: Arc<WorkerPool>,
+}
+
+/// A reusable generation-stamped visited plane (see
+/// [`Pipeline::visit_polygon_fragments`]).
+#[derive(Debug, Default)]
+struct StampPlane {
+    stamps: Vec<u32>,
+    gen: u32,
 }
 
 impl Default for Pipeline {
@@ -60,7 +77,8 @@ impl Default for Pipeline {
             stats: PipelineStats::default(),
             stamps: Vec::new(),
             generation: 0,
-            threads: 1,
+            fragment_scratch: std::sync::Mutex::new(Vec::new()),
+            pool: Arc::new(WorkerPool::new(1)),
         }
     }
 }
@@ -71,13 +89,30 @@ impl Pipeline {
     }
 
     /// Sets the worker count used by the tiled draw paths and parallel
-    /// full-screen passes (set from `Device::cpu_parallel`).
+    /// full-screen passes (set from `Device::cpu_parallel`) by
+    /// replacing the pipeline's worker pool. The old pool's workers
+    /// are joined; the new pool's are spawned once, here, and reused
+    /// by every subsequent pass.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        let threads = threads.max(1);
+        if threads != self.pool.threads() {
+            self.pool = Arc::new(WorkerPool::new(threads));
+        }
+    }
+
+    /// Shares an existing worker pool (e.g. between pipelines of one
+    /// process) instead of spawning a fresh one.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = pool;
+    }
+
+    /// The persistent worker pool executing this pipeline's passes.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
     /// Snapshot of the cumulative work counters.
@@ -423,19 +458,14 @@ impl Pipeline {
         // independent, so the decomposition cannot change the result.
         let band = dst
             .len()
-            .div_ceil(self.threads.max(1))
+            .div_ceil(self.pool.threads())
             .max(dst.width() as usize);
-        par::for_each_band_pair(
-            self.threads,
-            band,
-            dst.texels_mut(),
-            src.texels(),
-            |d_chunk, s_chunk| {
+        self.pool
+            .for_each_band_pair(band, dst.texels_mut(), src.texels(), |d_chunk, s_chunk| {
                 for (d, s) in d_chunk.iter_mut().zip(s_chunk) {
                     *d = blend(*d, *s);
                 }
-            },
-        );
+            });
     }
 
     /// Full-screen pass over two aligned planes (texel + cover) with a
@@ -459,21 +489,17 @@ impl Pipeline {
         self.begin_pass();
         self.stats.fullscreen_texels += a.len() as u64;
         let w = a.width() as usize;
-        let parts = par::for_each_band2(
-            self.threads,
-            w,
-            a.texels_mut(),
-            c.texels_mut(),
-            |row0, band_a, band_c| {
-                let mut collected = Vec::new();
-                for (j, (ta, tc)) in band_a.iter_mut().zip(band_c.iter_mut()).enumerate() {
-                    let x = (j % w) as u32;
-                    let y = (row0 + j / w) as u32;
-                    f(x, y, ta, tc, &mut collected);
-                }
-                collected
-            },
-        );
+        let parts =
+            self.pool
+                .for_each_band2(w, a.texels_mut(), c.texels_mut(), |row0, band_a, band_c| {
+                    let mut collected = Vec::new();
+                    for (j, (ta, tc)) in band_a.iter_mut().zip(band_c.iter_mut()).enumerate() {
+                        let x = (j % w) as u32;
+                        let y = (row0 + j / w) as u32;
+                        f(x, y, ta, tc, &mut collected);
+                    }
+                    collected
+                });
         parts.into_iter().flatten().collect()
     }
 
@@ -493,19 +519,14 @@ impl Pipeline {
         self.begin_pass();
         self.stats.fullscreen_texels += a.len() as u64;
         let w = a.width() as usize;
-        par::for_each_band2(
-            self.threads,
-            w,
-            a.texels_mut(),
-            c.texels_mut(),
-            |row0, band_a, band_c| {
+        self.pool
+            .for_each_band2(w, a.texels_mut(), c.texels_mut(), |row0, band_a, band_c| {
                 for (j, (ta, tc)) in band_a.iter_mut().zip(band_c.iter_mut()).enumerate() {
                     let x = (j % w) as u32;
                     let y = (row0 + j / w) as u32;
                     f(x, y, ta, tc);
                 }
-            },
-        );
+            });
     }
 
     /// Scatter pass: for every source texel, `target` chooses a world
@@ -529,18 +550,7 @@ impl Pipeline {
     {
         self.begin_pass();
         self.stats.scatter_reads += src.len() as u64;
-        let mut writes = 0u64;
-        let w = src.width() as usize;
-        for (i, t) in src.texels().iter().enumerate() {
-            let x = (i % w) as u32;
-            let y = (i / w) as u32;
-            if let Some(world) = target(x, y, t) {
-                if let Some((dx, dy)) = dst_vp.world_to_pixel(world) {
-                    dst.update(dx, dy, |d| blend(d, *t));
-                    writes += 1;
-                }
-            }
-        }
+        let writes = scatter_apply(src, dst_vp, dst, &mut target, &blend);
         self.stats.scatter_writes += writes;
         self.stats.blend_ops += writes;
     }
@@ -577,7 +587,8 @@ impl Pipeline {
         if points.is_empty() {
             return;
         }
-        let threads = self.threads;
+        let pool = Arc::clone(&self.pool);
+        let threads = pool.threads();
         // Single-worker fast path: binning and tile copies only pay off
         // when tiles run concurrently. The direct draw blends per pixel
         // in input order, exactly like the per-tile replay, so results
@@ -604,7 +615,7 @@ impl Pipeline {
         // the per-tile pass never recomputes coordinates.
         let chunk_size = points.len().div_ceil(threads).max(1);
         let chunks: Vec<&[Point]> = points.chunks(chunk_size).collect();
-        let parts: Vec<Vec<(u32, u32, u32, u32)>> = par::run_indexed(threads, chunks.len(), |ci| {
+        let parts: Vec<Vec<(u32, u32, u32, u32)>> = pool.run_indexed(chunks.len(), |ci| {
             let base = (ci * chunk_size) as u32;
             let mut local = Vec::with_capacity(chunks[ci].len());
             for (k, &p) in chunks[ci].iter().enumerate() {
@@ -624,27 +635,40 @@ impl Pipeline {
         let work: Vec<usize> = (0..grid.num_tiles())
             .filter(|&t| !bins[t].is_empty())
             .collect();
-        let fb_ref: &Texture<P> = fb;
-        let results: Vec<(usize, Vec<P>, u64)> = par::run_indexed(threads, work.len(), |wi| {
-            let t = work[wi];
-            let rect = grid.rect(t);
-            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
-            let mut fragments = 0u64;
-            for &(x, y, idx) in &bins[t] {
-                let src = shade(idx, points[idx as usize]);
-                let li = rect.local_index(x, y);
-                tex[li] = blend(tex[li], src);
-                fragments += 1;
-            }
-            (t, tex, fragments)
-        });
-        for (t, tex, fragments) in results {
-            let rect = grid.rect(t);
-            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
-            self.stats.fragments += fragments;
-            self.stats.boundary_fragments += fragments; // points need exact coords
-            self.stats.blend_ops += fragments;
-        }
+        // Streaming merge: workers rasterize tiles and publish them
+        // through the pool's bounded channel; this thread blits them in
+        // fixed tile order. Peak memory holds O(streaming window) tile
+        // buffers instead of every tile at once. SAFETY of the shared
+        // view: tile rects are disjoint, and a tile is written only
+        // after its producer finished reading it (see `RawTexels`).
+        let shared = RawTexels::new(fb);
+        let (mut fragments_total, mut blits) = (0u64, 0usize);
+        pool.run_streaming(
+            work.len(),
+            |wi| {
+                let t = work[wi];
+                let rect = grid.rect(t);
+                let mut tex = unsafe { shared.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
+                let mut fragments = 0u64;
+                for &(x, y, idx) in &bins[t] {
+                    let src = shade(idx, points[idx as usize]);
+                    let li = rect.local_index(x, y);
+                    tex[li] = blend(tex[li], src);
+                    fragments += 1;
+                }
+                (t, tex, fragments)
+            },
+            |_, (t, tex, fragments)| {
+                let rect = grid.rect(t);
+                unsafe { shared.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex) };
+                fragments_total += fragments;
+                blits += 1;
+            },
+        );
+        debug_assert_eq!(blits, work.len());
+        self.stats.fragments += fragments_total;
+        self.stats.boundary_fragments += fragments_total; // points need exact coords
+        self.stats.blend_ops += fragments_total;
     }
 
     /// Tile-parallel batched polygon draw — the tiled form of
@@ -674,7 +698,8 @@ impl Pipeline {
             self.stats.vertices += poly.num_vertices() as u64;
             self.stats.primitives += 1 + poly.holes().len() as u64;
         }
-        let threads = self.threads;
+        let pool = Arc::clone(&self.pool);
+        let threads = pool.threads();
         let width = vp.width();
         // Single-worker fast path: skip binning and tile plane copies and
         // rasterize against the whole framebuffer. Per pixel, records
@@ -748,14 +773,21 @@ impl Pipeline {
         let work: Vec<usize> = (0..grid.num_tiles())
             .filter(|&t| !bins[t].is_empty())
             .collect();
-        let fb_ref: &Texture<P> = fb;
-        let cover_ref: &Texture<u16> = cover;
+        // Streaming merge (see `draw_points_tiled`): tiles are blitted
+        // in fixed tile order as they finish; the boundary list is
+        // extended in the same order, so results are bit-identical to
+        // the all-materialized merge while peak memory holds only the
+        // pool's streaming window of tile buffers.
+        let shared_fb = RawTexels::new(fb);
+        let shared_cover = RawTexels::new(cover);
+        let mut all_boundary = Vec::new();
+        let (mut frag_total, mut bfrag_total) = (0u64, 0u64);
         type TileOut<P> = (usize, Vec<P>, Vec<u16>, Vec<(u32, u32)>, u64, u64);
-        let results: Vec<TileOut<P>> = par::run_indexed(threads, work.len(), |wi| {
+        let produce = |wi: usize| -> TileOut<P> {
             let t = work[wi];
             let rect = grid.rect(t);
-            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
-            let mut cov = cover_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut tex = unsafe { shared_fb.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
+            let mut cov = unsafe { shared_cover.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
             let mut stamps = vec![0u32; rect.len()];
             let mut boundary: Vec<(u32, u32)> = Vec::new();
             let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
@@ -825,18 +857,24 @@ impl Pipeline {
                 );
             }
             (t, tex, cov, boundary, fragments, boundary_fragments)
-        });
-
-        let mut all_boundary = Vec::new();
-        for (t, tex, cov, boundary, fragments, boundary_fragments) in results {
-            let rect = grid.rect(t);
-            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
-            cover.write_rect(rect.x0, rect.y0, rect.w, rect.h, &cov);
-            all_boundary.extend(boundary);
-            self.stats.fragments += fragments;
-            self.stats.boundary_fragments += boundary_fragments;
-            self.stats.blend_ops += fragments;
-        }
+        };
+        pool.run_streaming(
+            work.len(),
+            produce,
+            |_, (t, tex, cov, boundary, fragments, boundary_fragments)| {
+                let rect = grid.rect(t);
+                unsafe {
+                    shared_fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+                    shared_cover.write_rect(rect.x0, rect.y0, rect.w, rect.h, &cov);
+                }
+                all_boundary.extend(boundary);
+                frag_total += fragments;
+                bfrag_total += boundary_fragments;
+            },
+        );
+        self.stats.fragments += frag_total;
+        self.stats.boundary_fragments += bfrag_total;
+        self.stats.blend_ops += frag_total;
         all_boundary
     }
 
@@ -862,7 +900,8 @@ impl Pipeline {
             self.stats.vertices += line.vertices().len() as u64;
             self.stats.primitives += line.num_segments() as u64;
         }
-        let threads = self.threads;
+        let pool = Arc::clone(&self.pool);
+        let threads = pool.threads();
         let width = vp.width();
         // Single-worker fast path (see draw_polygons_tiled).
         if threads == 1 {
@@ -911,13 +950,16 @@ impl Pipeline {
         let work: Vec<usize> = (0..grid.num_tiles())
             .filter(|&t| !bins[t].is_empty())
             .collect();
-        let fb_ref: &Texture<P> = fb;
+        // Streaming merge (see `draw_points_tiled`).
+        let shared = RawTexels::new(fb);
+        let mut all_boundary = Vec::new();
+        let mut frag_total = 0u64;
         // (tile, texels, boundary entries, fragment count)
         type LineTileOut<P> = (usize, Vec<P>, Vec<(u32, u32)>, u64);
-        let results: Vec<LineTileOut<P>> = par::run_indexed(threads, work.len(), |wi| {
+        let produce = |wi: usize| -> LineTileOut<P> {
             let t = work[wi];
             let rect = grid.rect(t);
-            let mut tex = fb_ref.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+            let mut tex = unsafe { shared.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
             let mut stamps = vec![0u32; rect.len()];
             let mut boundary: Vec<(u32, u32)> = Vec::new();
             let mut fragments = 0u64;
@@ -957,26 +999,27 @@ impl Pipeline {
                 }
             }
             (t, tex, boundary, fragments)
-        });
-
-        let mut all_boundary = Vec::new();
-        for (t, tex, boundary, fragments) in results {
+        };
+        pool.run_streaming(work.len(), produce, |_, (t, tex, boundary, fragments)| {
             let rect = grid.rect(t);
-            fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+            unsafe { shared.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex) };
             all_boundary.extend(boundary);
-            self.stats.fragments += fragments;
-            self.stats.boundary_fragments += fragments;
-            self.stats.blend_ops += fragments;
-        }
+            frag_total += fragments;
+        });
+        self.stats.fragments += frag_total;
+        self.stats.boundary_fragments += frag_total;
+        self.stats.blend_ops += frag_total;
         all_boundary
     }
 
-    /// Parallel full-screen pass over row bands using scoped threads.
+    /// Parallel full-screen pass over row bands on the worker pool.
     ///
-    /// Semantically identical to [`map_texels`](Self::map_texels); used
-    /// when the host has cores to spare (fragment shading is
+    /// Semantically identical to [`map_texels`](Self::map_texels) —
+    /// bit-identical at any thread count, since each texel is rewritten
+    /// independently — but requires a shareable `Fn` shader. The Value
+    /// Transform operator `V[f]` compiles to this (fragment shading is
     /// embarrassingly parallel, which is the paper's whole point).
-    pub fn par_map_texels<P, F>(&mut self, fb: &mut Texture<P>, threads: usize, f: F)
+    pub fn par_map_texels<P, F>(&mut self, fb: &mut Texture<P>, f: F)
     where
         P: Copy + Default + Send,
         F: Fn(u32, u32, P) -> P + Sync,
@@ -984,7 +1027,7 @@ impl Pipeline {
         self.begin_pass();
         self.stats.fullscreen_texels += fb.len() as u64;
         let w = fb.width() as usize;
-        par::for_each_band1(threads.max(1), w, fb.texels_mut(), |row0, band| {
+        self.pool.for_each_band1(w, fb.texels_mut(), |row0, band| {
             for (j, t) in band.iter_mut().enumerate() {
                 let x = (j % w) as u32;
                 let y = (row0 + j / w) as u32;
@@ -992,11 +1035,236 @@ impl Pipeline {
             }
         });
     }
+
+    /// Deterministic parallel scatter — the pool-backed form of
+    /// [`scatter`](Self::scatter) for shareable (`Fn + Sync`) target
+    /// functions. Source bands are claimed by workers, which evaluate
+    /// `target` (the expensive part: the value-form γ of the Geometric
+    /// Transform) and emit `(dst_pixel, value)` write lists; the
+    /// calling thread applies the blends **in source row-major order**
+    /// through the streaming merge, so the destination is bit-identical
+    /// to the sequential scatter at any thread count. In-flight write
+    /// lists are bounded by the pool's streaming window.
+    pub fn scatter_shared<P, T, B>(
+        &mut self,
+        src: &Texture<P>,
+        dst_vp: &Viewport,
+        dst: &mut Texture<P>,
+        target: T,
+        blend: B,
+    ) where
+        P: Copy + Default + Send + Sync,
+        T: Fn(u32, u32, &P) -> Option<Point> + Sync,
+        B: Fn(P, P) -> P,
+    {
+        self.begin_pass();
+        self.stats.scatter_reads += src.len() as u64;
+        let w = src.width() as usize;
+        let n = src.len();
+        let mut writes = 0u64;
+        let pool = Arc::clone(&self.pool);
+        if !pool.should_parallelize(n) {
+            // Below the minimum-work threshold: the exact sequential
+            // loop `scatter` runs (one implementation, shared).
+            writes = scatter_apply(src, dst_vp, dst, &mut |x, y, t| target(x, y, t), &blend);
+        } else {
+            // A few chunks per executor so the merge pipeline stays fed.
+            let chunk = n.div_ceil(pool.threads() * 4).max(1);
+            let n_chunks = n.div_ceil(chunk);
+            let texels = src.texels();
+            pool.run_streaming(
+                n_chunks,
+                |ci| {
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(n);
+                    let mut local: Vec<(u32, u32, P)> = Vec::new();
+                    for (i, t) in texels[lo..hi].iter().enumerate() {
+                        let i = lo + i;
+                        let x = (i % w) as u32;
+                        let y = (i / w) as u32;
+                        if let Some(world) = target(x, y, t) {
+                            if let Some((dx, dy)) = dst_vp.world_to_pixel(world) {
+                                local.push((dx, dy, *t));
+                            }
+                        }
+                    }
+                    local
+                },
+                |_, local| {
+                    for (dx, dy, v) in local {
+                        dst.update(dx, dy, |d| blend(d, v));
+                        writes += 1;
+                    }
+                },
+            );
+        }
+        self.stats.scatter_writes += writes;
+        self.stats.blend_ops += writes;
+    }
+
+    /// Chunk-parallel fragment visitation over a polygon table — the
+    /// aggregation kernel behind the RasterJoin plan. Polygons are cut
+    /// into contiguous chunks (one per executor); each chunk gets a
+    /// fresh accumulator from `init(range)` and rasterizes its polygons
+    /// with the exact per-polygon exactly-once fragment semantics of
+    /// [`draw_polygons_batch`](Self::draw_polygons_batch) (conservative
+    /// boundary pass first, then interior fill), calling
+    /// `visit(&mut acc, record, frag)` per fragment. Accumulators
+    /// return in chunk order.
+    ///
+    /// Because each polygon's fragments are visited by exactly one
+    /// executor in the sequential emission order, any per-record
+    /// accumulation is bit-identical to the sequential run at every
+    /// thread count (the caller's contract: `visit` must only fold
+    /// state per record, never across records of different chunks).
+    pub fn visit_polygon_fragments<A, I, V>(
+        &mut self,
+        vp: &Viewport,
+        polys: &[Polygon],
+        conservative: bool,
+        init: I,
+        visit: V,
+    ) -> Vec<A>
+    where
+        A: Send,
+        I: Fn(std::ops::Range<usize>) -> A + Sync,
+        V: Fn(&mut A, u32, Frag) + Sync,
+    {
+        self.begin_pass();
+        for poly in polys {
+            self.stats.vertices += poly.num_vertices() as u64;
+            self.stats.primitives += 1 + poly.holes().len() as u64;
+        }
+        if polys.is_empty() {
+            return Vec::new();
+        }
+        let pool = Arc::clone(&self.pool);
+        let chunk = polys.len().div_ceil(pool.threads()).max(1);
+        let n_chunks = polys.len().div_ceil(chunk);
+        let fb_len = (vp.width() as usize) * (vp.height() as usize);
+        let width = vp.width();
+        let scratch = &self.fragment_scratch;
+        let results: Vec<(A, u64, u64)> = pool.run_indexed(n_chunks, |ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(polys.len());
+            let mut acc = init(lo..hi);
+            // Check a stamp plane out of the shared pool (allocated and
+            // zeroed at most once per concurrent executor, ever);
+            // generations continue across calls so reuse never clears.
+            let mut plane = scratch
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop()
+                .unwrap_or_default();
+            if plane.stamps.len() < fb_len {
+                plane.stamps.resize(fb_len, 0);
+            }
+            let n_gens = (hi - lo) as u32;
+            if plane.gen.checked_add(n_gens).is_none() {
+                // Generation counter wrapped: clear once and restart.
+                plane.stamps.fill(0);
+                plane.gen = 0;
+            }
+            let base_gen = plane.gen;
+            let stamps = &mut plane.stamps;
+            let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
+            for (k, poly) in polys[lo..hi].iter().enumerate() {
+                let gen = base_gen + k as u32 + 1;
+                let record = (lo + k) as u32;
+                if conservative {
+                    for edge in poly.edges() {
+                        rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
+                            let idx = (y * width + x) as usize;
+                            if stamps[idx] != gen {
+                                stamps[idx] = gen;
+                                visit(
+                                    &mut acc,
+                                    record,
+                                    Frag {
+                                        x,
+                                        y,
+                                        boundary: true,
+                                    },
+                                );
+                                fragments += 1;
+                                boundary_fragments += 1;
+                            }
+                        });
+                    }
+                }
+                rasterize_polygon_fill(vp, poly, |x, y| {
+                    let idx = (y * width + x) as usize;
+                    if stamps[idx] != gen {
+                        stamps[idx] = gen;
+                        visit(
+                            &mut acc,
+                            record,
+                            Frag {
+                                x,
+                                y,
+                                boundary: false,
+                            },
+                        );
+                        fragments += 1;
+                    }
+                });
+            }
+            plane.gen = base_gen + n_gens;
+            scratch
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(plane);
+            (acc, fragments, boundary_fragments)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (acc, fragments, boundary_fragments) in results {
+            self.stats.fragments += fragments;
+            self.stats.boundary_fragments += boundary_fragments;
+            // The GPU kernel this models blends each fragment into its
+            // group slot, so fragments are charged as blend ops exactly
+            // like the batch-draw formulation used to.
+            self.stats.blend_ops += fragments;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// The scatter inner loop — single home of the texel→world→pixel→blend
+/// sequence, shared by [`Pipeline::scatter`] and the below-threshold
+/// branch of [`Pipeline::scatter_shared`] so the two can never diverge.
+/// Returns the write count (the caller charges stats).
+fn scatter_apply<P, T, B>(
+    src: &Texture<P>,
+    dst_vp: &Viewport,
+    dst: &mut Texture<P>,
+    target: &mut T,
+    blend: &B,
+) -> u64
+where
+    P: Copy + Default,
+    T: FnMut(u32, u32, &P) -> Option<Point>,
+    B: Fn(P, P) -> P,
+{
+    let w = src.width() as usize;
+    let mut writes = 0u64;
+    for (i, t) in src.texels().iter().enumerate() {
+        let x = (i % w) as u32;
+        let y = (i / w) as u32;
+        if let Some(world) = target(x, y, t) {
+            if let Some((dx, dy)) = dst_vp.world_to_pixel(world) {
+                dst.update(dx, dy, |d| blend(d, *t));
+                writes += 1;
+            }
+        }
+    }
+    writes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par::Policy;
     use canvas_geom::BBox;
 
     fn vp10() -> Viewport {
@@ -1179,9 +1447,11 @@ mod tests {
     fn par_map_matches_sequential() {
         let mut pl = Pipeline::new();
         let mut a: Texture<u32> = Texture::new(16, 16);
-        let mut b: Texture<u32> = Texture::new(16, 16);
         pl.map_texels(&mut a, |x, y, _| x * 31 + y * 7);
-        pl.par_map_texels(&mut b, 3, |x, y, _| x * 31 + y * 7);
+        let mut pp = Pipeline::new();
+        pp.set_threads(3);
+        let mut b: Texture<u32> = Texture::new(16, 16);
+        pp.par_map_texels(&mut b, |x, y, _| x * 31 + y * 7);
         assert_eq!(a, b);
     }
 
@@ -1421,6 +1691,105 @@ mod tests {
         pp.set_threads(4);
         pp.blend_into(&mut par, &src, |d, s| d.wrapping_mul(31).wrapping_add(s));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn scatter_shared_matches_scatter_any_thread_count() {
+        let vp = vp_big();
+        let mut src: Texture<u32> = Texture::new(150, 100);
+        let mut pl = Pipeline::new();
+        pl.map_texels(&mut src, |x, y, _| (x * 7 + y * 13) % 5);
+        let target = |x: u32, y: u32, v: &u32| {
+            if *v == 0 {
+                None
+            } else {
+                // Fold everything into a small square, with collisions.
+                Some(Point::new((x % 7) as f64 + 0.5, (y % 7) as f64 + 0.5))
+            }
+        };
+        let mut reference: Texture<u32> = Texture::new(150, 100);
+        pl.scatter(&src, &vp, &mut reference, target, |d, s| {
+            d.wrapping_mul(31).wrapping_add(s)
+        });
+        let ref_stats = pl.stats();
+        for threads in [1usize, 2, 4] {
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            // Force the parallel path even on this small plane.
+            let policy = Policy {
+                min_parallel_items: 0,
+                ..*pt.pool().policy()
+            };
+            pt.set_pool(Arc::new(WorkerPool::with_policy(threads, policy)));
+            let mut dst: Texture<u32> = Texture::new(150, 100);
+            pt.scatter_shared(&src, &vp, &mut dst, target, |d, s| {
+                d.wrapping_mul(31).wrapping_add(s)
+            });
+            assert_eq!(reference, dst, "threads={threads}");
+            assert_eq!(ref_stats.scatter_writes, pt.stats().scatter_writes);
+            assert_eq!(ref_stats.scatter_reads, pt.stats().scatter_reads);
+        }
+    }
+
+    #[test]
+    fn visit_polygon_fragments_matches_batch_draw() {
+        let vp = vp_big();
+        let polys = vec![
+            star(40.0, 40.0, 17),
+            star(70.0, 60.0, 23),
+            star(20.0, 80.0, 9),
+        ];
+        // Reference: per-record fragment tallies via the batch draw.
+        let mut scratch: Texture<u32> = Texture::new(150, 100);
+        let mut counts_ref = vec![(0u64, 0u64); polys.len()];
+        let mut pl = Pipeline::new();
+        pl.draw_polygons_batch(
+            &vp,
+            &mut scratch,
+            &polys,
+            true,
+            |pi, frag| {
+                let c = &mut counts_ref[pi as usize];
+                if frag.boundary {
+                    c.1 += 1;
+                } else {
+                    c.0 += 1;
+                }
+                0u32
+            },
+            |d, _| d,
+        );
+        for threads in [1usize, 3] {
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let accs = pt.visit_polygon_fragments(
+                &vp,
+                &polys,
+                true,
+                |range| (range, Vec::<(u64, u64)>::new()),
+                |acc, pi, frag| {
+                    let local = (pi as usize) - acc.0.start;
+                    if acc.1.len() <= local {
+                        acc.1.resize(local + 1, (0, 0));
+                    }
+                    if frag.boundary {
+                        acc.1[local].1 += 1;
+                    } else {
+                        acc.1[local].0 += 1;
+                    }
+                },
+            );
+            let mut counts = vec![(0u64, 0u64); polys.len()];
+            for (range, local) in accs {
+                for (k, c) in local.into_iter().enumerate() {
+                    counts[range.start + k] = c;
+                }
+            }
+            assert_eq!(counts, counts_ref, "threads={threads}");
+            assert_eq!(pl.stats().fragments, pt.stats().fragments);
+            assert_eq!(pl.stats().boundary_fragments, pt.stats().boundary_fragments);
+            assert_eq!(pl.stats().blend_ops, pt.stats().blend_ops);
+        }
     }
 
     #[test]

@@ -151,6 +151,65 @@ impl<P: Copy + Default> Texture<P> {
     }
 }
 
+/// Unsynchronized shared view of a texture's texel buffer for the
+/// streaming tile merge: producers `read_rect` their own tile while the
+/// merger `write_rect`s tiles that already finished, concurrently.
+///
+/// Soundness rests on the tile protocol, not on types: tile rects are
+/// pairwise disjoint, a tile's texels are read only by its producer,
+/// and the merger writes a tile only after that producer finished
+/// (ordered by the streaming channel's mutex). Every texel therefore
+/// sees at most one read followed by one happens-before-ordered write.
+pub(crate) struct RawTexels<P> {
+    ptr: *mut P,
+    width: usize,
+    #[cfg(debug_assertions)]
+    len: usize,
+}
+
+unsafe impl<P: Send> Send for RawTexels<P> {}
+unsafe impl<P: Send + Sync> Sync for RawTexels<P> {}
+
+impl<P: Copy + Default> RawTexels<P> {
+    /// Captures the buffer of `t`. The caller must not touch `t`
+    /// through any other path while this view is shared with workers.
+    pub(crate) fn new(t: &mut Texture<P>) -> Self {
+        RawTexels {
+            width: t.width() as usize,
+            #[cfg(debug_assertions)]
+            len: t.len(),
+            ptr: t.texels_mut().as_mut_ptr(),
+        }
+    }
+
+    /// Copies the rectangle into a flat row-major buffer (tile
+    /// copy-in). SAFETY: no concurrent writer may touch this rect.
+    pub(crate) unsafe fn read_rect(&self, x0: u32, y0: u32, w: u32, h: u32) -> Vec<P> {
+        let mut out = Vec::with_capacity((w as usize) * (h as usize));
+        for y in y0..y0 + h {
+            let base = (y as usize) * self.width + x0 as usize;
+            #[cfg(debug_assertions)]
+            debug_assert!(base + w as usize <= self.len);
+            out.extend_from_slice(std::slice::from_raw_parts(self.ptr.add(base), w as usize));
+        }
+        out
+    }
+
+    /// Writes a flat row-major buffer back into the rectangle (tile
+    /// copy-out). SAFETY: no concurrent reader or writer may touch
+    /// this rect.
+    pub(crate) unsafe fn write_rect(&self, x0: u32, y0: u32, w: u32, h: u32, src: &[P]) {
+        debug_assert_eq!(src.len(), (w as usize) * (h as usize));
+        for (ry, y) in (y0..y0 + h).enumerate() {
+            let base = (y as usize) * self.width + x0 as usize;
+            #[cfg(debug_assertions)]
+            debug_assert!(base + w as usize <= self.len);
+            let row = &src[ry * w as usize..(ry + 1) * w as usize];
+            std::ptr::copy_nonoverlapping(row.as_ptr(), self.ptr.add(base), w as usize);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,53 @@
+//! CI pool-shutdown leak check: a `Device`'s persistent worker pool is
+//! spawned once by `cpu_parallel(n)`, re-used across passes without
+//! spawning anything further, and **fully joined when the device
+//! drops** — no lingering executor threads in the process afterwards.
+//!
+//! This file holds exactly one test so the process-wide worker count is
+//! not perturbed by sibling tests in the same binary.
+
+use canvas_algebra::prelude::*;
+use canvas_raster::live_worker_count;
+
+#[test]
+fn device_drop_joins_all_pool_workers() {
+    let baseline = live_worker_count();
+    {
+        let mut dev = Device::cpu_parallel(8);
+        assert_eq!(
+            live_worker_count(),
+            baseline + 7,
+            "cpu_parallel(8) must spawn exactly 7 background workers"
+        );
+
+        // Drive real pipeline work through the pool: a selection over a
+        // 256² viewport exercises tiled draws, blend, and mask passes.
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let pts = uniform_points(&extent, 20_000, 7);
+        let mbr = BBox::new(Point::new(20.0, 20.0), Point::new(80.0, 80.0));
+        let poly = star_polygon(&mbr, 32, 0.6, 3);
+        let vp = Viewport::square_pixels(extent, 256);
+        let sel = canvas_core::queries::selection::select_points_in_polygon(
+            &mut dev,
+            vp,
+            &PointBatch::from_points(pts),
+            &poly,
+        );
+        assert!(!sel.records.is_empty());
+        assert_eq!(
+            live_worker_count(),
+            baseline + 7,
+            "passes must reuse the pool, not spawn more threads"
+        );
+
+        // A 1-thread device spawns nothing at all.
+        let cpu = Device::cpu();
+        assert_eq!(live_worker_count(), baseline + 7);
+        drop(cpu);
+    }
+    assert_eq!(
+        live_worker_count(),
+        baseline,
+        "worker threads leaked after Device drop"
+    );
+}

@@ -181,6 +181,68 @@ proptest! {
         prop_assert_eq!(c_seq.boundary(), c_par.boundary());
     }
 
+    /// Executor-pool determinism across the operators parallelized on
+    /// the persistent pool: Value Transform (band-parallel full-screen
+    /// pass), Map/scatter (pool-parallel γ evaluation with in-order
+    /// blend apply), and the streaming tiled draws (bounded-channel
+    /// tile merge). Texel/cover/boundary planes and the pipeline stats
+    /// must be **bit-identical** across thread counts {1, 2, 3, 8}.
+    /// Resolution 256² sits at the pool's minimum-work threshold, so
+    /// the parallel code paths genuinely engage.
+    #[test]
+    fn executor_ops_bit_identical_across_thread_counts(
+        poly in arb_polygon(),
+        n in 100usize..600,
+        seed in 0u64..10_000,
+    ) {
+        let pts = uniform_points(&extent(), n, seed);
+        let batch = PointBatch::from_points(pts);
+        let table: AreaSource = std::sync::Arc::new(vec![poly]);
+        let vp = Viewport::square_pixels(extent(), 256);
+
+        // One full operator chain per device; returns every plane the
+        // chain produces plus the counted work.
+        let run = |dev: &mut Device| {
+            // Streaming tiled draws: point accumulation + conservative
+            // polygon render (cover plane + boundary index).
+            let cp = canvas_core::source::render_points(dev, vp, &batch);
+            let cy = canvas_core::source::render_polygon(dev, vp, &table, 0, 1);
+            // Value Transform: location- and value-dependent rewrite.
+            let vt = value_transform(dev, &cp, |p, mut t| {
+                if let Some(mut d) = t.get(0) {
+                    d.v2 = (p.x * 0.25 + p.y) as f32;
+                    t.set(0, d);
+                }
+                t
+            });
+            // Map = G[γ] ∘ D: scatter everything into one pixel with
+            // float accumulation (order-sensitive ⇒ a real determinism
+            // probe).
+            let folded = map_scatter(
+                dev,
+                &vt,
+                &ValueMap::to_constant(Point::new(0.5, 0.5)),
+                vp,
+                BlendFn::Accumulate,
+            );
+            (cp, cy, vt, folded, dev.stats())
+        };
+
+        let mut seq_dev = Device::cpu();
+        let (s_cp, s_cy, s_vt, s_fold, s_stats) = run(&mut seq_dev);
+        for threads in [2usize, 3, 8] {
+            let mut dev = Device::cpu_parallel(threads);
+            let (p_cp, p_cy, p_vt, p_fold, p_stats) = run(&mut dev);
+            prop_assert_eq!(s_cp.texels(), p_cp.texels(), "points, {} threads", threads);
+            prop_assert_eq!(s_cy.texels(), p_cy.texels(), "polygon, {} threads", threads);
+            prop_assert_eq!(s_cy.cover(), p_cy.cover(), "cover, {} threads", threads);
+            prop_assert_eq!(s_cy.boundary(), p_cy.boundary(), "boundary, {} threads", threads);
+            prop_assert_eq!(s_vt.texels(), p_vt.texels(), "value_transform, {} threads", threads);
+            prop_assert_eq!(s_fold.texels(), p_fold.texels(), "map_scatter, {} threads", threads);
+            prop_assert_eq!(&s_stats, &p_stats, "stats, {} threads", threads);
+        }
+    }
+
     /// Voronoi canvas assignment matches the brute-force nearest site at
     /// every pixel center (up to exact ties).
     #[test]
