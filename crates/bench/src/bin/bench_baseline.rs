@@ -102,6 +102,63 @@ fn main() {
         "grid join formulations must agree"
     );
 
+    // --- Fused operator chain: draw → blend → mask at 2048². ---
+    // The fused-memory acceptance gate: streaming a 3-op chain through
+    // the multi-stage hand-off must never materialize an intermediate
+    // canvas — peak live tile buffers stay within the policy window
+    // (vs 1024 tiles for a materialized 2048² intermediate).
+    const CHAIN_RES: u32 = 2048;
+    let chain_vp = canvas_raster::Viewport::square_pixels(extent, CHAIN_RES);
+    let chain_pts = &points[..500_000.min(points.len())];
+    let mut chain_pl = canvas_raster::Pipeline::new();
+    chain_pl.set_threads(PAR_THREADS);
+    let mut operand: canvas_raster::Texture<u32> =
+        canvas_raster::Texture::new(CHAIN_RES, CHAIN_RES);
+    chain_pl.par_map_texels(&mut operand, |x, y, _| x ^ (y << 1));
+    let chain = canvas_raster::OpChain::new()
+        .blend(&operand, |d: u32, s: u32| d.wrapping_add(s))
+        .mask(|x, y, &t: &u32| (t ^ x ^ y) & 3 != 3);
+    let mut fused_fb: canvas_raster::Texture<u32> =
+        canvas_raster::Texture::new(CHAIN_RES, CHAIN_RES);
+    let t0 = Instant::now();
+    let chain_report = chain_pl.run_chain_points(
+        &chain_vp,
+        &mut fused_fb,
+        None,
+        chain_pts,
+        |i, _| i.wrapping_add(1),
+        |d, s| d.wrapping_add(s),
+        &chain,
+    );
+    let chain_fused_wall = t0.elapsed().as_secs_f64();
+    let chain_window = chain_pl
+        .pool()
+        .policy()
+        .stream_window(chain_pl.pool().worker_count());
+
+    // Materialized comparison: draw, then one full-screen pass per op
+    // (allocates and rewrites the full framebuffer between operators).
+    let mut mat_fb: canvas_raster::Texture<u32> = canvas_raster::Texture::new(CHAIN_RES, CHAIN_RES);
+    let t0 = Instant::now();
+    chain_pl.draw_points_tiled(
+        &chain_vp,
+        &mut mat_fb,
+        chain_pts,
+        |i, _| i.wrapping_add(1),
+        |d, s| d.wrapping_add(s),
+    );
+    chain_pl.blend_into(&mut mat_fb, &operand, |d, s| d.wrapping_add(s));
+    chain_pl.par_map_texels(
+        &mut mat_fb,
+        |x, y, t| if (t ^ x ^ y) & 3 != 3 { t } else { 0 },
+    );
+    let chain_materialized_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fused_fb.texels(),
+        mat_fb.texels(),
+        "fused chain must be bit-identical to the materialized passes"
+    );
+
     // --- Executor fork/join latency: persistent pool vs scoped spawn. ---
     // The reason the pool exists: every canvas operator is a short
     // data-parallel pass, so per-pass dispatch overhead is on the
@@ -162,6 +219,18 @@ fn main() {
         "  \"scoped_spawn_ns_per_pass\": {scoped_spawn_ns:.0},"
     );
     let _ = writeln!(json, "  \"dispatch_speedup\": {dispatch_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"chain_peak_tiles_in_flight\": {},",
+        chain_report.peak_tiles_in_flight
+    );
+    let _ = writeln!(json, "  \"chain_stream_window\": {chain_window},");
+    let _ = writeln!(json, "  \"chain_tiles_total\": {},", chain_report.tiles);
+    let _ = writeln!(json, "  \"chain_fused_wall_secs\": {chain_fused_wall:.6},");
+    let _ = writeln!(
+        json,
+        "  \"chain_materialized_wall_secs\": {chain_materialized_wall:.6},"
+    );
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
@@ -190,6 +259,20 @@ fn main() {
     assert!(
         modeled_speedup >= 3.0,
         "modeled 8-thread speedup {modeled_speedup:.2}x below 3x"
+    );
+    // The fused-chain memory gate: a 3-op chain (draw → blend → mask)
+    // at 2048² holds at most the policy window of live tile buffers —
+    // intermediate canvases are never materialized.
+    assert!(
+        chain_report.peak_tiles_in_flight <= chain_window,
+        "fused chain held {} live tiles, window is {chain_window}",
+        chain_report.peak_tiles_in_flight
+    );
+    assert!(
+        chain_report.tiles > chain_window,
+        "chain benchmark must stream more tiles ({}) than the window ({chain_window}) \
+         for the bound to mean anything",
+        chain_report.tiles
     );
     // The persistent pool must beat per-pass scoped spawns on pure
     // fork/join latency — that is its entire reason to exist.

@@ -73,8 +73,9 @@ pub mod prelude {
     pub use crate::info::{BlendFn, DimInfo, Texel};
     pub use crate::ops::{
         blend, circle_canvas, dissect, dissect_iter, dissect_par, group_viewport, halfspace_canvas,
-        map_scatter, mask, multiway_blend, rect_canvas, transform_by_value, transform_positions,
-        value_transform, CountCond, MaskSpec, PositionMap, ValueMap,
+        map_scatter, mask, multiway_blend, rect_canvas, run_points_chain,
+        run_points_chain_materialized, transform_by_value, transform_positions, value_transform,
+        CanvasChain, CanvasOp, ChainOutcome, CountCond, MaskSpec, PositionMap, ValueMap,
     };
     pub use crate::queries;
     pub use crate::source::{

@@ -1,0 +1,377 @@
+//! Fused canvas operator chains — the algebra-level face of
+//! `canvas_raster::OpChain`.
+//!
+//! A [`CanvasChain`] is a linear plan `render(points) → op₁ → … → opₖ`
+//! over full canvases (texel plane + certain-cover plane + boundary
+//! index) whose operators are the *coarse* forms of the algebra:
+//! Value Transform `V[f]`, Blend `B[⊙]` against a materialized operand
+//! canvas, and the texel-level Mask `M[M]`. Executed fused
+//! ([`run_points_chain`]), each rendered tile flows through every
+//! operator on the executor's multi-stage streaming hand-off before it
+//! is blitted — the intermediate canvases of the materialized plan are
+//! never allocated.
+//!
+//! The fused run is **bit-identical** to the materialized operator
+//! sequence ([`run_points_chain_materialized`]) — texel plane, cover
+//! plane, boundary index, sources, *and* pipeline work counters — at
+//! any thread count; `tests/chain_equivalence.rs` asserts this on
+//! random chains. Boundary bookkeeping is replayed after the planes
+//! finish: Blend stages merge the operand's entries (source-remapped)
+//! and Mask stages prune entries of pixels whose texel the mask left
+//! null, read from the fused run's per-stage [`MaskOutcome`] bitmaps —
+//! sparse metadata, never a full intermediate plane.
+//!
+//! The exact point-refinement Mask (`MaskSpec::PointInAreas`) is *not*
+//! chain-fusable: it rewrites texels from boundary-index state, which
+//! is global. Queries needing it (selection) fuse the coarse prefix
+//! and finish with the materialized refinement mask.
+
+use std::sync::Arc;
+
+use crate::canvas::{Canvas, PointBatch};
+use crate::device::Device;
+use crate::info::{BlendFn, Texel};
+use crate::ops::mask::MaskSpec;
+use canvas_geom::Point;
+use canvas_raster::{OpChain, Viewport};
+
+/// Boxed location-aware texel rewrite (the Value Transform function).
+pub type ValueFn = Arc<dyn Fn(Point, Texel) -> Texel + Send + Sync>;
+/// Boxed texel keep-predicate (the coarse Mask set).
+pub type TexelPred = Arc<dyn Fn(&Texel) -> bool + Send + Sync>;
+
+/// One operator of a canvas chain.
+#[derive(Clone)]
+pub enum CanvasOp<'a> {
+    /// `V[f]` — per-location texel rewrite.
+    Value(ValueFn),
+    /// `B[⊙]` — blend with a materialized operand canvas: texels
+    /// through the blend function, covers by saturating addition,
+    /// boundary entries merged with source remapping.
+    Blend { other: &'a Canvas, op: BlendFn },
+    /// Coarse `M[M]` — texel-level mask: failing texels nulled, cover
+    /// zeroed, boundary entries of nulled pixels pruned.
+    Mask {
+        label: &'static str,
+        pred: TexelPred,
+    },
+}
+
+impl std::fmt::Debug for CanvasOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanvasOp::Value(_) => write!(f, "V[f]"),
+            CanvasOp::Blend { op, .. } => write!(f, "B[{op:?}]"),
+            CanvasOp::Mask { label, .. } => write!(f, "M[{label}]"),
+        }
+    }
+}
+
+/// A linear fused canvas plan (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct CanvasChain<'a> {
+    ops: Vec<CanvasOp<'a>>,
+}
+
+impl<'a> CanvasChain<'a> {
+    pub fn new() -> Self {
+        CanvasChain { ops: Vec::new() }
+    }
+
+    /// Appends a Value Transform stage.
+    pub fn value(mut self, f: impl Fn(Point, Texel) -> Texel + Send + Sync + 'static) -> Self {
+        self.ops.push(CanvasOp::Value(Arc::new(f)));
+        self
+    }
+
+    /// Appends a Blend stage against a materialized operand canvas.
+    pub fn blend(mut self, other: &'a Canvas, op: BlendFn) -> Self {
+        self.ops.push(CanvasOp::Blend { other, op });
+        self
+    }
+
+    /// Appends a coarse texel-level Mask stage.
+    pub fn mask(
+        mut self,
+        label: &'static str,
+        pred: impl Fn(&Texel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.ops.push(CanvasOp::Mask {
+            label,
+            pred: Arc::new(pred),
+        });
+        self
+    }
+
+    pub fn ops(&self) -> &[CanvasOp<'a>] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Plan label, e.g. `points → B[PointOverArea] → M[inside] → V[f]`.
+    pub fn plan(&self) -> String {
+        let mut s = String::from("points");
+        for op in &self.ops {
+            s.push_str(" → ");
+            s.push_str(&format!("{op:?}"));
+        }
+        s
+    }
+}
+
+/// Result of a fused chain run: the canvas plus the streaming memory
+/// report the fused-execution contract is asserted against.
+#[derive(Debug)]
+pub struct ChainOutcome {
+    pub canvas: Canvas,
+    /// Tiles that flowed through the fused pipeline.
+    pub tiles: usize,
+    /// High-water mark of live tile buffers — never exceeds
+    /// `Policy::stream_window(workers)` (0 for in-place sequential
+    /// runs).
+    pub peak_tiles_in_flight: usize,
+}
+
+/// Executes `render(points) → chain` fused: one streamed tile pass,
+/// no intermediate canvases (see module docs). Bit-identical to
+/// [`run_points_chain_materialized`] at any thread count, including
+/// pipeline stats.
+pub fn run_points_chain(
+    dev: &mut Device,
+    vp: Viewport,
+    batch: &PointBatch,
+    chain: &CanvasChain<'_>,
+) -> ChainOutcome {
+    for op in chain.ops() {
+        if let CanvasOp::Blend { other, .. } = op {
+            assert_eq!(
+                other.viewport(),
+                &vp,
+                "chain blend operands must share a viewport"
+            );
+        }
+    }
+    let mut canvas = Canvas::empty(vp);
+    dev.pipeline().note_upload(batch.upload_bytes());
+
+    // Lower the canvas ops to raster tile kernels.
+    let mut raster_chain: OpChain<'_, Texel> =
+        OpChain::new().with_null_test(|t: &Texel| t.is_null());
+    for op in chain.ops() {
+        raster_chain = match op {
+            CanvasOp::Value(f) => {
+                let f = Arc::clone(f);
+                raster_chain.map(move |x, y, t| f(vp.pixel_center(x, y), t))
+            }
+            CanvasOp::Blend { other, op } => {
+                let op = *op;
+                raster_chain
+                    .blend_with_cover(other.texels(), other.cover(), move |d, s| op.apply(d, s))
+            }
+            CanvasOp::Mask { pred, .. } => {
+                let pred = Arc::clone(pred);
+                // Null texels stay null (the materialized mask only
+                // tests non-null texels).
+                raster_chain.mask(move |_, _, t: &Texel| t.is_null() || pred(t))
+            }
+        };
+    }
+
+    let ids = &batch.ids;
+    let weights = &batch.weights;
+    let report = {
+        let (texels, cover, _) = canvas.planes_mut();
+        dev.pipeline().run_chain_points(
+            &vp,
+            texels,
+            Some(cover),
+            &batch.points,
+            |i, _| Texel::point(ids[i as usize], 1.0, weights[i as usize]),
+            |d, s| BlendFn::PointAccumulate.apply(d, s),
+            &raster_chain,
+        )
+    };
+
+    // Replay the boundary/source bookkeeping of the materialized
+    // operator sequence against the finished planes — sparse metadata
+    // only, no intermediate plane is ever touched.
+    //
+    // render_points' entry contract, shared verbatim.
+    crate::source::push_point_entries(&mut canvas, &vp, batch);
+    let mut mask_ordinal = 0usize;
+    for op in chain.ops() {
+        match op {
+            CanvasOp::Value(_) => {}
+            CanvasOp::Blend { other, .. } => {
+                // Same merge the materialized Blend performs.
+                let area_remap: Vec<u16> = other
+                    .area_sources()
+                    .iter()
+                    .map(|s| canvas.add_area_source(s.clone()))
+                    .collect();
+                let line_remap: Vec<u16> = other
+                    .line_sources()
+                    .iter()
+                    .map(|s| canvas.add_line_source(s.clone()))
+                    .collect();
+                canvas
+                    .boundary_mut()
+                    .merge_remapped(other.boundary(), &area_remap, &line_remap);
+                canvas.boundary_mut().sort();
+            }
+            CanvasOp::Mask { .. } => {
+                // Prune entries of pixels the mask left null — the
+                // exact per-stage set from the fused run's bitmaps.
+                let masked = &report.masked;
+                let ordinal = mask_ordinal;
+                canvas
+                    .boundary_mut()
+                    .retain_pixels(|pixel| !masked.is_null_after(ordinal, pixel));
+                canvas.boundary_mut().sort();
+                mask_ordinal += 1;
+            }
+        }
+    }
+
+    ChainOutcome {
+        canvas,
+        tiles: report.tiles,
+        peak_tiles_in_flight: report.peak_tiles_in_flight,
+    }
+}
+
+/// The materialized reference: the identical plan executed as separate
+/// whole-canvas operator passes (one intermediate canvas per step).
+/// Exists for the streamed≡materialized equivalence harness and as the
+/// plan-comparison baseline.
+pub fn run_points_chain_materialized(
+    dev: &mut Device,
+    vp: Viewport,
+    batch: &PointBatch,
+    chain: &CanvasChain<'_>,
+) -> Canvas {
+    let mut c = crate::source::render_points(dev, vp, batch);
+    for op in chain.ops() {
+        c = match op {
+            CanvasOp::Value(f) => {
+                let f = Arc::clone(f);
+                crate::ops::value::value_transform(dev, &c, move |p, t| f(p, t))
+            }
+            CanvasOp::Blend { other, op } => crate::ops::blend::blend(dev, &c, other, *op),
+            CanvasOp::Mask { label, pred } => {
+                crate::ops::mask::mask(dev, &c, &MaskSpec::Texel(label, Arc::clone(pred)))
+            }
+        };
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::render_query_polygon;
+    use canvas_geom::{BBox, Polygon};
+
+    fn vp(n: u32) -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            n,
+            n,
+        )
+    }
+
+    fn pts() -> PointBatch {
+        PointBatch::from_points(vec![
+            Point::new(2.5, 2.5),
+            Point::new(2.6, 2.4),
+            Point::new(7.5, 7.5),
+            Point::new(1.0, 8.0),
+        ])
+    }
+
+    #[test]
+    fn empty_chain_equals_render_points() {
+        let mut dev_a = Device::cpu();
+        let mut dev_b = Device::cpu();
+        let chain = CanvasChain::new();
+        let fused = run_points_chain(&mut dev_a, vp(16), &pts(), &chain);
+        let want = crate::source::render_points(&mut dev_b, vp(16), &pts());
+        assert_eq!(fused.canvas.texels(), want.texels());
+        assert_eq!(fused.canvas.cover(), want.cover());
+        assert_eq!(fused.canvas.boundary().points(), want.boundary().points());
+        assert_eq!(dev_a.stats(), dev_b.stats());
+    }
+
+    #[test]
+    fn blend_mask_value_chain_equals_materialized() {
+        let q = Polygon::simple(vec![
+            Point::new(1.5, 1.5),
+            Point::new(8.0, 1.5),
+            Point::new(8.0, 8.0),
+            Point::new(1.5, 8.0),
+        ])
+        .unwrap();
+        for threads in [1usize, 3] {
+            let mut dev_f = Device::cpu_parallel(threads);
+            let mut dev_m = Device::cpu_parallel(threads);
+            let cq_f = render_query_polygon(&mut dev_f, vp(16), q.clone(), 1);
+            let cq_m = render_query_polygon(&mut dev_m, vp(16), q.clone(), 1);
+            fn mk(cq: &Canvas) -> CanvasChain<'_> {
+                CanvasChain::new()
+                    .blend(cq, BlendFn::PointOverArea)
+                    .mask("point ∧ area", |t: &Texel| t.has(0) && t.has(2))
+                    .value(|_, mut t| {
+                        if let Some(mut p) = t.get(0) {
+                            p.v2 = p.v2 * 2.0 + 1.0;
+                            t.set(0, p);
+                        }
+                        t
+                    })
+            }
+            let fused = run_points_chain(&mut dev_f, vp(16), &pts(), &mk(&cq_f));
+            let want = run_points_chain_materialized(&mut dev_m, vp(16), &pts(), &mk(&cq_m));
+            assert_eq!(fused.canvas.texels(), want.texels(), "threads={threads}");
+            assert_eq!(fused.canvas.cover(), want.cover(), "threads={threads}");
+            assert_eq!(
+                fused.canvas.boundary().points(),
+                want.boundary().points(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                fused.canvas.boundary().areas(),
+                want.boundary().areas(),
+                "threads={threads}"
+            );
+            assert_eq!(fused.canvas.area_sources().len(), want.area_sources().len());
+            assert_eq!(dev_f.stats(), dev_m.stats(), "stats at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn plan_label_prints_ops() {
+        let c = Canvas::empty(vp(8));
+        let chain = CanvasChain::new()
+            .blend(&c, BlendFn::Over)
+            .mask("m", |_| true)
+            .value(|_, t| t);
+        assert_eq!(chain.plan(), "points → B[Over] → M[m] → V[f]");
+        assert_eq!(chain.len(), 3);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a viewport")]
+    fn mismatched_blend_viewport_panics() {
+        let other = Canvas::empty(vp(8));
+        let chain = CanvasChain::new().blend(&other, BlendFn::Over);
+        let mut dev = Device::cpu();
+        let _ = run_points_chain(&mut dev, vp(16), &pts(), &chain);
+    }
+}

@@ -15,6 +15,7 @@
 //! compose.
 
 pub mod blend;
+pub mod chain;
 pub mod dissect;
 pub mod mask;
 pub mod transform;
@@ -22,6 +23,9 @@ pub mod utility;
 pub mod value;
 
 pub use blend::{blend, multiway_blend};
+pub use chain::{
+    run_points_chain, run_points_chain_materialized, CanvasChain, CanvasOp, ChainOutcome,
+};
 pub use dissect::{dissect, dissect_iter, dissect_par, map_scatter};
 pub use mask::{mask, CountCond, MaskSpec};
 pub use transform::{

@@ -143,13 +143,34 @@ pub fn aggregate_join_rasterjoin(
     }
     // B*[+](C_P): one canvas of partial aggregates.
     let density = crate::source::render_points(dev, vp, points);
-
     // Fused B[⊙] + M[Mp] + D*[γc] over the whole polygon table.
+    rasterjoin_kernel(dev, vp, &density, polygons, None, &mut out);
+    out
+}
+
+/// The RasterJoin fragment kernel shared by the unfiltered and
+/// index-pruned plans (their aggregates are contractually
+/// bit-identical, so the kernel exists exactly once): chunk-parallel
+/// fragment visitation, interior fragments folding the density partial
+/// aggregates, conservative boundary fragments refining per exact point
+/// entry. With `records = Some(subset)` only `polys[subset[k]]` are
+/// rasterized (no cloning — the pipeline's indexed visitor walks the
+/// originals) and each position's aggregates land in the record's
+/// global slot of `out`.
+fn rasterjoin_kernel(
+    dev: &mut Device,
+    vp: Viewport,
+    density: &crate::canvas::Canvas,
+    polys: &[Polygon],
+    records: Option<&[u32]>,
+    out: &mut GroupAggregates,
+) {
     let width = vp.width();
+    let sel = move |k: usize| records.map_or(k, |r| r[k] as usize);
+    let n = records.map_or(polys.len(), <[u32]>::len);
     dev.pipeline().note_upload(
-        polygons
-            .iter()
-            .map(|p| (p.num_vertices() * 16) as u64)
+        (0..n)
+            .map(|k| (polys[sel(k)].num_vertices() * 16) as u64)
             .sum(),
     );
     /// Per-chunk partial aggregates (slots for `range` only).
@@ -159,46 +180,120 @@ pub fn aggregate_join_rasterjoin(
         sums: Vec<f64>,
         refine_edges: u64,
     }
-    let chunks = dev.pipeline().visit_polygon_fragments(
-        &vp,
-        polygons,
-        true,
-        |range| ChunkAcc {
-            counts: vec![0; range.len()],
-            sums: vec![0.0; range.len()],
-            range,
-            refine_edges: 0,
-        },
-        |acc, record, frag| {
-            let j = record as usize;
-            let local = j - acc.range.start;
-            if frag.boundary {
-                // Boundary pixel: exact per-point refinement against the
-                // vector polygon (the hybrid-index contract).
-                let pixel = frag.y * width + frag.x;
-                let poly = &polygons[j];
-                for e in density.boundary().points_at(pixel) {
-                    acc.refine_edges += poly.num_vertices() as u64;
-                    if poly.contains_closed(e.loc) {
-                        acc.counts[local] += 1;
-                        acc.sums[local] += e.weight as f64;
-                    }
+    let init = |range: std::ops::Range<usize>| ChunkAcc {
+        counts: vec![0; range.len()],
+        sums: vec![0.0; range.len()],
+        range,
+        refine_edges: 0,
+    };
+    let visit = |acc: &mut ChunkAcc, record: u32, frag: canvas_raster::Frag| {
+        let j = record as usize;
+        let local = j - acc.range.start;
+        if frag.boundary {
+            // Boundary pixel: exact per-point refinement against the
+            // vector polygon (the hybrid-index contract).
+            let pixel = frag.y * width + frag.x;
+            let poly = &polys[sel(j)];
+            for e in density.boundary().points_at(pixel) {
+                acc.refine_edges += poly.num_vertices() as u64;
+                if poly.contains_closed(e.loc) {
+                    acc.counts[local] += 1;
+                    acc.sums[local] += e.weight as f64;
                 }
-            } else if let Some(info) = density.texel(frag.x, frag.y).get(0) {
-                // Uniform interior pixel: the whole pixel is inside, so
-                // the partial aggregate applies wholesale.
-                acc.counts[local] += info.v1 as u64;
-                acc.sums[local] += info.v2 as f64;
             }
-        },
-    );
+        } else if let Some(info) = density.texel(frag.x, frag.y).get(0) {
+            // Uniform interior pixel: the whole pixel is inside, so
+            // the partial aggregate applies wholesale.
+            acc.counts[local] += info.v1 as u64;
+            acc.sums[local] += info.v2 as f64;
+        }
+    };
+    let chunks = match records {
+        None => dev
+            .pipeline()
+            .visit_polygon_fragments(&vp, polys, true, init, visit),
+        Some(r) => dev
+            .pipeline()
+            .visit_polygon_fragments_indexed(&vp, polys, r, true, init, visit),
+    };
     let mut refine_edges = 0u64;
     for acc in chunks {
-        out.counts[acc.range.clone()].copy_from_slice(&acc.counts);
-        out.sums[acc.range.clone()].copy_from_slice(&acc.sums);
+        for (k, (&c, &s)) in acc.counts.iter().zip(&acc.sums).enumerate() {
+            let global = sel(acc.range.start + k);
+            out.counts[global] = c;
+            out.sums[global] = s;
+        }
         refine_edges += acc.refine_edges;
     }
     dev.pipeline().note_compute_edge_tests(refine_edges);
+}
+
+/// Index-accelerated RasterJoin (ROADMAP "Index-accelerated
+/// aggregation"): [`aggregate_join_rasterjoin`] with an **MBR
+/// pre-filter** served by a CSR grid index over the point side —
+/// polygons whose MBR holds no candidate points are pruned before any
+/// rasterization (their aggregates are exactly zero), so the fragment
+/// kernel only walks polygons that can contribute.
+///
+/// The density **pre-render goes through a fused chain**
+/// ([`run_points_chain`](crate::ops::chain::run_points_chain)): a Value
+/// stage nulls density texels outside the surviving polygons' union
+/// MBR (inflated by one pixel) *in-stream*, tile by tile, so the
+/// restricted density canvas never exists in an intermediate
+/// materialized form. This is safe for exactness: interior fragments
+/// read the density texel only at pixels whose **center** lies inside
+/// their polygon — hence inside the union MBR, where the Value stage is
+/// the identity — and boundary fragments refine against the exact
+/// point entries, which the chain keeps untouched. Bit-identical
+/// aggregates to the unfiltered kernel (asserted in tests).
+pub fn aggregate_join_rasterjoin_pruned(
+    dev: &mut Device,
+    vp: Viewport,
+    points: &PointBatch,
+    polygons: &AreaSource,
+    index: &canvas_geom::grid::GridIndex,
+) -> GroupAggregates {
+    let n = polygons.len();
+    let mut out = GroupAggregates {
+        counts: vec![0; n],
+        sums: vec![0.0; n],
+    };
+    if n == 0 || points.is_empty() {
+        return out;
+    }
+    // Filter step: the grid index returns a superset of the points in
+    // each polygon's MBR, so an empty candidate set proves the
+    // polygon's aggregates are zero.
+    // `query_iter` short-circuits on the first candidate — the test is
+    // pure emptiness, so the collect/sort/dedup of `query` is waste.
+    let survivors: Vec<u32> = polygons
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| index.query_iter(&p.bbox()).next().is_some())
+        .map(|(j, _)| j as u32)
+        .collect();
+    if survivors.is_empty() {
+        return out;
+    }
+    let mut region = canvas_geom::BBox::EMPTY;
+    for &j in &survivors {
+        region = region.union(&polygons[j as usize].bbox());
+    }
+    // One pixel of slack so floating-point edge cases at the MBR rim
+    // can never clip a pixel center the kernel reads.
+    let pixel_pad = (vp.world().width() / vp.width().max(1) as f64)
+        .max(vp.world().height() / vp.height().max(1) as f64);
+    let region = region.inflated(pixel_pad);
+    let chain = crate::ops::chain::CanvasChain::new().value(move |p, t| {
+        if region.contains(p) {
+            t
+        } else {
+            crate::info::Texel::null()
+        }
+    });
+    let density = crate::ops::chain::run_points_chain(dev, vp, points, &chain).canvas;
+
+    rasterjoin_kernel(dev, vp, &density, polygons, Some(&survivors), &mut out);
     out
 }
 
@@ -450,6 +545,103 @@ mod tests {
             assert_eq!(a, b, "sums diverge at {threads} threads");
             assert_eq!(seq_dev.stats(), dev.stats(), "stats at {threads} threads");
         }
+    }
+
+    #[test]
+    fn pruned_rasterjoin_equals_unfiltered() {
+        // The MBR pre-filter (grid index over the point side) plus the
+        // chain-restricted density pre-render must reproduce the
+        // unfiltered kernel bit-for-bit — including polygons whose MBR
+        // holds no points at all (pruned, exactly zero).
+        // Points concentrated in the lower-left quadrant so an
+        // in-viewport polygon can still be point-free (prunable).
+        let pts: Vec<Point> = random_points(500, 13)
+            .into_iter()
+            .map(|p| Point::new(p.x * 0.4, p.y * 0.4))
+            .collect();
+        let weights: Vec<f32> = (0..pts.len()).map(|i| 0.5 + (i % 7) as f32).collect();
+        let polys: AreaSource = Arc::new(vec![
+            square(5.0, 5.0, 20.0),
+            square(20.0, 20.0, 18.0),
+            square(10.0, 25.0, 20.0),
+            // Inside the viewport but holding no points: the MBR filter
+            // prunes it, so its fragments are never rasterized (the
+            // unfiltered kernel walks them all).
+            square(60.0, 60.0, 30.0),
+        ]);
+        let batch = PointBatch::with_weights(pts.clone(), weights);
+        // Grid index over the point side (what SpatialTable::grid_index
+        // builds for a point table).
+        let extent = pts
+            .iter()
+            .fold(canvas_geom::BBox::EMPTY, |b, p| b.union_point(*p))
+            .inflated(1e-9);
+        let mut builder =
+            canvas_geom::grid::GridIndexBuilder::with_target_occupancy(extent, pts.len().max(1), 2);
+        for (i, p) in pts.iter().enumerate() {
+            builder.insert(i as u32, &canvas_geom::BBox::new(*p, *p));
+        }
+        let index = builder.build();
+
+        for threads in [1usize, 3] {
+            let mut dev_ref = Device::cpu_parallel(threads);
+            let reference = aggregate_join_rasterjoin(&mut dev_ref, vp(), &batch, &polys);
+            let mut dev = Device::cpu_parallel(threads);
+            let got = aggregate_join_rasterjoin_pruned(&mut dev, vp(), &batch, &polys, &index);
+            assert_eq!(reference.counts, got.counts, "counts at {threads} threads");
+            let a: Vec<u64> = reference.sums.iter().map(|s| s.to_bits()).collect();
+            let b: Vec<u64> = got.sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b, "sums diverge at {threads} threads");
+            assert_eq!(got.counts[3], 0, "pruned polygon aggregates to zero");
+            // The pre-filter must cut real work: fewer fragments walked.
+            assert!(
+                dev.stats().fragments < dev_ref.stats().fragments,
+                "pruned kernel should rasterize less: {} vs {}",
+                dev.stats().fragments,
+                dev_ref.stats().fragments
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_rasterjoin_all_pruned_and_empty_inputs() {
+        let pts = random_points(50, 3);
+        let extent = pts
+            .iter()
+            .fold(canvas_geom::BBox::EMPTY, |b, p| b.union_point(*p))
+            .inflated(1e-9);
+        let mut builder =
+            canvas_geom::grid::GridIndexBuilder::with_target_occupancy(extent, pts.len(), 2);
+        for (i, p) in pts.iter().enumerate() {
+            builder.insert(i as u32, &canvas_geom::BBox::new(*p, *p));
+        }
+        let index = builder.build();
+        let far: AreaSource = Arc::new(vec![Polygon::simple(vec![
+            Point::new(900.0, 900.0),
+            Point::new(910.0, 900.0),
+            Point::new(905.0, 910.0),
+        ])
+        .unwrap()]);
+        let mut dev = Device::cpu();
+        let g = aggregate_join_rasterjoin_pruned(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(pts),
+            &far,
+            &index,
+        );
+        assert_eq!(g.counts, vec![0]);
+        assert_eq!(g.sums, vec![0.0]);
+        // Nothing survived: no polygon rasterization at all.
+        assert_eq!(dev.stats().fragments, 0);
+        let g = aggregate_join_rasterjoin_pruned(
+            &mut dev,
+            vp(),
+            &PointBatch::from_points(vec![]),
+            &far,
+            &index,
+        );
+        assert_eq!(g.counts, vec![0]);
     }
 
     #[test]

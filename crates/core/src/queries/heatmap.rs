@@ -1,0 +1,144 @@
+//! Selection heatmap: the density visualization of a polygonal
+//! selection, executed as one **fused operator chain**.
+//!
+//! The plan is the Section 4.1 selection shape with a Value Transform
+//! finisher:
+//!
+//! ```text
+//! C_heat ← V[log](M[Mp coarse](B[⊙](C_P, C_Q)))
+//! ```
+//!
+//! All points render into a density canvas, the query polygon masks it
+//! to the selection region (coarse texel level — a heatmap is a
+//! pixel-resolution product, so no exact refinement is needed), and a
+//! Value Transform rewrites each surviving pixel's intensity to
+//! `ln(1 + count)` so dense pixels don't saturate the color ramp.
+//!
+//! Fused execution ([`run_points_chain`]) streams every rendered tile
+//! through blend → mask → value before it is blitted: the blended and
+//! masked intermediate canvases of the textbook plan are never
+//! materialized. [`selection_heatmap_materialized`] runs the identical
+//! plan as separate whole-canvas passes; the equivalence harness
+//! asserts the two are bit-identical at any thread count.
+
+use crate::canvas::{Canvas, PointBatch};
+use crate::device::Device;
+use crate::info::{BlendFn, Texel};
+use crate::ops::chain::{
+    run_points_chain, run_points_chain_materialized, CanvasChain, ChainOutcome,
+};
+use crate::source::render_query_polygon;
+use canvas_geom::polygon::Polygon;
+use canvas_raster::Viewport;
+
+/// The heatmap chain over a rendered query-polygon canvas.
+fn heat_chain(cq: &Canvas) -> CanvasChain<'_> {
+    CanvasChain::new()
+        .blend(cq, BlendFn::PointOverArea)
+        .mask("point ∧ area", |t: &Texel| t.has(0) && t.has(2))
+        .value(|_, mut t| {
+            if let Some(mut p) = t.get(0) {
+                p.v2 = (1.0 + p.v1).ln();
+                t.set(0, p);
+            }
+            t
+        })
+}
+
+/// `C_heat ← V[log](M[Mp coarse](B[⊙](C_P, C_Q)))`, fused (see module
+/// docs). The returned [`ChainOutcome`]'s canvas carries `ln(1 + count)`
+/// in the 0-row's `v2` slot on surviving pixels (raw count stays in
+/// `v1`), alongside the fused run's streaming memory report.
+pub fn selection_heatmap(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &PointBatch,
+    q: &Polygon,
+) -> ChainOutcome {
+    let cq = render_query_polygon(dev, vp, q.clone(), 1);
+    run_points_chain(dev, vp, data, &heat_chain(&cq))
+}
+
+/// The identical plan executed as separate whole-canvas operator
+/// passes — the materialized reference for the equivalence harness.
+pub fn selection_heatmap_materialized(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &PointBatch,
+    q: &Polygon,
+) -> Canvas {
+    let cq = render_query_polygon(dev, vp, q.clone(), 1);
+    run_points_chain_materialized(dev, vp, data, &heat_chain(&cq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::{BBox, Point};
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            64,
+            64,
+        )
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    fn q() -> Polygon {
+        Polygon::simple(vec![
+            Point::new(20.0, 15.0),
+            Point::new(80.0, 20.0),
+            Point::new(70.0, 85.0),
+            Point::new(15.0, 70.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn heatmap_fused_equals_materialized_and_masks_outside() {
+        let batch = PointBatch::from_points(random_points(600, 5));
+        for threads in [1usize, 4] {
+            let mut dev_f = Device::cpu_parallel(threads);
+            let mut dev_m = Device::cpu_parallel(threads);
+            let fused = selection_heatmap(&mut dev_f, vp(), &batch, &q());
+            let want = selection_heatmap_materialized(&mut dev_m, vp(), &batch, &q());
+            assert_eq!(fused.canvas.texels(), want.texels(), "threads={threads}");
+            assert_eq!(fused.canvas.cover(), want.cover(), "threads={threads}");
+            assert_eq!(
+                fused.canvas.boundary().points(),
+                want.boundary().points(),
+                "threads={threads}"
+            );
+            assert_eq!(dev_f.stats(), dev_m.stats(), "stats at {threads} threads");
+            // Heat values are log-scaled counts on surviving pixels.
+            for (_, _, t) in fused.canvas.non_null() {
+                let p = t.get(0).expect("surviving pixels carry the 0-row");
+                assert_eq!(p.v2, (1.0 + p.v1).ln());
+                assert!(t.has(2), "surviving pixels lie inside the query");
+            }
+        }
+    }
+
+    #[test]
+    fn heatmap_empty_outside_query() {
+        // All points outside the polygon: the heat canvas is empty.
+        let batch = PointBatch::from_points(vec![Point::new(2.0, 2.0), Point::new(95.0, 95.0)]);
+        let mut dev = Device::cpu();
+        let heat = selection_heatmap(&mut dev, vp(), &batch, &q());
+        assert!(heat.canvas.is_empty());
+        assert_eq!(heat.canvas.boundary().num_points(), 0, "entries pruned");
+    }
+}

@@ -6,6 +6,7 @@
 //! | class (paper §) | module |
 //! |---|---|
 //! | selection (4.1, 5.1) | [`selection`] |
+//! | selection heatmap (4.1, fused chain) | [`heatmap`] |
 //! | join — Types I/II/III (4.2) | [`join`] |
 //! | aggregation & RasterJoin (4.3, 5.2) | [`aggregate`] |
 //! | k-nearest neighbors (4.4) | [`knn`] |
@@ -16,6 +17,7 @@
 //! | spatio-temporal (Sec 6 setup, ref. \[11\]) | [`spatiotemporal`] |
 
 pub mod aggregate;
+pub mod heatmap;
 pub mod hull;
 pub mod join;
 pub mod knn;

@@ -42,19 +42,28 @@ pub fn render_points(dev: &mut Device, vp: Viewport, batch: &PointBatch) -> Canv
     }
     // Exact locations for refinement and result extraction (the paper
     // stores "the actual location of the points" per pixel).
+    push_point_entries(&mut canvas, &vp, batch);
+    canvas
+}
+
+/// Pushes the exact point entries of a rendered batch (every
+/// in-viewport point keeps its true location) and sorts the index —
+/// shared by [`render_points`] and the fused chain's boundary replay
+/// (`ops::chain::run_points_chain`), so the two paths can never
+/// diverge on the entry contract.
+pub(crate) fn push_point_entries(canvas: &mut Canvas, vp: &Viewport, batch: &PointBatch) {
     for (i, &p) in batch.points.iter().enumerate() {
         if let Some((x, y)) = vp.world_to_pixel(p) {
             let pixel = canvas.pixel_index(x, y);
             canvas.boundary_mut().push_point(PointEntry {
                 pixel,
-                record: ids[i],
+                record: batch.ids[i],
                 loc: p,
-                weight: weights[i],
+                weight: batch.weights[i],
             });
         }
     }
     canvas.boundary_mut().sort();
-    canvas
 }
 
 /// Renders one polygon from a shared table into its own canvas

@@ -263,6 +263,30 @@ impl SpatialTable {
         ))
     }
 
+    /// Group-by COUNT/SUM over a Type I join, RasterJoin style, with
+    /// this (point) table's [`grid_index`](Self::grid_index) serving
+    /// the MBR pre-filter: polygons of `polygons` whose MBR holds no
+    /// candidate points are pruned before any rasterization, and the
+    /// density canvas pre-renders through a fused operator chain
+    /// restricted to the surviving polygons' region (ROADMAP
+    /// "Index-accelerated aggregation"). Bit-identical to the
+    /// unfiltered kernel.
+    pub fn aggregate_points_in_polygons(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        polygons: &SpatialTable,
+        weight_attr: Option<&str>,
+        items_per_cell: usize,
+    ) -> Result<crate::queries::aggregate::GroupAggregates, TableError> {
+        let points = self.as_points(weight_attr)?;
+        let polys = polygons.as_polygons()?;
+        let index = self.grid_index(items_per_cell);
+        Ok(crate::queries::aggregate::aggregate_join_rasterjoin_pruned(
+            dev, vp, &points, &polys, &index,
+        ))
+    }
+
     /// `SELECT * FROM self WHERE Geometry INSIDE/INTERSECTS q` — the
     /// paper's headline: one entry point, any geometry type, same
     /// operators underneath. Returns matching record ids.
@@ -469,6 +493,42 @@ mod tests {
         );
         assert_eq!(got2, want2);
         assert_eq!(got2, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn table_aggregate_uses_grid_prefilter_and_matches_kernel() {
+        let mut pts = SpatialTable::new();
+        for p in [
+            Point::new(2.0, 2.0),
+            Point::new(3.5, 3.0),
+            Point::new(8.0, 8.0),
+            Point::new(9.0, 2.0),
+        ] {
+            pts.push(GeomObject::point(p));
+        }
+        pts.set_attr("w", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let zones = SpatialTable::from_wkt_lines(
+            "POLYGON ((1 1, 5 1, 5 5, 1 5, 1 1))\n\
+             POLYGON ((7 7, 10 7, 10 10, 7 10, 7 7))\n\
+             POLYGON ((20 20, 22 20, 22 22, 20 22, 20 20))",
+        )
+        .unwrap();
+        let mut dev = Device::cpu();
+        let vp =
+            Viewport::square_pixels(BBox::new(Point::new(0.0, 0.0), Point::new(25.0, 25.0)), 128);
+        let got = pts
+            .aggregate_points_in_polygons(&mut dev, vp, &zones, Some("w"), 2)
+            .unwrap();
+        let mut dev_ref = Device::cpu();
+        let want = crate::queries::aggregate::aggregate_join_rasterjoin(
+            &mut dev_ref,
+            vp,
+            &pts.as_points(Some("w")).unwrap(),
+            &zones.as_polygons().unwrap(),
+        );
+        assert_eq!(got, want);
+        assert_eq!(got.counts, vec![2, 1, 0]);
+        assert_eq!(got.sums, vec![3.0, 3.0, 0.0]);
     }
 
     #[test]

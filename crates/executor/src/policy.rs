@@ -44,10 +44,27 @@ impl Default for Policy {
 
 impl Policy {
     /// In-flight window (in items) for a streaming pass on `workers`
-    /// concurrent producers. Never below 2 so a producer can always run
-    /// one item ahead of the merger.
+    /// concurrent producers. Never below 1: a window of 0 would
+    /// deadlock the claim gate (no item could ever be claimed past the
+    /// merge frontier), so a misconfigured
+    /// [`stream_window_per_worker`](Self::stream_window_per_worker) of
+    /// 0 is clamped to a window of 1 — fully serialized produce→merge,
+    /// slow but correct — instead of hanging. With the default
+    /// per-worker factor the window is at least 2, so a producer can
+    /// always run one item ahead of the merger.
     pub fn stream_window(&self, workers: usize) -> usize {
-        (self.stream_window_per_worker * workers.max(1)).max(2)
+        (self.stream_window_per_worker * workers.max(1)).max(1)
+    }
+
+    /// Per-stage in-flight window for a fused operator chain
+    /// (`WorkerPool::run_streaming_chain`): the most items any one
+    /// stage hand-off queue may hold. The total claim gate already
+    /// bounds live items to [`stream_window`](Self::stream_window), and
+    /// executors drain deeper stages first, so each stage queue stays
+    /// within the same bound; the chain gate takes this value and
+    /// debug-asserts it at every stage hand-off.
+    pub fn chain_stage_window(&self, workers: usize) -> usize {
+        self.stream_window(workers)
     }
 }
 
@@ -61,5 +78,20 @@ mod tests {
         assert_eq!(p.min_parallel_items, MIN_PARALLEL_ITEMS);
         assert_eq!(p.stream_window(4), 8);
         assert_eq!(p.stream_window(0), 2);
+        assert_eq!(p.chain_stage_window(4), p.stream_window(4));
+    }
+
+    #[test]
+    fn zero_window_clamped_not_deadlocking() {
+        // A per-worker window factor of 0 would make the claim gate
+        // admit nothing; it must clamp to 1 (serialized but correct),
+        // never to 0.
+        let p = Policy {
+            stream_window_per_worker: 0,
+            ..Policy::default()
+        };
+        assert_eq!(p.stream_window(1), 1);
+        assert_eq!(p.stream_window(8), 1);
+        assert_eq!(p.chain_stage_window(8), 1);
     }
 }

@@ -1,4 +1,5 @@
-//! Streaming produce/merge passes with bounded in-flight memory.
+//! Streaming produce/transform/merge passes with bounded in-flight
+//! memory.
 //!
 //! The tiled draw paths used to materialize **every** tile buffer
 //! before a sequential blit; at huge resolutions that peaks at the full
@@ -13,147 +14,186 @@
 //! start item `i` until `i < merged + window`, so even pathological
 //! skew (one huge tile stalling the merge frontier while tiny tiles
 //! race ahead) cannot accumulate more than `window` finished items.
-//! This is the bounded pipelined hand-off 3DPipe argues for, in
-//! fork-join clothing.
+//!
+//! [`WorkerPool::run_streaming_chain`] generalizes the hand-off to a
+//! **multi-stage pipeline**: every claimed item is produced once and
+//! then flows through a caller-supplied sequence of per-item transform
+//! stages before reaching the in-order merge. Each stage hand-off is a
+//! queue any executor may drain, so an item rendered by worker A can be
+//! transformed by worker B while A is already producing the next item —
+//! the cross-operator tile pipelining 3DPipe argues for. Executors pick
+//! work **deepest stage first**, which keeps every stage queue within
+//! the per-stage window ([`Policy::chain_stage_window`]) and drains
+//! items toward the merge frontier before admitting new ones.
 
 use crate::pool::WorkerPool;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 
-/// Claim-gated reorder channel between producers and the merging
-/// caller. Item `i` may only be claimed once fewer than `window` items
-/// are outstanding past the merge frontier.
-struct StreamGate<T> {
-    state: Mutex<GateState<T>>,
-    /// Producers wait here for the merge frontier to advance.
-    can_claim: Condvar,
-    /// The merger waits here for the next in-order item.
-    has_items: Condvar,
-    n: usize,
-    window: usize,
+/// A per-item transform stage of a streaming chain: mutates item `i`'s
+/// value in place. Stages are applied exactly once per item, in chain
+/// order, by whichever executor picks the item up.
+pub type ChainStage<'a, T> = &'a (dyn Fn(usize, &mut T) + Sync);
+
+/// Outcome of a streaming pass: how deep the in-flight window actually
+/// got. `peak_in_flight` counts claimed-but-unmerged items (the live
+/// tile buffers of a chain run) and is the number the fused-chain
+/// memory gate asserts against `Policy::stream_window`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Items that flowed through the pass.
+    pub items: usize,
+    /// High-water mark of claimed-but-unmerged items.
+    pub peak_in_flight: usize,
 }
 
-struct GateState<T> {
+/// A unit of pipeline work an executor can pick up.
+enum Work<T> {
+    /// Produce item `i` (stage 0 of the chain).
+    Produce(usize),
+    /// Run transform stage `stage` on item `i`'s value.
+    Advance { stage: usize, i: usize, value: T },
+}
+
+struct ChainState<T> {
     next_claim: usize,
     merged: usize,
-    ready: BTreeMap<usize, T>,
+    peak_live: usize,
+    /// `queued[s]` holds items that finished everything before stage
+    /// `s` and await `stages[s]`. Bounded by the claim gate: at most
+    /// `window` items exist past the merge frontier in total, so no
+    /// queue can exceed the per-stage window.
+    queued: Vec<BTreeMap<usize, T>>,
+    /// Items that finished the whole chain, awaiting the in-order merge.
+    final_ready: BTreeMap<usize, T>,
     poisoned: bool,
 }
 
-impl<T> StreamGate<T> {
-    fn new(n: usize, window: usize) -> Self {
-        StreamGate {
-            state: Mutex::new(GateState {
+/// Claim-gated multi-stage reorder channel between producers, stage
+/// executors, and the merging caller (see module docs).
+struct ChainGate<T> {
+    state: Mutex<ChainState<T>>,
+    /// Executors wait here for claims or staged work (and for the merge
+    /// frontier to advance, which is what frees new claims).
+    has_work: Condvar,
+    /// The merger waits here for final-stage items.
+    has_final: Condvar,
+    n: usize,
+    stages: usize,
+    window: usize,
+    /// Per-stage queue bound ([`Policy::chain_stage_window`]): implied
+    /// by the claim gate plus deepest-first draining, debug-asserted at
+    /// every hand-off.
+    stage_window: usize,
+}
+
+impl<T> ChainGate<T> {
+    fn new(n: usize, stages: usize, window: usize, stage_window: usize) -> Self {
+        ChainGate {
+            state: Mutex::new(ChainState {
                 next_claim: 0,
                 merged: 0,
-                ready: BTreeMap::new(),
+                peak_live: 0,
+                queued: (0..stages).map(|_| BTreeMap::new()).collect(),
+                final_ready: BTreeMap::new(),
                 poisoned: false,
             }),
-            can_claim: Condvar::new(),
-            has_items: Condvar::new(),
+            has_work: Condvar::new(),
+            has_final: Condvar::new(),
             n,
-            window: window.max(2),
+            stages,
+            // A window of 0 would deadlock the claim gate (no item
+            // could ever be claimed); clamp rather than hang. See
+            // `Policy::stream_window`, which applies the same floor.
+            window: window.max(1),
+            stage_window: stage_window.max(1),
         }
     }
 
-    /// Claims the next item index, blocking while the window is full.
-    /// `None` when all items are claimed or the pass is poisoned.
-    fn claim(&self) -> Option<usize> {
+    /// Picks the next unit of work under the lock: deepest staged item
+    /// first, then a fresh claim if the window allows. Draining deep
+    /// stages before claiming keeps every stage queue within the
+    /// per-stage window and moves items toward the merge frontier.
+    fn try_pick(&self, st: &mut ChainState<T>) -> Option<Work<T>> {
+        for s in (0..self.stages).rev() {
+            if let Some((&i, _)) = st.queued[s].iter().next() {
+                let value = st.queued[s].remove(&i).expect("key just observed");
+                return Some(Work::Advance { stage: s, i, value });
+            }
+        }
+        if st.next_claim < self.n && st.next_claim < st.merged + self.window {
+            let i = st.next_claim;
+            st.next_claim += 1;
+            st.peak_live = st.peak_live.max(st.next_claim - st.merged);
+            return Some(Work::Produce(i));
+        }
+        None
+    }
+
+    /// Blocking work pickup for background executors. `None` when the
+    /// pass is finished (everything merged) or poisoned.
+    fn next_work(&self) -> Option<Work<T>> {
         let mut st = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
-            if st.poisoned || st.next_claim >= self.n {
+            if st.poisoned || st.merged >= self.n {
                 return None;
             }
-            if st.next_claim < st.merged + self.window {
-                let i = st.next_claim;
-                st.next_claim += 1;
-                return Some(i);
+            if let Some(w) = self.try_pick(&mut st) {
+                return Some(w);
             }
             st = self
-                .can_claim
+                .has_work
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
-    /// Non-blocking [`claim`](Self::claim): `None` when the window is
-    /// full, every item is claimed, or the pass is poisoned — the
-    /// merging caller uses this to pick up production work instead of
-    /// idling when the next in-order item is not ready yet.
-    fn try_claim(&self) -> Option<usize> {
+    /// Publishes item `i`'s value for its next pipeline step.
+    /// `next_stage` is the index of the stage the item now needs:
+    /// producers publish with `next_stage = 0`, stage `s` publishes
+    /// with `next_stage = s + 1`, and `next_stage == stages` routes the
+    /// item to the in-order merge.
+    fn publish(&self, i: usize, value: T, next_stage: usize) {
         let mut st = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if st.poisoned || st.next_claim >= self.n || st.next_claim >= st.merged + self.window {
-            return None;
+        if next_stage < self.stages {
+            debug_assert!(
+                st.queued[next_stage].len() < self.stage_window,
+                "stage {next_stage} queue exceeded its window {}",
+                self.stage_window
+            );
+            st.queued[next_stage].insert(i, value);
+            self.has_work.notify_all();
+            // The merger waits on `has_final` but helps with stage work
+            // whenever it wakes — wake it for stage publishes too, or
+            // it would idle while the frontier item sits in a queue.
+            self.has_final.notify_all();
+        } else {
+            st.final_ready.insert(i, value);
+            self.has_final.notify_all();
         }
-        let i = st.next_claim;
-        st.next_claim += 1;
-        Some(i)
     }
 
-    fn publish(&self, i: usize, value: T) {
+    /// Marks item `i` merged, advancing the frontier and freeing a
+    /// claim slot.
+    fn note_merged(&self) {
         let mut st = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        st.ready.insert(i, value);
-        self.has_items.notify_all();
+        st.merged += 1;
+        // Frees a claim slot, and — on the last item — releases workers
+        // blocked in `next_work`.
+        self.has_work.notify_all();
     }
 
-    /// Non-blocking [`take_next`](Self::take_next): `Ok(Some(..))` when
-    /// the in-order item is ready, `Ok(None)` when it is not yet,
-    /// `Err(())` on poison.
-    #[allow(clippy::result_unit_err)]
-    fn try_take_next(&self) -> Result<Option<(usize, T)>, ()> {
-        let mut st = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if st.poisoned {
-            return Err(());
-        }
-        let next = st.merged;
-        match st.ready.remove(&next) {
-            Some(v) => {
-                st.merged += 1;
-                self.can_claim.notify_all();
-                Ok(Some((next, v)))
-            }
-            None => Ok(None),
-        }
-    }
-
-    /// Takes item `merged` once available; advances the frontier.
-    /// `None` on poison.
-    fn take_next(&self) -> Option<(usize, T)> {
-        let mut st = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        loop {
-            if st.poisoned {
-                return None;
-            }
-            let next = st.merged;
-            if let Some(v) = st.ready.remove(&next) {
-                st.merged += 1;
-                self.can_claim.notify_all();
-                return Some((next, v));
-            }
-            st = self
-                .has_items
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-    }
-
-    /// Aborts the pass: producers stop claiming, the merger stops
+    /// Aborts the pass: executors stop picking work, the merger stops
     /// waiting. Used on either-side panic so nobody deadlocks.
     fn poison(&self) {
         let mut st = self
@@ -161,8 +201,15 @@ impl<T> StreamGate<T> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.poisoned = true;
-        self.can_claim.notify_all();
-        self.has_items.notify_all();
+        self.has_work.notify_all();
+        self.has_final.notify_all();
+    }
+
+    fn peak_live(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .peak_live
     }
 }
 
@@ -178,7 +225,42 @@ impl WorkerPool {
     ///
     /// With no background workers the sequential loop runs verbatim —
     /// one item lives at a time, the tightest possible memory bound.
-    pub fn run_streaming<T, F, M>(&self, n: usize, produce: F, mut merge: M)
+    pub fn run_streaming<T, F, M>(&self, n: usize, produce: F, merge: M)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        M: FnMut(usize, T),
+    {
+        self.run_streaming_chain(n, produce, &[], merge);
+    }
+
+    /// Multi-stage streaming pass — the generalized claim-gated
+    /// hand-off behind fused operator chains. Every item is produced
+    /// once (`produce(i)`), then flows through each transform in
+    /// `stages` (in order, each applied exactly once, by whichever
+    /// executor picks it up), and finally reaches `merge(i, item)` on
+    /// the calling thread **strictly in ascending `i` order**.
+    ///
+    /// Results are bit-identical to the sequential
+    /// `for i { let mut v = produce(i); for s in stages { s(i, &mut v) }
+    /// merge(i, v) }` loop at any thread count: stages are per-item
+    /// transforms and the merge order is fixed, so scheduling cannot
+    /// change the outcome.
+    ///
+    /// The claim gate bounds claimed-but-unmerged items to
+    /// `policy.stream_window(workers)` — the *total* number of live
+    /// items across all stages — and executors drain deeper stages
+    /// first, so each stage queue stays within
+    /// [`Policy::chain_stage_window`](crate::Policy::chain_stage_window).
+    /// The returned [`StreamReport`] carries the observed high-water
+    /// mark for the fused-chain memory gate.
+    pub fn run_streaming_chain<T, F, M>(
+        &self,
+        n: usize,
+        produce: F,
+        stages: &[ChainStage<'_, T>],
+        mut merge: M,
+    ) -> StreamReport
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -186,15 +268,41 @@ impl WorkerPool {
     {
         if self.worker_count() == 0 || n <= 1 {
             for i in 0..n {
-                merge(i, produce(i));
+                let mut v = produce(i);
+                for stage in stages {
+                    stage(i, &mut v);
+                }
+                merge(i, v);
             }
-            return;
+            return StreamReport {
+                items: n,
+                peak_in_flight: n.min(1),
+            };
         }
-        let gate = StreamGate::new(n, self.policy().stream_window(self.worker_count()));
-        let producer = || {
-            while let Some(i) = gate.claim() {
-                match catch_unwind(AssertUnwindSafe(|| produce(i))) {
-                    Ok(v) => gate.publish(i, v),
+        let gate = ChainGate::new(
+            n,
+            stages.len(),
+            self.policy().stream_window(self.worker_count()),
+            self.policy().chain_stage_window(self.worker_count()),
+        );
+        let run_work = |work: Work<T>| match work {
+            Work::Produce(i) => {
+                let v = produce(i);
+                gate.publish(i, v, 0);
+            }
+            Work::Advance {
+                stage,
+                i,
+                mut value,
+            } => {
+                stages[stage](i, &mut value);
+                gate.publish(i, value, stage + 1);
+            }
+        };
+        let executor = || {
+            while let Some(work) = gate.next_work() {
+                match catch_unwind(AssertUnwindSafe(|| run_work(work))) {
+                    Ok(()) => {}
                     Err(payload) => {
                         gate.poison();
                         resume_unwind(payload);
@@ -202,40 +310,53 @@ impl WorkerPool {
                 }
             }
         };
-        // The caller primarily merges, but claims and produces items
+        // The caller primarily merges, but picks up produce/stage work
         // itself whenever the next in-order item is not ready — so all
-        // `threads` executors rasterize when the merge frontier is
-        // ahead, and no producer is lost at small thread counts. The
-        // dispatch is done by hand: publish the producer job to the
-        // workers, run the merge/produce loop here, then quiesce
-        // (poisoning on merge panic so blocked producers always drain).
-        self.run_split_pass(&producer, || {
+        // `threads` executors keep busy when the merge frontier is
+        // ahead, and no work is stranded at small thread counts. The
+        // dispatch is done by hand: publish the executor job to the
+        // workers, run the merge/help loop here, then quiesce
+        // (poisoning on merge panic so blocked executors always drain).
+        enum Action<T> {
+            /// The next in-order item is ready: merge it.
+            Merge(usize, T),
+            /// The frontier is not ready: help with pipeline work.
+            Help(Work<T>),
+        }
+        self.run_split_pass(&executor, || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let mut done = 0;
                 while done < n {
-                    match gate.try_take_next() {
-                        Ok(Some((i, v))) => {
-                            merge(i, v);
-                            done += 1;
-                        }
-                        Err(()) => break, // poisoned: producer panicked
-                        Ok(None) => {
-                            // Frontier not ready: help produce instead
-                            // of idling (claim is window-gated, so this
-                            // cannot overrun the memory bound).
-                            if let Some(i) = gate.try_claim() {
-                                let v = produce(i);
-                                gate.publish(i, v);
-                            } else {
-                                match gate.take_next() {
-                                    Some((i, v)) => {
-                                        merge(i, v);
-                                        done += 1;
-                                    }
-                                    None => break,
-                                }
+                    let action = {
+                        let mut st = gate
+                            .state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        loop {
+                            if st.poisoned {
+                                break None;
                             }
+                            let next = st.merged;
+                            if let Some(v) = st.final_ready.remove(&next) {
+                                break Some(Action::Merge(next, v));
+                            }
+                            if let Some(w) = gate.try_pick(&mut st) {
+                                break Some(Action::Help(w));
+                            }
+                            st = gate
+                                .has_final
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                         }
+                    };
+                    match action {
+                        None => break, // poisoned: an executor panicked
+                        Some(Action::Merge(i, value)) => {
+                            merge(i, value);
+                            done += 1;
+                            gate.note_merged();
+                        }
+                        Some(Action::Help(work)) => run_work(work),
                     }
                 }
             }));
@@ -244,5 +365,9 @@ impl WorkerPool {
             }
             outcome
         });
+        StreamReport {
+            items: n,
+            peak_in_flight: gate.peak_live(),
+        }
     }
 }

@@ -1,0 +1,478 @@
+//! Fused streaming operator chains (`draw → [op]*` plans).
+//!
+//! The algebra composes canvas operators — Value Transform, Blend,
+//! Mask — into query plans, but executing them one whole-canvas pass at
+//! a time materializes a full intermediate framebuffer between every
+//! operator. An [`OpChain`] instead describes the post-draw operators
+//! of a linear plan as **tile-granular kernels**: the tiled draw
+//! produces one finished tile at a time, and the executor's multi-stage
+//! streaming hand-off (`WorkerPool::run_streaming_chain`) flows each
+//! tile through every downstream operator while later tiles are still
+//! rendering. Intermediate canvases are never materialized — at most
+//! `Policy::stream_window(workers)` tile buffers are live at any
+//! instant, and the blit into the output framebuffer happens exactly
+//! once per tile, after the last operator.
+//!
+//! Every operator kernel is a pure per-texel function, so the fused
+//! run is **bit-identical** to the materialized sequence of full-screen
+//! passes (and to the sequential `Device::cpu` run) at any thread
+//! count; `tests/chain_equivalence.rs` asserts this on random chains.
+
+use crate::texture::Texture;
+use crate::tile::TileRect;
+
+/// Boxed per-texel rewrite of a [`ChainOp::Map`] stage.
+pub type MapFn<'a, P> = Box<dyn Fn(u32, u32, P) -> P + Sync + 'a>;
+/// Boxed binary blend function of a [`ChainOp::Blend`] stage.
+pub type BlendOpFn<'a, P> = Box<dyn Fn(P, P) -> P + Sync + 'a>;
+/// Boxed keep-predicate of a [`ChainOp::Mask`] stage.
+pub type MaskPred<'a, P> = Box<dyn Fn(u32, u32, &P) -> bool + Sync + 'a>;
+/// Boxed nullity test (see [`OpChain::with_null_test`]).
+type NullTest<'a, P> = Box<dyn Fn(&P) -> bool + Sync + 'a>;
+
+/// One post-draw operator of a fused chain.
+pub enum ChainOp<'a, P> {
+    /// Per-texel rewrite — the Value Transform `V[f]`. Equivalent to a
+    /// materialized `Pipeline::par_map_texels` pass.
+    Map(MapFn<'a, P>),
+    /// Pixel-wise blend with an already-materialized input texture —
+    /// the Blend `B[⊙]` against an operand canvas. Equivalent to a
+    /// materialized `Pipeline::blend_into` pass; when `src_cover` is
+    /// given, the cover planes additionally merge with saturating
+    /// addition (the canvas Blend contract), matching a second
+    /// `blend_into` pass over the cover planes.
+    Blend {
+        src: &'a Texture<P>,
+        src_cover: Option<&'a Texture<u16>>,
+        f: BlendOpFn<'a, P>,
+    },
+    /// Per-texel keep-predicate — the coarse Mask `M[M]`. Texels
+    /// failing the predicate are nulled to `P::default()` and their
+    /// cover zeroed. Equivalent to a materialized
+    /// `Pipeline::map_planes_inplace` pass.
+    Mask(MaskPred<'a, P>),
+}
+
+impl<P> ChainOp<'_, P> {
+    /// Short label for plan printing / debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChainOp::Map(_) => "V[f]",
+            ChainOp::Blend { .. } => "B[⊙]",
+            ChainOp::Mask(_) => "M[M]",
+        }
+    }
+}
+
+/// A linear fused plan `draw → op₁ → … → opₖ` (see module docs).
+/// Built with the chaining constructors, executed by
+/// `Pipeline::run_chain_points` / `Pipeline::run_chain_polygons`.
+pub struct OpChain<'a, P> {
+    ops: Vec<ChainOp<'a, P>>,
+    /// Nullity test used to record, per Mask op, which pixels hold a
+    /// null texel **after** that op (the exact set a materialized Mask
+    /// pass would prune boundary entries for). Without it, only texels
+    /// the Mask itself nulled are recorded.
+    null_test: Option<NullTest<'a, P>>,
+}
+
+impl<P> Default for OpChain<'_, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, P> OpChain<'a, P> {
+    /// The empty chain: a plain tiled draw.
+    pub fn new() -> Self {
+        OpChain {
+            ops: Vec::new(),
+            null_test: None,
+        }
+    }
+
+    /// Appends a Value Transform stage.
+    pub fn map(mut self, f: impl Fn(u32, u32, P) -> P + Sync + 'a) -> Self {
+        self.ops.push(ChainOp::Map(Box::new(f)));
+        self
+    }
+
+    /// Appends a Blend stage against a materialized input texture.
+    pub fn blend(mut self, src: &'a Texture<P>, f: impl Fn(P, P) -> P + Sync + 'a) -> Self {
+        self.ops.push(ChainOp::Blend {
+            src,
+            src_cover: None,
+            f: Box::new(f),
+        });
+        self
+    }
+
+    /// Appends a Blend stage that also merges the operand's cover plane
+    /// (saturating add — the canvas Blend contract).
+    pub fn blend_with_cover(
+        mut self,
+        src: &'a Texture<P>,
+        src_cover: &'a Texture<u16>,
+        f: impl Fn(P, P) -> P + Sync + 'a,
+    ) -> Self {
+        self.ops.push(ChainOp::Blend {
+            src,
+            src_cover: Some(src_cover),
+            f: Box::new(f),
+        });
+        self
+    }
+
+    /// Appends a coarse Mask stage.
+    pub fn mask(mut self, pred: impl Fn(u32, u32, &P) -> bool + Sync + 'a) -> Self {
+        self.ops.push(ChainOp::Mask(Box::new(pred)));
+        self
+    }
+
+    /// Sets the nullity test recorded after each Mask op (see
+    /// [`MaskOutcome`]).
+    pub fn with_null_test(mut self, f: impl Fn(&P) -> bool + Sync + 'a) -> Self {
+        self.null_test = Some(Box::new(f));
+        self
+    }
+
+    pub fn ops(&self) -> &[ChainOp<'a, P>] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of Mask ops (one [`MaskOutcome`] bitmap each).
+    pub fn mask_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ChainOp::Mask(_)))
+            .count()
+    }
+
+    /// True when any Blend op merges a cover plane (such chains require
+    /// the run to carry a cover plane).
+    pub fn blends_cover(&self) -> bool {
+        self.ops.iter().any(|op| {
+            matches!(
+                op,
+                ChainOp::Blend {
+                    src_cover: Some(_),
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Ordinal of op `op_idx` among the Mask ops (its bitmap index).
+    fn mask_ordinal(&self, op_idx: usize) -> usize {
+        self.ops[..op_idx]
+            .iter()
+            .filter(|op| matches!(op, ChainOp::Mask(_)))
+            .count()
+    }
+}
+
+impl<'a, P: Copy + Default> OpChain<'a, P> {
+    /// Applies op `op_idx` to one tile in place: `tex`/`cov` are the
+    /// tile's row-major local buffers for `rect`. Mask ops record their
+    /// post-op null pixels into `bits[mask_ordinal]` (local bitset).
+    ///
+    /// This is the tile-granular kernel shared by the fused streaming
+    /// run and the sequential in-place run — one implementation, so the
+    /// two can never diverge.
+    pub(crate) fn apply_tile(
+        &self,
+        op_idx: usize,
+        rect: TileRect,
+        tex: &mut [P],
+        mut cov: Option<&mut [u16]>,
+        bits: &mut [TileBits],
+    ) {
+        // Row-wise iteration: pixel coordinates advance by increments
+        // instead of a div/mod pair per texel (these loops are the hot
+        // kernels of every streamed tile).
+        let w = rect.w as usize;
+        match &self.ops[op_idx] {
+            ChainOp::Map(f) => {
+                for (r, row) in tex.chunks_mut(w).enumerate() {
+                    let y = rect.y0 + r as u32;
+                    for (c, t) in row.iter_mut().enumerate() {
+                        *t = f(rect.x0 + c as u32, y, *t);
+                    }
+                }
+            }
+            ChainOp::Blend { src, src_cover, f } => {
+                for (r, row) in tex.chunks_mut(w).enumerate() {
+                    let y = rect.y0 + r as u32;
+                    let base = src.index(rect.x0, y);
+                    let srow = &src.texels()[base..base + w];
+                    for (t, s) in row.iter_mut().zip(srow) {
+                        *t = f(*t, *s);
+                    }
+                }
+                if let (Some(sc), Some(cov)) = (src_cover, cov.as_deref_mut()) {
+                    for (r, row) in cov.chunks_mut(w).enumerate() {
+                        let y = rect.y0 + r as u32;
+                        let base = sc.index(rect.x0, y);
+                        let srow = &sc.texels()[base..base + w];
+                        for (c, s) in row.iter_mut().zip(srow) {
+                            *c = c.saturating_add(*s);
+                        }
+                    }
+                }
+            }
+            ChainOp::Mask(pred) => {
+                let ordinal = self.mask_ordinal(op_idx);
+                let tile_bits = &mut bits[ordinal];
+                let mut li = 0usize;
+                for (r, row) in tex.chunks_mut(w).enumerate() {
+                    let y = rect.y0 + r as u32;
+                    for (c, t) in row.iter_mut().enumerate() {
+                        let keep = pred(rect.x0 + c as u32, y, t);
+                        if !keep {
+                            *t = P::default();
+                            if let Some(cov) = cov.as_deref_mut() {
+                                cov[li] = 0;
+                            }
+                        }
+                        let null_after = match &self.null_test {
+                            Some(is_null) => is_null(t),
+                            None => !keep,
+                        };
+                        if null_after {
+                            tile_bits.set(li);
+                        }
+                        li += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A per-tile bitset (one bit per texel of the tile, row-major local
+/// order) carrying a Mask op's post-op null pixels to the merge.
+#[derive(Clone, Debug)]
+pub(crate) struct TileBits {
+    words: Vec<u64>,
+}
+
+impl TileBits {
+    pub(crate) fn new(len: usize) -> Self {
+        TileBits {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+/// Per-Mask-op nulled-pixel bitmaps over the whole framebuffer
+/// (row-major, one bit per pixel): bit set ⇔ the texel at that pixel is
+/// null immediately **after** the Mask op ran. This is exactly the
+/// pixel set whose boundary entries a materialized Mask pass would
+/// prune, so canvas callers replay their boundary bookkeeping against
+/// the fused run without ever materializing the intermediate planes.
+#[derive(Clone, Debug, Default)]
+pub struct MaskOutcome {
+    width: u32,
+    stages: Vec<TileBits>,
+}
+
+impl MaskOutcome {
+    pub(crate) fn new(width: u32, pixels: usize, masks: usize) -> Self {
+        MaskOutcome {
+            width,
+            stages: (0..masks).map(|_| TileBits::new(pixels)).collect(),
+        }
+    }
+
+    /// Number of Mask ops the run contained.
+    pub fn num_masks(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the texel at row-major `pixel` was null right after
+    /// the `mask`-th Mask op (0-based, in chain order).
+    pub fn is_null_after(&self, mask: usize, pixel: u32) -> bool {
+        self.stages[mask].get(pixel as usize)
+    }
+
+    /// Imports one tile's local bitset for Mask op `mask`. Runs on the
+    /// serial merge thread, so it skips zero words and visits only set
+    /// bits instead of walking every texel.
+    pub(crate) fn import_tile(&mut self, mask: usize, rect: TileRect, tile: &TileBits) {
+        let w = rect.w as usize;
+        for (wi, &word) in tile.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            let mut bits = word;
+            while bits != 0 {
+                let li = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let x = rect.x0 + (li % w) as u32;
+                let y = rect.y0 + (li / w) as u32;
+                self.stages[mask].set((y * self.width + x) as usize);
+            }
+        }
+    }
+}
+
+/// Outcome of a fused chain run.
+#[derive(Debug, Default)]
+pub struct ChainRunReport {
+    /// Tiles that flowed through the chain (all tiles when the chain
+    /// has operators; only primitive-carrying tiles for a bare draw).
+    pub tiles: usize,
+    /// High-water mark of live tile buffers (claimed-but-unblitted).
+    /// The fused-memory contract: never exceeds
+    /// `Policy::stream_window(workers)`; 0 for sequential in-place
+    /// runs, which hold no tile buffers at all.
+    pub peak_tiles_in_flight: usize,
+    /// Per-Mask-op nulled-pixel bitmaps (see [`MaskOutcome`]).
+    pub masked: MaskOutcome,
+}
+
+/// Sequential in-place chain application over the whole framebuffer —
+/// the 1-thread execution of a fused chain. Runs the *same* per-texel
+/// kernels as the streamed tile run ([`OpChain::apply_tile`] over one
+/// framebuffer-sized rect), so results are bit-identical by
+/// construction, with zero tile buffers live.
+pub(crate) fn apply_chain_inplace<P: Copy + Default>(
+    chain: &OpChain<'_, P>,
+    fb: &mut Texture<P>,
+    cover: Option<&mut Texture<u16>>,
+    masked: &mut MaskOutcome,
+) {
+    if chain.is_empty() || fb.is_empty() {
+        return;
+    }
+    let rect = TileRect {
+        x0: 0,
+        y0: 0,
+        w: fb.width(),
+        h: fb.height(),
+    };
+    let mut bits: Vec<TileBits> = (0..chain.mask_count())
+        .map(|_| TileBits::new(rect.len()))
+        .collect();
+    let mut cov = cover.map(|c| c.texels_mut());
+    for op in 0..chain.len() {
+        chain.apply_tile(op, rect, fb.texels_mut(), cov.as_deref_mut(), &mut bits);
+    }
+    for (m, tb) in bits.iter().enumerate() {
+        masked.import_tile(m, rect, tb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_bits_set_get() {
+        let mut b = TileBits::new(130);
+        assert!(!b.get(0) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+    }
+
+    #[test]
+    fn chain_builder_counts_ops() {
+        let src: Texture<u32> = Texture::new(4, 4);
+        let chain = OpChain::new()
+            .map(|_, _, t| t + 1)
+            .blend(&src, |d, s| d + s)
+            .mask(|_, _, &t| t > 0)
+            .map(|_, _, t| t * 2)
+            .mask(|_, _, &t| t < 100);
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain.mask_count(), 2);
+        assert!(!chain.blends_cover());
+        assert_eq!(chain.mask_ordinal(2), 0);
+        assert_eq!(chain.mask_ordinal(4), 1);
+        assert_eq!(chain.ops()[0].label(), "V[f]");
+        assert_eq!(chain.ops()[1].label(), "B[⊙]");
+        assert_eq!(chain.ops()[2].label(), "M[M]");
+    }
+
+    #[test]
+    fn apply_tile_matches_fullscreen_semantics() {
+        // One 4x4 tile at offset (4, 2) of an 8x8 "framebuffer".
+        let rect = TileRect {
+            x0: 4,
+            y0: 2,
+            w: 4,
+            h: 4,
+        };
+        let mut src: Texture<u32> = Texture::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                src.set(x, y, 100 + 10 * y + x);
+            }
+        }
+        let chain = OpChain::new()
+            .map(|x, y, t: u32| t + x + y)
+            .blend(&src, |d, s| d + s)
+            .mask(|_, _, &t| t.is_multiple_of(2));
+        let mut tex = vec![1u32; 16];
+        let mut cov = vec![3u16; 16];
+        let mut bits = vec![TileBits::new(16)];
+        for op in 0..chain.len() {
+            chain.apply_tile(op, rect, &mut tex, Some(&mut cov), &mut bits);
+        }
+        for li in 0..16 {
+            let x = 4 + (li % 4) as u32;
+            let y = 2 + (li / 4) as u32;
+            let expect = 1 + x + y + src.get(x, y);
+            if expect.is_multiple_of(2) {
+                assert_eq!(tex[li], expect);
+                assert_eq!(cov[li], 3);
+                assert!(!bits[0].get(li));
+            } else {
+                assert_eq!(tex[li], 0, "masked texel nulled at ({x},{y})");
+                assert_eq!(cov[li], 0, "masked cover zeroed at ({x},{y})");
+                assert!(bits[0].get(li));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_outcome_imports_tile_bits() {
+        let rect = TileRect {
+            x0: 2,
+            y0: 1,
+            w: 3,
+            h: 2,
+        };
+        let mut tile = TileBits::new(rect.len());
+        tile.set(0); // local (0,0) => global (2,1) => pixel 1*8+2 = 10
+        tile.set(4); // local (1,1) => global (3,2) => pixel 2*8+3 = 19
+        let mut out = MaskOutcome::new(8, 64, 1);
+        out.import_tile(0, rect, &tile);
+        assert!(out.is_null_after(0, 10));
+        assert!(out.is_null_after(0, 19));
+        assert!(!out.is_null_after(0, 11));
+        assert_eq!(out.num_masks(), 1);
+    }
+}

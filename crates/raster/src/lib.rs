@@ -35,6 +35,7 @@
 //!   paper's two physical GPUs (see DESIGN.md §2 for the substitution
 //!   rationale).
 
+pub mod chain;
 pub mod device;
 pub mod par;
 pub mod pipeline;
@@ -44,6 +45,7 @@ pub mod texture;
 pub mod tile;
 pub mod viewport;
 
+pub use chain::{ChainOp, ChainRunReport, MaskOutcome, OpChain};
 pub use device::DeviceProfile;
 pub use par::{live_worker_count, Policy, WorkerPool};
 pub use pipeline::{Frag, Pipeline};

@@ -15,6 +15,7 @@
 //! the programmable blend `⊙ : S³ × S³ → S³` of the algebra. All work is
 //! counted in [`PipelineStats`] for the device cost model.
 
+use crate::chain::{apply_chain_inplace, ChainOp, ChainRunReport, MaskOutcome, OpChain, TileBits};
 use crate::par::WorkerPool;
 use crate::rasterize::{
     rasterize_line_supercover, rasterize_point, rasterize_polygon_fill,
@@ -28,6 +29,10 @@ use canvas_geom::polygon::Polygon;
 use canvas_geom::polyline::Polyline;
 use canvas_geom::Point;
 use std::sync::Arc;
+
+/// Boxed chain-stage closure over tile jobs (`run_chain_*` internals):
+/// applies one `OpChain` operator to one in-flight tile.
+type TileStageFn<'c, J> = Box<dyn Fn(usize, &mut J) + Sync + 'c>;
 
 /// A shaded fragment's rasterizer-provided context.
 #[derive(Clone, Copy, Debug)]
@@ -581,18 +586,108 @@ impl Pipeline {
         S: Fn(u32, Point) -> P + Sync,
         B: Fn(P, P) -> P + Sync,
     {
+        // A bare draw is a fused chain with zero operators — one tile
+        // kernel, shared with the fused path.
+        self.run_chain_points(vp, fb, None, points, shade, blend, &OpChain::new());
+    }
+
+    /// Charges the deterministic work counters of a chain's operator
+    /// stages (identical to running the equivalent materialized
+    /// full-screen passes, and independent of thread count).
+    fn charge_chain_stats<P: Copy + Default>(&mut self, len: usize, chain: &OpChain<'_, P>) {
+        let len = len as u64;
+        for op in chain.ops() {
+            match op {
+                ChainOp::Map(_) | ChainOp::Mask(_) => {
+                    self.stats.passes += 1;
+                    self.stats.fullscreen_texels += len;
+                }
+                ChainOp::Blend { src_cover, .. } => {
+                    // A canvas Blend is one pass over the texel planes
+                    // plus (when covers merge) one over the cover
+                    // planes — exactly what two `blend_into` calls
+                    // would charge.
+                    let planes = if src_cover.is_some() { 2 } else { 1 };
+                    self.stats.passes += planes;
+                    self.stats.fullscreen_texels += planes * len;
+                    self.stats.blend_ops += planes * len;
+                }
+            }
+        }
+    }
+
+    /// Asserts every Blend operand shares the framebuffer's dimensions
+    /// (the same contract `blend_into` enforces pass-by-pass).
+    fn assert_chain_operands<P: Copy + Default>(fb: &Texture<P>, chain: &OpChain<'_, P>) {
+        for op in chain.ops() {
+            if let ChainOp::Blend { src, src_cover, .. } = op {
+                assert_eq!(
+                    (src.width(), src.height()),
+                    (fb.width(), fb.height()),
+                    "chain blend requires same-size framebuffers"
+                );
+                if let Some(sc) = src_cover {
+                    assert_eq!(
+                        (sc.width(), sc.height()),
+                        (fb.width(), fb.height()),
+                        "chain blend requires same-size cover planes"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fused `draw(points) → chain` execution (see [`OpChain`]): the
+    /// tiled point draw streams each finished tile through every chain
+    /// operator before it is blitted — intermediate canvases are never
+    /// materialized, and at most `Policy::stream_window(workers)` tile
+    /// buffers are live (reported in the returned [`ChainRunReport`]).
+    ///
+    /// Bit-identical to the materialized sequence (tiled draw, then one
+    /// full-screen pass per operator) at any thread count, including
+    /// the work counters. `cover` carries the run's certain-cover plane
+    /// when the chain merges covers (canvas Blend) or masks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chain_points<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        mut cover: Option<&mut Texture<u16>>,
+        points: &[Point],
+        shade: S,
+        blend: B,
+        chain: &OpChain<'_, P>,
+    ) -> ChainRunReport
+    where
+        P: Copy + Default + Send + Sync,
+        S: Fn(u32, Point) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
         self.begin_pass();
         self.stats.vertices += points.len() as u64;
         self.stats.primitives += points.len() as u64;
-        if points.is_empty() {
-            return;
+        self.charge_chain_stats(fb.len(), chain);
+        Self::assert_chain_operands(fb, chain);
+        assert!(
+            !chain.blends_cover() || cover.is_some(),
+            "chain blends cover planes but the run has no cover plane"
+        );
+        let mut masked = MaskOutcome::new(fb.width(), fb.len(), chain.mask_count());
+        if points.is_empty() && chain.is_empty() {
+            return ChainRunReport {
+                tiles: 0,
+                peak_tiles_in_flight: 0,
+                masked,
+            };
         }
         let pool = Arc::clone(&self.pool);
         let threads = pool.threads();
         // Single-worker fast path: binning and tile copies only pay off
         // when tiles run concurrently. The direct draw blends per pixel
-        // in input order, exactly like the per-tile replay, so results
-        // are bit-identical to the parallel path (asserted in tests).
+        // in input order, exactly like the per-tile replay, and the
+        // chain operators rewrite texels in place (same per-texel
+        // kernels, whole-framebuffer rect), so results are bit-identical
+        // to the parallel path (asserted in tests).
         if threads == 1 {
             let mut fragments = 0u64;
             for (i, &p) in points.iter().enumerate() {
@@ -605,7 +700,12 @@ impl Pipeline {
             self.stats.fragments += fragments;
             self.stats.boundary_fragments += fragments;
             self.stats.blend_ops += fragments;
-            return;
+            apply_chain_inplace(chain, fb, cover.as_deref_mut(), &mut masked);
+            return ChainRunReport {
+                tiles: 0,
+                peak_tiles_in_flight: 0,
+                masked,
+            };
         }
         let grid = TileGrid::new(vp.width(), vp.height());
 
@@ -632,43 +732,99 @@ impl Pipeline {
             }
         }
 
-        let work: Vec<usize> = (0..grid.num_tiles())
-            .filter(|&t| !bins[t].is_empty())
-            .collect();
-        // Streaming merge: workers rasterize tiles and publish them
-        // through the pool's bounded channel; this thread blits them in
-        // fixed tile order. Peak memory holds O(streaming window) tile
-        // buffers instead of every tile at once. SAFETY of the shared
-        // view: tile rects are disjoint, and a tile is written only
-        // after its producer finished reading it (see `RawTexels`).
+        // A bare draw only visits tiles that received primitives; a
+        // chain visits every tile (the operators are full-screen
+        // passes, so empty tiles still change).
+        let work: Vec<usize> = if chain.is_empty() {
+            (0..grid.num_tiles())
+                .filter(|&t| !bins[t].is_empty())
+                .collect()
+        } else {
+            (0..grid.num_tiles()).collect()
+        };
+        // Streaming merge: workers rasterize tiles, flow them through
+        // the chain stages (any executor may advance any finished
+        // tile), and this thread blits them in fixed tile order. Peak
+        // memory holds O(streaming window) tile buffers instead of
+        // every tile at once. SAFETY of the shared view: tile rects are
+        // disjoint, and a tile is written only after its producer and
+        // stage executors finished with it (ordered by the streaming
+        // channel's mutex — see `RawTexels`).
         let shared = RawTexels::new(fb);
-        let (mut fragments_total, mut blits) = (0u64, 0usize);
-        pool.run_streaming(
-            work.len(),
-            |wi| {
-                let t = work[wi];
-                let rect = grid.rect(t);
-                let mut tex = unsafe { shared.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
-                let mut fragments = 0u64;
-                for &(x, y, idx) in &bins[t] {
-                    let src = shade(idx, points[idx as usize]);
-                    let li = rect.local_index(x, y);
-                    tex[li] = blend(tex[li], src);
-                    fragments += 1;
-                }
-                (t, tex, fragments)
-            },
-            |_, (t, tex, fragments)| {
-                let rect = grid.rect(t);
-                unsafe { shared.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex) };
-                fragments_total += fragments;
-                blits += 1;
-            },
-        );
+        // Only carry (copy in/out) the cover plane when some op can
+        // actually change it — a Value-only chain would otherwise pay a
+        // full extra plane copy per run for provably untouched covers.
+        let chain_touches_cover = chain.blends_cover() || chain.mask_count() > 0;
+        let shared_cover = if chain_touches_cover {
+            cover.map(RawTexels::new)
+        } else {
+            None
+        };
+        struct PointTileJob<P> {
+            t: usize,
+            tex: Vec<P>,
+            cov: Option<Vec<u16>>,
+            bits: Vec<TileBits>,
+            fragments: u64,
+        }
+        let produce = |wi: usize| -> PointTileJob<P> {
+            let t = work[wi];
+            let rect = grid.rect(t);
+            let mut tex = unsafe { shared.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
+            let cov = shared_cover
+                .as_ref()
+                .map(|sc| unsafe { sc.read_rect(rect.x0, rect.y0, rect.w, rect.h) });
+            let mut fragments = 0u64;
+            for &(x, y, idx) in &bins[t] {
+                let src = shade(idx, points[idx as usize]);
+                let li = rect.local_index(x, y);
+                tex[li] = blend(tex[li], src);
+                fragments += 1;
+            }
+            let bits = (0..chain.mask_count())
+                .map(|_| TileBits::new(rect.len()))
+                .collect();
+            PointTileJob {
+                t,
+                tex,
+                cov,
+                bits,
+                fragments,
+            }
+        };
+        let stage_fns: Vec<TileStageFn<'_, PointTileJob<P>>> = (0..chain.len())
+            .map(|s| {
+                Box::new(move |_i: usize, job: &mut PointTileJob<P>| {
+                    let rect = grid.rect(job.t);
+                    chain.apply_tile(s, rect, &mut job.tex, job.cov.as_deref_mut(), &mut job.bits);
+                }) as TileStageFn<'_, PointTileJob<P>>
+            })
+            .collect();
+        let stage_refs: Vec<canvas_executor::ChainStage<'_, PointTileJob<P>>> =
+            stage_fns.iter().map(|b| &**b).collect();
+        let mut fragments_total = 0u64;
+        let mut blits = 0usize;
+        let stream = pool.run_streaming_chain(work.len(), produce, &stage_refs, |_, job| {
+            let rect = grid.rect(job.t);
+            unsafe { shared.write_rect(rect.x0, rect.y0, rect.w, rect.h, &job.tex) };
+            if let (Some(sc), Some(cov)) = (&shared_cover, &job.cov) {
+                unsafe { sc.write_rect(rect.x0, rect.y0, rect.w, rect.h, cov) };
+            }
+            for (m, tb) in job.bits.iter().enumerate() {
+                masked.import_tile(m, rect, tb);
+            }
+            fragments_total += job.fragments;
+            blits += 1;
+        });
         debug_assert_eq!(blits, work.len());
         self.stats.fragments += fragments_total;
         self.stats.boundary_fragments += fragments_total; // points need exact coords
         self.stats.blend_ops += fragments_total;
+        ChainRunReport {
+            tiles: stream.items,
+            peak_tiles_in_flight: stream.peak_in_flight,
+            masked,
+        }
     }
 
     /// Tile-parallel batched polygon draw — the tiled form of
@@ -693,11 +849,52 @@ impl Pipeline {
         S: Fn(u32, Frag) -> P + Sync,
         B: Fn(P, P) -> P + Sync,
     {
+        // A bare draw is a fused chain with zero operators — one tile
+        // kernel, shared with the fused path.
+        self.run_chain_polygons(
+            vp,
+            fb,
+            cover,
+            polys,
+            conservative,
+            shade,
+            blend,
+            &OpChain::new(),
+        )
+        .0
+    }
+
+    /// Fused `draw(polygons) → chain` execution — the polygon-table
+    /// sibling of [`run_chain_points`](Self::run_chain_points). The
+    /// instanced tiled polygon draw (texels + certain-cover + boundary
+    /// pairs) streams each finished tile through every chain operator
+    /// before the single blit; returns the boundary list alongside the
+    /// chain report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chain_polygons<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        cover: &mut Texture<u16>,
+        polys: &[Polygon],
+        conservative: bool,
+        shade: S,
+        blend: B,
+        chain: &OpChain<'_, P>,
+    ) -> (Vec<(u32, u32)>, ChainRunReport)
+    where
+        P: Copy + Default + Send + Sync,
+        S: Fn(u32, Frag) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
         self.begin_pass();
         for poly in polys {
             self.stats.vertices += poly.num_vertices() as u64;
             self.stats.primitives += 1 + poly.holes().len() as u64;
         }
+        self.charge_chain_stats(fb.len(), chain);
+        Self::assert_chain_operands(fb, chain);
+        let mut masked = MaskOutcome::new(fb.width(), fb.len(), chain.mask_count());
         let pool = Arc::clone(&self.pool);
         let threads = pool.threads();
         let width = vp.width();
@@ -706,6 +903,8 @@ impl Pipeline {
         // blend in ascending order — the same order the tiled replay
         // produces — so canvases come out bit-identical (asserted in
         // tests; the raw boundary list differs only in pre-sort order).
+        // Chain operators then rewrite the planes in place with the
+        // same per-texel kernels the streamed tiles run.
         if threads == 1 {
             let mut boundary: Vec<(u32, u32)> = Vec::new();
             let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
@@ -756,7 +955,15 @@ impl Pipeline {
             self.stats.fragments += fragments;
             self.stats.boundary_fragments += boundary_fragments;
             self.stats.blend_ops += fragments;
-            return boundary;
+            apply_chain_inplace(chain, fb, Some(cover), &mut masked);
+            return (
+                boundary,
+                ChainRunReport {
+                    tiles: 0,
+                    peak_tiles_in_flight: 0,
+                    masked,
+                },
+            );
         }
         let grid = TileGrid::new(vp.width(), vp.height());
 
@@ -770,10 +977,16 @@ impl Pipeline {
             }
         }
 
-        let work: Vec<usize> = (0..grid.num_tiles())
-            .filter(|&t| !bins[t].is_empty())
-            .collect();
-        // Streaming merge (see `draw_points_tiled`): tiles are blitted
+        // A bare draw only visits tiles that received primitives; a
+        // chain visits every tile (full-screen operators).
+        let work: Vec<usize> = if chain.is_empty() {
+            (0..grid.num_tiles())
+                .filter(|&t| !bins[t].is_empty())
+                .collect()
+        } else {
+            (0..grid.num_tiles()).collect()
+        };
+        // Streaming merge (see `run_chain_points`): tiles are blitted
         // in fixed tile order as they finish; the boundary list is
         // extended in the same order, so results are bit-identical to
         // the all-materialized merge while peak memory holds only the
@@ -782,8 +995,16 @@ impl Pipeline {
         let shared_cover = RawTexels::new(cover);
         let mut all_boundary = Vec::new();
         let (mut frag_total, mut bfrag_total) = (0u64, 0u64);
-        type TileOut<P> = (usize, Vec<P>, Vec<u16>, Vec<(u32, u32)>, u64, u64);
-        let produce = |wi: usize| -> TileOut<P> {
+        struct PolyTileJob<P> {
+            t: usize,
+            tex: Vec<P>,
+            cov: Vec<u16>,
+            bits: Vec<TileBits>,
+            boundary: Vec<(u32, u32)>,
+            fragments: u64,
+            boundary_fragments: u64,
+        }
+        let produce = |wi: usize| -> PolyTileJob<P> {
             let t = work[wi];
             let rect = grid.rect(t);
             let mut tex = unsafe { shared_fb.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
@@ -856,26 +1077,53 @@ impl Pipeline {
                     },
                 );
             }
-            (t, tex, cov, boundary, fragments, boundary_fragments)
+            let bits = (0..chain.mask_count())
+                .map(|_| TileBits::new(rect.len()))
+                .collect();
+            PolyTileJob {
+                t,
+                tex,
+                cov,
+                bits,
+                boundary,
+                fragments,
+                boundary_fragments,
+            }
         };
-        pool.run_streaming(
-            work.len(),
-            produce,
-            |_, (t, tex, cov, boundary, fragments, boundary_fragments)| {
-                let rect = grid.rect(t);
-                unsafe {
-                    shared_fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
-                    shared_cover.write_rect(rect.x0, rect.y0, rect.w, rect.h, &cov);
-                }
-                all_boundary.extend(boundary);
-                frag_total += fragments;
-                bfrag_total += boundary_fragments;
-            },
-        );
+        let stage_fns: Vec<TileStageFn<'_, PolyTileJob<P>>> = (0..chain.len())
+            .map(|s| {
+                Box::new(move |_i: usize, job: &mut PolyTileJob<P>| {
+                    let rect = grid.rect(job.t);
+                    chain.apply_tile(s, rect, &mut job.tex, Some(&mut job.cov), &mut job.bits);
+                }) as TileStageFn<'_, PolyTileJob<P>>
+            })
+            .collect();
+        let stage_refs: Vec<canvas_executor::ChainStage<'_, PolyTileJob<P>>> =
+            stage_fns.iter().map(|b| &**b).collect();
+        let stream = pool.run_streaming_chain(work.len(), produce, &stage_refs, |_, job| {
+            let rect = grid.rect(job.t);
+            unsafe {
+                shared_fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &job.tex);
+                shared_cover.write_rect(rect.x0, rect.y0, rect.w, rect.h, &job.cov);
+            }
+            for (m, tb) in job.bits.iter().enumerate() {
+                masked.import_tile(m, rect, tb);
+            }
+            all_boundary.extend(job.boundary);
+            frag_total += job.fragments;
+            bfrag_total += job.boundary_fragments;
+        });
         self.stats.fragments += frag_total;
         self.stats.boundary_fragments += bfrag_total;
         self.stats.blend_ops += frag_total;
-        all_boundary
+        (
+            all_boundary,
+            ChainRunReport {
+                tiles: stream.items,
+                peak_tiles_in_flight: stream.peak_in_flight,
+                masked,
+            },
+        )
     }
 
     /// Tile-parallel polyline table draw — the tiled form of one
@@ -1130,23 +1378,67 @@ impl Pipeline {
         I: Fn(std::ops::Range<usize>) -> A + Sync,
         V: Fn(&mut A, u32, Frag) + Sync,
     {
+        self.visit_polygon_fragments_impl(vp, polys, None, conservative, init, visit)
+    }
+
+    /// Subset form of
+    /// [`visit_polygon_fragments`](Self::visit_polygon_fragments):
+    /// rasterizes only `polys[records[k]]` for each position `k`,
+    /// passing the *position* `k` as the record index to `init` ranges
+    /// and `visit` — so index-pruned plans walk a table subset without
+    /// cloning polygons into a contiguous slice. Identical chunking and
+    /// determinism contract.
+    pub fn visit_polygon_fragments_indexed<A, I, V>(
+        &mut self,
+        vp: &Viewport,
+        polys: &[Polygon],
+        records: &[u32],
+        conservative: bool,
+        init: I,
+        visit: V,
+    ) -> Vec<A>
+    where
+        A: Send,
+        I: Fn(std::ops::Range<usize>) -> A + Sync,
+        V: Fn(&mut A, u32, Frag) + Sync,
+    {
+        self.visit_polygon_fragments_impl(vp, polys, Some(records), conservative, init, visit)
+    }
+
+    fn visit_polygon_fragments_impl<A, I, V>(
+        &mut self,
+        vp: &Viewport,
+        polys: &[Polygon],
+        records: Option<&[u32]>,
+        conservative: bool,
+        init: I,
+        visit: V,
+    ) -> Vec<A>
+    where
+        A: Send,
+        I: Fn(std::ops::Range<usize>) -> A + Sync,
+        V: Fn(&mut A, u32, Frag) + Sync,
+    {
         self.begin_pass();
-        for poly in polys {
+        let n = records.map_or(polys.len(), <[u32]>::len);
+        let sel = move |k: usize| records.map_or(k, |r| r[k] as usize);
+        for k in 0..n {
+            let poly = &polys[sel(k)];
             self.stats.vertices += poly.num_vertices() as u64;
             self.stats.primitives += 1 + poly.holes().len() as u64;
         }
-        if polys.is_empty() {
+        if n == 0 {
             return Vec::new();
         }
         let pool = Arc::clone(&self.pool);
-        let chunk = polys.len().div_ceil(pool.threads()).max(1);
-        let n_chunks = polys.len().div_ceil(chunk);
+        let chunk = n.div_ceil(pool.threads()).max(1);
+        let n_chunks = n.div_ceil(chunk);
         let fb_len = (vp.width() as usize) * (vp.height() as usize);
         let width = vp.width();
         let scratch = &self.fragment_scratch;
         let results: Vec<(A, u64, u64)> = pool.run_indexed(n_chunks, |ci| {
             let lo = ci * chunk;
-            let hi = (lo + chunk).min(polys.len());
+            let hi = (lo + chunk).min(n);
             let mut acc = init(lo..hi);
             // Check a stamp plane out of the shared pool (allocated and
             // zeroed at most once per concurrent executor, ever);
@@ -1168,9 +1460,10 @@ impl Pipeline {
             let base_gen = plane.gen;
             let stamps = &mut plane.stamps;
             let (mut fragments, mut boundary_fragments) = (0u64, 0u64);
-            for (k, poly) in polys[lo..hi].iter().enumerate() {
-                let gen = base_gen + k as u32 + 1;
-                let record = (lo + k) as u32;
+            for k in lo..hi {
+                let poly = &polys[sel(k)];
+                let gen = base_gen + (k - lo) as u32 + 1;
+                let record = k as u32;
                 if conservative {
                     for edge in poly.edges() {
                         rasterize_line_supercover(vp, edge.a, edge.b, |x, y| {
@@ -1789,6 +2082,173 @@ mod tests {
             assert_eq!(pl.stats().fragments, pt.stats().fragments);
             assert_eq!(pl.stats().boundary_fragments, pt.stats().boundary_fragments);
             assert_eq!(pl.stats().blend_ops, pt.stats().blend_ops);
+        }
+    }
+
+    #[test]
+    fn fused_point_chain_matches_materialized_passes() {
+        let vp = vp_big();
+        let pts = pseudo_points(4_000, 7);
+        let mut other: Texture<u32> = Texture::new(150, 100);
+        let mut pl = Pipeline::new();
+        pl.map_texels(&mut other, |x, y, _| (x * 5 + y * 3) % 11);
+
+        // Materialized reference: draw, then one full-screen pass per
+        // operator.
+        let mut want: Texture<u32> = Texture::new(150, 100);
+        let mut pm = Pipeline::new();
+        pm.draw_points_tiled(&vp, &mut want, &pts, |i, _| i + 1, |d, s| d.wrapping_add(s));
+        pm.par_map_texels(&mut want, |x, _, t| t.wrapping_mul(3) ^ x);
+        pm.blend_into(&mut want, &other, |d, s| d.wrapping_add(s));
+        // Coarse mask as a full-screen pass.
+        pm.par_map_texels(&mut want, |_, _, t| if t.is_multiple_of(3) { t } else { 0 });
+        let want_stats = pm.stats();
+
+        for threads in [1usize, 2, 3, 8] {
+            let mut fb: Texture<u32> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let chain = OpChain::new()
+                .map(|x, _, t: u32| t.wrapping_mul(3) ^ x)
+                .blend(&other, |d, s| d.wrapping_add(s))
+                .mask(|_, _, &t| t.is_multiple_of(3))
+                .with_null_test(|&t| t == 0);
+            let report = pt.run_chain_points(
+                &vp,
+                &mut fb,
+                None,
+                &pts,
+                |i, _| i + 1,
+                |d, s| d.wrapping_add(s),
+                &chain,
+            );
+            assert_eq!(want, fb, "planes diverge at {threads} threads");
+            assert_eq!(want_stats, pt.stats(), "stats diverge at {threads} threads");
+            let window = pt.pool().policy().stream_window(pt.pool().worker_count());
+            assert!(
+                report.peak_tiles_in_flight <= window,
+                "peak {} exceeds window {window} at {threads} threads",
+                report.peak_tiles_in_flight
+            );
+            // The mask bitmap records exactly the nulled pixels.
+            for (x, y, t) in fb.iter() {
+                let pixel = y * 150 + x;
+                assert_eq!(report.masked.is_null_after(0, pixel), t == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_polygon_chain_matches_materialized_passes() {
+        let vp = vp_big();
+        let polys = vec![star(40.0, 40.0, 17), star(70.0, 60.0, 23)];
+        let mut other: Texture<u32> = Texture::new(150, 100);
+        let mut other_cover: Texture<u16> = Texture::new(150, 100);
+        let mut pl = Pipeline::new();
+        pl.map_texels(&mut other, |x, y, _| x + y);
+        pl.map_texels(&mut other_cover, |x, _, _| (x % 3) as u16);
+
+        let mut want: Texture<u32> = Texture::new(150, 100);
+        let mut want_cover: Texture<u16> = Texture::new(150, 100);
+        let mut pm = Pipeline::new();
+        let mut want_boundary = pm.draw_polygons_tiled(
+            &vp,
+            &mut want,
+            &mut want_cover,
+            &polys,
+            true,
+            |pi, _| pi + 1,
+            |d, s| d.max(s),
+        );
+        pm.blend_into(&mut want, &other, |d, s| d.wrapping_add(s));
+        pm.blend_into(&mut want_cover, &other_cover, |d, s| d.saturating_add(s));
+        // The reference coarse mask over both planes.
+        pm.map_planes_inplace(&mut want, &mut want_cover, |x, y, t, cov| {
+            if !(x + y).is_multiple_of(2) {
+                *t = 0;
+                *cov = 0;
+            }
+        });
+        let want_stats = pm.stats();
+        want_boundary.sort_unstable();
+
+        for threads in [1usize, 2, 3, 8] {
+            let mut fb: Texture<u32> = Texture::new(150, 100);
+            let mut cover: Texture<u16> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let chain = OpChain::new()
+                .blend_with_cover(&other, &other_cover, |d, s| d.wrapping_add(s))
+                .mask(|x, y, _| (x + y).is_multiple_of(2));
+            let (mut boundary, report) = pt.run_chain_polygons(
+                &vp,
+                &mut fb,
+                &mut cover,
+                &polys,
+                true,
+                |pi, _| pi + 1,
+                |d, s| d.max(s),
+                &chain,
+            );
+            boundary.sort_unstable();
+            assert_eq!(want, fb, "texels diverge at {threads} threads");
+            assert_eq!(want_cover, cover, "cover diverges at {threads} threads");
+            assert_eq!(
+                want_boundary, boundary,
+                "boundary diverges at {threads} threads"
+            );
+            assert_eq!(want_stats, pt.stats(), "stats diverge at {threads} threads");
+            // Mask bitmap: without a null test, exactly the pixels the
+            // keep-predicate rejected are recorded.
+            for (x, y, _) in fb.iter() {
+                let pixel = y * 150 + x;
+                assert_eq!(
+                    report.masked.is_null_after(0, pixel),
+                    !(x + y).is_multiple_of(2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_on_empty_draw_still_runs_operators() {
+        // 0 primitives: the draw contributes nothing, but the chain's
+        // full-screen operators must still rewrite every texel.
+        for threads in [1usize, 4] {
+            let vp = vp_big();
+            let mut fb: Texture<u32> = Texture::new(150, 100);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let chain = OpChain::new().map(|x, y, _| x + 100 * y + 1);
+            let report =
+                pt.run_chain_points(&vp, &mut fb, None, &[], |_, _| 0u32, |d, s| d + s, &chain);
+            assert!(fb.iter().all(|(x, y, t)| t == x + 100 * y + 1));
+            assert_eq!(pt.stats().fragments, 0);
+            if threads > 1 {
+                assert_eq!(report.tiles, TileGrid::new(150, 100).num_tiles());
+            }
+        }
+    }
+
+    #[test]
+    fn chain_on_single_tile_canvas() {
+        // A canvas smaller than one tile exercises the 1-tile streaming
+        // path end to end.
+        let vp = vp10();
+        let pts = vec![Point::new(2.5, 2.5), Point::new(7.5, 7.5)];
+        let mut want: Texture<u32> = Texture::new(10, 10);
+        let mut pm = Pipeline::new();
+        pm.draw_points_tiled(&vp, &mut want, &pts, |_, _| 1, |d, s| d + s);
+        pm.par_map_texels(&mut want, |_, _, t| t * 10 + 1);
+        for threads in [1usize, 3] {
+            let mut fb: Texture<u32> = Texture::new(10, 10);
+            let mut pt = Pipeline::new();
+            pt.set_threads(threads);
+            let chain = OpChain::new().map(|_, _, t: u32| t * 10 + 1);
+            let report =
+                pt.run_chain_points(&vp, &mut fb, None, &pts, |_, _| 1, |d, s| d + s, &chain);
+            assert_eq!(want, fb, "threads={threads}");
+            assert!(report.peak_tiles_in_flight <= 1);
         }
     }
 

@@ -83,4 +83,60 @@ fn main() {
         .sum();
     assert!((revenue - expect).abs() < 1e-2 * expect.max(1.0));
     println!("[4] total fare revenue inside the polygon: ${revenue:.2}");
+
+    // --- 5. Pickup-density heatmap as a fused operator chain ------------
+    // render → blend → mask → value executes as ONE streamed tile pass:
+    // the blended/masked intermediate canvases are never materialized,
+    // and at most the policy window of tile buffers is live.
+    let mut dev = Device::cpu_parallel(4);
+    let t0 = Instant::now();
+    let heat = canvas_core::queries::heatmap::selection_heatmap(&mut dev, vp, &pickups, &q);
+    let fused_wall = t0.elapsed();
+    let window = dev.pool().policy().stream_window(dev.pool().worker_count());
+    assert!(heat.peak_tiles_in_flight <= window);
+    let mut dev_m = Device::cpu_parallel(4);
+    let want =
+        canvas_core::queries::heatmap::selection_heatmap_materialized(&mut dev_m, vp, &pickups, &q);
+    assert_eq!(heat.canvas.texels(), want.texels(), "fused ≡ materialized");
+    let hottest = heat
+        .canvas
+        .non_null()
+        .filter_map(|(x, y, t)| t.get(0).map(|d| (x, y, d.v1)))
+        .max_by(|a, b| a.2.total_cmp(&b.2));
+    println!(
+        "[5] fused heatmap chain: {} tiles streamed, peak {} live (window {window}), wall {:?}",
+        heat.tiles, heat.peak_tiles_in_flight, fused_wall
+    );
+    if let Some((x, y, c)) = hottest {
+        println!("    hottest pixel ({x}, {y}) holds {c} pickups");
+    }
+
+    // --- 6. Group-by revenue per zone, index-pruned RasterJoin ----------
+    let zones = neighborhoods(&extent, 16, 3);
+    let mut ptab = canvas_core::table::SpatialTable::new();
+    for p in &trips.pickups {
+        ptab.push(GeomObject::point(*p));
+    }
+    ptab.set_attr("fare", trips.fares.clone()).unwrap();
+    let mut ztab = canvas_core::table::SpatialTable::new();
+    for z in &zones {
+        ztab.push(GeomObject::polygon(z.clone()));
+    }
+    let mut dev = Device::cpu_parallel(4);
+    let groups = ptab
+        .aggregate_points_in_polygons(&mut dev, vp, &ztab, Some("fare"), 4)
+        .unwrap();
+    let top = groups
+        .sums
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    println!(
+        "[6] index-pruned RasterJoin over {} zones: top zone {} with ${:.2} fares ({} pickups)",
+        zones.len(),
+        top.0,
+        top.1,
+        groups.counts[top.0]
+    );
 }

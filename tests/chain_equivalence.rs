@@ -1,0 +1,302 @@
+//! Streamed ≡ materialized equivalence harness for fused operator
+//! chains.
+//!
+//! The fused-execution contract (PR "Fused streaming operator chains"):
+//! running `render(points) → op₁ → … → opₖ` tile-streamed through the
+//! executor's multi-stage hand-off produces **bit-identical** canvases
+//! — texel plane, certain-cover plane, boundary index — *and* identical
+//! pipeline work counters, compared against
+//!
+//! 1. the materialized plan (one whole-canvas pass per operator), and
+//! 2. the sequential `Device::cpu` reference,
+//!
+//! for random chains of depth 1–4 with random operators and parameters,
+//! across thread counts {1, 2, 3, 8}. The fused run must additionally
+//! keep at most `Policy::stream_window(workers)` tile buffers live.
+
+use canvas_algebra::prelude::*;
+use canvas_core::ops::chain::{run_points_chain, run_points_chain_materialized, CanvasChain};
+use canvas_core::queries::heatmap;
+use canvas_raster::{Policy, WorkerPool};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+/// A chain operator as pure data, so the same random plan can be
+/// instantiated against any device (operand canvases must be rendered
+/// by the device under test for stats parity).
+#[derive(Clone, Copy, Debug)]
+enum OpSpec {
+    /// Value Transform variant + parameter.
+    Value(u8, f32),
+    /// Blend with the k-th operand polygon canvas, via blend-fn variant.
+    Blend(u8),
+    /// Coarse texel mask variant + parameter.
+    Mask(u8, f32),
+}
+
+fn blend_fn(variant: u8) -> BlendFn {
+    match variant % 4 {
+        0 => BlendFn::Over,
+        1 => BlendFn::PointOverArea,
+        2 => BlendFn::PointAccumulate,
+        _ => BlendFn::Accumulate,
+    }
+}
+
+/// Strategy: a random chain of depth 1–4 (the shim has no `prop_oneof`,
+/// so kind and variant fold into one integer: kind = k % 3,
+/// variant = k / 3).
+fn arb_chain() -> impl Strategy<Value = Vec<OpSpec>> {
+    prop::collection::vec(
+        (0u8..12, 0.5f32..4.0).prop_map(|(k, p)| match k % 3 {
+            0 => OpSpec::Value(k / 3, p),
+            1 => OpSpec::Blend(k / 3),
+            _ => OpSpec::Mask(k / 3, p),
+        }),
+        1..5,
+    )
+}
+
+/// Renders one operand polygon canvas per Blend op (same geometry and
+/// order on every device) and builds the borrowed chain.
+fn build_chain<'a>(specs: &[OpSpec], operands: &'a [Canvas]) -> CanvasChain<'a> {
+    let mut chain = CanvasChain::new();
+    let mut next_operand = 0usize;
+    for spec in specs {
+        chain = match *spec {
+            OpSpec::Value(0, p) => chain.value(move |_, mut t| {
+                if let Some(mut d) = t.get(0) {
+                    d.v2 *= p;
+                    t.set(0, d);
+                }
+                t
+            }),
+            OpSpec::Value(1, p) => chain.value(move |loc, mut t| {
+                if !t.is_null() {
+                    let mut d = t.get(0).unwrap_or_default();
+                    d.v2 = (loc.x * 0.25 + loc.y) as f32 + p;
+                    t.set(0, d);
+                }
+                t
+            }),
+            // A *nulling* value transform: stresses the interaction of
+            // later masks with pixels a value stage already nulled.
+            OpSpec::Value(_, p) => chain.value(move |_, t| match t.get(0) {
+                Some(d) if d.v1 < p => Texel::null(),
+                _ => t,
+            }),
+            OpSpec::Blend(v) => {
+                let c = &operands[next_operand];
+                next_operand += 1;
+                chain.blend(c, blend_fn(v))
+            }
+            OpSpec::Mask(0, _) => chain.mask("has-point", |t: &Texel| t.has(0)),
+            OpSpec::Mask(1, _) => chain.mask("has-area", |t: &Texel| t.has(2)),
+            OpSpec::Mask(_, p) => chain.mask("count>=k", move |t: &Texel| {
+                t.get(0).map(|d| d.v1 >= p).unwrap_or(false)
+            }),
+        };
+    }
+    chain
+}
+
+/// Renders the Blend operands for a spec list, in spec order.
+fn render_operands(dev: &mut Device, vp: Viewport, specs: &[OpSpec], seed: u64) -> Vec<Canvas> {
+    specs
+        .iter()
+        .filter(|s| matches!(s, OpSpec::Blend(_)))
+        .enumerate()
+        .map(|(k, _)| {
+            let mbr = BBox::new(
+                Point::new(10.0 + 7.0 * k as f64, 12.0 + 5.0 * k as f64),
+                Point::new(70.0 + 6.0 * k as f64, 75.0 + 4.0 * k as f64),
+            );
+            let poly = star_polygon(&mbr, 10 + 3 * k, 0.6, seed + k as u64);
+            canvas_core::source::render_query_polygon(dev, vp, poly, k as u32 + 1)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: random chains, streamed vs materialized
+    /// vs `Device::cpu`, bit-identical planes + boundary + stats across
+    /// threads {1, 2, 3, 8}; fused peak live tiles within the window.
+    #[test]
+    fn chain_streamed_equals_materialized_across_threads(
+        specs in arb_chain(),
+        n in 50usize..400,
+        seed in 0u64..10_000,
+        res in prop::sample::select(vec![64u32, 128, 192]),
+    ) {
+        let batch = PointBatch::from_points(uniform_points(&extent(), n, seed));
+        let vp = Viewport::square_pixels(extent(), res);
+
+        // Sequential materialized reference (Device::cpu).
+        let mut ref_dev = Device::cpu();
+        let ref_operands = render_operands(&mut ref_dev, vp, &specs, seed);
+        let reference =
+            run_points_chain_materialized(&mut ref_dev, vp, &batch, &build_chain(&specs, &ref_operands));
+        let ref_stats = ref_dev.stats();
+
+        for threads in [1usize, 2, 3, 8] {
+            let mut dev = Device::cpu_parallel(threads);
+            let operands = render_operands(&mut dev, vp, &specs, seed);
+            let fused = run_points_chain(&mut dev, vp, &batch, &build_chain(&specs, &operands));
+            prop_assert_eq!(
+                reference.texels(), fused.canvas.texels(),
+                "texels diverge: {} threads, chain {:?}", threads, &specs
+            );
+            prop_assert_eq!(
+                reference.cover(), fused.canvas.cover(),
+                "cover diverges: {} threads, chain {:?}", threads, &specs
+            );
+            prop_assert_eq!(
+                reference.boundary(), fused.canvas.boundary(),
+                "boundary diverges: {} threads, chain {:?}", threads, &specs
+            );
+            prop_assert_eq!(
+                reference.area_sources().len(), fused.canvas.area_sources().len(),
+                "sources diverge: {} threads", threads
+            );
+            prop_assert_eq!(
+                &ref_stats, &dev.stats(),
+                "stats diverge: {} threads, chain {:?}", threads, &specs
+            );
+            let pool = dev.pool();
+            let window = pool.policy().stream_window(pool.worker_count());
+            prop_assert!(
+                fused.peak_tiles_in_flight <= window,
+                "peak {} tiles exceeds window {} at {} threads",
+                fused.peak_tiles_in_flight, window, threads
+            );
+        }
+    }
+
+    /// The heatmap query (selection wired through a fused chain) agrees
+    /// with its materialized plan on random inputs and thread counts.
+    #[test]
+    fn chain_heatmap_query_equivalence(
+        n in 50usize..400,
+        seed in 0u64..10_000,
+        verts in 6usize..24,
+        threads in prop::sample::select(vec![1usize, 2, 3, 8]),
+    ) {
+        let mbr = BBox::new(Point::new(15.0, 10.0), Point::new(85.0, 80.0));
+        let poly = star_polygon(&mbr, verts, 0.55, seed);
+        let batch = PointBatch::from_points(uniform_points(&extent(), n, seed));
+        let vp = Viewport::square_pixels(extent(), 128);
+
+        let mut dev_f = Device::cpu_parallel(threads);
+        let fused = heatmap::selection_heatmap(&mut dev_f, vp, &batch, &poly);
+        let mut dev_m = Device::cpu();
+        let want = heatmap::selection_heatmap_materialized(&mut dev_m, vp, &batch, &poly);
+
+        prop_assert_eq!(want.texels(), fused.canvas.texels(), "{} threads", threads);
+        prop_assert_eq!(want.cover(), fused.canvas.cover(), "{} threads", threads);
+        prop_assert_eq!(want.boundary(), fused.canvas.boundary(), "{} threads", threads);
+        prop_assert_eq!(&dev_m.stats(), &dev_f.stats(), "stats, {} threads", threads);
+    }
+}
+
+/// Edge case: an empty draw (0 primitives) must still run every chain
+/// operator over the whole canvas, identically on every path.
+#[test]
+fn chain_empty_draw_equivalence() {
+    let vp = Viewport::square_pixels(extent(), 128);
+    let batch = PointBatch::from_points(vec![]);
+    let specs = [
+        OpSpec::Value(1, 2.0),
+        OpSpec::Blend(0),
+        OpSpec::Mask(1, 1.0),
+    ];
+
+    let mut ref_dev = Device::cpu();
+    let operands = render_operands(&mut ref_dev, vp, &specs, 7);
+    let reference =
+        run_points_chain_materialized(&mut ref_dev, vp, &batch, &build_chain(&specs, &operands));
+    for threads in [1usize, 3, 8] {
+        let mut dev = Device::cpu_parallel(threads);
+        let operands = render_operands(&mut dev, vp, &specs, 7);
+        let fused = run_points_chain(&mut dev, vp, &batch, &build_chain(&specs, &operands));
+        assert_eq!(
+            reference.texels(),
+            fused.canvas.texels(),
+            "{threads} threads"
+        );
+        assert_eq!(reference.cover(), fused.canvas.cover(), "{threads} threads");
+        assert_eq!(ref_dev.stats(), dev.stats(), "{threads} threads");
+    }
+}
+
+/// Edge case: a canvas smaller than one tile (single-tile streaming).
+#[test]
+fn chain_single_tile_canvas_equivalence() {
+    let vp = Viewport::square_pixels(extent(), 32); // < 64-pixel tile
+    let batch = PointBatch::from_points(uniform_points(&extent(), 120, 11));
+    let specs = [
+        OpSpec::Blend(1),
+        OpSpec::Mask(0, 1.0),
+        OpSpec::Value(0, 3.0),
+    ];
+
+    let mut ref_dev = Device::cpu();
+    let operands = render_operands(&mut ref_dev, vp, &specs, 3);
+    let reference =
+        run_points_chain_materialized(&mut ref_dev, vp, &batch, &build_chain(&specs, &operands));
+    for threads in [1usize, 2, 8] {
+        let mut dev = Device::cpu_parallel(threads);
+        let operands = render_operands(&mut dev, vp, &specs, 3);
+        let fused = run_points_chain(&mut dev, vp, &batch, &build_chain(&specs, &operands));
+        assert_eq!(
+            reference.texels(),
+            fused.canvas.texels(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            reference.boundary(),
+            fused.canvas.boundary(),
+            "{threads} threads"
+        );
+        assert!(fused.peak_tiles_in_flight <= 1, "one tile total");
+        assert_eq!(ref_dev.stats(), dev.stats(), "{threads} threads");
+    }
+}
+
+/// Edge case: a (mis)configured streaming window of 0 is clamped to 1
+/// and the fused chain still completes with identical results — the
+/// claim gate must serialize, not deadlock.
+#[test]
+fn chain_window_zero_policy_clamped_not_deadlocked() {
+    let vp = Viewport::square_pixels(extent(), 128);
+    let batch = PointBatch::from_points(uniform_points(&extent(), 300, 23));
+    let specs = [OpSpec::Blend(2), OpSpec::Mask(2, 2.0)];
+
+    let mut ref_dev = Device::cpu();
+    let operands = render_operands(&mut ref_dev, vp, &specs, 5);
+    let reference =
+        run_points_chain_materialized(&mut ref_dev, vp, &batch, &build_chain(&specs, &operands));
+
+    let mut dev = Device::cpu_parallel(4);
+    let policy = Policy {
+        stream_window_per_worker: 0,
+        ..*dev.pool().policy()
+    };
+    dev.pipeline()
+        .set_pool(Arc::new(WorkerPool::with_policy(4, policy)));
+    assert_eq!(
+        dev.pool().policy().stream_window(dev.pool().worker_count()),
+        1
+    );
+    let operands = render_operands(&mut dev, vp, &specs, 5);
+    let fused = run_points_chain(&mut dev, vp, &batch, &build_chain(&specs, &operands));
+    assert_eq!(reference.texels(), fused.canvas.texels());
+    assert_eq!(reference.cover(), fused.canvas.cover());
+    assert_eq!(reference.boundary(), fused.canvas.boundary());
+    assert_eq!(fused.peak_tiles_in_flight, 1, "window 1 ⇒ one live tile");
+}
