@@ -19,9 +19,11 @@
 //!    pass/fragment cost heuristic for plan comparison.
 
 pub mod expr;
+pub mod fingerprint;
 pub mod planner;
 pub mod rewrite;
 
 pub use expr::{Expr, SourceSpec};
+pub use fingerprint::{fingerprint, normalize, Fingerprint, FingerprintBuilder};
 pub use planner::{choose_selection_strategy, PlanChoice, SelectionStats, SelectionStrategy};
 pub use rewrite::{flatten_multiblend, fuse_polygon_leaves, optimize};

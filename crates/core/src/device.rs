@@ -55,6 +55,17 @@ impl Device {
         dev
     }
 
+    /// A device whose pipeline executes on an **existing** worker pool
+    /// instead of spawning its own — how a serving engine gives many
+    /// concurrently-evaluating queries one set of executor threads.
+    /// Construction is cheap (no thread spawn); dropping it never joins
+    /// the shared workers.
+    pub fn with_pool(profile: DeviceProfile, pool: Arc<WorkerPool>) -> Self {
+        let mut dev = Device::new(profile);
+        dev.pipeline.set_pool(pool);
+        dev
+    }
+
     /// Worker threads the pipeline fans work out to (1 = sequential).
     pub fn threads(&self) -> usize {
         self.pipeline.threads()
@@ -100,6 +111,110 @@ impl Default for Device {
     }
 }
 
+/// The shared-state evaluation path: one worker pool + profile + stats
+/// accumulator that **many threads** can evaluate plans against through
+/// `&self` — the concurrency surface `Expr::eval(&mut Device, …)`
+/// cannot offer.
+///
+/// A [`Device`] is deliberately single-caller (`&mut` everywhere): its
+/// pipeline owns scratch planes and work counters. `SharedDevice`
+/// splits that state instead of wrapping it in one big lock: the
+/// expensive part (the executor pool and its parked worker threads) is
+/// shared by reference, while each evaluation [`lease`](Self::lease)s
+/// a throwaway `Device` around the shared pool (cheap: a couple of
+/// allocations, no thread spawn) and folds its work counters back into
+/// the shared total on [`reclaim`](Self::reclaim). Evaluations from
+/// different threads therefore run genuinely concurrently — their
+/// passes interleave fairly on the pool's pass gate — and the modeled
+/// cost accounting still adds up across all of them.
+#[derive(Debug)]
+pub struct SharedDevice {
+    pool: Arc<WorkerPool>,
+    profile: DeviceProfile,
+    stats: std::sync::Mutex<PipelineStats>,
+}
+
+impl SharedDevice {
+    /// Shares an existing pool under the given profile.
+    pub fn with_pool(profile: DeviceProfile, pool: Arc<WorkerPool>) -> Self {
+        SharedDevice {
+            pool,
+            profile,
+            stats: std::sync::Mutex::new(PipelineStats::default()),
+        }
+    }
+
+    /// Spawns a fresh `threads`-wide pool (the shared sibling of
+    /// [`Device::cpu_parallel`], with the matching modeled profile).
+    pub fn cpu_parallel(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self::with_pool(
+            DeviceProfile::cpu_parallel_n(threads),
+            Arc::new(WorkerPool::new(threads)),
+        )
+    }
+
+    /// The shared executor pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Concurrent executors of the shared pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Checks out a private `Device` over the shared pool. Pair with
+    /// [`reclaim`](Self::reclaim) (or use [`run`](Self::run)) so the
+    /// work it counts lands in the shared totals.
+    pub fn lease(&self) -> Device {
+        Device::with_pool(self.profile.clone(), Arc::clone(&self.pool))
+    }
+
+    /// Folds a leased device's work counters into the shared totals.
+    pub fn reclaim(&self, dev: Device) {
+        let mut stats = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *stats = stats.merged(&dev.stats());
+    }
+
+    /// Lease → run → reclaim in one call; safe to invoke from any
+    /// number of threads simultaneously.
+    pub fn run<R>(&self, f: impl FnOnce(&mut Device) -> R) -> R {
+        // The guard owns the leased device so its counted work is
+        // folded back in even when `f` unwinds.
+        struct Reclaim<'a>(&'a SharedDevice, Option<Device>);
+        impl Drop for Reclaim<'_> {
+            fn drop(&mut self) {
+                if let Some(dev) = self.1.take() {
+                    self.0.reclaim(dev);
+                }
+            }
+        }
+        let mut guard = Reclaim(self, Some(self.lease()));
+        f(guard.1.as_mut().expect("leased device present"))
+    }
+
+    /// Total counted work of all reclaimed evaluations.
+    pub fn stats(&self) -> PipelineStats {
+        *self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Modeled execution time (seconds) of all reclaimed work.
+    pub fn modeled_time(&self) -> f64 {
+        self.profile.estimate(&self.stats())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +236,52 @@ mod tests {
             Device::nvidia().profile().name,
             Device::intel().profile().name
         );
+    }
+
+    #[test]
+    fn shared_device_accumulates_stats_across_threads() {
+        let shared = std::sync::Arc::new(SharedDevice::cpu_parallel(2));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let shared = std::sync::Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                shared.run(|dev| dev.pipeline().note_upload(1000));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.stats().bytes_uploaded, 3000);
+        assert!(shared.modeled_time() > 0.0);
+    }
+
+    #[test]
+    fn shared_device_leases_share_one_pool() {
+        let before = canvas_raster::live_worker_count();
+        {
+            let shared = SharedDevice::cpu_parallel(3);
+            assert_eq!(canvas_raster::live_worker_count(), before + 2);
+            let a = shared.lease();
+            let b = shared.lease();
+            // No additional workers were spawned for the leases.
+            assert_eq!(canvas_raster::live_worker_count(), before + 2);
+            assert!(Arc::ptr_eq(a.pool(), b.pool()));
+            shared.reclaim(a);
+            shared.reclaim(b);
+        }
+        assert_eq!(canvas_raster::live_worker_count(), before);
+    }
+
+    #[test]
+    fn shared_run_reclaims_on_panic() {
+        let shared = SharedDevice::cpu_parallel(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.run(|dev| {
+                dev.pipeline().note_upload(77);
+                panic!("query failed");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(shared.stats().bytes_uploaded, 77);
     }
 }

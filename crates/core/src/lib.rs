@@ -62,20 +62,22 @@ pub mod table;
 pub mod viz;
 
 pub use canvas::{Canvas, PointBatch};
-pub use device::Device;
+pub use device::{Device, SharedDevice};
 pub use info::{BlendFn, DimInfo, Texel};
 pub use table::{SpatialTable, TableError};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
+    pub use crate::algebra::{Expr, Fingerprint};
     pub use crate::canvas::{AreaSource, Canvas, LineSource, PointBatch};
-    pub use crate::device::Device;
+    pub use crate::device::{Device, SharedDevice};
     pub use crate::info::{BlendFn, DimInfo, Texel};
     pub use crate::ops::{
         blend, circle_canvas, dissect, dissect_iter, dissect_par, group_viewport, halfspace_canvas,
         map_scatter, mask, multiway_blend, rect_canvas, run_points_chain,
-        run_points_chain_materialized, transform_by_value, transform_positions, value_transform,
-        CanvasChain, CanvasOp, ChainOutcome, CountCond, MaskSpec, PositionMap, ValueMap,
+        run_points_chain_materialized, run_polygons_chain, run_polygons_chain_materialized,
+        transform_by_value, transform_positions, value_transform, CanvasChain, CanvasOp,
+        ChainOutcome, CountCond, MaskSpec, PositionMap, ValueMap,
     };
     pub use crate::queries;
     pub use crate::source::{

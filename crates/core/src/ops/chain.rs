@@ -139,30 +139,23 @@ pub struct ChainOutcome {
     pub peak_tiles_in_flight: usize,
 }
 
-/// Executes `render(points) → chain` fused: one streamed tile pass,
-/// no intermediate canvases (see module docs). Bit-identical to
-/// [`run_points_chain_materialized`] at any thread count, including
-/// pipeline stats.
-pub fn run_points_chain(
-    dev: &mut Device,
-    vp: Viewport,
-    batch: &PointBatch,
-    chain: &CanvasChain<'_>,
-) -> ChainOutcome {
+/// Asserts every Blend operand canvas shares the run's viewport.
+fn assert_operand_viewports(vp: &Viewport, chain: &CanvasChain<'_>) {
     for op in chain.ops() {
         if let CanvasOp::Blend { other, .. } = op {
             assert_eq!(
                 other.viewport(),
-                &vp,
+                vp,
                 "chain blend operands must share a viewport"
             );
         }
     }
-    let mut canvas = Canvas::empty(vp);
-    dev.pipeline().note_upload(batch.upload_bytes());
+}
 
-    // Lower the canvas ops to raster tile kernels.
-    let mut raster_chain: OpChain<'_, Texel> =
+/// Lowers the canvas-level operators to raster tile kernels (shared by
+/// the point and polygon fused runners — one lowering, one semantics).
+fn lower_to_raster<'a>(vp: Viewport, chain: &CanvasChain<'a>) -> OpChain<'a, Texel> {
+    let mut raster_chain: OpChain<'a, Texel> =
         OpChain::new().with_null_test(|t: &Texel| t.is_null());
     for op in chain.ops() {
         raster_chain = match op {
@@ -183,28 +176,20 @@ pub fn run_points_chain(
             }
         };
     }
+    raster_chain
+}
 
-    let ids = &batch.ids;
-    let weights = &batch.weights;
-    let report = {
-        let (texels, cover, _) = canvas.planes_mut();
-        dev.pipeline().run_chain_points(
-            &vp,
-            texels,
-            Some(cover),
-            &batch.points,
-            |i, _| Texel::point(ids[i as usize], 1.0, weights[i as usize]),
-            |d, s| BlendFn::PointAccumulate.apply(d, s),
-            &raster_chain,
-        )
-    };
-
-    // Replay the boundary/source bookkeeping of the materialized
-    // operator sequence against the finished planes — sparse metadata
-    // only, no intermediate plane is ever touched.
-    //
-    // render_points' entry contract, shared verbatim.
-    crate::source::push_point_entries(&mut canvas, &vp, batch);
+/// Replays the boundary/source bookkeeping of the materialized operator
+/// sequence against the finished planes — sparse metadata only, no
+/// intermediate plane is ever touched. Blend stages merge the operand's
+/// entries (source-remapped), Mask stages prune entries of pixels whose
+/// texel the mask left null (read from the fused run's per-stage
+/// bitmaps).
+fn replay_bookkeeping(
+    canvas: &mut Canvas,
+    chain: &CanvasChain<'_>,
+    masked: &canvas_raster::MaskOutcome,
+) {
     let mut mask_ordinal = 0usize;
     for op in chain.ops() {
         match op {
@@ -227,9 +212,6 @@ pub fn run_points_chain(
                 canvas.boundary_mut().sort();
             }
             CanvasOp::Mask { .. } => {
-                // Prune entries of pixels the mask left null — the
-                // exact per-stage set from the fused run's bitmaps.
-                let masked = &report.masked;
                 let ordinal = mask_ordinal;
                 canvas
                     .boundary_mut()
@@ -239,6 +221,42 @@ pub fn run_points_chain(
             }
         }
     }
+}
+
+/// Executes `render(points) → chain` fused: one streamed tile pass,
+/// no intermediate canvases (see module docs). Bit-identical to
+/// [`run_points_chain_materialized`] at any thread count, including
+/// pipeline stats.
+pub fn run_points_chain(
+    dev: &mut Device,
+    vp: Viewport,
+    batch: &PointBatch,
+    chain: &CanvasChain<'_>,
+) -> ChainOutcome {
+    assert_operand_viewports(&vp, chain);
+    let mut canvas = Canvas::empty(vp);
+    dev.pipeline().note_upload(batch.upload_bytes());
+    let raster_chain = lower_to_raster(vp, chain);
+
+    let ids = &batch.ids;
+    let weights = &batch.weights;
+    let report = {
+        let (texels, cover, _) = canvas.planes_mut();
+        dev.pipeline().run_chain_points(
+            &vp,
+            texels,
+            Some(cover),
+            &batch.points,
+            |i, _| Texel::point(ids[i as usize], 1.0, weights[i as usize]),
+            |d, s| BlendFn::PointAccumulate.apply(d, s),
+            &raster_chain,
+        )
+    };
+
+    // render_points' entry contract, shared verbatim; then replay the
+    // operator bookkeeping (see `replay_bookkeeping`).
+    crate::source::push_point_entries(&mut canvas, &vp, batch);
+    replay_bookkeeping(&mut canvas, chain, &report.masked);
 
     ChainOutcome {
         canvas,
@@ -247,17 +265,77 @@ pub fn run_points_chain(
     }
 }
 
-/// The materialized reference: the identical plan executed as separate
-/// whole-canvas operator passes (one intermediate canvas per step).
-/// Exists for the streamed≡materialized equivalence harness and as the
-/// plan-comparison baseline.
-pub fn run_points_chain_materialized(
+/// Executes `render(polygon table) → chain` fused — the polygon-table
+/// sibling of [`run_points_chain`], built on
+/// `Pipeline::run_chain_polygons`: the instanced tiled polygon draw
+/// (texels + certain-cover + boundary entries, internal blend
+/// `draw_blend` — the fused `B*[⊕]` of a whole-table render) streams
+/// each finished tile through every chain operator before the single
+/// blit. Bit-identical to [`run_polygons_chain_materialized`] at any
+/// thread count, including pipeline stats.
+pub fn run_polygons_chain(
     dev: &mut Device,
     vp: Viewport,
-    batch: &PointBatch,
+    table: &crate::canvas::AreaSource,
+    draw_blend: BlendFn,
+    chain: &CanvasChain<'_>,
+) -> ChainOutcome {
+    assert_operand_viewports(&vp, chain);
+    let mut canvas = Canvas::empty(vp);
+    let source = canvas.add_area_source(table.clone());
+    let upload: u64 = table.iter().map(|p| (p.num_vertices() * 16) as u64).sum();
+    dev.pipeline().note_upload(upload);
+    let raster_chain = lower_to_raster(vp, chain);
+
+    let (boundary, report) = {
+        let (texels, cover, _) = canvas.planes_mut();
+        dev.pipeline().run_chain_polygons(
+            &vp,
+            texels,
+            cover,
+            table,
+            true,
+            |record, _| Texel::area(record, 1.0, 0.0),
+            |d, s| draw_blend.apply(d, s),
+            &raster_chain,
+        )
+    };
+
+    // render_polygon_set's entry contract, then the operator replay.
+    for (record, pixel) in boundary {
+        canvas.boundary_mut().push_area(crate::boundary::AreaEntry {
+            pixel,
+            source,
+            record,
+        });
+    }
+    canvas.boundary_mut().sort();
+    replay_bookkeeping(&mut canvas, chain, &report.masked);
+
+    ChainOutcome {
+        canvas,
+        tiles: report.tiles,
+        peak_tiles_in_flight: report.peak_tiles_in_flight,
+    }
+}
+
+/// The materialized reference for [`run_polygons_chain`]: the identical
+/// plan executed as `render_polygon_set` followed by one whole-canvas
+/// operator pass per stage.
+pub fn run_polygons_chain_materialized(
+    dev: &mut Device,
+    vp: Viewport,
+    table: &crate::canvas::AreaSource,
+    draw_blend: BlendFn,
     chain: &CanvasChain<'_>,
 ) -> Canvas {
-    let mut c = crate::source::render_points(dev, vp, batch);
+    let c = crate::source::render_polygon_set(dev, vp, table, draw_blend);
+    apply_chain_materialized(dev, c, chain)
+}
+
+/// Applies a chain's operators as separate whole-canvas passes (the
+/// materialized halves of both equivalence harnesses).
+fn apply_chain_materialized(dev: &mut Device, mut c: Canvas, chain: &CanvasChain<'_>) -> Canvas {
     for op in chain.ops() {
         c = match op {
             CanvasOp::Value(f) => {
@@ -271,6 +349,20 @@ pub fn run_points_chain_materialized(
         };
     }
     c
+}
+
+/// The materialized reference: the identical plan executed as separate
+/// whole-canvas operator passes (one intermediate canvas per step).
+/// Exists for the streamed≡materialized equivalence harness and as the
+/// plan-comparison baseline.
+pub fn run_points_chain_materialized(
+    dev: &mut Device,
+    vp: Viewport,
+    batch: &PointBatch,
+    chain: &CanvasChain<'_>,
+) -> Canvas {
+    let c = crate::source::render_points(dev, vp, batch);
+    apply_chain_materialized(dev, c, chain)
 }
 
 #[cfg(test)]
@@ -351,6 +443,64 @@ mod tests {
             );
             assert_eq!(fused.canvas.area_sources().len(), want.area_sources().len());
             assert_eq!(dev_f.stats(), dev_m.stats(), "stats at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn polygon_chain_equals_materialized() {
+        let table: crate::canvas::AreaSource = Arc::new(vec![
+            Polygon::simple(vec![
+                Point::new(1.0, 1.0),
+                Point::new(6.0, 1.0),
+                Point::new(6.0, 6.0),
+                Point::new(1.0, 6.0),
+            ])
+            .unwrap(),
+            Polygon::simple(vec![
+                Point::new(4.0, 4.0),
+                Point::new(9.0, 4.0),
+                Point::new(9.0, 9.0),
+                Point::new(4.0, 9.0),
+            ])
+            .unwrap(),
+        ]);
+        fn mk() -> CanvasChain<'static> {
+            CanvasChain::new()
+                .mask("dense", |t: &Texel| t.get(2).is_some_and(|a| a.v1 >= 2.0))
+                .value(|_, mut t| {
+                    if let Some(mut a) = t.get(2) {
+                        a.v2 = a.v1 * 10.0;
+                        t.set(2, a);
+                    }
+                    t
+                })
+        }
+        for threads in [1usize, 3] {
+            let mut dev_f = Device::cpu_parallel(threads);
+            let mut dev_m = Device::cpu_parallel(threads);
+            let fused = run_polygons_chain(&mut dev_f, vp(16), &table, BlendFn::AreaCount, &mk());
+            let want = run_polygons_chain_materialized(
+                &mut dev_m,
+                vp(16),
+                &table,
+                BlendFn::AreaCount,
+                &mk(),
+            );
+            assert_eq!(fused.canvas.texels(), want.texels(), "threads={threads}");
+            assert_eq!(fused.canvas.cover(), want.cover(), "threads={threads}");
+            assert_eq!(
+                fused.canvas.boundary().areas(),
+                want.boundary().areas(),
+                "threads={threads}"
+            );
+            assert_eq!(dev_f.stats(), dev_m.stats(), "stats at {threads} threads");
+            // Only the overlap region (count 2) survives the mask.
+            for (_, _, t) in fused.canvas.non_null() {
+                let a = t.get(2).unwrap();
+                assert!(a.v1 >= 2.0);
+                assert_eq!(a.v2, a.v1 * 10.0);
+            }
+            assert!(!fused.canvas.is_empty());
         }
     }
 

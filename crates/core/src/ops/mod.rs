@@ -24,7 +24,8 @@ pub mod value;
 
 pub use blend::{blend, multiway_blend};
 pub use chain::{
-    run_points_chain, run_points_chain_materialized, CanvasChain, CanvasOp, ChainOutcome,
+    run_points_chain, run_points_chain_materialized, run_polygons_chain,
+    run_polygons_chain_materialized, CanvasChain, CanvasOp, ChainOutcome,
 };
 pub use dissect::{dissect, dissect_iter, dissect_par, map_scatter};
 pub use mask::{mask, CountCond, MaskSpec};

@@ -21,15 +21,17 @@
 //! plan as separate whole-canvas passes; the equivalence harness
 //! asserts the two are bit-identical at any thread count.
 
-use crate::canvas::{Canvas, PointBatch};
+use crate::canvas::{AreaSource, Canvas, PointBatch};
 use crate::device::Device;
 use crate::info::{BlendFn, Texel};
 use crate::ops::chain::{
-    run_points_chain, run_points_chain_materialized, CanvasChain, ChainOutcome,
+    run_points_chain, run_points_chain_materialized, run_polygons_chain,
+    run_polygons_chain_materialized, CanvasChain, ChainOutcome,
 };
-use crate::source::render_query_polygon;
+use crate::source::{render_polygon_with, render_query_polygon};
 use canvas_geom::polygon::Polygon;
 use canvas_raster::Viewport;
+use std::sync::Arc;
 
 /// The heatmap chain over a rendered query-polygon canvas.
 fn heat_chain(cq: &Canvas) -> CanvasChain<'_> {
@@ -69,6 +71,82 @@ pub fn selection_heatmap_materialized(
 ) -> Canvas {
     let cq = render_query_polygon(dev, vp, q.clone(), 1);
     run_points_chain_materialized(dev, vp, data, &heat_chain(&cq))
+}
+
+// ---------------------------------------------------------------------
+// Polygon-density (choropleth) heatmap — the polygon-table fused chain.
+// ---------------------------------------------------------------------
+
+/// Count tag rendered into the query-region canvas: far above any real
+/// overlap count (f32 holds integers exactly to 2²⁴), so after the
+/// `⊕` blend a pixel's 2-row count decomposes as
+/// `inside_query · TAG + polygon_count`. This is the canvas-algebra
+/// trick of encoding a constraint in the value rows — the same coarse
+/// (texel-level) resolution argument as the selection heatmap applies:
+/// a heatmap is a pixel-resolution product.
+const QUERY_TAG: f32 = (1u32 << 20) as f32;
+
+/// The choropleth chain over a tag-rendered query-region canvas:
+/// `V[log](M[inside ∧ dense](B[⊕](C_Y*, C_tag)))`.
+fn density_chain(ctag: &Canvas) -> CanvasChain<'_> {
+    CanvasChain::new()
+        .blend(ctag, BlendFn::AreaCount)
+        .mask("inside query ∧ ≥1 polygon", |t: &Texel| {
+            t.get(2).is_some_and(|a| a.v1 > QUERY_TAG)
+        })
+        .value(|_, mut t| {
+            if let Some(mut a) = t.get(2) {
+                a.v1 -= QUERY_TAG;
+                a.v2 = (1.0 + a.v1).ln();
+                t.set(2, a);
+            }
+            t
+        })
+}
+
+/// Renders the query region with the count tag (id `u32::MAX` so it can
+/// never shadow a table record id).
+fn render_query_tag(dev: &mut Device, vp: Viewport, q: &Polygon) -> Canvas {
+    let table: AreaSource = Arc::new(vec![q.clone()]);
+    render_polygon_with(
+        dev,
+        vp,
+        &table,
+        0,
+        Texel::area(u32::MAX, QUERY_TAG, 0.0),
+        true,
+    )
+}
+
+/// Polygon-density heatmap (choropleth) of a polygon table restricted
+/// to a query region, executed as one **fused polygon chain** over
+/// `Pipeline::run_chain_polygons`: the instanced table draw accumulates
+/// per-pixel overlap counts (`B*[⊕](C_Y*)`), and each finished tile
+/// streams through blend-with-the-tagged-query-region → mask → log
+/// value transform before it is blitted — no intermediate canvas is
+/// ever materialized. Surviving pixels carry the polygon overlap count
+/// in the 2-row's `v1` and `ln(1 + count)` in `v2`.
+pub fn polygon_density_heatmap(
+    dev: &mut Device,
+    vp: Viewport,
+    table: &AreaSource,
+    q: &Polygon,
+) -> ChainOutcome {
+    let ctag = render_query_tag(dev, vp, q);
+    run_polygons_chain(dev, vp, table, BlendFn::AreaCount, &density_chain(&ctag))
+}
+
+/// The identical choropleth plan executed as separate whole-canvas
+/// operator passes — the materialized reference for the equivalence
+/// harness.
+pub fn polygon_density_heatmap_materialized(
+    dev: &mut Device,
+    vp: Viewport,
+    table: &AreaSource,
+    q: &Polygon,
+) -> Canvas {
+    let ctag = render_query_tag(dev, vp, q);
+    run_polygons_chain_materialized(dev, vp, table, BlendFn::AreaCount, &density_chain(&ctag))
 }
 
 #[cfg(test)]
@@ -130,6 +208,78 @@ mod tests {
                 assert!(t.has(2), "surviving pixels lie inside the query");
             }
         }
+    }
+
+    fn zone_table() -> AreaSource {
+        // Overlapping square zones so overlap counts span 0..=3, some
+        // crossing the query region's boundary.
+        let sq = |x0: f64, y0: f64, s: f64| {
+            Polygon::simple(vec![
+                Point::new(x0, y0),
+                Point::new(x0 + s, y0),
+                Point::new(x0 + s, y0 + s),
+                Point::new(x0, y0 + s),
+            ])
+            .unwrap()
+        };
+        Arc::new(vec![
+            sq(10.0, 10.0, 45.0),
+            sq(30.0, 25.0, 40.0),
+            sq(40.0, 35.0, 35.0),
+            sq(85.0, 85.0, 10.0), // outside the query region
+        ])
+    }
+
+    #[test]
+    fn polygon_density_fused_equals_materialized() {
+        let table = zone_table();
+        for threads in [1usize, 4] {
+            let mut dev_f = Device::cpu_parallel(threads);
+            let mut dev_m = Device::cpu_parallel(threads);
+            let fused = polygon_density_heatmap(&mut dev_f, vp(), &table, &q());
+            let want = polygon_density_heatmap_materialized(&mut dev_m, vp(), &table, &q());
+            assert_eq!(fused.canvas.texels(), want.texels(), "threads={threads}");
+            assert_eq!(fused.canvas.cover(), want.cover(), "threads={threads}");
+            assert_eq!(
+                fused.canvas.boundary().areas(),
+                want.boundary().areas(),
+                "threads={threads}"
+            );
+            assert_eq!(dev_f.stats(), dev_m.stats(), "stats at {threads} threads");
+            // Surviving pixels: inside the query region, ≥1 zone,
+            // log-scaled density; the tag never leaks out.
+            assert!(!fused.canvas.is_empty());
+            let mut max_count = 0.0f32;
+            for (_, _, t) in fused.canvas.non_null() {
+                let a = t.get(2).expect("2-row survives");
+                assert!(a.v1 >= 1.0 && a.v1 < QUERY_TAG);
+                assert_eq!(a.v2, (1.0 + a.v1).ln());
+                max_count = max_count.max(a.v1);
+            }
+            assert!(max_count >= 2.0, "zones overlap inside the query");
+            // The fused run streamed tiles within the policy window.
+            if threads > 1 {
+                let pool = dev_f.pool();
+                let window = pool.policy().stream_window(pool.worker_count());
+                assert!(fused.peak_tiles_in_flight <= window);
+                assert!(fused.tiles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_density_empty_outside_query() {
+        // Only the far-corner zone exists: nothing inside the query.
+        let table: AreaSource = Arc::new(vec![Polygon::simple(vec![
+            Point::new(86.0, 86.0),
+            Point::new(95.0, 86.0),
+            Point::new(95.0, 95.0),
+            Point::new(86.0, 95.0),
+        ])
+        .unwrap()]);
+        let mut dev = Device::cpu();
+        let heat = polygon_density_heatmap(&mut dev, vp(), &table, &q());
+        assert!(heat.canvas.is_empty());
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! The memory-budgeted canvas/result cache.
+//!
+//! The paper's interactive setting re-evaluates the *same* plan over
+//! and over: every pan/zoom step resubmits the selection or heatmap
+//! plan, and returning to a recently-visited viewport re-asks an
+//! already-answered question. SPADE (the served follow-up engine)
+//! answers those from a result cache; this module is that cache for
+//! the canvas algebra.
+//!
+//! Entries are keyed `(plan fingerprint, viewport)` — the fingerprint
+//! captures *what* is asked (normalized plan structure, see
+//! `canvas_core::algebra::fingerprint`), the viewport *where*. Values
+//! are immutable shared canvases (`Arc<Canvas>`), so a hit costs one
+//! reference bump and is bit-identical to the evaluation that produced
+//! it, by construction.
+//!
+//! Eviction is least-recently-used under a **byte budget** (canvases
+//! are large; entry counts are meaningless). An entry larger than the
+//! whole budget is never admitted. All traffic is counted in
+//! [`CacheStats`] — the serving bench's cache fields read them.
+
+use canvas_core::algebra::Fingerprint;
+use canvas_core::Canvas;
+use canvas_raster::Viewport;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// A type-erased keep-alive handle. Fingerprints identify big datasets
+/// by `Arc` address, so every cache entry pins the dataset handles its
+/// key hashed: as long as the entry is resident the address cannot be
+/// freed and reused by a *different* dataset (which would alias a stale
+/// canvas onto a new question).
+pub type DataPin = Arc<dyn std::any::Any + Send + Sync>;
+
+/// Hashable identity of a [`Viewport`] (bit-exact world box + grid).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ViewportKey {
+    min: (u64, u64),
+    max: (u64, u64),
+    dims: (u32, u32),
+}
+
+impl From<&Viewport> for ViewportKey {
+    fn from(vp: &Viewport) -> Self {
+        let w = vp.world();
+        ViewportKey {
+            min: (w.min.x.to_bits(), w.min.y.to_bits()),
+            max: (w.max.x.to_bits(), w.max.y.to_bits()),
+            dims: (vp.width(), vp.height()),
+        }
+    }
+}
+
+/// Cache key: what is asked × where it is asked.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    pub fingerprint: Fingerprint,
+    pub viewport: ViewportKey,
+}
+
+impl CacheKey {
+    pub fn new(fingerprint: Fingerprint, vp: &Viewport) -> Self {
+        CacheKey {
+            fingerprint,
+            viewport: ViewportKey::from(vp),
+        }
+    }
+}
+
+/// Traffic counters of a [`CanvasCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Insertions refused because the entry alone exceeds the budget.
+    pub rejected_oversize: u64,
+    /// Bytes currently resident.
+    pub bytes: usize,
+    /// High-water mark of resident bytes.
+    pub peak_bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over probes (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+struct Entry {
+    canvas: Arc<Canvas>,
+    /// Keeps the by-address-fingerprinted datasets alive (see [`DataPin`]).
+    _pins: Vec<DataPin>,
+    bytes: usize,
+    /// Recency stamp; also the entry's key in `order`.
+    tick: u64,
+}
+
+struct Inner {
+    budget: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    /// Recency index: ascending tick = least recently used first.
+    order: BTreeMap<u64, CacheKey>,
+    stats: CacheStats,
+}
+
+/// A thread-safe budgeted LRU canvas cache (see module docs).
+pub struct CanvasCache {
+    inner: Mutex<Inner>,
+}
+
+impl CanvasCache {
+    /// A cache holding at most `budget_bytes` of canvas planes
+    /// (`Canvas::size_bytes`). A budget of 0 disables caching — every
+    /// probe misses, every insert is rejected.
+    pub fn new(budget_bytes: usize) -> Self {
+        CanvasCache {
+            inner: Mutex::new(Inner {
+                budget: budget_bytes,
+                tick: 0,
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Probes the cache, refreshing the entry's recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Canvas>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.tick, tick);
+                let canvas = Arc::clone(&entry.canvas);
+                inner.order.remove(&old);
+                inner.order.insert(tick, *key);
+                inner.stats.hits += 1;
+                Some(canvas)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, then evicts least-recently-used
+    /// entries until the budget holds. `pins` are the dataset handles
+    /// the key's fingerprint identified by address (see [`DataPin`]).
+    /// Returns the number of evictions this insert caused.
+    pub fn insert(&self, key: CacheKey, canvas: Arc<Canvas>, pins: Vec<DataPin>) -> u64 {
+        let bytes = canvas.size_bytes();
+        let mut inner = self.lock();
+        if bytes > inner.budget {
+            inner.stats.rejected_oversize += 1;
+            return 0;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            // Re-insert of a live key (e.g. two leaders raced): replace.
+            inner.order.remove(&old.tick);
+            inner.stats.bytes -= old.bytes;
+            inner.stats.entries -= 1;
+        }
+        inner.order.insert(tick, key);
+        inner.map.insert(
+            key,
+            Entry {
+                canvas,
+                _pins: pins,
+                bytes,
+                tick,
+            },
+        );
+        inner.stats.bytes += bytes;
+        inner.stats.entries += 1;
+        inner.stats.insertions += 1;
+        inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.bytes);
+
+        let mut evicted = 0;
+        while inner.stats.bytes > inner.budget {
+            let (&lru_tick, &lru_key) = inner
+                .order
+                .iter()
+                .next()
+                .expect("over budget implies a resident entry");
+            // The just-inserted entry fits the budget on its own (the
+            // oversize check), so eviction always terminates before
+            // removing it — unless it IS the only entry, which the
+            // check makes impossible.
+            debug_assert!(lru_tick != tick || inner.map.len() == 1);
+            inner.order.remove(&lru_tick);
+            let gone = inner.map.remove(&lru_key).expect("order/map in sync");
+            inner.stats.bytes -= gone.bytes;
+            inner.stats.entries -= 1;
+            inner.stats.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.lock().budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::{BBox, Point};
+
+    fn vp(n: u32) -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            n,
+            n,
+        )
+    }
+
+    fn key(fp: u128, vp: &Viewport) -> CacheKey {
+        CacheKey::new(Fingerprint(fp), vp)
+    }
+
+    fn canvas(n: u32) -> Arc<Canvas> {
+        Arc::new(Canvas::empty(vp(n)))
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_counts() {
+        let cache = CanvasCache::new(1 << 20);
+        let c = canvas(8);
+        let k = key(1, &vp(8));
+        assert!(cache.get(&k).is_none());
+        cache.insert(k, Arc::clone(&c), Vec::new());
+        let hit = cache.get(&k).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &c));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((0.49..0.51).contains(&s.hit_rate()));
+    }
+
+    #[test]
+    fn distinct_viewports_are_distinct_entries() {
+        let cache = CanvasCache::new(1 << 20);
+        let k8 = key(1, &vp(8));
+        let k16 = key(1, &vp(16));
+        assert_ne!(k8, k16);
+        cache.insert(k8, canvas(8), Vec::new());
+        assert!(cache.get(&k16).is_none());
+        assert!(cache.get(&k8).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_budget() {
+        let one = canvas(16).size_bytes();
+        // Room for two entries, not three.
+        let cache = CanvasCache::new(2 * one + one / 2);
+        let keys: Vec<CacheKey> = (0..3).map(|i| key(i, &vp(16))).collect();
+        cache.insert(keys[0], canvas(16), Vec::new());
+        cache.insert(keys[1], canvas(16), Vec::new());
+        // Touch 0 so 1 is the LRU.
+        assert!(cache.get(&keys[0]).is_some());
+        let evicted = cache.insert(keys[2], canvas(16), Vec::new());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes <= 2 * one + one / 2);
+        assert!(s.peak_bytes >= s.bytes);
+    }
+
+    #[test]
+    fn oversize_and_zero_budget_reject() {
+        let cache = CanvasCache::new(0);
+        let k = key(9, &vp(8));
+        assert_eq!(cache.insert(k, canvas(8), Vec::new()), 0);
+        assert!(cache.get(&k).is_none());
+        let s = cache.stats();
+        assert_eq!(s.rejected_oversize, 1);
+        assert_eq!(s.entries, 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! The concurrent query-serving engine.
+//!
+//! [`QueryEngine::execute`] is the single entry point: any number of
+//! client threads call it simultaneously with a [`Query`] and a
+//! viewport. A submission flows through four stations:
+//!
+//! ```text
+//! submit ── prepare ──► cache probe ──► in-flight dedup ──► admission ──► fair-share execute
+//!            (normalize     hit? ◄─┐        follower waits      bounded       leased device,
+//!             + fingerprint)  done ┘        for the leader     concurrency    per-query ticket
+//! ```
+//!
+//! * **Prepare** normalizes the plan and computes its structural
+//!   fingerprint (`canvas_core::algebra::fingerprint`).
+//! * **Cache** — a hit returns the shared canvas immediately
+//!   (bit-identical by construction: the cache stores the `Arc` the
+//!   original evaluation produced).
+//! * **In-flight dedup** — a submission whose key is already being
+//!   evaluated *coalesces*: it parks until the leader publishes, then
+//!   shares that result instead of re-evaluating.
+//! * **Admission control** bounds concurrently-executing queries and
+//!   the waiting line behind them; beyond the line the engine sheds
+//!   load ([`EngineError::Overloaded`]) instead of collapsing.
+//! * **Execution** leases a device over the shared worker pool
+//!   ([`SharedDevice`]) under a fresh pass-scheduling ticket, so
+//!   concurrent queries interleave *passes* fairly on the pool
+//!   instead of queueing whole-query behind a lock.
+
+use crate::cache::{CacheKey, CacheStats, CanvasCache};
+use crate::query::Query;
+use canvas_core::algebra::Fingerprint;
+use canvas_core::{Canvas, SharedDevice};
+use canvas_raster::{Calibration, SchedulerStats, Viewport};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Concurrent executors of the shared worker pool (1 = inline).
+    pub threads: usize,
+    /// Queries evaluating simultaneously; more wait at admission.
+    pub max_concurrent: usize,
+    /// Submissions allowed to wait at admission before the engine
+    /// sheds load.
+    pub max_queue: usize,
+    /// Canvas cache budget in bytes; 0 disables caching.
+    pub cache_budget_bytes: usize,
+    /// Measure pool dispatch latency at startup and derive
+    /// `Policy::min_parallel_items` from it (the static default stays
+    /// as fallback).
+    pub calibrate: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineConfig {
+            threads,
+            max_concurrent: threads.max(2),
+            max_queue: 64,
+            cache_budget_bytes: 256 << 20,
+            calibrate: true,
+        }
+    }
+}
+
+/// Why a submission was not served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Admission queue full; retry later (classic load shedding).
+    Overloaded { executing: usize, queued: usize },
+    /// The leader evaluating this same query panicked; the coalesced
+    /// followers get the panic message instead of hanging.
+    LeaderFailed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Overloaded { executing, queued } => {
+                write!(
+                    f,
+                    "engine overloaded ({executing} executing, {queued} queued)"
+                )
+            }
+            EngineError::LeaderFailed(msg) => write!(f, "deduplicated leader failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How a served response was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Evaluated here, now cached.
+    Computed,
+    /// Returned straight from the canvas cache.
+    CacheHit,
+    /// Shared an in-flight evaluation of the same key.
+    Coalesced,
+}
+
+/// A served query result.
+pub struct Response {
+    /// The result canvas — shared, immutable; clone the inner canvas
+    /// if mutation is needed.
+    pub canvas: Arc<Canvas>,
+    pub fingerprint: Fingerprint,
+    pub served: Served,
+    /// Time spent waiting at admission (zero for hits/coalesced).
+    pub queue_wait: Duration,
+    /// Evaluation time (zero for cache hits; the leader's wall time is
+    /// *not* charged to coalesced followers — they report their park
+    /// time here).
+    pub exec: Duration,
+}
+
+/// One in-flight evaluation other submitters can latch onto. The slot
+/// carries the full outcome — including a structured [`EngineError`] —
+/// so a follower coalesced onto a shed leader still sees `Overloaded`
+/// (the retry signal), not a generic failure.
+struct InFlight {
+    slot: Mutex<Option<Result<Arc<Canvas>, EngineError>>>,
+    done: Condvar,
+}
+
+/// Counting semaphore with a bounded **FIFO** waiting line: waiters
+/// hold arrival sequence numbers and only the front waiter may take a
+/// freed permit, so a fresh arrival can never barge past a parked one
+/// (unbounded tail latency would contradict the engine's fair-share
+/// story).
+struct Admission {
+    state: Mutex<AdmState>,
+    freed: Condvar,
+}
+
+struct AdmState {
+    permits: usize,
+    executing: usize,
+    next_seq: u64,
+    queue: std::collections::VecDeque<u64>,
+    peak_queued: usize,
+    shed: u64,
+}
+
+impl Admission {
+    fn new(permits: usize) -> Self {
+        Admission {
+            state: Mutex::new(AdmState {
+                permits: permits.max(1),
+                executing: 0,
+                next_seq: 0,
+                queue: std::collections::VecDeque::new(),
+                peak_queued: 0,
+                shed: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, max_queue: usize) -> Result<(), EngineError> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Fast path only when nobody is queued — otherwise join the
+        // line behind them even if a permit is momentarily free.
+        if st.executing < st.permits && st.queue.is_empty() {
+            st.executing += 1;
+            return Ok(());
+        }
+        if st.queue.len() >= max_queue {
+            st.shed += 1;
+            return Err(EngineError::Overloaded {
+                executing: st.executing,
+                queued: st.queue.len(),
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push_back(seq);
+        st.peak_queued = st.peak_queued.max(st.queue.len());
+        while !(st.executing < st.permits && st.queue.front() == Some(&seq)) {
+            st = self
+                .freed
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.queue.pop_front();
+        st.executing += 1;
+        // The next-in-line waiter may also be eligible (multiple
+        // permits freed while we were at the front).
+        drop(st);
+        self.freed.notify_all();
+        Ok(())
+    }
+
+    fn release(&self) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.executing -= 1;
+        drop(st);
+        // Only the front waiter may proceed; wake everyone and let the
+        // predicate sort it out (lines are short — max_queue bounded).
+        self.freed.notify_all();
+    }
+}
+
+/// Latency aggregate (seconds) over one response class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub total_secs: f64,
+    pub max_secs: f64,
+}
+
+impl LatencyStats {
+    fn record(&mut self, d: Duration) {
+        let s = d.as_secs_f64();
+        self.count += 1;
+        self.total_secs += s;
+        self.max_secs = self.max_secs.max(s);
+    }
+
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs / self.count as f64
+        }
+    }
+}
+
+/// Engine-level counters (cache traffic lives in [`CacheStats`],
+/// scheduler fairness in [`SchedulerStats`]).
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    pub submitted: u64,
+    pub computed: u64,
+    pub cache_hits: u64,
+    pub coalesced: u64,
+    pub shed: u64,
+    pub failed: u64,
+    pub peak_queued: usize,
+    /// End-to-end latency of successfully served submissions.
+    pub service: LatencyStats,
+    /// Evaluation-only latency of computed submissions.
+    pub exec: LatencyStats,
+    /// Admission-wait latency of computed submissions.
+    pub queue_wait: LatencyStats,
+}
+
+impl EngineMetrics {
+    /// Hits + coalesced over all served submissions: the fraction of
+    /// traffic that never re-evaluated anything.
+    pub fn reuse_rate(&self) -> f64 {
+        let served = self.computed + self.cache_hits + self.coalesced;
+        if served == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.coalesced) as f64 / served as f64
+        }
+    }
+}
+
+/// The serving engine (see module docs). Cheap to share: wrap in an
+/// `Arc` and hand clones to every client thread.
+pub struct QueryEngine {
+    shared: SharedDevice,
+    cache: CanvasCache,
+    admission: Admission,
+    max_queue: usize,
+    inflight: Mutex<HashMap<CacheKey, Arc<InFlight>>>,
+    metrics: Mutex<EngineMetrics>,
+    calibration: Option<Calibration>,
+}
+
+impl QueryEngine {
+    /// Engine over a fresh `threads`-wide pool with default limits.
+    pub fn new(threads: usize) -> Self {
+        Self::with_config(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        })
+    }
+
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        let mut pool = canvas_raster::WorkerPool::new(cfg.threads.max(1));
+        let calibration = if cfg.calibrate {
+            Some(pool.calibrate())
+        } else {
+            None
+        };
+        let threads = pool.threads();
+        let shared = SharedDevice::with_pool(
+            canvas_raster::DeviceProfile::cpu_parallel_n(threads),
+            Arc::new(pool),
+        );
+        QueryEngine {
+            shared,
+            cache: CanvasCache::new(cfg.cache_budget_bytes),
+            admission: Admission::new(cfg.max_concurrent),
+            max_queue: cfg.max_queue,
+            inflight: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(EngineMetrics::default()),
+            calibration,
+        }
+    }
+
+    /// Serves one query (callable from any number of threads).
+    pub fn execute(&self, query: &Query, vp: Viewport) -> Result<Response, EngineError> {
+        let t_submit = Instant::now();
+        {
+            let mut m = self.metrics_mut();
+            m.submitted += 1;
+        }
+        let prepared = query.prepare();
+        let key = CacheKey::new(prepared.fingerprint, &vp);
+
+        // Station 1: the cache.
+        if let Some(canvas) = self.cache.get(&key) {
+            let service = t_submit.elapsed();
+            let mut m = self.metrics_mut();
+            m.cache_hits += 1;
+            m.service.record(service);
+            return Ok(Response {
+                canvas,
+                fingerprint: prepared.fingerprint,
+                served: Served::CacheHit,
+                queue_wait: Duration::ZERO,
+                exec: Duration::ZERO,
+            });
+        }
+
+        // Station 2: in-flight dedup — one leader per key, everyone
+        // else coalesces onto its result.
+        let (flight, leader) = {
+            let mut inflight = self
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match inflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(InFlight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            let t_park = Instant::now();
+            let mut slot = flight
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while slot.is_none() {
+                slot = flight
+                    .done
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            let outcome = slot.as_ref().expect("published").clone();
+            drop(slot);
+            let exec = t_park.elapsed();
+            let service = t_submit.elapsed();
+            return match outcome {
+                Ok(canvas) => {
+                    let mut m = self.metrics_mut();
+                    m.coalesced += 1;
+                    m.service.record(service);
+                    Ok(Response {
+                        canvas,
+                        fingerprint: prepared.fingerprint,
+                        served: Served::Coalesced,
+                        queue_wait: Duration::ZERO,
+                        exec,
+                    })
+                }
+                Err(e) => {
+                    self.metrics_mut().failed += 1;
+                    Err(e)
+                }
+            };
+        }
+
+        // Leader path. Whatever happens (admission shed, panic,
+        // success), the in-flight entry must be resolved and removed,
+        // or followers hang forever.
+        //
+        // Re-probe the cache first: between our miss above and winning
+        // leadership here, the previous leader for this key may have
+        // published (it inserts into the cache *before* retiring its
+        // in-flight entry, so this double-check can never miss a
+        // completed evaluation).
+        if let Some(canvas) = self.cache.get(&key) {
+            self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
+            let service = t_submit.elapsed();
+            let mut m = self.metrics_mut();
+            m.cache_hits += 1;
+            m.service.record(service);
+            return Ok(Response {
+                canvas,
+                fingerprint: prepared.fingerprint,
+                served: Served::CacheHit,
+                queue_wait: Duration::ZERO,
+                exec: Duration::ZERO,
+            });
+        }
+        let t_adm = Instant::now();
+        let admitted = self.admission.acquire(self.max_queue);
+        let queue_wait = t_adm.elapsed();
+        if let Err(e) = admitted {
+            // shed/peak_queued are tracked by the admission gate itself
+            // and folded in by `metrics()`. Followers coalesced onto
+            // this key receive the same structured `Overloaded`.
+            self.publish(&key, &flight, Err(e.clone()));
+            return Err(e);
+        }
+
+        let t_exec = Instant::now();
+        let ticket = self.shared.pool().register_ticket();
+        let pool = Arc::clone(self.shared.pool());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with_ticket(ticket, || self.shared.run(|dev| prepared.execute(dev, vp)))
+        }));
+        self.admission.release();
+        let exec = t_exec.elapsed();
+
+        match outcome {
+            Ok(canvas) => {
+                let canvas = Arc::new(canvas);
+                // The entry pins the query's dataset handles: fingerprints
+                // identify datasets by Arc address, so a cached result
+                // must keep those addresses alive (a freed-and-reused
+                // allocation could otherwise alias a different dataset
+                // onto an old key).
+                self.cache
+                    .insert(key, Arc::clone(&canvas), prepared.pins().to_vec());
+                self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
+                let service = t_submit.elapsed();
+                let mut m = self.metrics_mut();
+                m.computed += 1;
+                m.exec.record(exec);
+                m.queue_wait.record(queue_wait);
+                m.service.record(service);
+                Ok(Response {
+                    canvas,
+                    fingerprint: prepared.fingerprint,
+                    served: Served::Computed,
+                    queue_wait,
+                    exec,
+                })
+            }
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                self.publish(&key, &flight, Err(EngineError::LeaderFailed(msg)));
+                self.metrics_mut().failed += 1;
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Publishes the leader's outcome to coalesced followers and
+    /// retires the in-flight entry.
+    fn publish(
+        &self,
+        key: &CacheKey,
+        flight: &Arc<InFlight>,
+        outcome: Result<Arc<Canvas>, EngineError>,
+    ) {
+        {
+            let mut slot = flight
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *slot = Some(outcome);
+        }
+        flight.done.notify_all();
+        let mut inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inflight.remove(key);
+    }
+
+    fn metrics_mut(&self) -> std::sync::MutexGuard<'_, EngineMetrics> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Engine counters snapshot.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut m = self.metrics_mut().clone();
+        let st = self
+            .admission
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        m.peak_queued = st.peak_queued;
+        m.shed = st.shed;
+        m
+    }
+
+    /// Canvas cache traffic snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Fair-gate grant accounting of the shared pool.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.shared.pool().scheduler_stats()
+    }
+
+    /// The shared evaluation substrate (pool + accumulated work stats).
+    pub fn shared(&self) -> &SharedDevice {
+        &self.shared
+    }
+
+    /// The startup calibration, if [`EngineConfig::calibrate`] ran and
+    /// produced a measurement.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query evaluation panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_sheds_beyond_queue_bound() {
+        let adm = Admission::new(1);
+        adm.acquire(4).unwrap();
+        // Permit taken, queue bound 0: immediate shed.
+        assert!(matches!(
+            adm.acquire(0),
+            Err(EngineError::Overloaded { queued: 0, .. })
+        ));
+        adm.release();
+        adm.acquire(0).unwrap();
+        adm.release();
+        let st = adm
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(st.shed, 1);
+        assert_eq!(st.executing, 0);
+    }
+
+    #[test]
+    fn admission_is_fifo_no_barging() {
+        let adm = Arc::new(Admission::new(1));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        adm.acquire(8).unwrap(); // main holds the only permit
+        let w = {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                adm.acquire(8).unwrap();
+                order.lock().unwrap().push("first-waiter");
+                adm.release();
+            })
+        };
+        // Let the first waiter park, then race a late arrival against
+        // the permit release: with FIFO handoff the late arrival must
+        // queue behind the parked waiter even if it observes a free
+        // permit first.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let late = {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                adm.acquire(8).unwrap();
+                order.lock().unwrap().push("late-arrival");
+                adm.release();
+            })
+        };
+        adm.release();
+        w.join().unwrap();
+        late.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["first-waiter", "late-arrival"]);
+    }
+}

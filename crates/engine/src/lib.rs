@@ -1,0 +1,50 @@
+//! # canvas-engine
+//!
+//! The **concurrent query-serving subsystem** of the canvas-algebra
+//! workspace: the layer that turns "evaluate one `Expr` fast" into
+//! "serve many clients' queries at once over one shared executor".
+//!
+//! The paper positions the canvas algebra as the execution layer for
+//! interactive spatial queries; its follow-up engine (SPADE, PAPERS.md)
+//! serves that algebra behind an optimizer and a cache, and 3DPipe
+//! pipelines many concurrent join tasks over one accelerator. This
+//! crate reproduces that serving shape on the workspace's executor:
+//!
+//! ```text
+//!  clients ──► QueryEngine::execute(query, viewport)
+//!                │
+//!                ├─ 1. prepare    normalize plan → structural fingerprint
+//!                ├─ 2. cache      (fingerprint, viewport) → Arc<Canvas>   [budgeted LRU]
+//!                ├─ 3. dedup      identical in-flight key? coalesce onto the leader
+//!                ├─ 4. admission  bounded concurrency + bounded queue (shed beyond)
+//!                └─ 5. execute    leased SharedDevice over ONE WorkerPool,
+//!                                 per-query ticket → passes interleave FAIRLY
+//!                                 (bounded quantum, no whole-query head-of-line)
+//! ```
+//!
+//! Layer responsibilities:
+//!
+//! * `canvas-executor` provides the **fair pass gate** (tickets +
+//!   quantum; `WorkerPool::register_ticket` / `with_ticket`) and the
+//!   startup **calibration** of the minimum-work threshold,
+//! * `canvas-core` provides plan **normalization + fingerprinting**
+//!   (`algebra::fingerprint`) and the **shared-state eval path**
+//!   (`SharedDevice`),
+//! * this crate adds the [`Query`] descriptors, the budgeted
+//!   [`CanvasCache`], admission control, in-flight deduplication, and
+//!   per-query latency metrics.
+//!
+//! Every cached or coalesced response is the *same* `Arc<Canvas>` the
+//! original evaluation produced — bit-identical by construction, and
+//! asserted against fresh single-threaded evaluation in the
+//! concurrency stress tests (`tests/engine_stress.rs`).
+
+pub mod cache;
+pub mod engine;
+pub mod query;
+
+pub use cache::{CacheKey, CacheStats, CanvasCache, DataPin, ViewportKey};
+pub use engine::{
+    EngineConfig, EngineError, EngineMetrics, LatencyStats, QueryEngine, Response, Served,
+};
+pub use query::{Prepared, Query};

@@ -1,0 +1,309 @@
+//! Query descriptors — the engine's admission surface.
+//!
+//! Clients either hand the engine a raw algebra plan ([`Query::Plan`])
+//! or one of the high-level descriptors mirroring the paper's query
+//! classes (selection §4.1, heatmaps §4.1 fused, aggregation §4.3).
+//! Every descriptor resolves to a [`Prepared`] form carrying:
+//!
+//! * the **normalized identity** — descriptors lowering to `Expr`
+//!   plans are normalized through `algebra::normalize` and fingerprinted
+//!   structurally, so syntactically different but equivalent
+//!   submissions (and identical submissions from different clients)
+//!   share cache entries and in-flight work;
+//! * the **runner** — either the normalized plan (evaluated through
+//!   `Expr::eval`) or one of the fused chain executors
+//!   (`selection_heatmap`, `polygon_density_heatmap`), which do not
+//!   flow through `Expr` and are fingerprinted from their descriptor
+//!   parameters directly (same identity contract: datasets by handle,
+//!   query geometry by value).
+
+use canvas_core::algebra::{self, Expr, Fingerprint};
+use canvas_core::canvas::{AreaSource, PointBatch};
+use canvas_core::info::BlendFn;
+use canvas_core::ops::{CountCond, MaskSpec, ValueMap};
+use canvas_core::queries::heatmap;
+use canvas_core::{Canvas, Device};
+use canvas_geom::polygon::Polygon;
+use canvas_raster::Viewport;
+use std::sync::Arc;
+
+/// A query submitted to the engine (viewport-free: the viewport is the
+/// other half of the cache key and is passed at execution time).
+#[derive(Clone)]
+pub enum Query {
+    /// A raw algebra plan; evaluates to its canvas.
+    Plan(Expr),
+    /// `SELECT * FROM data WHERE Location INSIDE q` (Figure 5) — the
+    /// result canvas's boundary index carries the selected records.
+    SelectPoints { data: Arc<PointBatch>, q: Polygon },
+    /// The fused selection heatmap `V[log](M[Mp](B[⊙](C_P, C_Q)))`.
+    SelectionHeatmap { data: Arc<PointBatch>, q: Polygon },
+    /// The fused choropleth `V[log](M[…](B[⊕](C_Y*, C_tag)))`.
+    PolygonDensity { table: AreaSource, q: Polygon },
+    /// Per-zone aggregation as the Section 4.3 scatter plan:
+    /// `D*[γc](M[Mp'](B[⊙](C_P, B*[⊕](C_Y*))))` — the result canvas is
+    /// the group-slot canvas (zone id → slot).
+    AggregateByZone {
+        data: Arc<PointBatch>,
+        zones: AreaSource,
+    },
+}
+
+impl Query {
+    /// Plan-diagram-style label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Query::Plan(_) => "plan",
+            Query::SelectPoints { .. } => "select_points",
+            Query::SelectionHeatmap { .. } => "selection_heatmap",
+            Query::PolygonDensity { .. } => "polygon_density",
+            Query::AggregateByZone { .. } => "aggregate_by_zone",
+        }
+    }
+
+    /// Resolves the descriptor to its normalized, fingerprinted,
+    /// executable form.
+    pub fn prepare(&self) -> Prepared {
+        match self {
+            Query::Plan(e) => Prepared::from_expr(e.clone()),
+            Query::SelectPoints { data, q } => Prepared::from_expr(Expr::mask(
+                MaskSpec::PointInAreas(CountCond::Ge(1)),
+                Expr::blend(
+                    BlendFn::PointOverArea,
+                    Expr::points(data.clone()),
+                    Expr::query_polygon(q.clone(), 1),
+                ),
+            )),
+            Query::SelectionHeatmap { data, q } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/selection-heatmap");
+                fb.handle(data, data.len()).polygon(q);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::SelectionHeatmap {
+                        data: data.clone(),
+                        q: q.clone(),
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
+            Query::PolygonDensity { table, q } => {
+                // Polygon tables hash by value like every polygon leaf,
+                // so a client that rebuilds the same table still
+                // deduplicates.
+                let mut fb = algebra::FingerprintBuilder::new("engine/polygon-density");
+                fb.word(table.len() as u64);
+                for p in table.iter() {
+                    fb.polygon(p);
+                }
+                fb.polygon(q);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::PolygonDensity {
+                        table: table.clone(),
+                        q: q.clone(),
+                    },
+                    // Table and query polygon hash by value — nothing
+                    // is identified by address, nothing to pin.
+                    pins: Vec::new(),
+                }
+            }
+            Query::AggregateByZone { data, zones } => Prepared::from_expr(Expr::map_scatter(
+                ValueMap::area_id_slot(),
+                zones.len() as u32,
+                BlendFn::Accumulate,
+                Expr::mask(
+                    MaskSpec::PointInAreas(CountCond::Ge(1)),
+                    Expr::blend(
+                        BlendFn::PointOverArea,
+                        Expr::points(data.clone()),
+                        Expr::polygon_set(zones.clone(), BlendFn::AreaCount),
+                    ),
+                ),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Query::{}", self.label())
+    }
+}
+
+/// How a prepared query executes.
+pub(crate) enum Runner {
+    Plan(Expr),
+    SelectionHeatmap { data: Arc<PointBatch>, q: Polygon },
+    PolygonDensity { table: AreaSource, q: Polygon },
+}
+
+/// Collects the handles a plan's fingerprint identifies **by address**
+/// (point batches, literal canvases, unnamed custom transforms) so a
+/// cache entry can pin them — see [`crate::cache::DataPin`].
+fn collect_pins(e: &Expr, out: &mut Vec<crate::cache::DataPin>) {
+    use canvas_core::algebra::SourceSpec;
+    use canvas_core::ops::PositionMap;
+    match e {
+        Expr::Source(SourceSpec::Points(b)) => out.push(b.clone()),
+        Expr::Source(SourceSpec::Literal(c)) => out.push(c.clone()),
+        Expr::Source(_) => {}
+        Expr::Blend { left, right, .. } => {
+            collect_pins(left, out);
+            collect_pins(right, out);
+        }
+        Expr::MultiBlend { inputs, .. } => {
+            for i in inputs {
+                collect_pins(i, out);
+            }
+        }
+        Expr::Mask { input, .. } => collect_pins(input, out),
+        Expr::GeomTransform { gamma, input } => {
+            if let PositionMap::Custom(_) = gamma {
+                // Hashed by closure address: hold a clone of the map
+                // (and through it the closure Arc) alive.
+                out.push(Arc::new(gamma.clone()));
+            }
+            collect_pins(input, out);
+        }
+        Expr::MapScatter { input, .. } => collect_pins(input, out),
+        Expr::ValueTransform { input, .. } => collect_pins(input, out),
+    }
+}
+
+/// A normalized, fingerprinted, executable query.
+pub struct Prepared {
+    pub fingerprint: Fingerprint,
+    pub(crate) runner: Runner,
+    pins: Vec<crate::cache::DataPin>,
+}
+
+impl Prepared {
+    fn from_expr(e: Expr) -> Self {
+        let normalized = algebra::normalize(e);
+        let mut pins = Vec::new();
+        collect_pins(&normalized, &mut pins);
+        Prepared {
+            fingerprint: algebra::fingerprint(&normalized),
+            runner: Runner::Plan(normalized),
+            pins,
+        }
+    }
+
+    /// The dataset handles this query's fingerprint identifies by
+    /// address (the cache pins these alongside the result).
+    pub fn pins(&self) -> &[crate::cache::DataPin] {
+        &self.pins
+    }
+
+    /// Evaluates on a device. The engine calls this on a leased shared
+    /// device under the query's fair-share ticket; it is public so
+    /// harnesses can evaluate the *identical* prepared form on a
+    /// reference device (`Device::cpu`) for equivalence checks.
+    pub fn execute(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+        match &self.runner {
+            Runner::Plan(e) => e.eval(dev, vp),
+            Runner::SelectionHeatmap { data, q } => {
+                heatmap::selection_heatmap(dev, vp, data, q).canvas
+            }
+            Runner::PolygonDensity { table, q } => {
+                heatmap::polygon_density_heatmap(dev, vp, table, q).canvas
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvas_geom::Point;
+
+    fn square(x0: f64, y0: f64, s: f64) -> Polygon {
+        Polygon::simple(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + s, y0),
+            Point::new(x0 + s, y0 + s),
+            Point::new(x0, y0 + s),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn descriptor_fingerprints_dedupe_rebuilt_geometry() {
+        let data = Arc::new(PointBatch::from_points(vec![Point::new(1.0, 1.0)]));
+        let a = Query::SelectionHeatmap {
+            data: data.clone(),
+            q: square(0.0, 0.0, 5.0),
+        }
+        .prepare();
+        let b = Query::SelectionHeatmap {
+            data: data.clone(),
+            q: square(0.0, 0.0, 5.0),
+        }
+        .prepare();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let c = Query::SelectionHeatmap {
+            data,
+            q: square(0.0, 0.0, 6.0),
+        }
+        .prepare();
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn different_query_kinds_never_collide() {
+        let data = Arc::new(PointBatch::from_points(vec![Point::new(1.0, 1.0)]));
+        let table: AreaSource = Arc::new(vec![square(0.0, 0.0, 5.0)]);
+        let q = square(0.0, 0.0, 5.0);
+        let fps = [
+            Query::SelectPoints {
+                data: data.clone(),
+                q: q.clone(),
+            }
+            .prepare()
+            .fingerprint,
+            Query::SelectionHeatmap {
+                data: data.clone(),
+                q: q.clone(),
+            }
+            .prepare()
+            .fingerprint,
+            Query::PolygonDensity {
+                table: table.clone(),
+                q: q.clone(),
+            }
+            .prepare()
+            .fingerprint,
+            Query::AggregateByZone { data, zones: table }
+                .prepare()
+                .fingerprint,
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "kinds {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_and_descriptor_selection_share_identity() {
+        // A hand-built Figure 5 plan and the SelectPoints descriptor
+        // are the same question — same fingerprint.
+        let data = Arc::new(PointBatch::from_points(vec![Point::new(1.0, 1.0)]));
+        let q = square(0.0, 0.0, 5.0);
+        let descriptor = Query::SelectPoints {
+            data: data.clone(),
+            q: q.clone(),
+        }
+        .prepare();
+        let plan = Query::Plan(Expr::mask(
+            MaskSpec::PointInAreas(CountCond::Ge(1)),
+            Expr::blend(
+                BlendFn::PointOverArea,
+                Expr::points(data),
+                Expr::query_polygon(q, 1),
+            ),
+        ))
+        .prepare();
+        assert_eq!(descriptor.fingerprint, plan.fingerprint);
+    }
+}

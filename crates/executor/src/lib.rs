@@ -32,13 +32,27 @@
 //!
 //! All scheduling tunables live in one [`Policy`] so every operator
 //! shares a single knob set.
+//!
+//! Passes from **concurrent submitters** (a serving engine's queries)
+//! serialize on a *fair* gate rather than a plain mutex: callers tag
+//! their work with a ticket ([`WorkerPool::register_ticket`] /
+//! [`WorkerPool::with_ticket`]) and the gate interleaves tickets
+//! pass-by-pass under a bounded quantum
+//! ([`Policy::pass_quantum`](policy::Policy::pass_quantum)) — no
+//! whole-query head-of-line blocking; accounting in [`SchedulerStats`].
+//! The minimum-work threshold can be **calibrated** per host from the
+//! measured dispatch latency ([`WorkerPool::calibrate`]).
 
+pub mod calibrate;
 pub mod policy;
 pub mod pool;
+pub mod schedule;
 pub mod stream;
 
-pub use policy::{Policy, MIN_PARALLEL_ITEMS};
+pub use calibrate::{calibrate_min_work, Calibration};
+pub use policy::{Policy, MIN_PARALLEL_ITEMS, PASS_QUANTUM};
 pub use pool::{live_worker_count, WorkerPool};
+pub use schedule::{SchedulerStats, TicketId};
 pub use stream::{ChainStage, StreamReport};
 
 #[cfg(test)]

@@ -16,6 +16,15 @@ pub const MIN_PARALLEL_ITEMS: usize = 1 << 16;
 /// Default for [`Policy::stream_window_per_worker`].
 pub const STREAM_WINDOW_PER_WORKER: usize = 2;
 
+/// Default for [`Policy::pass_quantum`]: how many consecutive passes
+/// one ticket may be granted at the fair gate while other tickets
+/// wait, before the scheduler hands the gate to the longest-waiting
+/// different ticket. Small enough that a concurrent query never sits
+/// behind more than a few operator passes of another plan; large
+/// enough that a query's tightly-coupled pass bursts (bin → draw →
+/// blit) usually stay together.
+pub const PASS_QUANTUM: u64 = 4;
+
 /// Tunables consulted by every [`WorkerPool`](crate::WorkerPool)
 /// scheduling decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +40,11 @@ pub struct Policy {
     /// produced-but-unmerged items in flight (claim-gated), which is
     /// what caps peak memory of the streaming tile merge.
     pub stream_window_per_worker: usize,
+    /// Fair-gate quantum: consecutive passes one ticket may hold the
+    /// gate for while other tickets wait (see
+    /// [`SchedulerStats`](crate::SchedulerStats) and [`PASS_QUANTUM`]).
+    /// 0 is treated as 1 — every pass re-arbitrates.
+    pub pass_quantum: u64,
 }
 
 impl Default for Policy {
@@ -38,6 +52,7 @@ impl Default for Policy {
         Policy {
             min_parallel_items: MIN_PARALLEL_ITEMS,
             stream_window_per_worker: STREAM_WINDOW_PER_WORKER,
+            pass_quantum: PASS_QUANTUM,
         }
     }
 }
@@ -76,6 +91,7 @@ mod tests {
     fn defaults_match_constants() {
         let p = Policy::default();
         assert_eq!(p.min_parallel_items, MIN_PARALLEL_ITEMS);
+        assert_eq!(p.pass_quantum, PASS_QUANTUM);
         assert_eq!(p.stream_window(4), 8);
         assert_eq!(p.stream_window(0), 2);
         assert_eq!(p.chain_stage_window(4), p.stream_window(4));

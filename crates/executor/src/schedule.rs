@@ -1,0 +1,370 @@
+//! Cooperative pass scheduling — the fair gate between concurrent
+//! queries sharing one [`WorkerPool`](crate::WorkerPool).
+//!
+//! Before this module the pool serialized passes behind a plain
+//! `Mutex<()>`: whichever thread won the lock ran its pass, and a query
+//! issuing many back-to-back passes could starve every other submitter
+//! for its whole plan (whole-query head-of-line blocking — precisely
+//! what a serving engine cannot afford). The [`FairGate`] replaces that
+//! mutex with an explicit FIFO of waiters tagged by **ticket** (one
+//! ticket per in-flight query, see `WorkerPool::register_ticket`) and a
+//! bounded **quantum**: a ticket that has been granted
+//! [`Policy::pass_quantum`](crate::Policy::pass_quantum) consecutive
+//! passes while others wait is skipped in favor of the
+//! longest-waiting *different* ticket. Queries therefore interleave at
+//! pass granularity — query B's blend pass can run between query A's
+//! draw and mask passes — instead of queueing whole-query.
+//!
+//! The gate only schedules; it never changes what a pass computes, so
+//! the executor's determinism contract (results bit-identical at any
+//! thread count, any interleaving) is untouched. Grant accounting is
+//! exported as [`SchedulerStats`] for the serving bench's fairness
+//! fields.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Identifies one logical submitter (usually: one in-flight query) at
+/// the pass gate. Ticket 0 is the anonymous default for callers that
+/// never registered (single-query use keeps its exact old behavior).
+pub type TicketId = u64;
+
+/// A waiter parked at the gate: arrival sequence number + ticket.
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    seq: u64,
+    ticket: TicketId,
+}
+
+/// Grant accounting of a [`FairGate`] since pool construction.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulerStats {
+    /// Total passes granted through the gate.
+    pub grants: u64,
+    /// Grants where the ticket differed from the previous grant's —
+    /// the pass-interleaving the fair gate exists to produce.
+    pub handovers: u64,
+    /// Grants issued while at least one other waiter was parked.
+    pub contended_grants: u64,
+    /// Grants where the quantum forced skipping ahead of an
+    /// over-served front waiter.
+    pub quantum_preemptions: u64,
+    /// High-water mark of simultaneously parked waiters.
+    pub max_waiters: usize,
+    /// Per-ticket grant counts `(ticket, grants)`, ascending by ticket.
+    /// Bounded to the [`MAX_TRACKED_TICKETS`] most recent tickets that
+    /// reached the gate (a serving engine registers one ticket per
+    /// query forever; the aggregate counters above stay exact while
+    /// this table ages out old tickets instead of growing without
+    /// bound).
+    pub per_ticket: Vec<(TicketId, u64)>,
+}
+
+/// Capacity of [`SchedulerStats::per_ticket`]: enough to cover every
+/// concurrently-live query with a wide margin, small enough that the
+/// sorted-insert bookkeeping under the gate lock stays O(capacity).
+pub const MAX_TRACKED_TICKETS: usize = 256;
+
+impl SchedulerStats {
+    /// Jain's fairness index over the per-ticket grant counts
+    /// (`(Σx)² / (n·Σx²)`; 1.0 = perfectly even). `None` with fewer
+    /// than two tickets — fairness of one submitter is meaningless.
+    pub fn jain_index(&self) -> Option<f64> {
+        if self.per_ticket.len() < 2 {
+            return None;
+        }
+        let sum: f64 = self.per_ticket.iter().map(|&(_, g)| g as f64).sum();
+        let sq: f64 = self
+            .per_ticket
+            .iter()
+            .map(|&(_, g)| (g as f64).powi(2))
+            .sum();
+        if sq == 0.0 {
+            return None;
+        }
+        Some(sum * sum / (self.per_ticket.len() as f64 * sq))
+    }
+}
+
+struct GateState {
+    /// A pass currently holds the gate.
+    busy: bool,
+    /// Arrival stamper for FIFO order.
+    seq_counter: u64,
+    /// Parked waiters in arrival order.
+    queue: VecDeque<Waiter>,
+    /// The waiter (by seq) designated to take the gate next. Set on
+    /// release (or on arrival at an idle gate); cleared when taken.
+    granted: Option<u64>,
+    /// Ticket of the most recent grant, and how many consecutive
+    /// grants it has received.
+    last_ticket: TicketId,
+    consecutive: u64,
+    grants: u64,
+    handovers: u64,
+    contended_grants: u64,
+    quantum_preemptions: u64,
+    max_waiters: usize,
+    /// Sparse per-ticket grant counts (sorted by ticket).
+    per_ticket: Vec<(TicketId, u64)>,
+}
+
+/// The fair pass gate (see module docs). One per [`WorkerPool`].
+pub(crate) struct FairGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// Picks the next waiter to grant: FIFO, except a front waiter whose
+/// ticket has already been granted `quantum` consecutive passes yields
+/// to the longest-waiting *different* ticket (if any). Pure so the
+/// policy is unit-testable.
+fn pick_next(
+    queue: &VecDeque<Waiter>,
+    last_ticket: TicketId,
+    consecutive: u64,
+    quantum: u64,
+) -> Option<(u64, bool)> {
+    let front = queue.front()?;
+    if front.ticket != last_ticket || consecutive < quantum.max(1) {
+        return Some((front.seq, false));
+    }
+    match queue.iter().find(|w| w.ticket != last_ticket) {
+        Some(other) => Some((other.seq, true)),
+        None => Some((front.seq, false)),
+    }
+}
+
+impl FairGate {
+    pub(crate) fn new() -> Self {
+        FairGate {
+            state: Mutex::new(GateState {
+                busy: false,
+                seq_counter: 0,
+                queue: VecDeque::new(),
+                granted: None,
+                last_ticket: 0,
+                consecutive: 0,
+                grants: 0,
+                handovers: 0,
+                contended_grants: 0,
+                quantum_preemptions: 0,
+                max_waiters: 0,
+                per_ticket: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until this caller may run a pass; the returned guard
+    /// releases the gate (and designates the next grantee) on drop —
+    /// including on unwind, so a panicking pass never wedges the gate.
+    pub(crate) fn acquire(&self, ticket: TicketId, quantum: u64) -> GateGuard<'_> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let seq = st.seq_counter;
+        st.seq_counter += 1;
+        st.queue.push_back(Waiter { seq, ticket });
+        st.max_waiters = st.max_waiters.max(st.queue.len());
+        if !st.busy && st.granted.is_none() {
+            // Gate idle: designate immediately (may be an earlier
+            // waiter that raced us to the queue).
+            if let Some((next, skipped)) =
+                pick_next(&st.queue, st.last_ticket, st.consecutive, quantum)
+            {
+                st.granted = Some(next);
+                if skipped {
+                    st.quantum_preemptions += 1;
+                }
+            }
+        }
+        while st.granted != Some(seq) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Taken: leave the queue and run.
+        if let Some(pos) = st.queue.iter().position(|w| w.seq == seq) {
+            st.queue.remove(pos);
+        }
+        st.granted = None;
+        st.busy = true;
+        st.grants += 1;
+        if !st.queue.is_empty() {
+            st.contended_grants += 1;
+        }
+        if st.grants > 1 && ticket != st.last_ticket {
+            st.handovers += 1;
+        }
+        if ticket == st.last_ticket {
+            st.consecutive += 1;
+        } else {
+            st.last_ticket = ticket;
+            st.consecutive = 1;
+        }
+        match st.per_ticket.binary_search_by_key(&ticket, |&(t, _)| t) {
+            Ok(i) => st.per_ticket[i].1 += 1,
+            Err(i) => {
+                if st.per_ticket.len() >= MAX_TRACKED_TICKETS {
+                    // Ticket ids ascend, so index 0 is the oldest
+                    // tracked ticket; age it out (the aggregate
+                    // counters above remain exact).
+                    st.per_ticket.remove(0);
+                    let i = st
+                        .per_ticket
+                        .binary_search_by_key(&ticket, |&(t, _)| t)
+                        .unwrap_err();
+                    st.per_ticket.insert(i, (ticket, 1));
+                } else {
+                    st.per_ticket.insert(i, (ticket, 1));
+                }
+            }
+        }
+        GateGuard {
+            gate: self,
+            quantum,
+        }
+    }
+
+    fn release(&self, quantum: u64) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.busy = false;
+        if let Some((next, skipped)) = pick_next(&st.queue, st.last_ticket, st.consecutive, quantum)
+        {
+            st.granted = Some(next);
+            if skipped {
+                st.quantum_preemptions += 1;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn stats(&self) -> SchedulerStats {
+        let st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        SchedulerStats {
+            grants: st.grants,
+            handovers: st.handovers,
+            contended_grants: st.contended_grants,
+            quantum_preemptions: st.quantum_preemptions,
+            max_waiters: st.max_waiters,
+            per_ticket: st.per_ticket.clone(),
+        }
+    }
+}
+
+/// RAII pass permit from [`FairGate::acquire`].
+pub(crate) struct GateGuard<'a> {
+    gate: &'a FairGate,
+    quantum: u64,
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.release(self.quantum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(entries: &[(u64, TicketId)]) -> VecDeque<Waiter> {
+        entries
+            .iter()
+            .map(|&(seq, ticket)| Waiter { seq, ticket })
+            .collect()
+    }
+
+    #[test]
+    fn pick_next_is_fifo_within_quantum() {
+        let queue = q(&[(10, 1), (11, 2)]);
+        // Ticket 1 has used 2 of 4 quantum passes: FIFO front wins.
+        assert_eq!(pick_next(&queue, 1, 2, 4), Some((10, false)));
+        // A different ticket at the front always wins immediately.
+        assert_eq!(pick_next(&queue, 2, 100, 4), Some((10, false)));
+    }
+
+    #[test]
+    fn pick_next_preempts_exhausted_quantum() {
+        let queue = q(&[(10, 1), (11, 1), (12, 2), (13, 1)]);
+        // Ticket 1 exhausted its quantum and ticket 2 waits: skip to 2.
+        assert_eq!(pick_next(&queue, 1, 4, 4), Some((12, true)));
+        // No other ticket waiting: front proceeds anyway (work must
+        // never stall just because one submitter is alone).
+        let solo = q(&[(10, 1), (11, 1)]);
+        assert_eq!(pick_next(&solo, 1, 4, 4), Some((10, false)));
+        // Empty queue: nothing to grant.
+        assert_eq!(pick_next(&q(&[]), 1, 4, 4), None);
+        // A quantum of 0 is treated as 1 (every pass re-arbitrates,
+        // never "grant nobody").
+        assert_eq!(pick_next(&queue, 1, 1, 0), Some((12, true)));
+    }
+
+    #[test]
+    fn gate_serializes_and_counts() {
+        let gate = FairGate::new();
+        {
+            let _g = gate.acquire(7, 4);
+        }
+        {
+            let _g = gate.acquire(9, 4);
+        }
+        let s = gate.stats();
+        assert_eq!(s.grants, 2);
+        assert_eq!(s.handovers, 1);
+        assert_eq!(s.per_ticket, vec![(7, 1), (9, 1)]);
+        assert_eq!(s.jain_index(), Some(1.0));
+    }
+
+    #[test]
+    fn per_ticket_table_ages_out_oldest() {
+        let gate = FairGate::new();
+        for ticket in 0..(MAX_TRACKED_TICKETS as u64 + 10) {
+            let _g = gate.acquire(ticket, 4);
+        }
+        let s = gate.stats();
+        assert_eq!(s.grants, MAX_TRACKED_TICKETS as u64 + 10);
+        assert_eq!(s.per_ticket.len(), MAX_TRACKED_TICKETS);
+        // The oldest tickets were aged out; the newest remain.
+        assert_eq!(s.per_ticket.first().unwrap().0, 10);
+        assert_eq!(
+            s.per_ticket.last().unwrap().0,
+            MAX_TRACKED_TICKETS as u64 + 9
+        );
+    }
+
+    #[test]
+    fn gate_interleaves_two_tickets_under_contention() {
+        let gate = std::sync::Arc::new(FairGate::new());
+        let mut handles = Vec::new();
+        for ticket in [1u64, 2] {
+            let gate = std::sync::Arc::clone(&gate);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _g = gate.acquire(ticket, 2);
+                    std::hint::black_box(ticket);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = gate.stats();
+        assert_eq!(s.grants, 100);
+        let grants: Vec<u64> = s.per_ticket.iter().map(|&(_, g)| g).collect();
+        assert_eq!(grants.iter().sum::<u64>(), 100);
+        assert_eq!(s.per_ticket.len(), 2);
+        // Both tickets made progress to completion; the index is defined.
+        assert!(s.jain_index().unwrap() > 0.9);
+    }
+}

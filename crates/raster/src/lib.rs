@@ -47,7 +47,7 @@ pub mod viewport;
 
 pub use chain::{ChainOp, ChainRunReport, MaskOutcome, OpChain};
 pub use device::DeviceProfile;
-pub use par::{live_worker_count, Policy, WorkerPool};
+pub use par::{live_worker_count, Calibration, Policy, SchedulerStats, TicketId, WorkerPool};
 pub use pipeline::{Frag, Pipeline};
 pub use rasterize::RasterMode;
 pub use stats::PipelineStats;

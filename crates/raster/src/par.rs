@@ -32,7 +32,10 @@
 //! binning chunk), so they gate only on trivial sizes (`n <= 1`);
 //! their callers decide coarseness.
 
-pub use canvas_executor::{live_worker_count, Policy, WorkerPool, MIN_PARALLEL_ITEMS};
+pub use canvas_executor::{
+    calibrate_min_work, live_worker_count, Calibration, Policy, SchedulerStats, TicketId,
+    WorkerPool, MIN_PARALLEL_ITEMS, PASS_QUANTUM,
+};
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,8 @@
 //! * [`raster`] — software graphics pipeline + GPU device cost model,
 //! * [`core`] — the canvas data model, the algebra, and the paper's
 //!   query formulations,
+//! * [`engine`] — the concurrent query-serving engine (admission,
+//!   fingerprint-keyed canvas cache, fair-share pass scheduling),
 //! * [`baseline`] — CPU / parallel-CPU / traditional-GPU baselines,
 //! * [`datagen`] — seeded synthetic workloads (taxi trips, calibrated
 //!   query polygons, neighborhood partitions).
@@ -21,6 +23,7 @@
 pub use canvas_baseline as baseline;
 pub use canvas_core as core;
 pub use canvas_datagen as datagen;
+pub use canvas_engine as engine;
 pub use canvas_geom as geom;
 pub use canvas_raster as raster;
 
