@@ -201,30 +201,92 @@ impl Expr {
 
     /// Executes the plan on a device within the given viewport.
     pub fn eval(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+        self.eval_via(dev, vp, &super::subplan::NullExchange)
+    }
+
+    /// Executes the plan with a [`SubplanExchange`](super::subplan::SubplanExchange) consulted at every
+    /// cut point (see
+    /// [`algebra::subplan`](super::subplan)): canvas-producing
+    /// subexpressions another query already rendered are reused, and
+    /// subexpressions this evaluation leads on are published for
+    /// concurrent queries to subscribe to. With the inert
+    /// [`NullExchange`](super::subplan::NullExchange) this is exactly
+    /// [`eval`](Self::eval) — no per-node fingerprinting happens.
+    ///
+    /// Sharing is invisible in results: rendering is deterministic, so
+    /// an exchanged canvas is bit-identical to the one this evaluation
+    /// would have produced itself.
+    pub fn eval_via(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        ex: &dyn super::subplan::SubplanExchange,
+    ) -> Canvas {
+        let arc = self.eval_node(dev, vp, ex, 0);
+        // The root is never exchanged (depth 0), so this Arc is
+        // private and unwraps without a copy.
+        Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// One node of the exchange-aware evaluation. Cut points at depth
+    /// ≥ 1 go through the exchange — the root (depth 0) is the whole
+    /// plan, whose identity the engine's result cache already owns.
+    fn eval_node(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        ex: &dyn super::subplan::SubplanExchange,
+        depth: usize,
+    ) -> Arc<Canvas> {
+        use super::subplan::SubplanAccess;
+        if depth > 0 && ex.active() && super::fingerprint::is_cut_point(self) {
+            let fp = super::fingerprint::fingerprint(self);
+            match ex.acquire(fp, &vp) {
+                SubplanAccess::Ready(c) => return c,
+                SubplanAccess::Lead(mut lease) => {
+                    let c = Arc::new(self.compute_node(dev, vp, ex, depth));
+                    lease.publish(&c);
+                    return c;
+                }
+                SubplanAccess::Compute => {}
+            }
+        }
+        Arc::new(self.compute_node(dev, vp, ex, depth))
+    }
+
+    /// Renders this node from its children (which recurse through the
+    /// exchange).
+    fn compute_node(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        ex: &dyn super::subplan::SubplanExchange,
+        depth: usize,
+    ) -> Canvas {
         match self {
             Expr::Source(s) => s.render(dev, vp),
             Expr::Blend { op, left, right } => {
-                let l = left.eval(dev, vp);
-                let r = right.eval(dev, vp);
+                let l = left.eval_node(dev, vp, ex, depth + 1);
+                let r = right.eval_node(dev, vp, ex, depth + 1);
                 ops::blend(dev, &l, &r, *op)
             }
             Expr::MultiBlend { op, inputs } => {
                 if inputs.is_empty() {
                     return Canvas::empty(vp);
                 }
-                let mut acc = inputs[0].eval(dev, vp);
+                let mut acc = inputs[0].eval_node(dev, vp, ex, depth + 1);
                 for e in &inputs[1..] {
-                    let c = e.eval(dev, vp);
-                    acc = ops::blend(dev, &acc, &c, *op);
+                    let c = e.eval_node(dev, vp, ex, depth + 1);
+                    acc = Arc::new(ops::blend(dev, &acc, &c, *op));
                 }
-                acc
+                Arc::try_unwrap(acc).unwrap_or_else(|a| (*a).clone())
             }
             Expr::Mask { spec, input } => {
-                let c = input.eval(dev, vp);
+                let c = input.eval_node(dev, vp, ex, depth + 1);
                 ops::mask(dev, &c, spec)
             }
             Expr::GeomTransform { gamma, input } => {
-                let c = input.eval(dev, vp);
+                let c = input.eval_node(dev, vp, ex, depth + 1);
                 ops::transform_positions(dev, &c, gamma, vp)
             }
             Expr::MapScatter {
@@ -233,17 +295,17 @@ impl Expr {
                 combine,
                 input,
             } => {
-                let c = input.eval(dev, vp);
+                let c = input.eval_node(dev, vp, ex, depth + 1);
                 ops::map_scatter(dev, &c, gamma, ops::group_viewport(*groups), *combine)
             }
             Expr::ValueTransform { f, input, .. } => {
-                let c = input.eval(dev, vp);
+                let c = input.eval_node(dev, vp, ex, depth + 1);
                 ops::value_transform(dev, &c, |p, t| f(p, t))
             }
         }
     }
 
-    /// Executes the plan through a [`SharedDevice`] — the thread-safe
+    /// Executes the plan through a [`SharedDevice`](crate::device::SharedDevice) — the thread-safe
     /// eval path (`&self` on both plan and device): any number of
     /// threads may evaluate plans against one shared executor pool
     /// concurrently; counted work folds into the shared totals.

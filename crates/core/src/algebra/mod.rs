@@ -22,8 +22,12 @@ pub mod expr;
 pub mod fingerprint;
 pub mod planner;
 pub mod rewrite;
+pub mod subplan;
 
 pub use expr::{Expr, SourceSpec};
-pub use fingerprint::{fingerprint, normalize, Fingerprint, FingerprintBuilder};
+pub use fingerprint::{
+    fingerprint, is_cut_point, normalize, subplans, Fingerprint, FingerprintBuilder, Subplan,
+};
 pub use planner::{choose_selection_strategy, PlanChoice, SelectionStats, SelectionStrategy};
 pub use rewrite::{flatten_multiblend, fuse_polygon_leaves, optimize};
+pub use subplan::{NullExchange, SubplanAccess, SubplanExchange, SubplanLease};

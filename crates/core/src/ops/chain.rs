@@ -18,13 +18,28 @@
 //! random chains. Boundary bookkeeping is replayed after the planes
 //! finish: Blend stages merge the operand's entries (source-remapped)
 //! and Mask stages prune entries of pixels whose texel the mask left
-//! null, read from the fused run's per-stage [`MaskOutcome`] bitmaps —
+//! null, read from the fused run's per-stage [`MaskOutcome`](canvas_raster::MaskOutcome) bitmaps —
 //! sparse metadata, never a full intermediate plane.
 //!
 //! The exact point-refinement Mask (`MaskSpec::PointInAreas`) is *not*
 //! chain-fusable: it rewrites texels from boundary-index state, which
 //! is global. Queries needing it (selection) fuse the coarse prefix
 //! and finish with the materialized refinement mask.
+//!
+//! ## Chains and subplan sharing
+//!
+//! Cross-query subplan sharing
+//! ([`algebra::subplan`](crate::algebra::subplan)) publishes rendered
+//! intermediates at cut points — but a fused chain, by design, never
+//! materializes its intermediates, so there is nothing to publish
+//! mid-chain and no cut point is ever placed inside one. The only
+//! canvases a chain exchanges are the **operand** canvases it
+//! materializes anyway (the Blend operands, e.g. the heatmap's `C_Q`
+//! or the choropleth's tagged query region — see
+//! `queries::heatmap::selection_heatmap_via`). Consequently the PR 3
+//! streamed ≡ materialized bit-identity contract is untouched by
+//! sharing: the fused tile flow is byte-for-byte the same whether an
+//! operand was rendered locally or served from the exchange.
 
 use std::sync::Arc;
 

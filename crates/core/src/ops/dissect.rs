@@ -9,7 +9,7 @@
 //!   (the definitional form, fine for tests and small canvases),
 //! * the fused `Map = G[γ] ∘ D` — which is what query plans actually
 //!   use — implemented as a single scatter pass in
-//!   [`transform_by_value`](crate::ops::transform::transform_by_value) —
+//!   [`transform_by_value`] —
 //!   [`map_scatter`] is the named alias.
 
 use crate::canvas::Canvas;

@@ -21,6 +21,8 @@
 //! plan as separate whole-canvas passes; the equivalence harness
 //! asserts the two are bit-identical at any thread count.
 
+use crate::algebra::subplan::{acquire_or_render, NullExchange, SubplanExchange};
+use crate::algebra::{Expr, FingerprintBuilder};
 use crate::canvas::{AreaSource, Canvas, PointBatch};
 use crate::device::Device;
 use crate::info::{BlendFn, Texel};
@@ -57,7 +59,26 @@ pub fn selection_heatmap(
     data: &PointBatch,
     q: &Polygon,
 ) -> ChainOutcome {
-    let cq = render_query_polygon(dev, vp, q.clone(), 1);
+    selection_heatmap_via(dev, vp, data, q, &NullExchange)
+}
+
+/// [`selection_heatmap`] with a [`SubplanExchange`] for the operand
+/// canvas the chain materializes anyway: `C_Q`, the rendered query
+/// polygon. Its identity is the structural fingerprint of the
+/// equivalent plan leaf `Expr::query_polygon(q, 1)` — exactly the node
+/// an `Expr`-path selection over the same polygon renders — so a fused
+/// heatmap and an algebra-path selection share one `C_Q` render. The
+/// streamed point tiles themselves are **never** published: fusion is
+/// not broken by a cut point (see `ops::chain`).
+pub fn selection_heatmap_via(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &PointBatch,
+    q: &Polygon,
+    ex: &dyn SubplanExchange,
+) -> ChainOutcome {
+    let fp = crate::algebra::fingerprint(&Expr::query_polygon(q.clone(), 1));
+    let cq = acquire_or_render(ex, fp, &vp, || render_query_polygon(dev, vp, q.clone(), 1));
     run_points_chain(dev, vp, data, &heat_chain(&cq))
 }
 
@@ -132,7 +153,26 @@ pub fn polygon_density_heatmap(
     table: &AreaSource,
     q: &Polygon,
 ) -> ChainOutcome {
-    let ctag = render_query_tag(dev, vp, q);
+    polygon_density_heatmap_via(dev, vp, table, q, &NullExchange)
+}
+
+/// [`polygon_density_heatmap`] with a [`SubplanExchange`] for the
+/// tag-rendered query-region canvas (the operand the chain
+/// materializes anyway). The tag canvas is not expressible as a plain
+/// plan leaf, so its identity is a namespaced descriptor fingerprint
+/// over the polygon's vertex values — two choropleths restricted to
+/// the same region share one tag render. The instanced table draw
+/// stays fused and unpublished.
+pub fn polygon_density_heatmap_via(
+    dev: &mut Device,
+    vp: Viewport,
+    table: &AreaSource,
+    q: &Polygon,
+    ex: &dyn SubplanExchange,
+) -> ChainOutcome {
+    let mut fb = FingerprintBuilder::new("core/heatmap/query-tag");
+    fb.polygon(q);
+    let ctag = acquire_or_render(ex, fb.finish(), &vp, || render_query_tag(dev, vp, q));
     run_polygons_chain(dev, vp, table, BlendFn::AreaCount, &density_chain(&ctag))
 }
 

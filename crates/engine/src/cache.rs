@@ -14,10 +14,34 @@
 //! reference bump and is bit-identical to the evaluation that produced
 //! it, by construction.
 //!
+//! ## One keyspace, two entry classes
+//!
+//! Since subplan sharing, the cache holds two kinds of entries in
+//! **one** keyspace:
+//!
+//! * **root** entries — whole-plan results, inserted by the engine
+//!   after an evaluation ([`CanvasCache::insert`]);
+//! * **shared** entries — rendered *intermediates* published at
+//!   subplan cut points ([`CanvasCache::insert_shared`]), e.g. the
+//!   density canvas a selection and a heatmap both need.
+//!
+//! The keyspace is deliberately unified: a subplan fingerprint of the
+//! whole plan *is* the whole-plan fingerprint, so a root result can
+//! satisfy a subplan probe (a heatmap whose interior equals an earlier
+//! selection's whole plan reuses that result) and vice versa. The
+//! class only affects **eviction priority** and byte accounting.
+//!
 //! Eviction is least-recently-used under a **byte budget** (canvases
-//! are large; entry counts are meaningless). An entry larger than the
+//! are large; entry counts are meaningless), with one twist: victims
+//! are drawn from the *root* class first, and shared interiors go only
+//! when no root remains. A shared interior can serve every plan shape
+//! containing that subplan — evicting a hot one forces re-renders
+//! across many distinct queries, while an evicted root is recomputed
+//! cheaply *from* the surviving interiors. An entry larger than the
 //! whole budget is never admitted. All traffic is counted in
-//! [`CacheStats`] — the serving bench's cache fields read them.
+//! [`CacheStats`] — the serving bench's cache fields read them; root
+//! and shared probes are tallied separately so the root hit rate stays
+//! comparable across PRs.
 
 use canvas_core::algebra::Fingerprint;
 use canvas_core::Canvas;
@@ -67,31 +91,64 @@ impl CacheKey {
     }
 }
 
-/// Traffic counters of a [`CanvasCache`].
+/// Eviction/accounting class of a cache entry (see module docs: one
+/// keyspace, two classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryClass {
+    /// A whole-plan result.
+    Root,
+    /// A subplan intermediate published for cross-query sharing.
+    Shared,
+}
+
+/// Traffic counters of a [`CanvasCache`]. Root probes
+/// ([`CanvasCache::get`]) and shared subplan probes
+/// ([`CanvasCache::get_shared`]) are tallied separately; byte/entry
+/// gauges cover both classes, with the shared slice broken out.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Root (whole-plan) probe hits.
     pub hits: u64,
+    /// Root (whole-plan) probe misses.
     pub misses: u64,
+    /// Shared (subplan) probe hits.
+    pub shared_hits: u64,
+    /// Shared (subplan) probe misses.
+    pub shared_misses: u64,
     pub insertions: u64,
     pub evictions: u64,
     /// Insertions refused because the entry alone exceeds the budget.
     pub rejected_oversize: u64,
-    /// Bytes currently resident.
+    /// Bytes currently resident (both classes).
     pub bytes: usize,
     /// High-water mark of resident bytes.
     pub peak_bytes: usize,
-    /// Entries currently resident.
+    /// Entries currently resident (both classes).
     pub entries: usize,
+    /// Bytes currently held by [`EntryClass::Shared`] intermediates.
+    pub shared_bytes: usize,
+    /// Entries currently held by [`EntryClass::Shared`] intermediates.
+    pub shared_entries: usize,
 }
 
 impl CacheStats {
-    /// Hits over probes (0 when never probed).
+    /// Root hits over root probes (0 when never probed).
     pub fn hit_rate(&self) -> f64 {
         let probes = self.hits + self.misses;
         if probes == 0 {
             0.0
         } else {
             self.hits as f64 / probes as f64
+        }
+    }
+
+    /// Shared-subplan hits over shared probes (0 when never probed).
+    pub fn shared_hit_rate(&self) -> f64 {
+        let probes = self.shared_hits + self.shared_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / probes as f64
         }
     }
 }
@@ -101,20 +158,73 @@ struct Entry {
     /// Keeps the by-address-fingerprinted datasets alive (see [`DataPin`]).
     _pins: Vec<DataPin>,
     bytes: usize,
-    /// Recency stamp; also the entry's key in `order`.
+    /// Recency stamp; also the entry's key in its class's order map.
     tick: u64,
+    class: EntryClass,
 }
 
 struct Inner {
     budget: usize,
     tick: u64,
     map: HashMap<CacheKey, Entry>,
-    /// Recency index: ascending tick = least recently used first.
-    order: BTreeMap<u64, CacheKey>,
+    /// Per-class recency indexes: ascending tick = least recently used
+    /// first. Split so eviction can drain roots before touching shared
+    /// interiors (module docs).
+    root_order: BTreeMap<u64, CacheKey>,
+    shared_order: BTreeMap<u64, CacheKey>,
     stats: CacheStats,
 }
 
+impl Inner {
+    fn order_mut(&mut self, class: EntryClass) -> &mut BTreeMap<u64, CacheKey> {
+        match class {
+            EntryClass::Root => &mut self.root_order,
+            EntryClass::Shared => &mut self.shared_order,
+        }
+    }
+
+    /// Unlinks an entry from the map, its order index, and the byte
+    /// gauges (shared slice included). Does not count an eviction.
+    fn unlink(&mut self, key: &CacheKey) -> Option<Entry> {
+        let entry = self.map.remove(key)?;
+        self.order_mut(entry.class).remove(&entry.tick);
+        self.stats.bytes -= entry.bytes;
+        self.stats.entries -= 1;
+        if entry.class == EntryClass::Shared {
+            self.stats.shared_bytes -= entry.bytes;
+            self.stats.shared_entries -= 1;
+        }
+        Some(entry)
+    }
+}
+
 /// A thread-safe budgeted LRU canvas cache (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use canvas_core::algebra::Fingerprint;
+/// use canvas_core::Canvas;
+/// use canvas_engine::{CacheKey, CanvasCache};
+/// use canvas_geom::{BBox, Point};
+/// use canvas_raster::Viewport;
+/// use std::sync::Arc;
+///
+/// let cache = CanvasCache::new(1 << 20); // 1 MiB byte budget
+/// let vp = Viewport::new(
+///     BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+///     8,
+///     8,
+/// );
+/// let key = CacheKey::new(Fingerprint(42), &vp);
+/// assert!(cache.get(&key).is_none());
+///
+/// let canvas = Arc::new(Canvas::empty(vp));
+/// cache.insert(key, Arc::clone(&canvas), Vec::new());
+/// // A hit returns the same shared canvas — bit-identity for free.
+/// assert!(Arc::ptr_eq(&cache.get(&key).unwrap(), &canvas));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
 pub struct CanvasCache {
     inner: Mutex<Inner>,
 }
@@ -129,7 +239,8 @@ impl CanvasCache {
                 budget: budget_bytes,
                 tick: 0,
                 map: HashMap::new(),
-                order: BTreeMap::new(),
+                root_order: BTreeMap::new(),
+                shared_order: BTreeMap::new(),
                 stats: CacheStats::default(),
             }),
         }
@@ -141,32 +252,69 @@ impl CanvasCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Probes the cache, refreshing the entry's recency on a hit.
+    /// Probes the cache as **root** traffic, refreshing the entry's
+    /// recency on a hit. Either entry class can satisfy the probe (one
+    /// keyspace — module docs).
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Canvas>> {
+        self.probe(key, EntryClass::Root)
+    }
+
+    /// Probes the cache as **shared subplan** traffic (counted in
+    /// `shared_hits`/`shared_misses`, so interior probes never skew
+    /// the root hit rate). Either entry class can satisfy the probe.
+    pub fn get_shared(&self, key: &CacheKey) -> Option<Arc<Canvas>> {
+        self.probe(key, EntryClass::Shared)
+    }
+
+    fn probe(&self, key: &CacheKey, traffic: EntryClass) -> Option<Arc<Canvas>> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
             Some(entry) => {
                 let old = std::mem::replace(&mut entry.tick, tick);
+                let class = entry.class;
                 let canvas = Arc::clone(&entry.canvas);
-                inner.order.remove(&old);
-                inner.order.insert(tick, *key);
-                inner.stats.hits += 1;
+                inner.order_mut(class).remove(&old);
+                inner.order_mut(class).insert(tick, *key);
+                match traffic {
+                    EntryClass::Root => inner.stats.hits += 1,
+                    EntryClass::Shared => inner.stats.shared_hits += 1,
+                }
                 Some(canvas)
             }
             None => {
-                inner.stats.misses += 1;
+                match traffic {
+                    EntryClass::Root => inner.stats.misses += 1,
+                    EntryClass::Shared => inner.stats.shared_misses += 1,
+                }
                 None
             }
         }
     }
 
-    /// Inserts (or refreshes) an entry, then evicts least-recently-used
-    /// entries until the budget holds. `pins` are the dataset handles
+    /// Inserts (or refreshes) a **root** (whole-plan) entry, then
+    /// evicts until the budget holds. `pins` are the dataset handles
     /// the key's fingerprint identified by address (see [`DataPin`]).
     /// Returns the number of evictions this insert caused.
     pub fn insert(&self, key: CacheKey, canvas: Arc<Canvas>, pins: Vec<DataPin>) -> u64 {
+        self.insert_classed(key, canvas, pins, EntryClass::Root)
+    }
+
+    /// Inserts a **shared subplan** intermediate — lower eviction
+    /// priority than roots, bytes broken out in
+    /// [`CacheStats::shared_bytes`]. Returns the evictions caused.
+    pub fn insert_shared(&self, key: CacheKey, canvas: Arc<Canvas>, pins: Vec<DataPin>) -> u64 {
+        self.insert_classed(key, canvas, pins, EntryClass::Shared)
+    }
+
+    fn insert_classed(
+        &self,
+        key: CacheKey,
+        canvas: Arc<Canvas>,
+        pins: Vec<DataPin>,
+        class: EntryClass,
+    ) -> u64 {
         let bytes = canvas.size_bytes();
         let mut inner = self.lock();
         if bytes > inner.budget {
@@ -175,13 +323,11 @@ impl CanvasCache {
         }
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(old) = inner.map.remove(&key) {
-            // Re-insert of a live key (e.g. two leaders raced): replace.
-            inner.order.remove(&old.tick);
-            inner.stats.bytes -= old.bytes;
-            inner.stats.entries -= 1;
-        }
-        inner.order.insert(tick, key);
+        // Re-insert of a live key (e.g. two leaders raced, or a subplan
+        // publish lands on an existing root result): replace; the new
+        // insert's class wins.
+        inner.unlink(&key);
+        inner.order_mut(class).insert(tick, key);
         inner.map.insert(
             key,
             Entry {
@@ -189,29 +335,36 @@ impl CanvasCache {
                 _pins: pins,
                 bytes,
                 tick,
+                class,
             },
         );
         inner.stats.bytes += bytes;
         inner.stats.entries += 1;
+        if class == EntryClass::Shared {
+            inner.stats.shared_bytes += bytes;
+            inner.stats.shared_entries += 1;
+        }
         inner.stats.insertions += 1;
         inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.bytes);
 
         let mut evicted = 0;
         while inner.stats.bytes > inner.budget {
-            let (&lru_tick, &lru_key) = inner
-                .order
+            // Victims come from the root class first; shared interiors
+            // only once no other root remains (module docs). The
+            // just-inserted entry (recency stamp `tick`) is never its
+            // own victim — and once it is the lone survivor the budget
+            // holds by the oversize check, so the loop terminates.
+            let victim = inner
+                .root_order
                 .iter()
-                .next()
-                .expect("over budget implies a resident entry");
-            // The just-inserted entry fits the budget on its own (the
-            // oversize check), so eviction always terminates before
-            // removing it — unless it IS the only entry, which the
-            // check makes impossible.
-            debug_assert!(lru_tick != tick || inner.map.len() == 1);
-            inner.order.remove(&lru_tick);
-            let gone = inner.map.remove(&lru_key).expect("order/map in sync");
-            inner.stats.bytes -= gone.bytes;
-            inner.stats.entries -= 1;
+                .find(|(&t, _)| t != tick)
+                .or_else(|| inner.shared_order.iter().find(|(&t, _)| t != tick))
+                .map(|(_, &k)| k);
+            let Some(lru_key) = victim else {
+                debug_assert!(inner.map.len() == 1, "only the newcomer may remain");
+                break;
+            };
+            inner.unlink(&lru_key).expect("order/map in sync");
             inner.stats.evictions += 1;
             evicted += 1;
         }
@@ -294,6 +447,93 @@ mod tests {
         assert_eq!(s.entries, 2);
         assert!(s.bytes <= 2 * one + one / 2);
         assert!(s.peak_bytes >= s.bytes);
+    }
+
+    #[test]
+    fn one_keyspace_across_classes() {
+        // A root result satisfies a shared probe and vice versa, with
+        // traffic tallied per probe kind.
+        let cache = CanvasCache::new(1 << 20);
+        let k = key(5, &vp(8));
+        cache.insert(k, canvas(8), Vec::new());
+        assert!(cache.get_shared(&k).is_some());
+        let k2 = key(6, &vp(8));
+        cache.insert_shared(k2, canvas(8), Vec::new());
+        assert!(cache.get(&k2).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!((s.shared_hits, s.shared_misses), (1, 0));
+        assert_eq!(s.shared_entries, 1);
+        assert!(s.shared_bytes > 0 && s.shared_bytes < s.bytes);
+        assert!((0.99..=1.0).contains(&s.shared_hit_rate()));
+    }
+
+    #[test]
+    fn eviction_prefers_roots_over_shared_interiors() {
+        let one = canvas(16).size_bytes();
+        // Room for two entries, not three.
+        let cache = CanvasCache::new(2 * one + one / 2);
+        let shared_k = key(100, &vp(16));
+        cache.insert_shared(shared_k, canvas(16), Vec::new());
+        cache.insert(key(1, &vp(16)), canvas(16), Vec::new());
+        // The shared interior is the LRU, but the *root* must go.
+        let evicted = cache.insert(key(2, &vp(16)), canvas(16), Vec::new());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key(1, &vp(16))).is_none(), "LRU root evicted");
+        assert!(
+            cache.get_shared(&shared_k).is_some(),
+            "shared interior survived despite being least recently used"
+        );
+        assert!(cache.get(&key(2, &vp(16))).is_some());
+    }
+
+    #[test]
+    fn shared_interiors_evict_lru_once_no_root_remains() {
+        let one = canvas(16).size_bytes();
+        let cache = CanvasCache::new(2 * one + one / 2);
+        let keys: Vec<CacheKey> = (0..3).map(|i| key(i, &vp(16))).collect();
+        cache.insert_shared(keys[0], canvas(16), Vec::new());
+        cache.insert_shared(keys[1], canvas(16), Vec::new());
+        assert!(cache.get_shared(&keys[0]).is_some()); // 1 becomes LRU
+        let evicted = cache.insert_shared(keys[2], canvas(16), Vec::new());
+        assert_eq!(evicted, 1);
+        assert!(cache.get_shared(&keys[1]).is_none(), "LRU shared evicted");
+        assert!(cache.get_shared(&keys[0]).is_some());
+        assert!(cache.get_shared(&keys[2]).is_some());
+        let s = cache.stats();
+        assert_eq!(s.shared_entries, 2);
+        assert_eq!(s.shared_bytes, s.bytes);
+    }
+
+    #[test]
+    fn newcomer_root_survives_a_shared_full_cache() {
+        // Shared interiors fill the budget; inserting a root evicts
+        // shared LRU entries, never the just-inserted root itself.
+        let one = canvas(16).size_bytes();
+        let cache = CanvasCache::new(2 * one + one / 2);
+        cache.insert_shared(key(10, &vp(16)), canvas(16), Vec::new());
+        cache.insert_shared(key(11, &vp(16)), canvas(16), Vec::new());
+        let evicted = cache.insert(key(1, &vp(16)), canvas(16), Vec::new());
+        assert_eq!(evicted, 1);
+        assert!(cache.get(&key(1, &vp(16))).is_some(), "newcomer resident");
+        assert!(cache.get_shared(&key(10, &vp(16))).is_none());
+        assert!(cache.get_shared(&key(11, &vp(16))).is_some());
+    }
+
+    #[test]
+    fn reinsert_across_classes_keeps_accounting_consistent() {
+        let cache = CanvasCache::new(1 << 20);
+        let k = key(3, &vp(16));
+        let bytes = canvas(16).size_bytes();
+        cache.insert_shared(k, canvas(16), Vec::new());
+        assert_eq!(cache.stats().shared_bytes, bytes);
+        // Same key re-published as a root: class flips, bytes counted once.
+        cache.insert(k, canvas(16), Vec::new());
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, bytes);
+        assert_eq!(s.shared_bytes, 0);
+        assert_eq!(s.shared_entries, 0);
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //!   concurrent queries interleave *passes* fairly on the pool
 //!   instead of queueing whole-query behind a lock.
 
-use crate::cache::{CacheKey, CacheStats, CanvasCache};
+use crate::cache::{CacheKey, CacheStats, CanvasCache, DataPin};
 use crate::query::Query;
+use canvas_core::algebra::subplan::{SubplanAccess, SubplanExchange, SubplanLease};
 use canvas_core::algebra::Fingerprint;
 use canvas_core::{Canvas, SharedDevice};
 use canvas_raster::{Calibration, SchedulerStats, Viewport};
@@ -51,6 +52,12 @@ pub struct EngineConfig {
     /// `Policy::min_parallel_items` from it (the static default stays
     /// as fallback).
     pub calibrate: bool,
+    /// Share rendered intermediates *across* queries at subplan
+    /// granularity: cut-point canvases are published to the cache and
+    /// to concurrent queries subscribing to the same in-flight
+    /// subplan (see `canvas_core::algebra::subplan`). Off = PR 4
+    /// whole-plan caching only.
+    pub share_subplans: bool,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +71,7 @@ impl Default for EngineConfig {
             max_queue: 64,
             cache_budget_bytes: 256 << 20,
             calibrate: true,
+            share_subplans: true,
         }
     }
 }
@@ -127,6 +135,82 @@ pub struct Response {
 struct InFlight {
     slot: Mutex<Option<Result<Arc<Canvas>, EngineError>>>,
     done: Condvar,
+}
+
+/// One in-flight **subplan** render other queries can subscribe to —
+/// the interior sibling of [`InFlight`]. Unlike the whole-plan slot,
+/// failure here is not an error surface: a subscriber to a failed
+/// leader simply falls back to rendering the subplan privately.
+struct SubFlight {
+    state: Mutex<SubState>,
+    done: Condvar,
+}
+
+enum SubState {
+    /// Leader still rendering.
+    Pending,
+    /// Published: subscribers share this canvas **directly from the
+    /// slot** — even if the cache evicted (or never admitted) it, a
+    /// mid-subscription canvas can never go stale or vanish.
+    Ready(Arc<Canvas>),
+    /// Leader dropped its lease without publishing (panic / bail):
+    /// subscribers recompute privately.
+    Failed,
+}
+
+/// The engine's [`SubplanExchange`]: probes the shared cache, then the
+/// subplan in-flight table; first-comers lead (and publish through
+/// [`SubLease`]), later arrivals subscribe. Created per-execution so
+/// it can carry the query's dataset pins into published entries.
+struct Exchange<'e> {
+    engine: &'e QueryEngine,
+    /// Pins of the whole query — a superset of any subplan's pins
+    /// (over-pinning is harmless; under-pinning would let a dataset
+    /// address be reused under a live key).
+    pins: &'e [DataPin],
+}
+
+impl SubplanExchange for Exchange<'_> {
+    fn acquire(&self, fp: Fingerprint, vp: &Viewport) -> SubplanAccess<'_> {
+        self.engine.acquire_subplan(fp, vp, self.pins)
+    }
+}
+
+/// A leader's publish obligation for one subplan. Dropping it without
+/// [`publish`](SubplanLease::publish) (leader panicked) resolves
+/// subscribers with [`SubState::Failed`] so they fall back instead of
+/// hanging.
+struct SubLease<'e> {
+    engine: &'e QueryEngine,
+    key: CacheKey,
+    flight: Arc<SubFlight>,
+    pins: Vec<DataPin>,
+    published: bool,
+}
+
+impl SubplanLease for SubLease<'_> {
+    fn publish(&mut self, canvas: &Arc<Canvas>) {
+        self.published = true;
+        // Cache first (may be rejected under a tiny budget — the slot
+        // below still serves current subscribers), then wake them.
+        self.engine.cache.insert_shared(
+            self.key,
+            Arc::clone(canvas),
+            std::mem::take(&mut self.pins),
+        );
+        self.engine
+            .resolve_subplan(&self.key, &self.flight, SubState::Ready(Arc::clone(canvas)));
+        self.engine.metrics_mut().subplan_published += 1;
+    }
+}
+
+impl Drop for SubLease<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.engine
+                .resolve_subplan(&self.key, &self.flight, SubState::Failed);
+        }
+    }
 }
 
 /// Counting semaphore with a bounded **FIFO** waiting line: waiters
@@ -249,6 +333,17 @@ pub struct EngineMetrics {
     pub shed: u64,
     pub failed: u64,
     pub peak_queued: usize,
+    /// Subplan acquisitions served without a render — shared-cache
+    /// hits plus in-flight subscriptions (cut-point granularity).
+    pub subplan_hits: u64,
+    /// The subscription slice of `subplan_hits`: renders avoided by
+    /// latching onto another query's *in-flight* intermediate.
+    pub shared_renders_avoided: u64,
+    /// Cut-point canvases published for cross-query sharing.
+    pub subplan_published: u64,
+    /// Subscriptions resolved by a failed leader — the subscriber
+    /// fell back to rendering privately (correctness is unaffected).
+    pub subplan_fallbacks: u64,
     /// End-to-end latency of successfully served submissions.
     pub service: LatencyStats,
     /// Evaluation-only latency of computed submissions.
@@ -272,12 +367,56 @@ impl EngineMetrics {
 
 /// The serving engine (see module docs). Cheap to share: wrap in an
 /// `Arc` and hand clones to every client thread.
+///
+/// # Examples
+///
+/// Serve a Figure-5 selection; a resubmission is a cache hit returning
+/// the *same* shared canvas:
+///
+/// ```
+/// use canvas_core::prelude::*;
+/// use canvas_engine::{EngineConfig, Query, QueryEngine, Served};
+/// use canvas_geom::{BBox, Point, Polygon};
+/// use std::sync::Arc;
+///
+/// let engine = QueryEngine::with_config(EngineConfig {
+///     threads: 2,
+///     calibrate: false, // skip startup measurement in examples
+///     ..EngineConfig::default()
+/// });
+/// let data = Arc::new(PointBatch::from_points(vec![Point::new(2.0, 2.0)]));
+/// let q = Polygon::simple(vec![
+///     Point::new(1.0, 1.0),
+///     Point::new(5.0, 1.0),
+///     Point::new(5.0, 5.0),
+///     Point::new(1.0, 5.0),
+/// ])
+/// .unwrap();
+/// let vp = Viewport::new(
+///     BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+///     16,
+///     16,
+/// );
+///
+/// let first = engine.execute(&Query::SelectPoints { data: data.clone(), q: q.clone() }, vp)?;
+/// assert_eq!(first.served, Served::Computed);
+/// assert_eq!(first.canvas.point_records(), vec![0]);
+///
+/// let again = engine.execute(&Query::SelectPoints { data, q }, vp)?;
+/// assert_eq!(again.served, Served::CacheHit);
+/// assert!(Arc::ptr_eq(&first.canvas, &again.canvas));
+/// # Ok::<(), canvas_engine::EngineError>(())
+/// ```
 pub struct QueryEngine {
     shared: SharedDevice,
     cache: CanvasCache,
     admission: Admission,
     max_queue: usize,
     inflight: Mutex<HashMap<CacheKey, Arc<InFlight>>>,
+    /// In-flight **subplan** renders (cut-point granularity) — the
+    /// interior sibling of `inflight`.
+    subflight: Mutex<HashMap<CacheKey, Arc<SubFlight>>>,
+    share_subplans: bool,
     metrics: Mutex<EngineMetrics>,
     calibration: Option<Calibration>,
 }
@@ -309,8 +448,118 @@ impl QueryEngine {
             admission: Admission::new(cfg.max_concurrent),
             max_queue: cfg.max_queue,
             inflight: Mutex::new(HashMap::new()),
+            subflight: Mutex::new(HashMap::new()),
+            share_subplans: cfg.share_subplans,
             metrics: Mutex::new(EngineMetrics::default()),
             calibration,
+        }
+    }
+
+    /// The subplan-sharing path of [`Exchange`]: shared-cache probe →
+    /// in-flight subscription → leadership. Blocking here is
+    /// deadlock-free: a leader only ever acquires subplans strictly
+    /// contained in the one it is rendering, so wait chains descend
+    /// strictly shrinking subtrees (see `algebra::subplan`).
+    ///
+    /// The whole-plan `inflight` table and this `subflight` table are
+    /// deliberately **not** bridged while work is in flight (the
+    /// unified keyspace kicks in once a render lands in the cache): a
+    /// subplan acquirer always holds an admission permit, but a
+    /// whole-plan leader may still be *waiting* for one — subscribing
+    /// across the tables could park every permit holder behind a
+    /// leader that can never be admitted. The cost is one duplicated
+    /// render in the narrow window where a whole plan and an identical
+    /// interior subplan overlap in flight; correctness is unaffected.
+    fn acquire_subplan(
+        &self,
+        fp: Fingerprint,
+        vp: &Viewport,
+        pins: &[DataPin],
+    ) -> SubplanAccess<'_> {
+        let key = CacheKey::new(fp, vp);
+        if let Some(canvas) = self.cache.get_shared(&key) {
+            self.metrics_mut().subplan_hits += 1;
+            return SubplanAccess::Ready(canvas);
+        }
+        let (flight, leader) = {
+            let mut subflight = self
+                .subflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match subflight.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(SubFlight {
+                        state: Mutex::new(SubState::Pending),
+                        done: Condvar::new(),
+                    });
+                    subflight.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            return SubplanAccess::Lead(Box::new(SubLease {
+                engine: self,
+                key,
+                flight,
+                pins: pins.to_vec(),
+                published: false,
+            }));
+        }
+        // Subscribe: park until the leader resolves, then either share
+        // its canvas or fall back to a private render.
+        let mut state = flight
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match &*state {
+                SubState::Pending => {
+                    state = flight
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                SubState::Ready(canvas) => {
+                    let canvas = Arc::clone(canvas);
+                    drop(state);
+                    let mut m = self.metrics_mut();
+                    m.subplan_hits += 1;
+                    m.shared_renders_avoided += 1;
+                    return SubplanAccess::Ready(canvas);
+                }
+                SubState::Failed => {
+                    drop(state);
+                    self.metrics_mut().subplan_fallbacks += 1;
+                    return SubplanAccess::Compute;
+                }
+            }
+        }
+    }
+
+    /// Resolves a subplan flight (publish or failure), wakes its
+    /// subscribers, and retires the table entry.
+    fn resolve_subplan(&self, key: &CacheKey, flight: &Arc<SubFlight>, outcome: SubState) {
+        {
+            let mut state = flight
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *state = outcome;
+        }
+        flight.done.notify_all();
+        let mut subflight = self
+            .subflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(current) = subflight.get(key) {
+            // Only the leader resolves its own flight, but guard the
+            // removal anyway: a racing future leader could in principle
+            // have inserted a fresh flight under the same key.
+            if Arc::ptr_eq(current, flight) {
+                subflight.remove(key);
+            }
         }
     }
 
@@ -432,7 +681,24 @@ impl QueryEngine {
         let ticket = self.shared.pool().register_ticket();
         let pool = Arc::clone(self.shared.pool());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.with_ticket(ticket, || self.shared.run(|dev| prepared.execute(dev, vp)))
+            pool.with_ticket(ticket, || {
+                self.shared.run(|dev| {
+                    if self.share_subplans {
+                        // Cut-point canvases flow through the engine's
+                        // exchange: reused if another query rendered
+                        // them, published otherwise. A panic mid-plan
+                        // drops any unpublished leases, resolving
+                        // their subscribers with the fallback signal.
+                        let ex = Exchange {
+                            engine: self,
+                            pins: prepared.pins(),
+                        };
+                        prepared.execute_via(dev, vp, &ex)
+                    } else {
+                        prepared.execute(dev, vp)
+                    }
+                })
+            })
         }));
         self.admission.release();
         let exec = t_exec.elapsed();

@@ -19,7 +19,10 @@
 //!                ├─ 4. admission  bounded concurrency + bounded queue (shed beyond)
 //!                └─ 5. execute    leased SharedDevice over ONE WorkerPool,
 //!                                 per-query ticket → passes interleave FAIRLY
-//!                                 (bounded quantum, no whole-query head-of-line)
+//!                                 (bounded quantum, no whole-query head-of-line);
+//!                                 every canvas-producing SUBPLAN goes through the
+//!                                 exchange: reuse a shared intermediate, subscribe
+//!                                 to one in flight, or render-and-publish
 //! ```
 //!
 //! Layer responsibilities:
@@ -28,22 +31,30 @@
 //!   quantum; `WorkerPool::register_ticket` / `with_ticket`) and the
 //!   startup **calibration** of the minimum-work threshold,
 //! * `canvas-core` provides plan **normalization + fingerprinting**
-//!   (`algebra::fingerprint`) and the **shared-state eval path**
+//!   (`algebra::fingerprint`, per-node with cut-point selection), the
+//!   **subplan exchange hook** (`algebra::subplan`) evaluation
+//!   consults at cut points, and the **shared-state eval path**
 //!   (`SharedDevice`),
 //! * this crate adds the [`Query`] descriptors, the budgeted
-//!   [`CanvasCache`], admission control, in-flight deduplication, and
-//!   per-query latency metrics.
+//!   [`CanvasCache`] (whole-plan roots + shared subplan intermediates
+//!   in one keyspace), admission control, in-flight deduplication at
+//!   both whole-plan and subplan granularity, and per-query
+//!   latency/sharing metrics.
 //!
-//! Every cached or coalesced response is the *same* `Arc<Canvas>` the
-//! original evaluation produced — bit-identical by construction, and
-//! asserted against fresh single-threaded evaluation in the
-//! concurrency stress tests (`tests/engine_stress.rs`).
+//! Every cached, coalesced, or subplan-shared response is the *same*
+//! `Arc<Canvas>` the original evaluation produced — bit-identical by
+//! construction, and asserted against fresh single-threaded evaluation
+//! in the concurrency stress tests (`tests/engine_stress.rs`,
+//! `tests/subplan_sharing.rs`).
+//!
+//! The crate-by-crate tour with the full life-of-a-query walkthrough
+//! lives in `docs/ARCHITECTURE.md` at the repo root.
 
 pub mod cache;
 pub mod engine;
 pub mod query;
 
-pub use cache::{CacheKey, CacheStats, CanvasCache, DataPin, ViewportKey};
+pub use cache::{CacheKey, CacheStats, CanvasCache, DataPin, EntryClass, ViewportKey};
 pub use engine::{
     EngineConfig, EngineError, EngineMetrics, LatencyStats, QueryEngine, Response, Served,
 };

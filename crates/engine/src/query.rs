@@ -200,14 +200,42 @@ impl Prepared {
     /// harnesses can evaluate the *identical* prepared form on a
     /// reference device (`Device::cpu`) for equivalence checks.
     pub fn execute(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+        self.execute_via(dev, vp, &canvas_core::algebra::subplan::NullExchange)
+    }
+
+    /// Evaluates with a [`SubplanExchange`](canvas_core::algebra::subplan::SubplanExchange) consulted at cut points —
+    /// the engine's subplan-sharing entry. Plan runners thread the
+    /// exchange through `Expr::eval_via`; the fused chain runners
+    /// consult it only for the operand canvases they materialize
+    /// anyway (`selection_heatmap_via` / `polygon_density_heatmap_via`
+    /// — fusion is never broken by a cut point). Results are
+    /// bit-identical to [`execute`](Self::execute) regardless of what
+    /// the exchange serves, because rendering is deterministic.
+    pub fn execute_via(
+        &self,
+        dev: &mut Device,
+        vp: Viewport,
+        ex: &dyn canvas_core::algebra::subplan::SubplanExchange,
+    ) -> Canvas {
         match &self.runner {
-            Runner::Plan(e) => e.eval(dev, vp),
+            Runner::Plan(e) => e.eval_via(dev, vp, ex),
             Runner::SelectionHeatmap { data, q } => {
-                heatmap::selection_heatmap(dev, vp, data, q).canvas
+                heatmap::selection_heatmap_via(dev, vp, data, q, ex).canvas
             }
             Runner::PolygonDensity { table, q } => {
-                heatmap::polygon_density_heatmap(dev, vp, table, q).canvas
+                heatmap::polygon_density_heatmap_via(dev, vp, table, q, ex).canvas
             }
+        }
+    }
+
+    /// The canvas-producing subexpressions of a plan-backed query
+    /// (bottom-up; empty for the fused-chain runners, whose only
+    /// exchanged canvases are their materialized operands). Exposed
+    /// for introspection and tests.
+    pub fn subplans(&self) -> Vec<algebra::Subplan> {
+        match &self.runner {
+            Runner::Plan(e) => algebra::subplans(e),
+            _ => Vec::new(),
         }
     }
 }

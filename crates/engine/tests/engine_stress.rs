@@ -123,6 +123,7 @@ fn concurrent_randomized_queries_match_sequential_cpu() {
         max_queue: 64,
         cache_budget_bytes: 64 << 20,
         calibrate: false,
+        share_subplans: true,
     }));
 
     const CLIENTS: usize = 4;
@@ -190,6 +191,7 @@ fn cache_hit_returns_identical_canvas() {
         max_queue: 8,
         cache_budget_bytes: 64 << 20,
         calibrate: false,
+        share_subplans: true,
     });
     let first = engine.execute(&queries[0], vps[0]).unwrap();
     assert_eq!(first.served, Served::Computed);
@@ -220,6 +222,7 @@ fn eviction_under_tiny_budget_stays_correct() {
         max_queue: 8,
         cache_budget_bytes: one + one / 2,
         calibrate: false,
+        share_subplans: true,
     });
     for round in 0..3 {
         for (qi, q) in queries.iter().take(3).enumerate() {
@@ -252,6 +255,7 @@ fn identical_simultaneous_submissions_deduplicate() {
         max_queue: 16,
         cache_budget_bytes: 64 << 20,
         calibrate: false,
+        share_subplans: true,
     }));
     let barrier = Arc::new(std::sync::Barrier::new(4));
     let mut handles = Vec::new();
@@ -288,6 +292,7 @@ fn fair_share_tickets_reach_the_pool_gate() {
         // gate sees sustained multi-ticket traffic.
         cache_budget_bytes: 0,
         calibrate: false,
+        share_subplans: true,
     }));
     let mut handles = Vec::new();
     for client in 0..3usize {

@@ -1,6 +1,6 @@
 //! Startup calibration of the minimum-work threshold.
 //!
-//! [`Policy::min_parallel_items`] answers "how many texels must a
+//! [`Policy::min_parallel_items`](crate::Policy::min_parallel_items) answers "how many texels must a
 //! full-screen pass touch before waking the pool pays off?". The static
 //! default ([`crate::MIN_PARALLEL_ITEMS`]) bakes in one assumed
 //! dispatch latency, but real wake/park cost varies an order of
@@ -45,7 +45,7 @@ pub struct Calibration {
 }
 
 /// Measures dispatch latency and per-item cost on `pool` and returns
-/// the derived [`Policy::min_parallel_items`] (see module docs). Does
+/// the derived [`Policy::min_parallel_items`](crate::Policy::min_parallel_items) (see module docs). Does
 /// **not** mutate the pool — use [`WorkerPool::calibrate`] for the
 /// measure-and-apply form.
 pub fn calibrate_min_work(pool: &WorkerPool) -> Calibration {
@@ -102,7 +102,7 @@ pub fn calibrate_min_work(pool: &WorkerPool) -> Calibration {
 
 impl WorkerPool {
     /// Measures this host once and replaces
-    /// [`Policy::min_parallel_items`] with the derived break-even value
+    /// [`Policy::min_parallel_items`](crate::Policy::min_parallel_items) with the derived break-even value
     /// (static default kept when measurement is degenerate). Returns
     /// the measurement either way so callers can record it.
     pub fn calibrate(&mut self) -> Calibration {

@@ -27,6 +27,23 @@ pub const PASS_QUANTUM: u64 = 4;
 
 /// Tunables consulted by every [`WorkerPool`](crate::WorkerPool)
 /// scheduling decision.
+///
+/// # Examples
+///
+/// Override one knob and keep the rest at their defaults:
+///
+/// ```
+/// use canvas_executor::{Policy, WorkerPool};
+///
+/// let policy = Policy {
+///     min_parallel_items: 1 << 12, // parallelize smaller passes
+///     ..Policy::default()
+/// };
+/// // Streaming passes bound their in-flight items per worker.
+/// assert_eq!(policy.stream_window(4), 4 * policy.stream_window_per_worker);
+/// let pool = WorkerPool::with_policy(2, policy);
+/// assert!(pool.should_parallelize(1 << 12));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Policy {
     /// Full-screen passes over fewer items than this run inline on the

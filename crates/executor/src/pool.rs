@@ -83,6 +83,20 @@ struct Shared {
 }
 
 /// A persistent fork-join worker pool (see module docs).
+///
+/// # Examples
+///
+/// An indexed pass returns its results in item order, bit-identical to
+/// the sequential run at any thread count:
+///
+/// ```
+/// use canvas_executor::WorkerPool;
+///
+/// let pool = WorkerPool::new(4); // this thread + 3 parked workers
+/// let squares = pool.run_indexed(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // Workers are joined when `pool` drops — nothing outlives it.
+/// ```
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,

@@ -5,7 +5,7 @@
 //! `Mutex<()>`: whichever thread won the lock ran its pass, and a query
 //! issuing many back-to-back passes could starve every other submitter
 //! for its whole plan (whole-query head-of-line blocking — precisely
-//! what a serving engine cannot afford). The [`FairGate`] replaces that
+//! what a serving engine cannot afford). The `FairGate` replaces that
 //! mutex with an explicit FIFO of waiters tagged by **ticket** (one
 //! ticket per in-flight query, see `WorkerPool::register_ticket`) and a
 //! bounded **quantum**: a ticket that has been granted
@@ -36,7 +36,7 @@ struct Waiter {
     ticket: TicketId,
 }
 
-/// Grant accounting of a [`FairGate`] since pool construction.
+/// Grant accounting of a `FairGate` since pool construction.
 #[derive(Clone, Debug, Default)]
 pub struct SchedulerStats {
     /// Total passes granted through the gate.

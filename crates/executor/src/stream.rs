@@ -23,7 +23,7 @@
 //! transformed by worker B while A is already producing the next item —
 //! the cross-operator tile pipelining 3DPipe argues for. Executors pick
 //! work **deepest stage first**, which keeps every stage queue within
-//! the per-stage window ([`Policy::chain_stage_window`]) and drains
+//! the per-stage window ([`Policy::chain_stage_window`](crate::Policy::chain_stage_window)) and drains
 //! items toward the merge frontier before admitting new ones.
 
 use crate::pool::WorkerPool;
@@ -82,7 +82,7 @@ struct ChainGate<T> {
     n: usize,
     stages: usize,
     window: usize,
-    /// Per-stage queue bound ([`Policy::chain_stage_window`]): implied
+    /// Per-stage queue bound ([`Policy::chain_stage_window`](crate::Policy::chain_stage_window)): implied
     /// by the claim gate plus deepest-first draining, debug-asserted at
     /// every hand-off.
     stage_window: usize,

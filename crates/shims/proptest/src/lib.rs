@@ -5,7 +5,7 @@
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
-//! * [`Strategy`] with `prop_map`, implemented for numeric ranges and
+//! * `Strategy` with `prop_map`, implemented for numeric ranges and
 //!   tuples,
 //! * `prop::collection::vec`, `prop::sample::select`,
 //!   `prop::array::uniform3`.
