@@ -194,6 +194,199 @@ fn main() {
     let scoped_spawn_ns = t0.elapsed().as_nanos() as f64 / DISPATCH_PASSES as f64;
     let dispatch_speedup = scoped_spawn_ns / pool_dispatch_ns;
 
+    // --- SIMD kernel ablation: scalar reference vs dispatched rows. ---
+    // Per-kernel microbenchmark on L2-resident 2048-texel rows iterated
+    // 2048× (2048² texels of work per arm, compute-bound): random mixed
+    // presence makes the branchy scalar reference mispredict exactly
+    // where the branchless vector select wins. The blend rows are the
+    // gated pointwise kernels; the value row is ln-dominated and
+    // deliberately scalar on every backend, recorded ungated as the
+    // ablation's control.
+    let simd_be = canvas_raster::simd::active_backend();
+    let scalar_be = canvas_raster::Backend::Scalar;
+    const SIMD_ROW: usize = 2048;
+    const SIMD_REPS: usize = 2048;
+
+    let mut seed = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed
+    };
+    let mk_texel = |r: u64| -> Texel {
+        let mut t = Texel::null();
+        for d in 0..3usize {
+            if (r >> (8 * d)) & 1 == 1 {
+                t.set(
+                    d,
+                    DimInfo::new(
+                        (r >> 16) as u32 & 0xFFFF,
+                        d as f32 + 1.5,
+                        0.25 * (r & 0xFF) as f32,
+                    ),
+                );
+            }
+        }
+        t
+    };
+    let row_a: Vec<Texel> = (0..SIMD_ROW).map(|_| mk_texel(next())).collect();
+    let row_b: Vec<Texel> = (0..SIMD_ROW).map(|_| mk_texel(next())).collect();
+
+    // The per-rep restore is a fixed cost both arms pay equally; it is
+    // measured alone (same loop shape) and subtracted so the blend
+    // speedups compare pure kernel time. Gross per-texel numbers and
+    // the restore baseline are all recorded in the JSON.
+    fn bench_restore(proto: &[Texel]) -> f64 {
+        let mut dst = proto.to_vec();
+        let pass = |dst: &mut Vec<Texel>| {
+            dst.copy_from_slice(proto);
+        };
+        for _ in 0..16 {
+            pass(&mut dst);
+        }
+        let t0 = Instant::now();
+        for _ in 0..SIMD_REPS {
+            pass(&mut dst);
+            std::hint::black_box(&mut dst);
+        }
+        t0.elapsed().as_nanos() as f64 / (SIMD_REPS * proto.len()) as f64
+    }
+
+    fn bench_blend(
+        be: canvas_raster::Backend,
+        tag: canvas_raster::BlendTag,
+        proto: &[Texel],
+        src: &[Texel],
+    ) -> f64 {
+        // Each rep restores `dst` from the prototype so every pass
+        // blends fresh random-presence data — without the restore the
+        // blend reaches its fixed point and the scalar arm's branches
+        // become a learnable repeating pattern, flattering the
+        // reference. The restore memcpy is paid equally by both arms.
+        let mut dst = proto.to_vec();
+        let pass = |dst: &mut Vec<Texel>| {
+            dst.copy_from_slice(proto);
+            canvas_raster::simd::blend_rows_with(be, tag, dst, src);
+        };
+        for _ in 0..16 {
+            pass(&mut dst);
+        }
+        let t0 = Instant::now();
+        for _ in 0..SIMD_REPS {
+            pass(&mut dst);
+        }
+        std::hint::black_box(&mut dst);
+        t0.elapsed().as_nanos() as f64 / (SIMD_REPS * proto.len()) as f64
+    }
+
+    fn bench_value(
+        be: canvas_raster::Backend,
+        tag: canvas_raster::ValueTag,
+        proto: &[Texel],
+    ) -> f64 {
+        let mut row = proto.to_vec();
+        let pass = |row: &mut Vec<Texel>| {
+            row.copy_from_slice(proto);
+            canvas_raster::simd::value_rows_with(be, tag, row);
+        };
+        for _ in 0..16 {
+            pass(&mut row);
+        }
+        let t0 = Instant::now();
+        for _ in 0..SIMD_REPS {
+            pass(&mut row);
+        }
+        std::hint::black_box(&mut row);
+        t0.elapsed().as_nanos() as f64 / (SIMD_REPS * proto.len()) as f64
+    }
+
+    fn bench_mask(be: canvas_raster::Backend, tag: canvas_raster::MaskTag, proto: &[Texel]) -> f64 {
+        let mut row = proto.to_vec();
+        let mut cov = vec![1u16; proto.len()];
+        let mut bits = vec![0u64; proto.len().div_ceil(64)];
+        let pass = |row: &mut Vec<Texel>, cov: &mut Vec<u16>, bits: &mut Vec<u64>| {
+            row.copy_from_slice(proto);
+            cov.fill(1);
+            bits.fill(0);
+            canvas_raster::simd::mask_rows_with(be, tag, row, Some(cov), bits);
+        };
+        for _ in 0..16 {
+            pass(&mut row, &mut cov, &mut bits);
+        }
+        let t0 = Instant::now();
+        for _ in 0..SIMD_REPS {
+            pass(&mut row, &mut cov, &mut bits);
+        }
+        std::hint::black_box((&mut row, &mut bits));
+        t0.elapsed().as_nanos() as f64 / (SIMD_REPS * proto.len()) as f64
+    }
+
+    fn bench_cover(be: canvas_raster::Backend, n: usize) -> f64 {
+        let proto: Vec<u16> = (0..n).map(|i| (i % 7) as u16).collect();
+        let src: Vec<u16> = (0..n).map(|i| (i % 5) as u16 + 1).collect();
+        let mut dst = proto.clone();
+        let pass = |dst: &mut Vec<u16>| {
+            dst.copy_from_slice(&proto);
+            canvas_raster::simd::cover_add_rows_with(be, dst, &src);
+        };
+        for _ in 0..16 {
+            pass(&mut dst);
+        }
+        let t0 = Instant::now();
+        for _ in 0..SIMD_REPS {
+            pass(&mut dst);
+        }
+        std::hint::black_box(&mut dst);
+        t0.elapsed().as_nanos() as f64 / (SIMD_REPS * n) as f64
+    }
+
+    // Best-of-3 per measurement (same guard bench_serve uses): on a
+    // shared host a single timed window can land on a scheduling blip
+    // or throttled interval, and the minimum is the least-interfered
+    // estimate of the kernel's true cost.
+    fn best3(mut f: impl FnMut() -> f64) -> f64 {
+        (0..3).map(|_| f()).fold(f64::INFINITY, f64::min)
+    }
+
+    let blend_restore = best3(|| bench_restore(&row_a));
+    let blend_over_scalar =
+        best3(|| bench_blend(scalar_be, canvas_raster::BlendTag::Over, &row_a, &row_b));
+    let blend_over_simd =
+        best3(|| bench_blend(simd_be, canvas_raster::BlendTag::Over, &row_a, &row_b));
+    let blend_poa_scalar = best3(|| {
+        bench_blend(
+            scalar_be,
+            canvas_raster::BlendTag::PointOverArea,
+            &row_a,
+            &row_b,
+        )
+    });
+    let blend_poa_simd = best3(|| {
+        bench_blend(
+            simd_be,
+            canvas_raster::BlendTag::PointOverArea,
+            &row_a,
+            &row_b,
+        )
+    });
+    let value_scalar = best3(|| bench_value(scalar_be, canvas_raster::ValueTag::HeatLog, &row_a));
+    let value_simd = best3(|| bench_value(simd_be, canvas_raster::ValueTag::HeatLog, &row_a));
+    let mask_scalar = best3(|| bench_mask(scalar_be, canvas_raster::MaskTag::PointAndArea, &row_a));
+    let mask_simd = best3(|| bench_mask(simd_be, canvas_raster::MaskTag::PointAndArea, &row_a));
+    let cover_scalar = best3(|| bench_cover(scalar_be, SIMD_ROW));
+    let cover_simd = best3(|| bench_cover(simd_be, SIMD_ROW));
+
+    // Blend speedups are net of the per-rep restore both arms pay;
+    // the floor keeps a noisy restore estimate from driving a
+    // denominator to zero or negative.
+    let net = |gross: f64| (gross - blend_restore).max(gross * 0.1);
+    let blend_over_speedup = net(blend_over_scalar) / net(blend_over_simd);
+    let blend_poa_speedup = net(blend_poa_scalar) / net(blend_poa_simd);
+    let value_speedup = value_scalar / value_simd;
+    let mask_speedup = mask_scalar / mask_simd;
+    let cover_speedup = cover_scalar / cover_simd;
+
     let seq = &samples[0];
     let par = &samples[1];
     let wall_speedup = seq.wall_secs / par.wall_secs;
@@ -231,6 +424,66 @@ fn main() {
         json,
         "  \"chain_materialized_wall_secs\": {chain_materialized_wall:.6},"
     );
+    let _ = writeln!(json, "  \"simd_backend\": \"{}\",", simd_be.name());
+    let _ = writeln!(json, "  \"simd_width\": {},", simd_be.width());
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_restore_ns_per_texel\": {blend_restore:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_over_scalar_ns_per_texel\": {blend_over_scalar:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_over_ns_per_texel\": {blend_over_simd:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_over_speedup\": {blend_over_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_point_over_area_scalar_ns_per_texel\": {blend_poa_scalar:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_point_over_area_ns_per_texel\": {blend_poa_simd:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_blend_point_over_area_speedup\": {blend_poa_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_value_heat_log_scalar_ns_per_texel\": {value_scalar:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_value_heat_log_ns_per_texel\": {value_simd:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_value_heat_log_speedup\": {value_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_mask_point_and_area_scalar_ns_per_texel\": {mask_scalar:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_mask_point_and_area_ns_per_texel\": {mask_simd:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_mask_point_and_area_speedup\": {mask_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd_cover_add_scalar_ns_per_texel\": {cover_scalar:.3},"
+    );
+    let _ = writeln!(json, "  \"simd_cover_add_ns_per_texel\": {cover_simd:.3},");
+    let _ = writeln!(json, "  \"simd_cover_add_speedup\": {cover_speedup:.2},");
     json.push_str("  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = writeln!(
@@ -281,6 +534,30 @@ fn main() {
         "pool dispatch {pool_dispatch_ns:.0}ns/pass not below scoped spawn \
          {scoped_spawn_ns:.0}ns/pass"
     );
+    // The pointwise-kernel gate: when a vector backend was detected,
+    // the dispatched blend rows must beat the scalar reference ≥ 1.5×,
+    // comparing pure kernel time (gross minus the measured per-rep
+    // restore, which both arms pay equally). The ln-bound value kernel
+    // and the gather-bound mask kernel are recorded for the trajectory
+    // but not gated.
+    if simd_be.is_vector() {
+        assert!(
+            blend_over_speedup >= 1.5,
+            "SIMD Over blend {blend_over_speedup:.2}x below 1.5x over scalar on {}",
+            simd_be.name()
+        );
+        assert!(
+            blend_poa_speedup >= 1.5,
+            "SIMD PointOverArea blend {blend_poa_speedup:.2}x below 1.5x over scalar on {}",
+            simd_be.name()
+        );
+    } else {
+        eprintln!(
+            "note: no vector backend detected (backend {}); SIMD kernel numbers recorded, \
+             1.5x pointwise gate applies when width >= 4",
+            simd_be.name()
+        );
+    }
     if host_cores >= 8 {
         assert!(
             wall_speedup >= 3.0,

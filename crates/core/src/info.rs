@@ -10,7 +10,11 @@
 
 /// One object-information entry `(v0, v1, v2)`: a record id plus two
 /// real metadata slots (paper Definition 7).
+///
+/// `#[repr(C)]` so a `Texel` is exactly the 10-word layout the SIMD row
+/// kernels operate on (see [`canvas_raster::TexelWords`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct DimInfo {
     /// `v0`: unique identifier of the record that produced the geometry.
     pub id: u32,
@@ -34,10 +38,26 @@ impl DimInfo {
 /// reserving sentinel ids. The all-∅ texel is the canvas null value
 /// (rendered white in the paper's figures).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Texel {
-    present: u8,
+    present: u32,
     dims: [DimInfo; 3],
 }
+
+// SAFETY: `Texel` is `#[repr(C)]` — a `u32` presence word followed by
+// three `(u32, f32, f32)` entries — which is exactly the 40-byte,
+// 4-aligned, padding-free 10 × `u32` word image `TexelWords` demands:
+// word 0 is the presence bitmask (bit `d` ⇔ dimension `d` present) and
+// words `1+3d..4+3d` are dimension `d`'s `(id, v1, v2)` with the value
+// words as `f32` bit patterns. Asserted at compile time below.
+unsafe impl canvas_raster::TexelWords for Texel {}
+
+const _: () = {
+    assert!(std::mem::size_of::<Texel>() == 40);
+    assert!(std::mem::align_of::<Texel>() == 4);
+    assert!(std::mem::offset_of!(Texel, present) == 0);
+    assert!(std::mem::offset_of!(Texel, dims) == 4);
+};
 
 /// The empty texel (∅, ∅, ∅).
 pub const NULL_TEXEL: Texel = Texel {
@@ -233,6 +253,21 @@ impl BlendFn {
         }
     }
 
+    /// The SIMD row-kernel tag for this blend (`canvas_raster::simd`).
+    /// Every built-in blend has a vectorized kernel that is bit-identical
+    /// to [`BlendFn::apply`] — including `f32` sums, which the kernels
+    /// evaluate scalar in the same operand order (asserted exhaustively
+    /// in tests below).
+    pub fn tag(self) -> canvas_raster::BlendTag {
+        match self {
+            BlendFn::Over => canvas_raster::BlendTag::Over,
+            BlendFn::PointOverArea => canvas_raster::BlendTag::PointOverArea,
+            BlendFn::AreaCount => canvas_raster::BlendTag::AreaCount,
+            BlendFn::Accumulate => canvas_raster::BlendTag::Accumulate,
+            BlendFn::PointAccumulate => canvas_raster::BlendTag::PointAccumulate,
+        }
+    }
+
     /// Short symbol used in plan diagrams.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -380,5 +415,53 @@ mod tests {
     fn texel_size_stays_compact() {
         // Hot-path type: keep it within two cache lines' worth per texel.
         assert!(std::mem::size_of::<Texel>() <= 40);
+    }
+
+    /// Every blend kernel tag must reproduce [`BlendFn::apply`] bit for
+    /// bit — on the scalar reference backend and on whatever vector
+    /// backend this host dispatches to — across all 8×8 presence pairs
+    /// and payloads including `-0.0`, `NaN` and a denormal.
+    #[test]
+    fn blend_kernels_match_apply_bit_for_bit() {
+        use canvas_raster::simd;
+        let payloads = [1.0f32, -0.0, f32::NAN, 1.5e-41, 3.25];
+        let mk = |p: u32, seed: u32| {
+            let mut t = Texel::null();
+            for d in 0..3u32 {
+                if p & (1 << d) != 0 {
+                    let v = payloads[((seed + d) % payloads.len() as u32) as usize];
+                    t.set(d as usize, DimInfo::new(seed * 7 + d, v, v * 2.0));
+                }
+            }
+            t
+        };
+        let words = |t: &Texel| -> [u32; 10] { unsafe { std::mem::transmute_copy(t) } };
+        let backends = [simd::Backend::Scalar, simd::active_backend()];
+        for op in [
+            BlendFn::Over,
+            BlendFn::PointOverArea,
+            BlendFn::AreaCount,
+            BlendFn::Accumulate,
+            BlendFn::PointAccumulate,
+        ] {
+            for pa in 0..8u32 {
+                for pb in 0..8u32 {
+                    for seed in 0..3u32 {
+                        let a = mk(pa, seed);
+                        let b = mk(pb, seed + 1);
+                        let expect = op.apply(a, b);
+                        for be in backends {
+                            let mut dst = [a];
+                            simd::blend_rows_with(be, op.tag(), &mut dst, &[b]);
+                            assert_eq!(
+                                words(&dst[0]),
+                                words(&expect),
+                                "{op:?} pa={pa} pb={pb} on {be:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

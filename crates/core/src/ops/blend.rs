@@ -30,15 +30,17 @@ pub fn blend(dev: &mut Device, a: &Canvas, b: &Canvas, op: BlendFn) -> Canvas {
     );
     let vp = *a.viewport();
 
-    // Texel plane: programmable blend pass.
+    // Texel plane: programmable blend pass. Every built-in `BlendFn`
+    // lowers to a SIMD row kernel (`BlendFn::tag`) that is bit-identical
+    // to per-texel `apply` — same work counters, same banding.
     let mut texels = a.texels().clone();
     dev.pipeline()
-        .blend_into(&mut texels, b.texels(), |d, s| op.apply(d, s));
+        .blend_into_tagged(&mut texels, b.texels(), op.tag());
 
-    // Certain-cover planes add (2-primitive cover counts are additive).
+    // Certain-cover planes add (2-primitive cover counts are additive):
+    // the SIMD saturating-add row kernel.
     let mut cover = a.cover().clone();
-    dev.pipeline()
-        .blend_into(&mut cover, b.cover(), |d, s| d.saturating_add(s));
+    dev.pipeline().blend_cover_into(&mut cover, b.cover());
 
     // Merge geometry sources and boundary entries.
     let mut out = Canvas::from_parts(

@@ -48,7 +48,7 @@ use crate::device::Device;
 use crate::info::{BlendFn, Texel};
 use crate::ops::mask::MaskSpec;
 use canvas_geom::Point;
-use canvas_raster::{OpChain, Viewport};
+use canvas_raster::{MaskTag, OpChain, ValueTag, Viewport};
 
 /// Boxed location-aware texel rewrite (the Value Transform function).
 pub type ValueFn = Arc<dyn Fn(Point, Texel) -> Texel + Send + Sync>;
@@ -60,6 +60,10 @@ pub type TexelPred = Arc<dyn Fn(&Texel) -> bool + Send + Sync>;
 pub enum CanvasOp<'a> {
     /// `V[f]` — per-location texel rewrite.
     Value(ValueFn),
+    /// `V[f]` for a built-in transform — semantically a [`CanvasOp::Value`],
+    /// but lowered to the dispatched SIMD row kernel instead of a
+    /// per-texel closure.
+    ValueTagged(ValueTag),
     /// `B[⊙]` — blend with a materialized operand canvas: texels
     /// through the blend function, covers by saturating addition,
     /// boundary entries merged with source remapping.
@@ -70,14 +74,22 @@ pub enum CanvasOp<'a> {
         label: &'static str,
         pred: TexelPred,
     },
+    /// Coarse `M[M]` for a built-in predicate — semantically a
+    /// [`CanvasOp::Mask`], lowered to the SIMD row kernel.
+    MaskTagged { label: &'static str, tag: MaskTag },
 }
 
 impl std::fmt::Debug for CanvasOp<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Tagged ops print identically to their closure forms so plan
+        // strings (and the subplan-sharing cache keys derived from
+        // them) are stable across the lowering choice.
         match self {
-            CanvasOp::Value(_) => write!(f, "V[f]"),
+            CanvasOp::Value(_) | CanvasOp::ValueTagged(_) => write!(f, "V[f]"),
             CanvasOp::Blend { op, .. } => write!(f, "B[{op:?}]"),
-            CanvasOp::Mask { label, .. } => write!(f, "M[{label}]"),
+            CanvasOp::Mask { label, .. } | CanvasOp::MaskTagged { label, .. } => {
+                write!(f, "M[{label}]")
+            }
         }
     }
 }
@@ -115,6 +127,18 @@ impl<'a> CanvasChain<'a> {
             label,
             pred: Arc::new(pred),
         });
+        self
+    }
+
+    /// Appends a built-in Value Transform stage (SIMD-lowered).
+    pub fn value_tagged(mut self, tag: ValueTag) -> Self {
+        self.ops.push(CanvasOp::ValueTagged(tag));
+        self
+    }
+
+    /// Appends a built-in coarse Mask stage (SIMD-lowered).
+    pub fn mask_tagged(mut self, label: &'static str, tag: MaskTag) -> Self {
+        self.ops.push(CanvasOp::MaskTagged { label, tag });
         self
     }
 
@@ -178,10 +202,13 @@ fn lower_to_raster<'a>(vp: Viewport, chain: &CanvasChain<'a>) -> OpChain<'a, Tex
                 let f = Arc::clone(f);
                 raster_chain.map(move |x, y, t| f(vp.pixel_center(x, y), t))
             }
+            CanvasOp::ValueTagged(tag) => raster_chain.map_tagged(*tag),
+            // Built-in blends always take the SIMD row kernel: the
+            // kernel is bit-identical to `BlendFn::apply` (asserted in
+            // `info::tests`), so the streamed ≡ materialized contract
+            // is unchanged by the lowering.
             CanvasOp::Blend { other, op } => {
-                let op = *op;
-                raster_chain
-                    .blend_with_cover(other.texels(), other.cover(), move |d, s| op.apply(d, s))
+                raster_chain.blend_tagged(other.texels(), Some(other.cover()), op.tag())
             }
             CanvasOp::Mask { pred, .. } => {
                 let pred = Arc::clone(pred);
@@ -189,6 +216,9 @@ fn lower_to_raster<'a>(vp: Viewport, chain: &CanvasChain<'a>) -> OpChain<'a, Tex
                 // tests non-null texels).
                 raster_chain.mask(move |_, _, t: &Texel| t.is_null() || pred(t))
             }
+            // The tagged mask kernel bakes in the same lowered
+            // semantics (null passes, failing texels nulled).
+            CanvasOp::MaskTagged { tag, .. } => raster_chain.mask_tagged(*tag),
         };
     }
     raster_chain
@@ -208,7 +238,7 @@ fn replay_bookkeeping(
     let mut mask_ordinal = 0usize;
     for op in chain.ops() {
         match op {
-            CanvasOp::Value(_) => {}
+            CanvasOp::Value(_) | CanvasOp::ValueTagged(_) => {}
             CanvasOp::Blend { other, .. } => {
                 // Same merge the materialized Blend performs.
                 let area_remap: Vec<u16> = other
@@ -226,7 +256,7 @@ fn replay_bookkeeping(
                     .merge_remapped(other.boundary(), &area_remap, &line_remap);
                 canvas.boundary_mut().sort();
             }
-            CanvasOp::Mask { .. } => {
+            CanvasOp::Mask { .. } | CanvasOp::MaskTagged { .. } => {
                 let ordinal = mask_ordinal;
                 canvas
                     .boundary_mut()
@@ -357,9 +387,23 @@ fn apply_chain_materialized(dev: &mut Device, mut c: Canvas, chain: &CanvasChain
                 let f = Arc::clone(f);
                 crate::ops::value::value_transform(dev, &c, move |p, t| f(p, t))
             }
+            CanvasOp::ValueTagged(tag) => crate::ops::value::value_transform_tagged(dev, &c, *tag),
             CanvasOp::Blend { other, op } => crate::ops::blend::blend(dev, &c, other, *op),
             CanvasOp::Mask { label, pred } => {
                 crate::ops::mask::mask(dev, &c, &MaskSpec::Texel(label, Arc::clone(pred)))
+            }
+            // Materialized form of the tagged mask: the ordinary texel
+            // mask over the kernel's raw predicate — same keep-set.
+            CanvasOp::MaskTagged { label, tag } => {
+                let tag = *tag;
+                crate::ops::mask::mask(
+                    dev,
+                    &c,
+                    &MaskSpec::Texel(
+                        label,
+                        Arc::new(move |t: &Texel| canvas_raster::simd::mask_pred(tag, t)),
+                    ),
+                )
             }
         };
     }

@@ -32,6 +32,23 @@ pub fn value_transform(
     out
 }
 
+/// `C' = V[f](C)` for a built-in transform: the same full-screen pass
+/// (identical work counters) running the dispatched row kernel of
+/// `canvas_raster::simd` instead of a per-texel closure. Built-in
+/// transforms are location-independent, so no pixel-center plumbing.
+pub fn value_transform_tagged(
+    dev: &mut Device,
+    c: &Canvas,
+    tag: canvas_raster::ValueTag,
+) -> Canvas {
+    let mut out = c.clone();
+    {
+        let (texels, _, _) = out.planes_mut();
+        dev.pipeline().par_map_texels_tagged(texels, tag);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

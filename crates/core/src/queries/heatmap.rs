@@ -32,21 +32,17 @@ use crate::ops::chain::{
 };
 use crate::source::{render_polygon_with, render_query_polygon};
 use canvas_geom::polygon::Polygon;
-use canvas_raster::Viewport;
+use canvas_raster::{MaskTag, ValueTag, Viewport};
 use std::sync::Arc;
 
-/// The heatmap chain over a rendered query-polygon canvas.
+/// The heatmap chain over a rendered query-polygon canvas. Mask and
+/// value stages are the built-in tagged forms, so every stage of the
+/// fused tile flow runs the dispatched SIMD row kernels.
 fn heat_chain(cq: &Canvas) -> CanvasChain<'_> {
     CanvasChain::new()
         .blend(cq, BlendFn::PointOverArea)
-        .mask("point ∧ area", |t: &Texel| t.has(0) && t.has(2))
-        .value(|_, mut t| {
-            if let Some(mut p) = t.get(0) {
-                p.v2 = (1.0 + p.v1).ln();
-                t.set(0, p);
-            }
-            t
-        })
+        .mask_tagged("point ∧ area", MaskTag::PointAndArea)
+        .value_tagged(ValueTag::HeatLog)
 }
 
 /// `C_heat ← V[log](M[Mp coarse](B[⊙](C_P, C_Q)))`, fused (see module
@@ -112,17 +108,13 @@ const QUERY_TAG: f32 = (1u32 << 20) as f32;
 fn density_chain(ctag: &Canvas) -> CanvasChain<'_> {
     CanvasChain::new()
         .blend(ctag, BlendFn::AreaCount)
-        .mask("inside query ∧ ≥1 polygon", |t: &Texel| {
-            t.get(2).is_some_and(|a| a.v1 > QUERY_TAG)
-        })
-        .value(|_, mut t| {
-            if let Some(mut a) = t.get(2) {
-                a.v1 -= QUERY_TAG;
-                a.v2 = (1.0 + a.v1).ln();
-                t.set(2, a);
-            }
-            t
-        })
+        .mask_tagged(
+            "inside query ∧ ≥1 polygon",
+            MaskTag::AreaV1Above {
+                threshold: QUERY_TAG,
+            },
+        )
+        .value_tagged(ValueTag::DensityLog { tag: QUERY_TAG })
 }
 
 /// Renders the query region with the count tag (id `u32::MAX` so it can

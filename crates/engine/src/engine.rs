@@ -297,6 +297,12 @@ impl Admission {
     }
 }
 
+/// Computed-response cadence of load-aware minimum-work recalibration
+/// (see `QueryEngine::maybe_recalibrate`): frequent enough to track
+/// load shifts on a serving engine, rare enough that the ~µs kernel
+/// probe never shows up in service latency.
+const RECALIBRATE_EVERY: u64 = 64;
+
 /// Latency aggregate (seconds) over one response class.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyStats {
@@ -350,6 +356,15 @@ pub struct EngineMetrics {
     pub exec: LatencyStats,
     /// Admission-wait latency of computed submissions.
     pub queue_wait: LatencyStats,
+    /// SIMD backend the tile kernels dispatch to on this host
+    /// (`"scalar"`, `"sse2"`, or `"avx2"` — selected once at first
+    /// kernel use, `CANVAS_SIMD` overrides).
+    pub simd_backend: &'static str,
+    /// Texel lanes per vector operation of that backend (1 = scalar).
+    pub simd_width: usize,
+    /// Load-aware minimum-work recalibrations applied since
+    /// construction (see `WorkerPool::recalibrate`).
+    pub recalibrations: u64,
 }
 
 impl EngineMetrics {
@@ -419,6 +434,8 @@ pub struct QueryEngine {
     share_subplans: bool,
     metrics: Mutex<EngineMetrics>,
     calibration: Option<Calibration>,
+    /// Load-aware recalibrations applied (see `maybe_recalibrate`).
+    recalibrations: std::sync::atomic::AtomicU64,
 }
 
 impl QueryEngine {
@@ -452,6 +469,7 @@ impl QueryEngine {
             share_subplans: cfg.share_subplans,
             metrics: Mutex::new(EngineMetrics::default()),
             calibration,
+            recalibrations: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -715,11 +733,15 @@ impl QueryEngine {
                     .insert(key, Arc::clone(&canvas), prepared.pins().to_vec());
                 self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
                 let service = t_submit.elapsed();
-                let mut m = self.metrics_mut();
-                m.computed += 1;
-                m.exec.record(exec);
-                m.queue_wait.record(queue_wait);
-                m.service.record(service);
+                let computed = {
+                    let mut m = self.metrics_mut();
+                    m.computed += 1;
+                    m.exec.record(exec);
+                    m.queue_wait.record(queue_wait);
+                    m.service.record(service);
+                    m.computed
+                };
+                self.maybe_recalibrate(computed);
                 Ok(Response {
                     canvas,
                     fingerprint: prepared.fingerprint,
@@ -776,7 +798,41 @@ impl QueryEngine {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         m.peak_queued = st.peak_queued;
         m.shed = st.shed;
+        drop(st);
+        let be = canvas_raster::simd::active_backend();
+        m.simd_backend = be.name();
+        m.simd_width = be.width();
+        m.recalibrations = self
+            .recalibrations
+            .load(std::sync::atomic::Ordering::Relaxed);
         m
+    }
+
+    /// Load-aware recalibration, every [`RECALIBRATE_EVERY`] computed
+    /// responses: re-times one texel of the dispatched blend kernel
+    /// (`per_texel_probe_ns`, so the measurement reflects the active
+    /// SIMD width *and* current machine load) and re-derives the pool's
+    /// minimum-work threshold against the dispatch latency measured at
+    /// startup. Lock-free apply; a skipped or degenerate refresh leaves
+    /// the previous threshold standing. No-op when startup calibration
+    /// was disabled — there is no dispatch measurement to derive from.
+    fn maybe_recalibrate(&self, computed: u64) {
+        let Some(cal) = self.calibration.as_ref() else {
+            return;
+        };
+        if !cal.applied || !computed.is_multiple_of(RECALIBRATE_EVERY) {
+            return;
+        }
+        let per_item_ns = canvas_raster::simd::per_texel_probe_ns::<canvas_core::Texel>();
+        if self
+            .shared
+            .pool()
+            .recalibrate(cal.dispatch_ns_per_pass, per_item_ns)
+            .is_some()
+        {
+            self.recalibrations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Canvas cache traffic snapshot.
@@ -814,6 +870,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_report_simd_backend() {
+        let engine = QueryEngine::with_config(EngineConfig {
+            threads: 1,
+            calibrate: false,
+            ..EngineConfig::default()
+        });
+        let m = engine.metrics();
+        assert!(["scalar", "sse2", "avx2"].contains(&m.simd_backend));
+        assert!(m.simd_width >= 1);
+        assert_eq!(m.recalibrations, 0, "no traffic, no recalibration");
+    }
 
     #[test]
     fn admission_sheds_beyond_queue_bound() {

@@ -114,6 +114,30 @@ impl WorkerPool {
         }
         c
     }
+
+    /// Load-aware refresh of the minimum-work threshold: re-derives the
+    /// break-even item count from a *fresh* per-item measurement (the
+    /// caller typically times a representative SIMD kernel row, so the
+    /// threshold tracks the active vector width) against a dispatch
+    /// latency measured earlier — no empty-pass storm, so this is cheap
+    /// enough to run every N passes or on engine idle. Applies through
+    /// the lock-free override consulted by
+    /// [`should_parallelize`](WorkerPool::should_parallelize) (needs
+    /// only `&self`), clamped to the same
+    /// [`MIN_WORK_FLOOR`]`..=`[`MIN_WORK_CEIL`] band as startup
+    /// calibration. Returns the installed threshold, or `None` when the
+    /// pool has no workers or a timing is degenerate (the previous
+    /// threshold then stands).
+    pub fn recalibrate(&self, dispatch_ns_per_pass: f64, per_item_ns: f64) -> Option<usize> {
+        if self.worker_count() == 0 || dispatch_ns_per_pass <= 0.0 || per_item_ns <= 0.0 {
+            return None;
+        }
+        let saved_fraction = 1.0 - 1.0 / self.threads() as f64;
+        let derived = (dispatch_ns_per_pass / (per_item_ns * saved_fraction)).ceil() as usize;
+        let clamped = derived.clamp(MIN_WORK_FLOOR, MIN_WORK_CEIL);
+        self.set_min_work_override(clamped);
+        Some(clamped)
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +152,52 @@ mod tests {
         let c = pool.calibrate();
         assert!(!c.applied);
         assert_eq!(pool.policy().min_parallel_items, before);
+    }
+
+    #[test]
+    fn recalibrate_installs_clamped_override() {
+        let pool = WorkerPool::new(3);
+        let before = pool.policy().min_parallel_items;
+        // Huge dispatch cost vs cheap items → ceiling.
+        assert_eq!(pool.recalibrate(1e12, 1.0), Some(MIN_WORK_CEIL));
+        assert_eq!(pool.effective_min_parallel_items(), MIN_WORK_CEIL);
+        assert!(pool.should_parallelize(MIN_WORK_CEIL));
+        assert!(!pool.should_parallelize(MIN_WORK_CEIL - 1));
+        // Cheap dispatch vs slow items → floor.
+        assert_eq!(pool.recalibrate(1.0, 1e6), Some(MIN_WORK_FLOOR));
+        assert_eq!(pool.effective_min_parallel_items(), MIN_WORK_FLOOR);
+        // The configured policy itself is untouched by the override.
+        assert_eq!(pool.policy().min_parallel_items, before);
+        // Degenerate timings leave the previous threshold standing.
+        assert_eq!(pool.recalibrate(0.0, 1.0), None);
+        assert_eq!(pool.recalibrate(1.0, -3.0), None);
+        assert_eq!(pool.effective_min_parallel_items(), MIN_WORK_FLOOR);
+    }
+
+    #[test]
+    fn recalibrate_noop_without_workers_and_cleared_by_set_policy() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.recalibrate(100.0, 1.0), None);
+        let mut pool = WorkerPool::new(2);
+        pool.recalibrate(1e12, 1.0).unwrap();
+        assert_eq!(pool.effective_min_parallel_items(), MIN_WORK_CEIL);
+        // An explicit policy wins until the next recalibration.
+        let p = *pool.policy();
+        pool.set_policy(p);
+        assert_eq!(
+            pool.effective_min_parallel_items(),
+            p.min_parallel_items,
+            "set_policy drops the override"
+        );
+    }
+
+    #[test]
+    fn pass_counter_counts_dispatches() {
+        let pool = WorkerPool::new(2);
+        let before = pool.passes();
+        let _ = pool.run_indexed(4, |i| i);
+        let _ = pool.run_indexed(4, |i| i);
+        assert_eq!(pool.passes(), before + 2);
     }
 
     #[test]

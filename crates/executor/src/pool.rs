@@ -110,6 +110,14 @@ pub struct WorkerPool {
     next_ticket: AtomicU64,
     threads: usize,
     policy: Policy,
+    /// Lock-free override of `policy.min_parallel_items` installed by
+    /// load-aware recalibration (0 = no override). Lives outside
+    /// [`Policy`] so a refresh needs only `&self` and can run
+    /// mid-workload without touching the policy the caller configured.
+    min_work_override: AtomicUsize,
+    /// Passes dispatched since construction — the cadence clock for
+    /// periodic recalibration.
+    passes: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -203,6 +211,8 @@ impl WorkerPool {
             next_ticket: AtomicU64::new(1),
             threads,
             policy,
+            min_work_override: AtomicUsize::new(0),
+            passes: AtomicU64::new(0),
         }
     }
 
@@ -249,14 +259,40 @@ impl WorkerPool {
         &self.policy
     }
 
+    /// Replaces the policy and drops any recalibration override: an
+    /// explicitly configured policy wins until the next recalibration.
     pub fn set_policy(&mut self, policy: Policy) {
         self.policy = policy;
+        self.min_work_override.store(0, Ordering::Relaxed);
     }
 
     /// True when a pass over `items` work units should fan out (the
     /// centralized minimum-work threshold — see [`Policy`]).
     pub fn should_parallelize(&self, items: usize) -> bool {
-        self.worker_count() > 0 && items >= self.policy.min_parallel_items
+        self.worker_count() > 0 && items >= self.effective_min_parallel_items()
+    }
+
+    /// The live minimum-work threshold: the recalibration override when
+    /// one is installed, the policy value otherwise.
+    pub fn effective_min_parallel_items(&self) -> usize {
+        match self.min_work_override.load(Ordering::Relaxed) {
+            0 => self.policy.min_parallel_items,
+            n => n,
+        }
+    }
+
+    /// Installs a minimum-work override (`&self` — safe to call from a
+    /// recalibration probe while queries are in flight). Callers are
+    /// expected to pass a value already clamped to the calibration band;
+    /// see [`WorkerPool::recalibrate`](crate::calibrate).
+    pub fn set_min_work_override(&self, items: usize) {
+        self.min_work_override.store(items, Ordering::Relaxed);
+    }
+
+    /// Passes dispatched through this pool since construction (counts
+    /// inline single-thread passes too).
+    pub fn passes(&self) -> u64 {
+        self.passes.load(Ordering::Relaxed)
     }
 
     /// Runs `f()` once on the calling thread and once on every
@@ -264,6 +300,7 @@ impl WorkerPool {
     /// `f` typically loops over an atomic claim counter. Panics from any
     /// invocation are re-raised here after the pass has fully quiesced.
     fn run_pass<F: Fn() + Sync>(&self, f: &F) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
         if self.handles.is_empty() {
             f();
             return;

@@ -18,6 +18,7 @@
 //! passes (and to the sequential `Device::cpu` run) at any thread
 //! count; `tests/chain_equivalence.rs` asserts this on random chains.
 
+use crate::simd::{self, Backend, BlendTag, MaskTag, TexelWords, ValueTag};
 use crate::texture::Texture;
 use crate::tile::TileRect;
 
@@ -29,6 +30,9 @@ pub type BlendOpFn<'a, P> = Box<dyn Fn(P, P) -> P + Sync + 'a>;
 pub type MaskPred<'a, P> = Box<dyn Fn(u32, u32, &P) -> bool + Sync + 'a>;
 /// Boxed nullity test (see [`OpChain::with_null_test`]).
 type NullTest<'a, P> = Box<dyn Fn(&P) -> bool + Sync + 'a>;
+/// Monomorphized row-kernel dispatcher of a [`ChainOp::MaskTagged`]
+/// stage: texel row, optional cover row, null bitmap.
+type MaskKernel<P> = fn(Backend, MaskTag, &mut [P], Option<&mut [u16]>, &mut [u64]);
 
 /// One post-draw operator of a fused chain.
 pub enum ChainOp<'a, P> {
@@ -51,15 +55,37 @@ pub enum ChainOp<'a, P> {
     /// cover zeroed. Equivalent to a materialized
     /// `Pipeline::map_planes_inplace` pass.
     Mask(MaskPred<'a, P>),
+    /// [`ChainOp::Map`] for a built-in value transform, carried as an
+    /// op *tag* so the tile kernel takes the SIMD row-slice path. The
+    /// `kernel` fn pointer is the monomorphized dispatcher captured by
+    /// [`OpChain::map_tagged`] (where `P: TexelWords` is known).
+    MapTagged {
+        tag: ValueTag,
+        kernel: fn(Backend, ValueTag, &mut [P]),
+    },
+    /// [`ChainOp::Blend`] for a built-in blend function, carried as a
+    /// tag; the texel rows take the SIMD select kernel and the cover
+    /// rows the SIMD saturating add.
+    BlendTagged {
+        src: &'a Texture<P>,
+        src_cover: Option<&'a Texture<u16>>,
+        tag: BlendTag,
+        kernel: fn(Backend, BlendTag, &mut [P], &[P]),
+    },
+    /// [`ChainOp::Mask`] for a built-in predicate, carried as a tag.
+    /// Implements the lowered canvas semantics directly (null texels
+    /// pass; failures nulled, cover zeroed, word-0 nullity recorded),
+    /// so it assumes the chain's null test is plain texel nullity.
+    MaskTagged { tag: MaskTag, kernel: MaskKernel<P> },
 }
 
 impl<P> ChainOp<'_, P> {
     /// Short label for plan printing / debugging.
     pub fn label(&self) -> &'static str {
         match self {
-            ChainOp::Map(_) => "V[f]",
-            ChainOp::Blend { .. } => "B[⊙]",
-            ChainOp::Mask(_) => "M[M]",
+            ChainOp::Map(_) | ChainOp::MapTagged { .. } => "V[f]",
+            ChainOp::Blend { .. } | ChainOp::BlendTagged { .. } => "B[⊙]",
+            ChainOp::Mask(_) | ChainOp::MaskTagged { .. } => "M[M]",
         }
     }
 }
@@ -74,6 +100,10 @@ pub struct OpChain<'a, P> {
     /// pass would prune boundary entries for). Without it, only texels
     /// the Mask itself nulled are recorded.
     null_test: Option<NullTest<'a, P>>,
+    /// SIMD backend override for the tagged kernels; `None` uses the
+    /// process-wide [`simd::active_backend`]. Tests pin this to compare
+    /// forced-scalar against auto dispatch in one process.
+    backend: Option<Backend>,
 }
 
 impl<P> Default for OpChain<'_, P> {
@@ -88,6 +118,7 @@ impl<'a, P> OpChain<'a, P> {
         OpChain {
             ops: Vec::new(),
             null_test: None,
+            backend: None,
         }
     }
 
@@ -136,6 +167,68 @@ impl<'a, P> OpChain<'a, P> {
         self
     }
 
+    /// Pins the SIMD backend used by the tagged stages (default: the
+    /// process-wide [`simd::active_backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The backend the tagged stages (and the span-fill fast path in
+    /// the pipeline) will run on.
+    pub(crate) fn resolved_backend(&self) -> Backend {
+        self.backend.unwrap_or_else(simd::active_backend)
+    }
+
+    /// Appends a Value Transform stage for a built-in transform,
+    /// lowered to the SIMD row kernel.
+    pub fn map_tagged(mut self, tag: ValueTag) -> Self
+    where
+        P: TexelWords,
+    {
+        self.ops.push(ChainOp::MapTagged {
+            tag,
+            kernel: simd::value_rows_with::<P>,
+        });
+        self
+    }
+
+    /// Appends a Blend stage for a built-in blend function, lowered to
+    /// the SIMD row kernel; `src_cover`, when given, merges cover
+    /// planes with the SIMD saturating add.
+    pub fn blend_tagged(
+        mut self,
+        src: &'a Texture<P>,
+        src_cover: Option<&'a Texture<u16>>,
+        tag: BlendTag,
+    ) -> Self
+    where
+        P: TexelWords,
+    {
+        self.ops.push(ChainOp::BlendTagged {
+            src,
+            src_cover,
+            tag,
+            kernel: simd::blend_rows_with::<P>,
+        });
+        self
+    }
+
+    /// Appends a coarse Mask stage for a built-in predicate, lowered to
+    /// the SIMD row kernel. Assumes the chain's nullity notion is
+    /// word-0 presence (the canvas `is_null`), which lowered chains
+    /// always use.
+    pub fn mask_tagged(mut self, tag: MaskTag) -> Self
+    where
+        P: TexelWords,
+    {
+        self.ops.push(ChainOp::MaskTagged {
+            tag,
+            kernel: simd::mask_rows_with::<P>,
+        });
+        self
+    }
+
     pub fn ops(&self) -> &[ChainOp<'a, P>] {
         &self.ops
     }
@@ -152,7 +245,7 @@ impl<'a, P> OpChain<'a, P> {
     pub fn mask_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| matches!(op, ChainOp::Mask(_)))
+            .filter(|op| matches!(op, ChainOp::Mask(_) | ChainOp::MaskTagged { .. }))
             .count()
     }
 
@@ -165,6 +258,9 @@ impl<'a, P> OpChain<'a, P> {
                 ChainOp::Blend {
                     src_cover: Some(_),
                     ..
+                } | ChainOp::BlendTagged {
+                    src_cover: Some(_),
+                    ..
                 }
             )
         })
@@ -174,7 +270,7 @@ impl<'a, P> OpChain<'a, P> {
     fn mask_ordinal(&self, op_idx: usize) -> usize {
         self.ops[..op_idx]
             .iter()
-            .filter(|op| matches!(op, ChainOp::Mask(_)))
+            .filter(|op| matches!(op, ChainOp::Mask(_) | ChainOp::MaskTagged { .. }))
             .count()
     }
 }
@@ -197,8 +293,11 @@ impl<'a, P: Copy + Default> OpChain<'a, P> {
     ) {
         // Row-wise iteration: pixel coordinates advance by increments
         // instead of a div/mod pair per texel (these loops are the hot
-        // kernels of every streamed tile).
+        // kernels of every streamed tile). Tagged built-in ops take the
+        // SIMD row-slice kernels; closure ops remain the fallback for
+        // arbitrary user functions.
         let w = rect.w as usize;
+        let be = self.resolved_backend();
         match &self.ops[op_idx] {
             ChainOp::Map(f) => {
                 for (r, row) in tex.chunks_mut(w).enumerate() {
@@ -227,6 +326,34 @@ impl<'a, P: Copy + Default> OpChain<'a, P> {
                         }
                     }
                 }
+            }
+            ChainOp::MapTagged { tag, kernel } => {
+                // Built-in value transforms are position-independent,
+                // so the whole contiguous tile buffer is one row.
+                kernel(be, *tag, tex);
+            }
+            ChainOp::BlendTagged {
+                src,
+                src_cover,
+                tag,
+                kernel,
+            } => {
+                for (r, row) in tex.chunks_mut(w).enumerate() {
+                    let y = rect.y0 + r as u32;
+                    let base = src.index(rect.x0, y);
+                    kernel(be, *tag, row, &src.texels()[base..base + w]);
+                }
+                if let (Some(sc), Some(cov)) = (src_cover, cov.as_deref_mut()) {
+                    for (r, row) in cov.chunks_mut(w).enumerate() {
+                        let y = rect.y0 + r as u32;
+                        let base = sc.index(rect.x0, y);
+                        simd::cover_add_rows_with(be, row, &sc.texels()[base..base + w]);
+                    }
+                }
+            }
+            ChainOp::MaskTagged { tag, kernel } => {
+                let ordinal = self.mask_ordinal(op_idx);
+                kernel(be, *tag, tex, cov.as_deref_mut(), &mut bits[ordinal].words);
             }
             ChainOp::Mask(pred) => {
                 let ordinal = self.mask_ordinal(op_idx);

@@ -40,6 +40,7 @@ pub mod device;
 pub mod par;
 pub mod pipeline;
 pub mod rasterize;
+pub mod simd;
 pub mod stats;
 pub mod texture;
 pub mod tile;
@@ -50,6 +51,7 @@ pub use device::DeviceProfile;
 pub use par::{live_worker_count, Calibration, Policy, SchedulerStats, TicketId, WorkerPool};
 pub use pipeline::{Frag, Pipeline};
 pub use rasterize::RasterMode;
+pub use simd::{Backend, BlendTag, MaskTag, TexelWords, ValueTag};
 pub use stats::PipelineStats;
 pub use texture::Texture;
 pub use tile::{TileGrid, TileRect, TILE_SIZE};

@@ -19,8 +19,9 @@ use crate::chain::{apply_chain_inplace, ChainOp, ChainRunReport, MaskOutcome, Op
 use crate::par::WorkerPool;
 use crate::rasterize::{
     rasterize_line_supercover, rasterize_point, rasterize_polygon_fill,
-    rasterize_polygon_fill_rect, rasterize_triangle, RasterMode,
+    rasterize_polygon_fill_rect_spans, rasterize_triangle, RasterMode,
 };
+use crate::simd::{self, BlendTag, TexelWords, ValueTag};
 use crate::stats::PipelineStats;
 use crate::texture::{RawTexels, Texture};
 use crate::tile::TileGrid;
@@ -473,6 +474,57 @@ impl Pipeline {
             });
     }
 
+    /// [`blend_into`](Self::blend_into) for a built-in blend function,
+    /// carried as an op tag so each band takes the SIMD row kernel.
+    /// Charges identical work counters and is bit-identical to the
+    /// closure form (pointwise blends are order-free).
+    pub fn blend_into_tagged<P>(&mut self, dst: &mut Texture<P>, src: &Texture<P>, tag: BlendTag)
+    where
+        P: TexelWords + Send + Sync,
+    {
+        assert_eq!(
+            (dst.width(), dst.height()),
+            (src.width(), src.height()),
+            "blend requires same-size framebuffers"
+        );
+        self.begin_pass();
+        self.stats.fullscreen_texels += dst.len() as u64;
+        self.stats.blend_ops += dst.len() as u64;
+        let be = simd::active_backend();
+        let band = dst
+            .len()
+            .div_ceil(self.pool.threads())
+            .max(dst.width() as usize);
+        self.pool
+            .for_each_band_pair(band, dst.texels_mut(), src.texels(), |d_chunk, s_chunk| {
+                simd::blend_rows_with(be, tag, d_chunk, s_chunk);
+            });
+    }
+
+    /// [`blend_into`](Self::blend_into) specialized to certain-cover
+    /// planes (saturating add — the canvas Blend contract), dispatched
+    /// to the SIMD `adds_epu16` kernel. Charges identical counters to
+    /// the equivalent closure-form `blend_into` pass.
+    pub fn blend_cover_into(&mut self, dst: &mut Texture<u16>, src: &Texture<u16>) {
+        assert_eq!(
+            (dst.width(), dst.height()),
+            (src.width(), src.height()),
+            "blend requires same-size framebuffers"
+        );
+        self.begin_pass();
+        self.stats.fullscreen_texels += dst.len() as u64;
+        self.stats.blend_ops += dst.len() as u64;
+        let be = simd::active_backend();
+        let band = dst
+            .len()
+            .div_ceil(self.pool.threads())
+            .max(dst.width() as usize);
+        self.pool
+            .for_each_band_pair(band, dst.texels_mut(), src.texels(), |d_chunk, s_chunk| {
+                simd::cover_add_rows_with(be, d_chunk, s_chunk);
+            });
+    }
+
     /// Full-screen pass over two aligned planes (texel + cover) with a
     /// band-local collector — the parallel form of the Mask operator's
     /// per-pixel test. `f` may rewrite both texels and push entries into
@@ -598,15 +650,20 @@ impl Pipeline {
         let len = len as u64;
         for op in chain.ops() {
             match op {
-                ChainOp::Map(_) | ChainOp::Mask(_) => {
+                ChainOp::Map(_)
+                | ChainOp::Mask(_)
+                | ChainOp::MapTagged { .. }
+                | ChainOp::MaskTagged { .. } => {
                     self.stats.passes += 1;
                     self.stats.fullscreen_texels += len;
                 }
-                ChainOp::Blend { src_cover, .. } => {
+                ChainOp::Blend { src_cover, .. } | ChainOp::BlendTagged { src_cover, .. } => {
                     // A canvas Blend is one pass over the texel planes
                     // plus (when covers merge) one over the cover
                     // planes — exactly what two `blend_into` calls
-                    // would charge.
+                    // would charge. Tagged (SIMD) stages charge the
+                    // same counters: the work model counts texels, not
+                    // instructions.
                     let planes = if src_cover.is_some() { 2 } else { 1 };
                     self.stats.passes += planes;
                     self.stats.fullscreen_texels += planes * len;
@@ -620,7 +677,9 @@ impl Pipeline {
     /// (the same contract `blend_into` enforces pass-by-pass).
     fn assert_chain_operands<P: Copy + Default>(fb: &Texture<P>, chain: &OpChain<'_, P>) {
         for op in chain.ops() {
-            if let ChainOp::Blend { src, src_cover, .. } = op {
+            if let ChainOp::Blend { src, src_cover, .. }
+            | ChainOp::BlendTagged { src, src_cover, .. } = op
+            {
                 assert_eq!(
                     (src.width(), src.height()),
                     (fb.width(), fb.height()),
@@ -934,23 +993,61 @@ impl Pipeline {
                         });
                     }
                 }
-                rasterize_polygon_fill(vp, poly, |x, y| {
-                    let idx = (y * width + x) as usize;
-                    if stamps[idx] != gen {
-                        stamps[idx] = gen;
-                        let src = shade(
-                            pi,
-                            Frag {
-                                x,
-                                y,
-                                boundary: false,
-                            },
-                        );
-                        fb.update(x, y, |dst| blend(dst, src));
-                        cover.update(x, y, |c| c.saturating_add(1));
-                        fragments += 1;
-                    }
-                });
+                // Span fill: when no pixel of a scanline run carries
+                // this polygon's stamp yet (the common case — only
+                // conservative boundary pixels are pre-stamped), the
+                // stamp store and cover increment run as SIMD row
+                // kernels and the per-pixel dedup test disappears. The
+                // blend itself stays scalar left-to-right, so texels
+                // come out bit-identical to the per-pixel path.
+                let be = chain.resolved_backend();
+                rasterize_polygon_fill_rect_spans(
+                    vp,
+                    poly,
+                    0,
+                    0,
+                    width - 1,
+                    vp.height() - 1,
+                    |py, first, last| {
+                        let row0 = (py * width + first) as usize;
+                        let n = (last - first + 1) as usize;
+                        let span_stamps = &mut stamps[row0..row0 + n];
+                        if !simd::any_equals_with(be, span_stamps, gen) {
+                            simd::fill_u32_with(be, span_stamps, gen);
+                            for (c, t) in fb.texels_mut()[row0..row0 + n].iter_mut().enumerate() {
+                                let src = shade(
+                                    pi,
+                                    Frag {
+                                        x: first + c as u32,
+                                        y: py,
+                                        boundary: false,
+                                    },
+                                );
+                                *t = blend(*t, src);
+                            }
+                            simd::cover_inc_with(be, &mut cover.texels_mut()[row0..row0 + n]);
+                            fragments += n as u64;
+                        } else {
+                            for x in first..=last {
+                                let idx = (py * width + x) as usize;
+                                if stamps[idx] != gen {
+                                    stamps[idx] = gen;
+                                    let src = shade(
+                                        pi,
+                                        Frag {
+                                            x,
+                                            y: py,
+                                            boundary: false,
+                                        },
+                                    );
+                                    fb.update(x, py, |dst| blend(dst, src));
+                                    cover.update(x, py, |c| c.saturating_add(1));
+                                    fragments += 1;
+                                }
+                            }
+                        }
+                    },
+                );
             }
             self.stats.fragments += fragments;
             self.stats.boundary_fragments += boundary_fragments;
@@ -1004,6 +1101,7 @@ impl Pipeline {
             fragments: u64,
             boundary_fragments: u64,
         }
+        let be = chain.resolved_backend();
         let produce = |wi: usize| -> PolyTileJob<P> {
             let t = work[wi];
             let rect = grid.rect(t);
@@ -1051,28 +1149,56 @@ impl Pipeline {
                         });
                     }
                 }
-                rasterize_polygon_fill_rect(
+                // Span fill (see the single-worker path above): fresh
+                // scanline runs take the SIMD stamp/cover row kernels
+                // with a scalar left-to-right blend; runs that overlap
+                // pre-stamped boundary pixels fall back to the
+                // per-pixel dedup loop. Same pixels, same blend order,
+                // bit-identical texels.
+                rasterize_polygon_fill_rect_spans(
                     vp,
                     poly,
                     rect.x0,
                     rect.y0,
                     rect.x0 + rect.w - 1,
                     rect.y0 + rect.h - 1,
-                    |x, y| {
-                        let li = rect.local_index(x, y);
-                        if stamps[li] != gen {
-                            stamps[li] = gen;
-                            let src = shade(
-                                pi,
-                                Frag {
-                                    x,
-                                    y,
-                                    boundary: false,
-                                },
-                            );
-                            tex[li] = blend(tex[li], src);
-                            cov[li] = cov[li].saturating_add(1);
-                            fragments += 1;
+                    |py, first, last| {
+                        let li0 = rect.local_index(first, py);
+                        let n = (last - first + 1) as usize;
+                        let span_stamps = &mut stamps[li0..li0 + n];
+                        if !simd::any_equals_with(be, span_stamps, gen) {
+                            simd::fill_u32_with(be, span_stamps, gen);
+                            for (c, t) in tex[li0..li0 + n].iter_mut().enumerate() {
+                                let src = shade(
+                                    pi,
+                                    Frag {
+                                        x: first + c as u32,
+                                        y: py,
+                                        boundary: false,
+                                    },
+                                );
+                                *t = blend(*t, src);
+                            }
+                            simd::cover_inc_with(be, &mut cov[li0..li0 + n]);
+                            fragments += n as u64;
+                        } else {
+                            for x in first..=last {
+                                let li = rect.local_index(x, py);
+                                if stamps[li] != gen {
+                                    stamps[li] = gen;
+                                    let src = shade(
+                                        pi,
+                                        Frag {
+                                            x,
+                                            y: py,
+                                            boundary: false,
+                                        },
+                                    );
+                                    tex[li] = blend(tex[li], src);
+                                    cov[li] = cov[li].saturating_add(1);
+                                    fragments += 1;
+                                }
+                            }
                         }
                     },
                 );
@@ -1281,6 +1407,23 @@ impl Pipeline {
                 let y = (row0 + j / w) as u32;
                 *t = f(x, y, *t);
             }
+        });
+    }
+
+    /// [`par_map_texels`](Self::par_map_texels) for a built-in value
+    /// transform, carried as an op tag so each band takes the SIMD
+    /// row kernel (position-independent, so bands need no coordinate
+    /// bookkeeping). Charges identical work counters.
+    pub fn par_map_texels_tagged<P>(&mut self, fb: &mut Texture<P>, tag: ValueTag)
+    where
+        P: TexelWords + Send + Sync,
+    {
+        self.begin_pass();
+        self.stats.fullscreen_texels += fb.len() as u64;
+        let be = simd::active_backend();
+        let w = fb.width() as usize;
+        self.pool.for_each_band1(w, fb.texels_mut(), |_row0, band| {
+            simd::value_rows_with(be, tag, band);
         });
     }
 

@@ -299,6 +299,28 @@ pub fn rasterize_polygon_fill_rect(
     ry1: u32,
     mut emit: impl FnMut(u32, u32),
 ) {
+    rasterize_polygon_fill_rect_spans(vp, poly, rx0, ry0, rx1, ry1, |py, first, last| {
+        for px in first..=last {
+            emit(px, py);
+        }
+    });
+}
+
+/// Span form of [`rasterize_polygon_fill_rect`]: emits each covered
+/// scanline run as `(py, first_px, last_px)` (inclusive, already
+/// clamped to the rect) instead of per-pixel callbacks. The tiled fill
+/// path consumes spans so the stamp/cover updates can run as SIMD row
+/// kernels; the per-pixel form above is a thin wrapper, so both emit
+/// exactly the same pixel set in the same order.
+pub fn rasterize_polygon_fill_rect_spans(
+    vp: &Viewport,
+    poly: &Polygon,
+    rx0: u32,
+    ry0: u32,
+    rx1: u32,
+    ry1: u32,
+    mut emit_span: impl FnMut(u32, u32, u32),
+) {
     let Some((_, by0, _, by1)) = vp.pixel_range(&poly.bbox()) else {
         return;
     };
@@ -339,8 +361,8 @@ pub fn rasterize_polygon_fill_rect(
             let last = (((xb - wx0) / pw - 0.5).ceil() as i64 - 1)
                 .min(vp.width() as i64 - 1)
                 .min(rx1 as i64);
-            for px in first..=last {
-                emit(px as u32, py);
+            if first <= last {
+                emit_span(py, first as u32, last as u32);
             }
         }
     }
