@@ -22,8 +22,18 @@
 //! with a bit-identity spot check against `Device::cpu`. Run with:
 //!
 //! ```text
-//! cargo run --release -p canvas-bench --bin bench_serve [-- output.json] [--smoke]
+//! cargo run --release -p canvas-bench --bin bench_serve \
+//!     [-- output.json] [--smoke] [--trace-out trace.json]
 //! ```
+//!
+//! With `--trace-out` the run replays a short slice of the workload
+//! with span tracing enabled and writes a Chrome-trace-event JSON file
+//! loadable in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`. The
+//! traced slice runs outside every timed window; the timed arms always
+//! run with tracing disabled, and the JSON records the measured cost of
+//! a disabled span (`obs_disabled_span_ns`), the span count per query
+//! (`obs_spans_per_query`), and their product as a fraction of mean
+//! service time (`obs_overhead_pct`, gated ≤ 3%).
 //!
 //! Gates: the cache must see hits everywhere; the subplan workload
 //! must see subplan hits everywhere; on hosts with ≥ 4 cores the full
@@ -40,6 +50,7 @@ use canvas_core::prelude::*;
 use canvas_datagen as datagen;
 use canvas_engine::{EngineConfig, Query, QueryEngine};
 use canvas_geom::{BBox, Point};
+use canvas_obs as obs;
 
 const CLIENTS: usize = 4;
 const WORKERS: usize = 4;
@@ -262,12 +273,67 @@ fn jain(xs: &[f64]) -> f64 {
     sum * sum / (xs.len() as f64 * sq)
 }
 
+/// Cost of one disabled `obs::span` call (the price every instrumented
+/// site pays when tracing is off): one relaxed atomic load plus an
+/// inert guard. Measured, not assumed, so the ≤ 3% gate is grounded.
+fn measure_disabled_span_ns() -> f64 {
+    assert!(!obs::tracing_enabled(), "measure with tracing off");
+    const ITERS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let span = obs::span("disabled_probe", "bench");
+        std::hint::black_box(&span);
+        std::hint::black_box(i);
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(ITERS)
+}
+
+/// Replays a short slice of the pan/zoom workload with tracing enabled
+/// and returns the number of queries replayed. Uses a fresh engine so
+/// the slice mixes computed queries with cache hits (a warm engine
+/// would serve everything from cache and undercount spans per query).
+/// Runs outside every timed window; callers write the sink afterwards.
+fn run_traced_slice(work: &Arc<Workload>) -> usize {
+    let engine = QueryEngine::with_config(EngineConfig {
+        threads: WORKERS,
+        max_concurrent: CLIENTS,
+        max_queue: 64,
+        cache_budget_bytes: 256 << 20,
+        calibrate: false,
+        share_subplans: true,
+    });
+    let engine = &engine;
+    let steps = work.per_client.min(4);
+    obs::sink().clear();
+    obs::set_tracing(true);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let work = Arc::clone(work);
+            s.spawn(move || {
+                for step in 0..steps {
+                    let (q, vp) = work.pick(client, step);
+                    let resp = engine.execute(q, vp).expect("served");
+                    std::hint::black_box(resp.canvas.non_null_count());
+                }
+            });
+        }
+    });
+    obs::set_tracing(false);
+    CLIENTS * steps
+}
+
 fn main() {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--trace-out" {
+            trace_out = Some(args.next().expect("--trace-out takes a path"));
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_string());
         } else {
             out_path = arg;
         }
@@ -407,6 +473,31 @@ fn main() {
     let sm = engine_on.metrics();
     let sc = engine_on.cache_stats();
 
+    // --- 5. Observability cost: disabled-span price, spans per query,
+    //        and (optionally) a Perfetto trace of a replayed slice.
+    //        Runs after every timed arm so tracing never touches them. ---
+    let obs_disabled_span_ns = measure_disabled_span_ns();
+    let traced_queries = run_traced_slice(&work);
+    let sink = obs::sink();
+    let obs_spans_total = sink.len() as u64 + sink.dropped();
+    let obs_spans_per_query = obs_spans_total as f64 / traced_queries as f64;
+    // What the instrumentation costs a production (tracing-off) query:
+    // every span site still pays the disabled-span check.
+    let service_mean_ns = m.service.mean_secs() * 1e9;
+    let obs_overhead_pct = if service_mean_ns > 0.0 {
+        obs_spans_per_query * obs_disabled_span_ns / service_mean_ns * 100.0
+    } else {
+        0.0
+    };
+    if let Some(path) = &trace_out {
+        sink.write_chrome_trace(path).expect("write trace JSON");
+        eprintln!(
+            "wrote {path}: {} span events over {traced_queries} queries",
+            sink.len()
+        );
+    }
+    obs::sink().clear();
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -492,13 +583,28 @@ fn main() {
         "  \"latency_mean_secs\": {:.6},",
         m.service.mean_secs()
     );
-    let _ = writeln!(json, "  \"latency_max_secs\": {:.6},", m.service.max_secs);
+    let _ = writeln!(json, "  \"latency_p50_secs\": {:.6},", m.service.p50_secs());
+    let _ = writeln!(json, "  \"latency_p95_secs\": {:.6},", m.service.p95_secs());
+    let _ = writeln!(json, "  \"latency_p99_secs\": {:.6},", m.service.p99_secs());
+    let _ = writeln!(json, "  \"latency_max_secs\": {:.6},", m.service.max_secs());
     let _ = writeln!(json, "  \"exec_mean_secs\": {:.6},", m.exec.mean_secs());
+    let _ = writeln!(json, "  \"exec_p95_secs\": {:.6},", m.exec.p95_secs());
     let _ = writeln!(
         json,
-        "  \"queue_wait_mean_secs\": {:.6}",
+        "  \"queue_wait_mean_secs\": {:.6},",
         m.queue_wait.mean_secs()
     );
+    let _ = writeln!(
+        json,
+        "  \"queue_wait_p95_secs\": {:.6},",
+        m.queue_wait.p95_secs()
+    );
+    let _ = writeln!(
+        json,
+        "  \"obs_disabled_span_ns\": {obs_disabled_span_ns:.2},"
+    );
+    let _ = writeln!(json, "  \"obs_spans_per_query\": {obs_spans_per_query:.1},");
+    let _ = writeln!(json, "  \"obs_overhead_pct\": {obs_overhead_pct:.4}");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
@@ -522,6 +628,18 @@ fn main() {
     assert!(
         ss.handovers > 0,
         "fair gate never changed hands under {CLIENTS} concurrent clients"
+    );
+    // The traced slice must have produced span trees, and the cost of
+    // the instrumentation on an untraced query must stay negligible.
+    assert!(
+        obs_spans_total > 0,
+        "the traced replay slice recorded no spans"
+    );
+    assert!(
+        obs_overhead_pct <= 3.0,
+        "disabled-tracing span overhead {obs_overhead_pct:.3}% of mean service \
+         time exceeds the 3% budget ({obs_spans_per_query:.0} spans/query x \
+         {obs_disabled_span_ns:.1} ns)"
     );
     // Every root in the subplan workload is distinct, so any reuse is
     // subplan-granular: the sharing engine must have seen it.

@@ -241,7 +241,14 @@ impl Expr {
         use super::subplan::SubplanAccess;
         if depth > 0 && ex.active() && super::fingerprint::is_cut_point(self) {
             let fp = super::fingerprint::fingerprint(self);
-            match ex.acquire(fp, &vp) {
+            // The acquire may block behind another query's in-flight
+            // render of the same subplan — that wait is the span.
+            let access = {
+                let mut wait = canvas_obs::span("subplan_wait", "algebra");
+                wait.arg_u64("fingerprint", fp.0 as u64);
+                ex.acquire(fp, &vp)
+            };
+            match access {
                 SubplanAccess::Ready(c) => return c,
                 SubplanAccess::Lead(mut lease) => {
                     let c = Arc::new(self.compute_node(dev, vp, ex, depth));
@@ -263,6 +270,8 @@ impl Expr {
         ex: &dyn super::subplan::SubplanExchange,
         depth: usize,
     ) -> Canvas {
+        let mut node_span = canvas_obs::span(self.node_name(), "algebra");
+        node_span.arg_u64("depth", depth as u64);
         match self {
             Expr::Source(s) => s.render(dev, vp),
             Expr::Blend { op, left, right } => {
@@ -302,6 +311,20 @@ impl Expr {
                 let c = input.eval_node(dev, vp, ex, depth + 1);
                 ops::value_transform(dev, &c, |p, t| f(p, t))
             }
+        }
+    }
+
+    /// Span name for this node's operator (trace taxonomy, cat
+    /// `"algebra"`).
+    fn node_name(&self) -> &'static str {
+        match self {
+            Expr::Source(_) => "source",
+            Expr::Blend { .. } => "blend",
+            Expr::MultiBlend { .. } => "multi_blend",
+            Expr::Mask { .. } => "mask",
+            Expr::GeomTransform { .. } => "geom_transform",
+            Expr::MapScatter { .. } => "map_scatter",
+            Expr::ValueTransform { .. } => "value_transform",
         }
     }
 

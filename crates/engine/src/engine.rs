@@ -31,6 +31,7 @@ use crate::query::Query;
 use canvas_core::algebra::subplan::{SubplanAccess, SubplanExchange, SubplanLease};
 use canvas_core::algebra::Fingerprint;
 use canvas_core::{Canvas, SharedDevice};
+use canvas_obs as obs;
 use canvas_raster::{Calibration, SchedulerStats, Viewport};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -303,28 +304,43 @@ impl Admission {
 /// probe never shows up in service latency.
 const RECALIBRATE_EVERY: u64 = 64;
 
-/// Latency aggregate (seconds) over one response class.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencyStats {
-    pub count: u64,
-    pub total_secs: f64,
-    pub max_secs: f64,
-}
+/// Latency distribution (seconds) over one response class — a
+/// histogram snapshot, not a mean-only aggregate: tail percentiles
+/// (p95/p99) are what a serving engine is tuned by, and a mean hides
+/// exactly the latencies that matter.
+///
+/// Recording happens in the engine's live `canvas_obs::Histogram`s
+/// (lock-free, nanosecond-bucketed); this type is the point-in-time
+/// copy [`QueryEngine::metrics`] folds into [`EngineMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats(pub obs::HistogramSnapshot);
 
 impl LatencyStats {
-    fn record(&mut self, d: Duration) {
-        let s = d.as_secs_f64();
-        self.count += 1;
-        self.total_secs += s;
-        self.max_secs = self.max_secs.max(s);
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count()
     }
 
     pub fn mean_secs(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_secs / self.count as f64
-        }
+        self.0.mean_secs()
+    }
+
+    pub fn max_secs(&self) -> f64 {
+        self.0.max_secs()
+    }
+
+    /// Median latency in seconds (log-bucket interpolated, ≤ 2×
+    /// relative error).
+    pub fn p50_secs(&self) -> f64 {
+        self.0.quantile_secs(0.50)
+    }
+
+    pub fn p95_secs(&self) -> f64 {
+        self.0.quantile_secs(0.95)
+    }
+
+    pub fn p99_secs(&self) -> f64 {
+        self.0.quantile_secs(0.99)
     }
 }
 
@@ -433,9 +449,25 @@ pub struct QueryEngine {
     subflight: Mutex<HashMap<CacheKey, Arc<SubFlight>>>,
     share_subplans: bool,
     metrics: Mutex<EngineMetrics>,
+    /// Named counters + latency histograms, snapshot-able as JSON /
+    /// Prometheus ([`QueryEngine::metrics_json`]). The histograms below
+    /// are cached handles into this registry, so hot-path recording
+    /// never takes the registry's name-lookup lock.
+    registry: obs::Registry,
+    /// End-to-end latency of successfully served submissions (ns).
+    lat_service: Arc<obs::Histogram>,
+    /// Evaluation-only latency of computed submissions (ns).
+    lat_exec: Arc<obs::Histogram>,
+    /// Admission-wait latency of computed submissions (ns).
+    lat_queue_wait: Arc<obs::Histogram>,
     calibration: Option<Calibration>,
     /// Load-aware recalibrations applied (see `maybe_recalibrate`).
     recalibrations: std::sync::atomic::AtomicU64,
+}
+
+/// Records a duration into a nanosecond-bucketed histogram.
+fn record_dur(h: &obs::Histogram, d: Duration) {
+    h.record(d.as_nanos().min(u64::MAX as u128) as u64);
 }
 
 impl QueryEngine {
@@ -459,7 +491,11 @@ impl QueryEngine {
             canvas_raster::DeviceProfile::cpu_parallel_n(threads),
             Arc::new(pool),
         );
-        QueryEngine {
+        let registry = obs::Registry::new();
+        let lat_service = registry.histogram("service_ns");
+        let lat_exec = registry.histogram("exec_ns");
+        let lat_queue_wait = registry.histogram("queue_wait_ns");
+        let engine = QueryEngine {
             shared,
             cache: CanvasCache::new(cfg.cache_budget_bytes),
             admission: Admission::new(cfg.max_concurrent),
@@ -468,8 +504,44 @@ impl QueryEngine {
             subflight: Mutex::new(HashMap::new()),
             share_subplans: cfg.share_subplans,
             metrics: Mutex::new(EngineMetrics::default()),
+            registry,
+            lat_service,
+            lat_exec,
+            lat_queue_wait,
             calibration,
             recalibrations: std::sync::atomic::AtomicU64::new(0),
+        };
+        // Stamp the process-level metadata into both the metrics
+        // registry and the trace header, so snapshots and trace files
+        // are self-describing across hosts.
+        engine.refresh_process_meta();
+        engine
+    }
+
+    /// Upserts process-level metadata (SIMD backend, calibration
+    /// state, host core count) into the metrics registry **and** the
+    /// global trace sink header. Called at construction and refreshed
+    /// on every snapshot/export, so `recalibrations` and the live
+    /// minimum-work threshold stay current.
+    fn refresh_process_meta(&self) {
+        let be = canvas_raster::simd::active_backend();
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let min_items = self.shared.pool().effective_min_parallel_items();
+        let recals = self
+            .recalibrations
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let meta: [(&str, String); 5] = [
+            ("simd_backend", be.name().to_string()),
+            ("simd_width", be.width().to_string()),
+            ("host_cores", host_cores.to_string()),
+            ("min_parallel_items", min_items.to_string()),
+            ("recalibrations", recals.to_string()),
+        ];
+        for (k, v) in meta {
+            self.registry.set_meta(k, v.clone());
+            obs::sink().set_meta(k, v);
         }
     }
 
@@ -582,21 +654,35 @@ impl QueryEngine {
     }
 
     /// Serves one query (callable from any number of threads).
+    ///
+    /// When tracing is enabled (`canvas_obs::set_tracing`), each call
+    /// records a per-query span tree — `execute → prepare →
+    /// cache_probe → inflight_wait → admission_wait → eval → …` down
+    /// through the executor's pass and tile-stream spans — under its
+    /// own query track (see `docs/OBSERVABILITY.md`).
     pub fn execute(&self, query: &Query, vp: Viewport) -> Result<Response, EngineError> {
+        let mut root = obs::span_with_query("execute", "engine");
+        root.arg_str("query", || query.label().to_string());
         let t_submit = Instant::now();
         {
             let mut m = self.metrics_mut();
             m.submitted += 1;
         }
-        let prepared = query.prepare();
+        let prepared = {
+            let _s = obs::span("prepare", "engine");
+            query.prepare()
+        };
         let key = CacheKey::new(prepared.fingerprint, &vp);
 
         // Station 1: the cache.
-        if let Some(canvas) = self.cache.get(&key) {
+        let probe = {
+            let _s = obs::span("cache_probe", "engine");
+            self.cache.get(&key)
+        };
+        if let Some(canvas) = probe {
             let service = t_submit.elapsed();
-            let mut m = self.metrics_mut();
-            m.cache_hits += 1;
-            m.service.record(service);
+            record_dur(&self.lat_service, service);
+            self.metrics_mut().cache_hits += 1;
             return Ok(Response {
                 canvas,
                 fingerprint: prepared.fingerprint,
@@ -627,6 +713,7 @@ impl QueryEngine {
         };
         if !leader {
             let t_park = Instant::now();
+            let _wait = obs::span("inflight_wait", "engine");
             let mut slot = flight
                 .slot
                 .lock()
@@ -643,9 +730,8 @@ impl QueryEngine {
             let service = t_submit.elapsed();
             return match outcome {
                 Ok(canvas) => {
-                    let mut m = self.metrics_mut();
-                    m.coalesced += 1;
-                    m.service.record(service);
+                    record_dur(&self.lat_service, service);
+                    self.metrics_mut().coalesced += 1;
                     Ok(Response {
                         canvas,
                         fingerprint: prepared.fingerprint,
@@ -670,12 +756,15 @@ impl QueryEngine {
         // published (it inserts into the cache *before* retiring its
         // in-flight entry, so this double-check can never miss a
         // completed evaluation).
-        if let Some(canvas) = self.cache.get(&key) {
+        let reprobe = {
+            let _s = obs::span("cache_probe", "engine");
+            self.cache.get(&key)
+        };
+        if let Some(canvas) = reprobe {
             self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
             let service = t_submit.elapsed();
-            let mut m = self.metrics_mut();
-            m.cache_hits += 1;
-            m.service.record(service);
+            record_dur(&self.lat_service, service);
+            self.metrics_mut().cache_hits += 1;
             return Ok(Response {
                 canvas,
                 fingerprint: prepared.fingerprint,
@@ -685,7 +774,10 @@ impl QueryEngine {
             });
         }
         let t_adm = Instant::now();
-        let admitted = self.admission.acquire(self.max_queue);
+        let admitted = {
+            let _s = obs::span("admission_wait", "engine");
+            self.admission.acquire(self.max_queue)
+        };
         let queue_wait = t_adm.elapsed();
         if let Err(e) = admitted {
             // shed/peak_queued are tracked by the admission gate itself
@@ -698,6 +790,8 @@ impl QueryEngine {
         let t_exec = Instant::now();
         let ticket = self.shared.pool().register_ticket();
         let pool = Arc::clone(self.shared.pool());
+        let mut eval_span = obs::span("eval", "engine");
+        eval_span.arg_u64("ticket", ticket);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.with_ticket(ticket, || {
                 self.shared.run(|dev| {
@@ -718,6 +812,7 @@ impl QueryEngine {
                 })
             })
         }));
+        drop(eval_span);
         self.admission.release();
         let exec = t_exec.elapsed();
 
@@ -733,12 +828,12 @@ impl QueryEngine {
                     .insert(key, Arc::clone(&canvas), prepared.pins().to_vec());
                 self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
                 let service = t_submit.elapsed();
+                record_dur(&self.lat_exec, exec);
+                record_dur(&self.lat_queue_wait, queue_wait);
+                record_dur(&self.lat_service, service);
                 let computed = {
                     let mut m = self.metrics_mut();
                     m.computed += 1;
-                    m.exec.record(exec);
-                    m.queue_wait.record(queue_wait);
-                    m.service.record(service);
                     m.computed
                 };
                 self.maybe_recalibrate(computed);
@@ -788,7 +883,8 @@ impl QueryEngine {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Engine counters snapshot.
+    /// Engine counters snapshot (latency fields are histogram
+    /// snapshots — see [`LatencyStats`]).
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = self.metrics_mut().clone();
         let st = self
@@ -799,6 +895,9 @@ impl QueryEngine {
         m.peak_queued = st.peak_queued;
         m.shed = st.shed;
         drop(st);
+        m.service = LatencyStats(self.lat_service.snapshot());
+        m.exec = LatencyStats(self.lat_exec.snapshot());
+        m.queue_wait = LatencyStats(self.lat_queue_wait.snapshot());
         let be = canvas_raster::simd::active_backend();
         m.simd_backend = be.name();
         m.simd_width = be.width();
@@ -806,6 +905,46 @@ impl QueryEngine {
             .recalibrations
             .load(std::sync::atomic::Ordering::Relaxed);
         m
+    }
+
+    /// Syncs the counter side of the registry from the engine's
+    /// internal counters (the histograms record in place) and refreshes
+    /// the process metadata.
+    fn sync_registry(&self) {
+        let m = self.metrics();
+        let counters: [(&str, u64); 11] = [
+            ("queries_submitted", m.submitted),
+            ("queries_computed", m.computed),
+            ("cache_hits", m.cache_hits),
+            ("coalesced", m.coalesced),
+            ("shed", m.shed),
+            ("failed", m.failed),
+            ("peak_queued", m.peak_queued as u64),
+            ("subplan_hits", m.subplan_hits),
+            ("subplan_shared_renders_avoided", m.shared_renders_avoided),
+            ("subplan_published", m.subplan_published),
+            ("subplan_fallbacks", m.subplan_fallbacks),
+        ];
+        for (name, value) in counters {
+            self.registry.counter(name).set(value);
+        }
+        self.refresh_process_meta();
+    }
+
+    /// The full metrics registry as a JSON object: process metadata,
+    /// counters, and latency histograms with count/mean/max and
+    /// p50/p95/p99 (nanoseconds).
+    pub fn metrics_json(&self) -> String {
+        self.sync_registry();
+        self.registry.snapshot_json()
+    }
+
+    /// The full metrics registry as Prometheus text exposition
+    /// (histograms as summaries with quantile labels, metadata as a
+    /// `canvas_engine_process_info` gauge).
+    pub fn metrics_prometheus(&self) -> String {
+        self.sync_registry();
+        self.registry.snapshot_prometheus("canvas_engine")
     }
 
     /// Load-aware recalibration, every [`RECALIBRATE_EVERY`] computed

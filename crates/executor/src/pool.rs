@@ -29,6 +29,7 @@
 
 use crate::policy::Policy;
 use crate::schedule::{FairGate, SchedulerStats, TicketId};
+use canvas_obs as obs;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -57,6 +58,10 @@ pub fn live_worker_count() -> usize {
 struct Job {
     call: unsafe fn(*const ()),
     ctx: *const (),
+    /// Trace context captured at dispatch, so worker-side spans
+    /// attribute to the query that submitted the pass (the same
+    /// hand-off that carries the fair-gate ticket).
+    obs: obs::Ctx,
 }
 
 // SAFETY: `ctx` points at a `F: Fn() + Sync` that outlives the pass
@@ -156,7 +161,12 @@ fn worker_loop(shared: Arc<Shared>) {
         // SAFETY: the dispatcher keeps the closure alive until
         // `remaining` hits zero, which happens strictly after this call
         // returns (or unwinds into the catch below).
-        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.ctx) }));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            obs::trace::with_ctx(job.obs, || {
+                let _span = obs::span("pass_worker", "executor");
+                unsafe { (job.call)(job.ctx) }
+            })
+        }));
         let mut st = shared
             .state
             .lock()
@@ -302,12 +312,18 @@ impl WorkerPool {
     fn run_pass<F: Fn() + Sync>(&self, f: &F) {
         self.passes.fetch_add(1, Ordering::Relaxed);
         if self.handles.is_empty() {
+            let _span = obs::span("pass", "executor");
             f();
             return;
         }
-        let _gate = self
-            .pass_gate
-            .acquire(CURRENT_TICKET.with(|c| c.get()), self.policy.pass_quantum);
+        let ticket = CURRENT_TICKET.with(|c| c.get());
+        let _gate = {
+            let mut wait = obs::span("gate_wait", "executor");
+            wait.arg_u64("ticket", ticket);
+            self.pass_gate.acquire(ticket, self.policy.pass_quantum)
+        };
+        let mut pass_span = obs::span("pass", "executor");
+        pass_span.arg_u64("ticket", ticket);
         unsafe fn call_erased<F: Fn()>(ctx: *const ()) {
             (*(ctx as *const F))()
         }
@@ -320,6 +336,7 @@ impl WorkerPool {
             st.job = Some(Job {
                 call: call_erased::<F>,
                 ctx: f as *const F as *const (),
+                obs: obs::trace::current_ctx(),
             });
             st.epoch += 1;
             st.remaining = self.handles.len();
@@ -366,9 +383,14 @@ impl WorkerPool {
             !self.handles.is_empty(),
             "split pass needs background workers"
         );
-        let _gate = self
-            .pass_gate
-            .acquire(CURRENT_TICKET.with(|c| c.get()), self.policy.pass_quantum);
+        let ticket = CURRENT_TICKET.with(|c| c.get());
+        let _gate = {
+            let mut wait = obs::span("gate_wait", "executor");
+            wait.arg_u64("ticket", ticket);
+            self.pass_gate.acquire(ticket, self.policy.pass_quantum)
+        };
+        let mut pass_span = obs::span("split_pass", "executor");
+        pass_span.arg_u64("ticket", ticket);
         unsafe fn call_erased<F: Fn()>(ctx: *const ()) {
             (*(ctx as *const F))()
         }
@@ -381,6 +403,7 @@ impl WorkerPool {
             st.job = Some(Job {
                 call: call_erased::<F>,
                 ctx: worker_f as *const F as *const (),
+                obs: obs::trace::current_ctx(),
             });
             st.epoch += 1;
             st.remaining = self.handles.len();

@@ -27,6 +27,7 @@
 //! items toward the merge frontier before admitting new ones.
 
 use crate::pool::WorkerPool;
+use canvas_obs as obs;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
@@ -266,10 +267,20 @@ impl WorkerPool {
         F: Fn(usize) -> T + Sync,
         M: FnMut(usize, T),
     {
+        let mut chain_span = obs::span("stream_chain", "executor");
+        chain_span.arg_u64("items", n as u64);
+        chain_span.arg_u64("stages", stages.len() as u64);
         if self.worker_count() == 0 || n <= 1 {
             for i in 0..n {
-                let mut v = produce(i);
-                for stage in stages {
+                let mut v = {
+                    let mut s = obs::span("tile_produce", "executor");
+                    s.arg_u64("item", i as u64);
+                    produce(i)
+                };
+                for (si, stage) in stages.iter().enumerate() {
+                    let mut s = obs::span("tile_stage", "executor");
+                    s.arg_u64("item", i as u64);
+                    s.arg_u64("stage", si as u64);
                     stage(i, &mut v);
                 }
                 merge(i, v);
@@ -287,7 +298,10 @@ impl WorkerPool {
         );
         let run_work = |work: Work<T>| match work {
             Work::Produce(i) => {
+                let mut s = obs::span("tile_produce", "executor");
+                s.arg_u64("item", i as u64);
                 let v = produce(i);
+                drop(s);
                 gate.publish(i, v, 0);
             }
             Work::Advance {
@@ -295,7 +309,11 @@ impl WorkerPool {
                 i,
                 mut value,
             } => {
+                let mut s = obs::span("tile_stage", "executor");
+                s.arg_u64("item", i as u64);
+                s.arg_u64("stage", stage as u64);
                 stages[stage](i, &mut value);
+                drop(s);
                 gate.publish(i, value, stage + 1);
             }
         };

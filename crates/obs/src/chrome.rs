@@ -1,0 +1,250 @@
+//! Chrome-trace-event / Perfetto JSON export.
+//!
+//! Writes the [`TraceSink`]'s records in the Chrome trace event format
+//! (the JSON flavor both `chrome://tracing` and `ui.perfetto.dev`
+//! load): complete events (`"ph":"X"`) with microsecond timestamps,
+//! plus metadata events naming the tracks.
+//!
+//! ## Track mapping
+//!
+//! Spans of one query run concurrently on several worker threads, so a
+//! single linear track per query would overlap illegally. Instead:
+//!
+//! * `pid` = the span's **query** id — each served query renders as
+//!   its own process group, named `query <id>` (untracked spans fall
+//!   into a `(untracked)` group with pid 0);
+//! * `tid` = the recording thread's stable ordinal — within a query
+//!   group, each participating thread gets its own nested track.
+//!
+//! The result reads top-down as the issue's span taxonomy: the engine
+//! thread's `execute → … → eval` stack on one track, worker `pass` /
+//! `tile` spans on sibling tracks, all inside one query group.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::metrics::json_string;
+use crate::trace::{ArgValue, SpanRecord, TraceSink};
+
+impl TraceSink {
+    /// Writes all buffered records (without draining them) to `path`
+    /// as a Chrome/Perfetto-loadable JSON trace, including the sink's
+    /// metadata header.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_chrome_trace_to(&mut w, &self.snapshot(), &self.meta(), self.dropped())?;
+        w.flush()
+    }
+}
+
+/// Serializes `records` as a Chrome trace event JSON document.
+/// `meta` and `dropped` land in the top-level `otherData` header.
+pub fn write_chrome_trace_to<W: Write>(
+    w: &mut W,
+    records: &[SpanRecord],
+    meta: &[(String, String)],
+    dropped: u64,
+) -> io::Result<()> {
+    writeln!(w, "{{")?;
+    writeln!(w, "  \"displayTimeUnit\": \"ms\",")?;
+    write!(w, "  \"otherData\": {{\"dropped_events\": {dropped}")?;
+    for (k, v) in meta {
+        write!(w, ", {}: {}", json_string(k), json_string(v))?;
+    }
+    writeln!(w, "}},")?;
+    writeln!(w, "  \"traceEvents\": [")?;
+
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+
+    // Track-naming metadata: one process per query id, one thread
+    // track per (query, thread) pair that recorded spans. Sorting the
+    // process index by query id keeps the timeline in submission
+    // order.
+    let mut queries: Vec<u64> = records.iter().map(|r| r.query).collect();
+    queries.sort_unstable();
+    queries.dedup();
+    let mut tracks: Vec<(u64, u32)> = records.iter().map(|r| (r.query, r.thread)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    for (idx, q) in queries.iter().enumerate() {
+        let name = if *q == 0 {
+            "(untracked)".to_string()
+        } else {
+            format!("query {q}")
+        };
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "    {{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {q}, \"tid\": 0, \"args\": {{\"name\": {}}}}}",
+            json_string(&name)
+        )?;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "    {{\"ph\": \"M\", \"name\": \"process_sort_index\", \"pid\": {q}, \"tid\": 0, \"args\": {{\"sort_index\": {idx}}}}}"
+        )?;
+    }
+    for (q, t) in &tracks {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "    {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {q}, \"tid\": {t}, \"args\": {{\"name\": \"thread {t}\"}}}}"
+        )?;
+    }
+
+    for r in records {
+        sep(w, &mut first)?;
+        // Chrome wants microseconds; keep ns precision via fractions.
+        let ts = r.start_ns as f64 / 1000.0;
+        let dur = r.dur_ns as f64 / 1000.0;
+        write!(
+            w,
+            "    {{\"ph\": \"X\", \"name\": {}, \"cat\": {}, \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": {}, \"tid\": {}, \"args\": {{\"span_id\": {}, \"parent_id\": {}",
+            json_string(r.name),
+            json_string(r.cat),
+            r.query,
+            r.thread,
+            r.id,
+            r.parent,
+        )?;
+        for (k, v) in &r.args {
+            write!(w, ", {}: ", json_string(k))?;
+            match v {
+                ArgValue::U64(n) => write!(w, "{n}")?,
+                ArgValue::F64(x) if x.is_finite() => write!(w, "{x}")?,
+                ArgValue::F64(x) => write!(w, "{}", json_string(&x.to_string()))?,
+                ArgValue::Str(s) => write!(w, "{}", json_string(s))?,
+            }
+        }
+        write!(w, "}}}}")?;
+    }
+
+    writeln!(w)?;
+    writeln!(w, "  ]")?;
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests::traced;
+    use crate::trace::{current_ctx, span, span_with_query, with_ctx};
+
+    fn render(records: &[SpanRecord]) -> String {
+        let mut buf = Vec::new();
+        write_chrome_trace_to(
+            &mut buf,
+            records,
+            &[("simd_backend".to_string(), "avx2".to_string())],
+            3,
+        )
+        .unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn exports_tracks_events_and_header() {
+        let records = traced(|| {
+            let mut root = span_with_query("execute", "engine");
+            root.arg_str("query", || "heatmap \"taxi\"".to_string());
+            let ctx = current_ctx();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    with_ctx(ctx, || {
+                        let _w = span("pass", "executor");
+                    });
+                });
+            });
+            let _e = span("eval", "engine");
+        });
+        let out = render(&records);
+
+        // Header metadata and drop counter.
+        assert!(out.contains("\"dropped_events\": 3"));
+        assert!(out.contains("\"simd_backend\": \"avx2\""));
+        // Process/thread naming metadata for the query group.
+        let qid = records.iter().find(|r| r.name == "execute").unwrap().query;
+        assert!(out.contains(&format!("\"name\": \"query {qid}\"")));
+        assert!(out.contains("\"process_sort_index\""));
+        assert!(out.contains("\"thread_name\""));
+        // Complete events carrying span/parent ids and escaped args.
+        assert!(out.contains("\"ph\": \"X\""));
+        assert!(out.contains("\"name\": \"pass\""));
+        assert!(out.contains("heatmap \\\"taxi\\\""));
+        // Worker span sits in the same pid group as the root.
+        let pass = records.iter().find(|r| r.name == "pass").unwrap();
+        assert_eq!(pass.query, qid);
+    }
+
+    #[test]
+    fn output_is_well_formed_json() {
+        let records = traced(|| {
+            let mut s = span_with_query("execute", "engine");
+            s.arg_f64("bad", f64::NAN);
+            s.arg_u64("tiles", 7);
+            let _c = span("prepare", "engine");
+        });
+        let out = render(&records);
+        // Structural sanity without a JSON dependency: balanced
+        // braces/brackets outside strings and no NaN literal (NaN is
+        // not valid JSON — it must be stringified).
+        assert!(!out.contains(": NaN"));
+        let (mut brace, mut bracket, mut in_str, mut esc) = (0i64, 0i64, false, false);
+        for c in out.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => brace += 1,
+                '}' if !in_str => brace -= 1,
+                '[' if !in_str => bracket += 1,
+                ']' if !in_str => bracket -= 1,
+                _ => {}
+            }
+            assert!(brace >= 0 && bracket >= 0);
+        }
+        assert_eq!(brace, 0);
+        assert_eq!(bracket, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn write_to_file_roundtrips() {
+        let records = traced(|| {
+            let _s = span_with_query("execute", "engine");
+        });
+        assert!(!records.is_empty());
+        // Exercise the file-writing path through the sink itself.
+        let _guard = crate::trace::tests::TRACE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::trace::sink().clear();
+        crate::trace::set_tracing(true);
+        {
+            let _s = span_with_query("execute", "engine");
+        }
+        crate::trace::set_tracing(false);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("obs_trace_test_{}.json", std::process::id()));
+        crate::trace::sink().write_chrome_trace(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        crate::trace::sink().clear();
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"execute\""));
+    }
+}

@@ -1,0 +1,40 @@
+//! # canvas-obs
+//!
+//! The **observability spine** of the canvas-algebra workspace: one
+//! dependency-free crate every layer (engine → executor → raster →
+//! core) instruments itself through, so a served query can be explained
+//! end to end — *where did this query spend its time?* — instead of
+//! only in aggregate.
+//!
+//! Three pieces:
+//!
+//! * [`trace`] — a low-overhead **span** API recording per-query trace
+//!   trees into a process-global [`TraceSink`]. Tracing is off by
+//!   default behind a process-level flag ([`trace::set_tracing`]);
+//!   while disabled, creating a span is a single relaxed atomic load
+//!   (~ns), so instrumentation can live permanently on hot paths.
+//!   Spans carry a **query track** id that crosses thread boundaries
+//!   with the work (the executor propagates the context to its pool
+//!   workers alongside its scheduling ticket), so worker-side pass and
+//!   tile spans attribute to the owning query.
+//! * [`metrics`] — named [`Counter`]s and log-bucketed [`Histogram`]s
+//!   (p50/p95/p99/max, lock-free concurrent recording) in a
+//!   [`Registry`] snapshot-able as JSON and as Prometheus text
+//!   exposition — replacing mean-only latency aggregates.
+//! * [`chrome`] — a Chrome-trace-event / Perfetto JSON writer
+//!   ([`TraceSink::write_chrome_trace`]): a captured workload loads in
+//!   `ui.perfetto.dev` or `chrome://tracing` as a flamegraph-style
+//!   timeline, one process group per query, one track per worker
+//!   thread.
+//!
+//! See `docs/OBSERVABILITY.md` at the repo root for the span taxonomy
+//! and the metric-name reference.
+
+pub mod chrome;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use trace::{
+    set_tracing, sink, span, span_with_query, tracing_enabled, Ctx, Span, SpanRecord, TraceSink,
+};

@@ -1,0 +1,649 @@
+//! Named counters and log-bucketed histograms.
+//!
+//! The [`Histogram`] uses power-of-two buckets: bucket 0 holds the
+//! value 0 and bucket *i* (1 ≤ *i* ≤ 64) holds values in
+//! [2^(i−1), 2^i). That covers the full `u64` range in 65 fixed
+//! buckets with ≤ 2× relative quantile error, recording is a handful
+//! of relaxed atomic ops (lock-free, no allocation), and two
+//! histograms merge by adding buckets — which is what lets the engine
+//! keep per-station histograms and fold them into one snapshot.
+//!
+//! All values are dimensionless `u64`s; latency users record
+//! nanoseconds (see [`Histogram::record_secs`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero + one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value (0 → 0, otherwise `64 - leading_zeros`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing named counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Sets the counter to `max(current, n)` — for gauges that track a
+    /// high-water mark (e.g. peak queue depth).
+    pub fn record_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for gauges snapshotted from elsewhere.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+}
+
+/// A concurrent log-bucketed histogram (see module docs).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Saturating sum of recorded values (overflow clamps to
+    /// `u64::MAX`, at which point `mean` degrades gracefully).
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe to call from any
+    /// thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating add: a CAS loop, but recording frequency here is
+        // per-query, not per-texel.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in seconds as nanoseconds.
+    pub fn record_secs(&self, secs: f64) {
+        let ns = if secs <= 0.0 {
+            0
+        } else {
+            (secs * 1e9).min(u64::MAX as f64) as u64
+        };
+        self.record(ns);
+    }
+
+    /// Folds another histogram's contents into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            b.fetch_add(o.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let o_sum = other.sum.load(Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(o_sum))
+            });
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile math and serialization.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`] with quantile/mean accessors.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), linearly interpolated within the
+    /// containing bucket and clamped to the observed max. Returns 0 on
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lo(i);
+                let hi = bucket_hi(i).min(self.max);
+                // Position of the target rank within this bucket.
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+                return (est as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Quantile in seconds (for nanosecond-recording users).
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e9
+    }
+
+    pub fn mean_secs(&self) -> f64 {
+        self.mean() / 1e9
+    }
+
+    pub fn max_secs(&self) -> f64 {
+        self.max as f64 / 1e9
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` —
+    /// used by the Prometheus exposition and tests.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lo(i), bucket_hi(i), n))
+            .collect()
+    }
+}
+
+/// A named collection of counters, histograms, and process metadata,
+/// snapshot-able as JSON or Prometheus text exposition.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    meta: Mutex<BTreeMap<String, String>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the named counter. The `Arc` may be cached by
+    /// hot paths so steady-state recording never takes the registry
+    /// lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the named histogram (same caching contract as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Upserts a process-level metadata entry (`simd_backend`,
+    /// `host_cores`, …) exported with every snapshot.
+    pub fn set_meta(&self, key: &str, value: impl Into<String>) {
+        self.meta
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key.to_string(), value.into());
+    }
+
+    pub fn meta(&self) -> BTreeMap<String, String> {
+        self.meta
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    fn histogram_snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"metadata":{…},"counters":{…},"histograms":{name:{count,sum,
+    /// max,mean,p50,p95,p99}}}`.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"metadata\": {");
+        let meta = self.meta();
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), json_string(v)));
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        let counters = self.counter_values();
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(k), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = self.histogram_snapshots();
+        for (i, (k, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_string(k),
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// The whole registry as Prometheus text exposition (v0.0.4):
+    /// counters as `counter`, histograms as `summary` quantiles plus
+    /// `_max` gauges, metadata as a `_process_info` gauge with one
+    /// label per entry.
+    pub fn snapshot_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::with_capacity(1024);
+        let meta = self.meta();
+        if !meta.is_empty() {
+            let name = format!("{prefix}_process_info");
+            out.push_str(&format!(
+                "# HELP {name} Process-level metadata.\n# TYPE {name} gauge\n{name}{{"
+            ));
+            for (i, (k, v)) in meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}=\"{}\"", prom_name(k), prom_label(v)));
+            }
+            out.push_str("} 1\n");
+        }
+        for (k, v) in self.counter_values() {
+            let name = format!("{prefix}_{}", prom_name(&k));
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, h) in self.histogram_snapshots() {
+            let name = format!("{prefix}_{}", prom_name(&k));
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!(
+                "# TYPE {name}_max gauge\n{name}_max {}\n",
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+/// JSON-escapes and quotes a string.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Sanitizes a metric name for Prometheus (`[a-zA-Z0-9_]`).
+fn prom_name(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escapes a Prometheus label value.
+fn prom_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(1u64 << 63), 64);
+        assert_eq!(bucket_of((1u64 << 63) - 1), 63);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn zero_and_max_record_cleanly() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+        // Sum saturates rather than wrapping.
+        assert_eq!(s.sum(), u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().sum(), u64::MAX);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles_hit_the_value_bucket() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        // 1000 lives in [512, 1023]; every quantile must land there,
+        // clamped to the observed max.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((512..=1000).contains(&v), "q={q} -> {v}");
+        }
+        assert_eq!(s.max(), 1000);
+        assert_eq!(s.mean(), 1000.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_ordered() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 17);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.max());
+        // p50 of ~uniform [17, 17000] should land within its 2× bucket
+        // of the true median (8500 → bucket [8192, 16383]).
+        assert!((4096..=16383).contains(&s.p50()), "p50 = {}", s.p50());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for i in 0..100u64 {
+            a.record(i);
+            combined.record(i);
+        }
+        for i in 1000..1100u64 {
+            b.record(i);
+            combined.record(i);
+        }
+        a.merge(&b);
+        let (sa, sc) = (a.snapshot(), combined.snapshot());
+        assert_eq!(sa.count(), sc.count());
+        assert_eq!(sa.sum(), sc.sum());
+        assert_eq!(sa.max(), sc.max());
+        assert_eq!(sa.nonzero_buckets(), sc.nonzero_buckets());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(sa.quantile(q), sc.quantile(q));
+        }
+
+        // Snapshot-level merge agrees too.
+        let mut snap = HistogramSnapshot::default();
+        snap.merge(&sc);
+        assert_eq!(snap.count(), sc.count());
+        assert_eq!(snap.p95(), sc.p95());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), THREADS * PER_THREAD);
+        let n = THREADS * PER_THREAD;
+        assert_eq!(snap.sum(), n * (n - 1) / 2);
+        assert_eq!(snap.max(), n - 1);
+        let bucket_total: u64 = snap.nonzero_buckets().iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(bucket_total, n);
+    }
+
+    #[test]
+    fn registry_snapshots_json_and_prometheus() {
+        let r = Registry::new();
+        r.counter("queries_submitted").add(42);
+        r.histogram("service_ns").record(1500);
+        r.histogram("service_ns").record(3000);
+        r.set_meta("simd_backend", "avx2");
+        r.set_meta("host_cores", "8");
+
+        let json = r.snapshot_json();
+        assert!(json.contains("\"queries_submitted\": 42"));
+        assert!(json.contains("\"service_ns\""));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"simd_backend\": \"avx2\""));
+
+        let prom = r.snapshot_prometheus("canvas");
+        assert!(prom.contains("# TYPE canvas_queries_submitted counter"));
+        assert!(prom.contains("canvas_queries_submitted 42"));
+        assert!(prom.contains("canvas_service_ns{quantile=\"0.5\"}"));
+        assert!(prom.contains("canvas_service_ns_count 2"));
+        assert!(prom.contains("simd_backend=\"avx2\""));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.inc();
+        c2.inc();
+        assert_eq!(r.counter("x").get(), 2);
+        let h1 = r.histogram("y");
+        r.histogram("y").record(5);
+        assert_eq!(h1.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn counter_max_and_set() {
+        let c = Counter::default();
+        c.record_max(10);
+        c.record_max(5);
+        assert_eq!(c.get(), 10);
+        c.set(3);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn record_secs_converts_to_ns() {
+        let h = Histogram::new();
+        h.record_secs(0.001);
+        h.record_secs(-1.0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 1_000_000);
+        assert!((s.mean_secs() - 0.0005).abs() < 1e-9);
+    }
+}

@@ -29,7 +29,20 @@ use crate::viewport::Viewport;
 use canvas_geom::polygon::Polygon;
 use canvas_geom::polyline::Polyline;
 use canvas_geom::Point;
+use canvas_obs as obs;
 use std::sync::Arc;
+
+/// Opens a draw-level trace span tagged with the active SIMD backend
+/// and workload shape (no-op unless tracing is enabled).
+fn draw_span(name: &'static str, primitives: usize, chain_ops: usize) -> obs::Span {
+    let mut span = obs::span(name, "raster");
+    if span.is_recording() {
+        span.arg_u64("primitives", primitives as u64);
+        span.arg_u64("chain_ops", chain_ops as u64);
+        span.arg_str("simd_backend", || simd::active_backend().name().to_string());
+    }
+    span
+}
 
 /// Boxed chain-stage closure over tile jobs (`run_chain_*` internals):
 /// applies one `OpChain` operator to one in-flight tile.
@@ -722,6 +735,7 @@ impl Pipeline {
         S: Fn(u32, Point) -> P + Sync,
         B: Fn(P, P) -> P + Sync,
     {
+        let _draw_span = draw_span("draw_points", points.len(), chain.len());
         self.begin_pass();
         self.stats.vertices += points.len() as u64;
         self.stats.primitives += points.len() as u64;
@@ -853,7 +867,10 @@ impl Pipeline {
         };
         let stage_fns: Vec<TileStageFn<'_, PointTileJob<P>>> = (0..chain.len())
             .map(|s| {
+                let op_label = chain.ops()[s].label();
                 Box::new(move |_i: usize, job: &mut PointTileJob<P>| {
+                    let mut span = obs::span(op_label, "raster");
+                    span.arg_u64("tile", job.t as u64);
                     let rect = grid.rect(job.t);
                     chain.apply_tile(s, rect, &mut job.tex, job.cov.as_deref_mut(), &mut job.bits);
                 }) as TileStageFn<'_, PointTileJob<P>>
@@ -946,6 +963,7 @@ impl Pipeline {
         S: Fn(u32, Frag) -> P + Sync,
         B: Fn(P, P) -> P + Sync,
     {
+        let _draw_span = draw_span("draw_polygons", polys.len(), chain.len());
         self.begin_pass();
         for poly in polys {
             self.stats.vertices += poly.num_vertices() as u64;
@@ -1218,7 +1236,10 @@ impl Pipeline {
         };
         let stage_fns: Vec<TileStageFn<'_, PolyTileJob<P>>> = (0..chain.len())
             .map(|s| {
+                let op_label = chain.ops()[s].label();
                 Box::new(move |_i: usize, job: &mut PolyTileJob<P>| {
+                    let mut span = obs::span(op_label, "raster");
+                    span.arg_u64("tile", job.t as u64);
                     let rect = grid.rect(job.t);
                     chain.apply_tile(s, rect, &mut job.tex, Some(&mut job.cov), &mut job.bits);
                 }) as TileStageFn<'_, PolyTileJob<P>>
@@ -1269,6 +1290,7 @@ impl Pipeline {
         S: Fn(u32, Frag) -> P + Sync,
         B: Fn(P, P) -> P + Sync,
     {
+        let _draw_span = draw_span("draw_polylines", lines.len(), 0);
         self.begin_pass();
         for line in lines {
             self.stats.vertices += line.vertices().len() as u64;

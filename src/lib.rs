@@ -14,7 +14,10 @@
 //!   fingerprint-keyed canvas cache, fair-share pass scheduling),
 //! * [`baseline`] — CPU / parallel-CPU / traditional-GPU baselines,
 //! * [`datagen`] — seeded synthetic workloads (taxi trips, calibrated
-//!   query polygons, neighborhood partitions).
+//!   query polygons, neighborhood partitions),
+//! * [`obs`] — observability: trace spans, the histogram metrics
+//!   registry, and the Chrome-trace/Perfetto exporter (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! the substitution table, and `EXPERIMENTS.md` for paper-vs-measured
@@ -25,6 +28,7 @@ pub use canvas_core as core;
 pub use canvas_datagen as datagen;
 pub use canvas_engine as engine;
 pub use canvas_geom as geom;
+pub use canvas_obs as obs;
 pub use canvas_raster as raster;
 
 /// One-stop prelude for applications: the core prelude plus workload
