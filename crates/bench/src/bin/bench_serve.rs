@@ -19,7 +19,15 @@
 //! canvases (`C_P`, `C_Q`, the blended density canvas). It runs the
 //! identical job list with sharing off and on, records both
 //! throughputs and the sharing counters, and gates `subplan_hits > 0`
-//! with a bit-identity spot check against `Device::cpu`. Run with:
+//! with a bit-identity spot check against `Device::cpu`.
+//!
+//! A fifth section drives the **promoted query classes** — knn,
+//! voronoi, OD selection / flow matrix, spatio-temporal window / time
+//! series, skyline, hull — through one engine as a mixed workload,
+//! asserts cache-hit identity per class (the re-ask returns the
+//! *identical* shared allocation), and records per-class latency
+//! percentiles (`class_<label>_p50_secs` …) from the engine's
+//! per-class service histograms. Run with:
 //!
 //! ```text
 //! cargo run --release -p canvas-bench --bin bench_serve \
@@ -47,8 +55,9 @@ use std::time::Instant;
 
 use canvas_bench::city_extent;
 use canvas_core::prelude::*;
+use canvas_core::queries::spatiotemporal::TemporalPoints;
 use canvas_datagen as datagen;
-use canvas_engine::{EngineConfig, Query, QueryEngine};
+use canvas_engine::{EngineConfig, Query, QueryEngine, Served};
 use canvas_geom::{BBox, Point};
 use canvas_obs as obs;
 
@@ -217,6 +226,111 @@ fn build_subplan_jobs(smoke: bool, data: &Arc<PointBatch>) -> Vec<(Query, Viewpo
     jobs
 }
 
+/// One canonical query per promoted class (knn §4.4, voronoi / skyline /
+/// hull §4.5, OD §4.6, spatio-temporal §6) over shared synthetic
+/// datasets, with the viewport each runs on. Labels match
+/// `Query::label()` — the JSON field names derive from them.
+fn build_promoted_jobs(smoke: bool) -> Vec<(&'static str, Query, Viewport)> {
+    let extent = city_extent();
+    let resolution = if smoke { 128 } else { 256 };
+    let n_points = if smoke { 20_000 } else { 100_000 };
+    let n_trips = if smoke { 10_000 } else { 50_000 };
+    let vp = Viewport::square_pixels(extent, resolution);
+    let data = Arc::new(PointBatch::from_points(datagen::taxi_pickups(
+        &extent, n_points, 77,
+    )));
+    let trips_src = datagen::generate_trips(&extent, n_trips, 24, 78);
+    let trips = Arc::new(trips_src.od_batch());
+    let temporal = Arc::new(TemporalPoints::new(
+        trips_src.pickups.clone(),
+        trips_src.time_slots.iter().map(|&t| u32::from(t)).collect(),
+    ));
+    let sites = Arc::new(datagen::jittered_sites(&extent, 12, 5));
+    let skyline_sites = Arc::new(datagen::jittered_sites(&extent, 3, 6));
+    let zones: AreaSource = Arc::new(datagen::neighborhoods(&extent, 4, 11));
+    let district = datagen::star_polygon(
+        &BBox::new(Point::new(15.0, 15.0), Point::new(70.0, 70.0)),
+        24,
+        0.35,
+        3,
+    );
+    let corridor = datagen::star_polygon(
+        &BBox::new(Point::new(30.0, 30.0), Point::new(95.0, 95.0)),
+        24,
+        0.3,
+        4,
+    );
+    // Small pocket for the skyline: its dominance test is quadratic in
+    // the selected count, so the constraint keeps selectivity low.
+    let pocket = datagen::star_polygon(
+        &BBox::new(Point::new(35.0, 35.0), Point::new(65.0, 65.0)),
+        16,
+        0.3,
+        8,
+    );
+    vec![
+        (
+            "knn",
+            Query::Knn {
+                data: data.clone(),
+                x: Point::new(50.0, 50.0),
+                k: 32,
+            },
+            vp,
+        ),
+        ("voronoi", Query::Voronoi { sites }, vp),
+        (
+            "select_od",
+            Query::SelectOd {
+                trips: trips.clone(),
+                q1: district.clone(),
+                q2: corridor.clone(),
+            },
+            vp,
+        ),
+        (
+            "od_flow_matrix",
+            Query::OdFlowMatrix {
+                trips,
+                origin_zones: zones.clone(),
+                dest_zones: zones,
+            },
+            vp,
+        ),
+        (
+            "spatiotemporal_window",
+            Query::SpatioTemporalWindow {
+                data: temporal.clone(),
+                q: district.clone(),
+                t0: 0,
+                t1: 12,
+            },
+            vp,
+        ),
+        (
+            "region_time_series",
+            Query::RegionTimeSeries {
+                data: temporal,
+                q: district,
+                t0: 0,
+                t1: 24,
+                windows: 8,
+            },
+            vp,
+        ),
+        (
+            "skyline",
+            Query::Skyline {
+                data: data.clone(),
+                constraint: pocket,
+                sites: skyline_sites,
+            },
+            vp,
+        ),
+        ("hull", Query::Hull { data, q: corridor }, vp),
+    ]
+}
+
 /// Drives the job list round-robin across CLIENTS threads (adjacent
 /// jobs — the members of a sharing pair — land on different clients,
 /// so in-flight subscription and shared-cache hits both occur).
@@ -229,7 +343,9 @@ fn run_jobs(engine: &QueryEngine, jobs: &[(Query, Viewport)]) -> f64 {
                 for (i, (q, vp)) in jobs.iter().enumerate() {
                     if i % CLIENTS == client {
                         let resp = engine.execute(q, *vp).expect("served");
-                        std::hint::black_box(resp.canvas.non_null_count());
+                        // Kind-neutral consumption: promoted classes
+                        // return ids / matrices / series, not canvases.
+                        std::hint::black_box(resp.result.size_bytes());
                     }
                 }
             });
@@ -288,12 +404,15 @@ fn measure_disabled_span_ns() -> f64 {
     t0.elapsed().as_nanos() as f64 / f64::from(ITERS)
 }
 
-/// Replays a short slice of the pan/zoom workload with tracing enabled
-/// and returns the number of queries replayed. Uses a fresh engine so
-/// the slice mixes computed queries with cache hits (a warm engine
-/// would serve everything from cache and undercount spans per query).
-/// Runs outside every timed window; callers write the sink afterwards.
-fn run_traced_slice(work: &Arc<Workload>) -> usize {
+/// Replays a short slice of the pan/zoom workload — plus one query per
+/// promoted class — with tracing enabled and returns the number of
+/// queries replayed. Uses a fresh engine so the slice mixes computed
+/// queries with cache hits (a warm engine would serve everything from
+/// cache and undercount spans per query), and so every promoted class
+/// computes and emits its per-class span (knn, voronoi, …) into the
+/// trace. Runs outside every timed window; callers write the sink
+/// afterwards.
+fn run_traced_slice(work: &Arc<Workload>, promoted: &[(&'static str, Query, Viewport)]) -> usize {
     let engine = QueryEngine::with_config(EngineConfig {
         threads: WORKERS,
         max_concurrent: CLIENTS,
@@ -313,13 +432,17 @@ fn run_traced_slice(work: &Arc<Workload>) -> usize {
                 for step in 0..steps {
                     let (q, vp) = work.pick(client, step);
                     let resp = engine.execute(q, vp).expect("served");
-                    std::hint::black_box(resp.canvas.non_null_count());
+                    std::hint::black_box(resp.canvas().non_null_count());
                 }
             });
         }
     });
+    for (_, q, vp) in promoted {
+        let resp = engine.execute(q, *vp).expect("served");
+        std::hint::black_box(resp.result.size_bytes());
+    }
     obs::set_tracing(false);
-    CLIENTS * steps
+    CLIENTS * steps + promoted.len()
 }
 
 fn main() {
@@ -349,8 +472,8 @@ fn main() {
     let (lock_wall, _) = run_clients(&work, |_, q, vp| {
         let prepared = q.prepare();
         let mut dev = lock_dev.lock().unwrap();
-        let canvas = prepared.execute(&mut dev, vp);
-        std::hint::black_box(canvas.non_null_count());
+        let result = prepared.execute(&mut dev, vp);
+        std::hint::black_box(result.canvas().non_null_count());
     });
     let lock_qps = total as f64 / lock_wall;
 
@@ -367,7 +490,7 @@ fn main() {
     });
     let (nc_wall, _) = run_clients(&work, |_, q, vp| {
         let resp = engine_nc.execute(q, vp).expect("served");
-        std::hint::black_box(resp.canvas.non_null_count());
+        std::hint::black_box(resp.canvas().non_null_count());
     });
     let nocache_qps = total as f64 / nc_wall;
 
@@ -388,14 +511,14 @@ fn main() {
         let mut dev = lock_dev.lock().unwrap();
         let want = q.prepare().execute(&mut dev, vp);
         assert_eq!(
-            resp.canvas.texels(),
-            want.texels(),
+            resp.canvas().texels(),
+            want.canvas().texels(),
             "engine result must be bit-identical to the locked device's"
         );
     }
     let (engine_wall, client_secs) = run_clients(&work, |_, q, vp| {
         let resp = engine.execute(q, vp).expect("served");
-        std::hint::black_box(resp.canvas.non_null_count());
+        std::hint::black_box(resp.canvas().non_null_count());
     });
     // The spot check ran outside the timed window (and warmed one cache
     // entry — the lock baseline got the same warm-up via the identity
@@ -464,20 +587,52 @@ fn main() {
         let mut dev = Device::cpu();
         let want = q.prepare().execute(&mut dev, *vp);
         assert_eq!(
-            resp.canvas.texels(),
-            want.texels(),
+            resp.canvas().texels(),
+            want.canvas().texels(),
             "shared-intermediate result must be bit-identical to Device::cpu"
         );
-        assert_eq!(resp.canvas.cover(), want.cover());
+        assert_eq!(resp.canvas().cover(), want.canvas().cover());
     }
     let sm = engine_on.metrics();
     let sc = engine_on.cache_stats();
 
-    // --- 5. Observability cost: disabled-span price, spans per query,
+    // --- 5. Promoted query classes: the six non-canvas descriptors as
+    //        a mixed workload through one engine, with per-class
+    //        latency percentiles and a cache-hit identity check. ---
+    let promoted = build_promoted_jobs(smoke);
+    const PROMOTED_REPS: usize = 3;
+    let promoted_engine = QueryEngine::with_config(EngineConfig {
+        threads: WORKERS,
+        max_concurrent: CLIENTS,
+        max_queue: 64,
+        cache_budget_bytes: 256 << 20,
+        calibrate: false,
+        share_subplans: true,
+    });
+    let promoted_jobs: Vec<(Query, Viewport)> = (0..PROMOTED_REPS)
+        .flat_map(|_| promoted.iter().map(|(_, q, vp)| (q.clone(), *vp)))
+        .collect();
+    let promoted_wall = run_jobs(&promoted_engine, &promoted_jobs);
+    let promoted_qps = promoted_jobs.len() as f64 / promoted_wall;
+    // Cache-hit identity per class: the warm re-ask must return the
+    // *identical* shared allocation, not an equal copy.
+    for (label, q, vp) in &promoted {
+        let a = promoted_engine.execute(q, *vp).expect("served");
+        let b = promoted_engine.execute(q, *vp).expect("served");
+        assert_eq!(b.served, Served::CacheHit, "{label}: warm re-ask must hit");
+        assert!(
+            a.result.ptr_eq(&b.result),
+            "{label}: cache hit must return the identical allocation"
+        );
+    }
+    let pm = promoted_engine.metrics();
+    let pcs = promoted_engine.cache_stats();
+
+    // --- 6. Observability cost: disabled-span price, spans per query,
     //        and (optionally) a Perfetto trace of a replayed slice.
     //        Runs after every timed arm so tracing never touches them. ---
     let obs_disabled_span_ns = measure_disabled_span_ns();
-    let traced_queries = run_traced_slice(&work);
+    let traced_queries = run_traced_slice(&work, &promoted);
     let sink = obs::sink();
     let obs_spans_total = sink.len() as u64 + sink.dropped();
     let obs_spans_per_query = obs_spans_total as f64 / traced_queries as f64;
@@ -541,6 +696,39 @@ fn main() {
         sc.shared_hit_rate()
     );
     let _ = writeln!(json, "  \"subplan_shared_bytes\": {},", sc.shared_bytes);
+    let _ = writeln!(json, "  \"promoted_classes\": {},", promoted.len());
+    let _ = writeln!(
+        json,
+        "  \"promoted_queries_total\": {},",
+        promoted_jobs.len()
+    );
+    let _ = writeln!(json, "  \"promoted_qps\": {promoted_qps:.2},");
+    let _ = writeln!(json, "  \"promoted_cache_hits\": {},", pm.cache_hits);
+    let _ = writeln!(
+        json,
+        "  \"promoted_result_entries\": {},",
+        pcs.result_entries
+    );
+    let _ = writeln!(json, "  \"promoted_result_bytes\": {},", pcs.result_bytes);
+    for (label, _, _) in &promoted {
+        let stats = promoted_engine.class_latency(label);
+        let _ = writeln!(json, "  \"class_{label}_count\": {},", stats.count());
+        let _ = writeln!(
+            json,
+            "  \"class_{label}_p50_secs\": {:.6},",
+            stats.p50_secs()
+        );
+        let _ = writeln!(
+            json,
+            "  \"class_{label}_p95_secs\": {:.6},",
+            stats.p95_secs()
+        );
+        let _ = writeln!(
+            json,
+            "  \"class_{label}_p99_secs\": {:.6},",
+            stats.p99_secs()
+        );
+    }
     let _ = writeln!(
         json,
         "  \"scheduler_fairness_jain_clients\": {fairness:.4},"
@@ -646,6 +834,28 @@ fn main() {
     assert!(
         sm.subplan_hits > 0,
         "subplan sharing saw no hits on the selection+heatmap mix: {sm:?}"
+    );
+    // Promoted classes: every submission served, repeats carried by the
+    // cache, per-class histograms populated, and the non-canvas slice
+    // of the cache byte-accounted.
+    assert_eq!(
+        pm.computed + pm.cache_hits + pm.coalesced,
+        (promoted_jobs.len() + 2 * promoted.len()) as u64,
+        "every promoted submission must be served"
+    );
+    assert!(
+        pm.cache_hits >= (promoted.len() * (PROMOTED_REPS - 1)) as u64,
+        "promoted repeats must ride the cache: {pm:?}"
+    );
+    for (label, _, _) in &promoted {
+        assert!(
+            promoted_engine.class_latency(label).count() >= (PROMOTED_REPS + 2) as u64,
+            "class histogram for {label} missing submissions"
+        );
+    }
+    assert!(
+        pcs.result_entries >= 6 && pcs.result_bytes > 0,
+        "non-canvas results must be resident and byte-accounted: {pcs:?}"
     );
     if host_cores >= 4 {
         assert!(

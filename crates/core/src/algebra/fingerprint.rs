@@ -147,6 +147,12 @@ impl FingerprintBuilder {
         self
     }
 
+    /// Folds in a scalar parameter by exact bit value.
+    pub fn float(&mut self, x: f64) -> &mut Self {
+        self.mix.float(x);
+        self
+    }
+
     /// Folds in a shared dataset handle (pointer identity + length).
     pub fn handle<T>(&mut self, data: &Arc<T>, len: usize) -> &mut Self {
         self.mix.ptr(Arc::as_ptr(data));

@@ -7,9 +7,11 @@
 //! canvas algebra supplies composition: hull over a *selection's* result
 //! reuses the selection plan unchanged.
 
+use std::sync::Arc;
+
 use crate::canvas::PointBatch;
 use crate::device::Device;
-use crate::queries::selection::select_points_in_polygon;
+use crate::queries::selection::{select_points_in_polygon, select_points_in_polygon_via};
 use canvas_geom::hull::convex_hull;
 use canvas_geom::polygon::Polygon;
 use canvas_geom::Point;
@@ -30,6 +32,24 @@ pub fn hull_of_selection(
     q: &Polygon,
 ) -> Vec<Point> {
     let sel = select_points_in_polygon(dev, vp, data, q);
+    hull_of_canvas_points(&sel)
+}
+
+/// [`hull_of_selection`] over a shared dataset handle with a subplan
+/// exchange: the interior selection render is shared with any concurrent
+/// query over the same handle and constraint.
+pub fn hull_of_selection_via(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &Arc<PointBatch>,
+    q: &Polygon,
+    ex: &dyn crate::algebra::SubplanExchange,
+) -> Vec<Point> {
+    let sel = select_points_in_polygon_via(dev, vp, data, q, ex);
+    hull_of_canvas_points(&sel)
+}
+
+fn hull_of_canvas_points(sel: &crate::queries::selection::PointSelection) -> Vec<Point> {
     let pts: Vec<Point> = sel
         .canvas
         .boundary()

@@ -13,12 +13,26 @@
 
 use crate::canvas::PointBatch;
 use crate::device::Device;
-use crate::queries::selection::select_points_within_distance_exact;
-use canvas_geom::Point;
+use crate::queries::selection::{select_points_within_distance_exact, PointSelection};
+use canvas_geom::{BBox, Point};
 use canvas_raster::Viewport;
 
 /// Number of circles in the radius ladder.
 const LADDER_STEPS: usize = 8;
+
+/// A viewport whose world box covers the whole metric ball of radius `r`
+/// around `x`. Rendering the distance selection on this viewport means
+/// viewport clipping can never drop a candidate within distance `r` —
+/// exactness is resolution-independent, so reusing the caller's pixel
+/// dimensions is fine.
+fn ball_viewport(vp: Viewport, x: Point, r: f64) -> Viewport {
+    let m = r * 1.02 + 1e-9;
+    Viewport::new(
+        BBox::new(Point::new(x.x - m, x.y - m), Point::new(x.x + m, x.y + m)),
+        vp.width().max(1),
+        vp.height().max(1),
+    )
+}
 
 /// `SELECT * FROM D_P WHERE Location ∈ KNN(X, k)` — exact k nearest
 /// neighbors of `x` (ties broken by record id, mirroring the paper's
@@ -37,28 +51,31 @@ pub fn knn(dev: &mut Device, vp: Viewport, data: &PointBatch, x: Point, k: usize
 
     // The circle ladder C_X: radii r_max/2^i, i = LADDER_STEPS-1 .. 0.
     // For each circle, the aggregation counts the enclosed points; the
-    // mask `s[0][1] >= k` keeps the smallest viable radius.
-    let mut radius = r_max;
+    // selection at the smallest viable radius is kept and reused below —
+    // no second render of the same circle.
+    let mut chosen: Option<PointSelection> = None;
     for i in (0..LADDER_STEPS).rev() {
         let r = r_max / (1u32 << i) as f64;
-        let sel = select_points_within_distance_exact(dev, vp, data, x, r);
+        let sel = select_points_within_distance_exact(dev, ball_viewport(vp, x, r), data, x, r);
         if sel.records.len() >= k {
-            radius = r;
+            chosen = Some(sel);
             break;
         }
     }
 
-    // Distance-based selection at the chosen radius, then exact cut.
-    let sel = select_points_within_distance_exact(dev, vp, data, x, radius);
-    let mut candidates: Vec<(f64, u32)> = sel
-        .canvas
-        .boundary()
-        .points()
-        .iter()
-        .map(|e| (e.loc.dist_sq(x), e.record))
-        .collect();
-    // A viewport-clipped ladder can under-collect if fewer than k points
-    // fell inside; fall back to all records in that case.
+    // Exact cut over the break-iteration selection.
+    let mut candidates: Vec<(f64, u32)> = match &chosen {
+        Some(sel) => sel
+            .canvas
+            .boundary()
+            .points()
+            .iter()
+            .map(|e| (e.loc.dist_sq(x), e.record))
+            .collect(),
+        None => Vec::new(),
+    };
+    // Fewer than k points within r_max of x (the ladder never broke, or
+    // the ball held duplicates of fewer records): fall back to a scan.
     if candidates.len() < k {
         candidates = data
             .points
@@ -156,6 +173,53 @@ mod tests {
         assert!(knn(&mut dev, vp(), &batch, Point::new(1.0, 1.0), 0).is_empty());
         let empty = PointBatch::from_points(vec![]);
         assert!(knn(&mut dev, vp(), &empty, Point::new(1.0, 1.0), 3).is_empty());
+    }
+
+    #[test]
+    fn knn_sees_neighbors_outside_the_viewport() {
+        // Regression: the ladder used to render on the caller's viewport,
+        // so with >= k in-view points the clipped selection looked
+        // complete and a strictly nearer out-of-view point was dropped.
+        let mut dev = Device::nvidia();
+        let pts = vec![
+            Point::new(80.0, 50.0),  // in view, dist 15 from x
+            Point::new(105.0, 50.0), // outside the 0..100 viewport, dist 10
+            Point::new(10.0, 10.0),
+            Point::new(110.0, 90.0),
+        ];
+        let batch = PointBatch::from_points(pts.clone());
+        let x = Point::new(95.0, 50.0);
+        assert_eq!(knn(&mut dev, vp(), &batch, x, 1), vec![1]);
+        assert_eq!(knn(&mut dev, vp(), &batch, x, 2), brute_knn(&pts, x, 2));
+    }
+
+    #[test]
+    fn knn_renders_the_chosen_radius_once() {
+        // Regression: the ladder used to discard the selection at the
+        // break radius and re-render it identically after the loop —
+        // exactly doubling the pass count when the first rung suffices.
+        let mut dev = Device::nvidia();
+        // A tight cluster at x: the smallest ladder radius (~1.1 world
+        // units) already holds >= k points, so knn needs one selection.
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::new(50.0 + 0.05 * i as f64, 50.0))
+            .collect();
+        let batch = PointBatch::from_points(pts);
+        let x = Point::new(50.0, 50.0);
+
+        let before = dev.stats();
+        let _ = select_points_within_distance_exact(&mut dev, vp(), &batch, x, 1.0);
+        let per = dev.stats().delta(&before).passes;
+        assert!(per > 0);
+
+        let before = dev.stats();
+        let got = knn(&mut dev, vp(), &batch, x, 3);
+        let knn_passes = dev.stats().delta(&before).passes;
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(
+            knn_passes < 2 * per,
+            "chosen radius rendered twice: {knn_passes} passes vs {per} per selection"
+        );
     }
 
     #[test]

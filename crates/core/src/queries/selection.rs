@@ -88,6 +88,29 @@ pub fn select_points_in_polygon(
     }
 }
 
+/// [`select_points_in_polygon`] with a shared dataset handle and a
+/// [`SubplanExchange`](crate::algebra::SubplanExchange): the selection
+/// plan's interior renders become shareable across concurrent queries.
+/// Subplan fingerprints identify datasets by `Arc` address, so this only
+/// pays off when callers pass the *same* handle — cloning into a fresh
+/// `Arc` per call (as the borrowing variant does) would publish entries
+/// under never-repeating keys.
+pub fn select_points_in_polygon_via(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &Arc<PointBatch>,
+    q: &Polygon,
+    ex: &dyn crate::algebra::SubplanExchange,
+) -> PointSelection {
+    let plan = points_in_polygon_plan(data.clone(), q.clone());
+    let plan = crate::algebra::optimize(plan);
+    let canvas = plan.eval_via(dev, vp, ex);
+    PointSelection {
+        records: canvas.point_records(),
+        canvas,
+    }
+}
+
 /// Selection with multiple polygonal constraints (Section 5.1): the only
 /// extra work over the single-polygon case is blending the constraint
 /// polygons — the paper's key performance claim for Figure 9(c,d).

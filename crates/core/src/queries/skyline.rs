@@ -11,9 +11,13 @@
 //! selection, and the dominance test runs on the exact point entries
 //! the result canvas carries.
 
+use std::sync::Arc;
+
 use crate::canvas::PointBatch;
 use crate::device::Device;
-use crate::queries::selection::select_points_in_polygon;
+use crate::queries::selection::{
+    select_points_in_polygon, select_points_in_polygon_via, PointSelection,
+};
 use canvas_geom::polygon::Polygon;
 use canvas_geom::Point;
 use canvas_raster::Viewport;
@@ -51,20 +55,28 @@ pub fn skyline_of_selection(
     sites: &[Point],
 ) -> Vec<u32> {
     let sel = select_points_in_polygon(dev, vp, data, constraint);
-    let pts: Vec<Point> = sel
-        .canvas
-        .boundary()
-        .points()
-        .iter()
-        .map(|e| e.loc)
-        .collect();
-    let ids: Vec<u32> = sel
-        .canvas
-        .boundary()
-        .points()
-        .iter()
-        .map(|e| e.record)
-        .collect();
+    skyline_of_canvas_points(&sel, sites)
+}
+
+/// [`skyline_of_selection`] over a shared dataset handle with a subplan
+/// exchange: the interior selection render is shared with any concurrent
+/// query over the same handle and constraint.
+pub fn skyline_of_selection_via(
+    dev: &mut Device,
+    vp: Viewport,
+    data: &Arc<PointBatch>,
+    constraint: &Polygon,
+    sites: &[Point],
+    ex: &dyn crate::algebra::SubplanExchange,
+) -> Vec<u32> {
+    let sel = select_points_in_polygon_via(dev, vp, data, constraint, ex);
+    skyline_of_canvas_points(&sel, sites)
+}
+
+fn skyline_of_canvas_points(sel: &PointSelection, sites: &[Point]) -> Vec<u32> {
+    let entries = sel.canvas.boundary().points();
+    let pts: Vec<Point> = entries.iter().map(|e| e.loc).collect();
+    let ids: Vec<u32> = entries.iter().map(|e| e.record).collect();
     skyline_of(&pts, &ids, sites)
 }
 

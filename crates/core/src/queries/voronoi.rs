@@ -13,6 +13,10 @@
 //! owner. After all sites are processed, `s[2][0]` at a location is the
 //! nearest site — the discrete Voronoi diagram (the classic GPU
 //! technique the paper maps onto its algebra).
+//!
+//! Exactly-equidistant locations go to the smaller site id, so the
+//! diagram is the pointwise minimum over `(d², id)` — a function of the
+//! site set alone, independent of the insertion order.
 
 use crate::canvas::Canvas;
 use crate::device::Device;
@@ -34,7 +38,9 @@ pub fn compute_voronoi(dev: &mut Device, vp: Viewport, sites: &[Point]) -> Canva
             let d2 = p.dist_sq(site) as f32;
             match s.get(2) {
                 None => Texel::area(id, d2, 0.0),
-                Some(cur) if cur.v1 < d2 => {
+                // Strictly closer owners keep their claim; exact ties go
+                // to the smaller site id (pointwise min over (d², id)).
+                Some(cur) if cur.v1 < d2 || (cur.v1 == d2 && cur.id < id) => {
                     let mut t = Texel::null();
                     t.set(2, DimInfo::new(cur.id, cur.v1, 0.0));
                     t
@@ -157,29 +163,49 @@ mod tests {
     #[test]
     fn incremental_insertion_order_irrelevant() {
         let mut dev = Device::nvidia();
+        // Sites in generic position: round coordinates like (30,30) /
+        // (20,80) put pairwise bisectors exactly through rational pixel
+        // centers, and such ties break by (label-dependent) site id —
+        // only a tie-free configuration relabels exactly.
         let sites_a = vec![
-            Point::new(30.0, 30.0),
-            Point::new(70.0, 70.0),
-            Point::new(20.0, 80.0),
+            Point::new(30.1, 29.7),
+            Point::new(70.3, 71.1),
+            Point::new(19.6, 80.2),
         ];
         let mut sites_b = sites_a.clone();
         sites_b.reverse();
         let ca = compute_voronoi(&mut dev, vp(24), &sites_a);
         let cb = compute_voronoi(&mut dev, vp(24), &sites_b);
-        // Same partition modulo the site relabeling (b is reversed);
-        // exactly-equidistant pixels may tie-break either way.
-        let v = *ca.viewport();
+        // Same partition modulo the site relabeling (b is reversed):
+        // no pixel center in this configuration is exactly equidistant
+        // between two sites, so the deterministic (d², id) tie-break
+        // makes the equality exact.
         for y in 0..24 {
             for x in 0..24 {
                 let a = ca.texel(x, y).get(2).unwrap().id;
                 let b = cb.texel(x, y).get(2).unwrap().id;
-                if a != 2 - b {
-                    let c = v.pixel_center(x, y);
-                    let da = c.dist_sq(sites_a[a as usize]) as f32;
-                    let db = c.dist_sq(sites_b[b as usize]) as f32;
-                    assert_eq!(da, db, "non-tie disagreement at ({x},{y})");
-                }
+                assert_eq!(a, 2 - b, "relabel mismatch at ({x},{y})");
             }
+        }
+    }
+
+    #[test]
+    fn equidistant_pixels_go_to_the_smaller_site_id() {
+        // Regression: `cur.v1 < d2` let a later-inserted site steal
+        // exactly-equidistant pixels. With 5 pixels over 0..100 the
+        // centers sit at x ∈ {10, 30, 50, 70, 90}; the x = 50 column is
+        // exactly 30 world units from both sites (30² = 900 is exact in
+        // f32), so the whole column must belong to site 0.
+        let mut dev = Device::nvidia();
+        let sites = vec![Point::new(20.0, 50.0), Point::new(80.0, 50.0)];
+        let canvas = compute_voronoi(&mut dev, vp(5), &sites);
+        for y in 0..5 {
+            assert_eq!(canvas.texel(0, y).get(2).unwrap().id, 0);
+            assert_eq!(canvas.texel(1, y).get(2).unwrap().id, 0);
+            let tie = canvas.texel(2, y).get(2).unwrap();
+            assert_eq!(tie.id, 0, "tie column stolen by the later site");
+            assert_eq!(canvas.texel(3, y).get(2).unwrap().id, 1);
+            assert_eq!(canvas.texel(4, y).get(2).unwrap().id, 1);
         }
     }
 }

@@ -10,9 +10,13 @@
 //! Entries are keyed `(plan fingerprint, viewport)` — the fingerprint
 //! captures *what* is asked (normalized plan structure, see
 //! `canvas_core::algebra::fingerprint`), the viewport *where*. Values
-//! are immutable shared canvases (`Arc<Canvas>`), so a hit costs one
-//! reference bump and is bit-identical to the evaluation that produced
-//! it, by construction.
+//! are immutable shared [`QueryResult`]s — canvases for the rendering
+//! classes, small derived payloads (id lists, flow matrices, hull
+//! rings) for the promoted Sections 4.4–4.6 classes — so a hit costs
+//! one reference bump and is bit-identical to the evaluation that
+//! produced it, by construction. Every payload kind is byte-accounted
+//! against the same LRU budget ([`QueryResult::size_bytes`]); the
+//! non-canvas slice is broken out in [`CacheStats::result_bytes`].
 //!
 //! ## One keyspace, two entry classes
 //!
@@ -43,6 +47,7 @@
 //! and shared probes are tallied separately so the root hit rate stays
 //! comparable across PRs.
 
+use crate::result::QueryResult;
 use canvas_core::algebra::Fingerprint;
 use canvas_core::Canvas;
 use canvas_raster::Viewport;
@@ -129,6 +134,11 @@ pub struct CacheStats {
     pub shared_bytes: usize,
     /// Entries currently held by [`EntryClass::Shared`] intermediates.
     pub shared_entries: usize,
+    /// Bytes currently held by non-canvas [`QueryResult`] payloads
+    /// (id lists, flow matrices, series, hull rings).
+    pub result_bytes: usize,
+    /// Entries currently holding non-canvas [`QueryResult`] payloads.
+    pub result_entries: usize,
 }
 
 impl CacheStats {
@@ -154,7 +164,7 @@ impl CacheStats {
 }
 
 struct Entry {
-    canvas: Arc<Canvas>,
+    value: QueryResult,
     /// Keeps the by-address-fingerprinted datasets alive (see [`DataPin`]).
     _pins: Vec<DataPin>,
     bytes: usize,
@@ -194,6 +204,10 @@ impl Inner {
             self.stats.shared_bytes -= entry.bytes;
             self.stats.shared_entries -= 1;
         }
+        if entry.value.as_canvas().is_none() {
+            self.stats.result_bytes -= entry.bytes;
+            self.stats.result_entries -= 1;
+        }
         Some(entry)
     }
 }
@@ -221,8 +235,8 @@ impl Inner {
 ///
 /// let canvas = Arc::new(Canvas::empty(vp));
 /// cache.insert(key, Arc::clone(&canvas), Vec::new());
-/// // A hit returns the same shared canvas — bit-identity for free.
-/// assert!(Arc::ptr_eq(&cache.get(&key).unwrap(), &canvas));
+/// // A hit returns the same shared payload — bit-identity for free.
+/// assert!(Arc::ptr_eq(cache.get(&key).unwrap().canvas(), &canvas));
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct CanvasCache {
@@ -255,18 +269,24 @@ impl CanvasCache {
     /// Probes the cache as **root** traffic, refreshing the entry's
     /// recency on a hit. Either entry class can satisfy the probe (one
     /// keyspace — module docs).
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Canvas>> {
+    pub fn get(&self, key: &CacheKey) -> Option<QueryResult> {
         self.probe(key, EntryClass::Root)
     }
 
     /// Probes the cache as **shared subplan** traffic (counted in
     /// `shared_hits`/`shared_misses`, so interior probes never skew
     /// the root hit rate). Either entry class can satisfy the probe.
+    ///
+    /// Subplan intermediates are always canvases; the fingerprint
+    /// domains of the non-canvas query classes are disjoint from plan
+    /// fingerprints, so a shared probe can never land on a derived
+    /// payload — the canvas filter below is belt-and-braces.
     pub fn get_shared(&self, key: &CacheKey) -> Option<Arc<Canvas>> {
         self.probe(key, EntryClass::Shared)
+            .and_then(|v| v.as_canvas().cloned())
     }
 
-    fn probe(&self, key: &CacheKey, traffic: EntryClass) -> Option<Arc<Canvas>> {
+    fn probe(&self, key: &CacheKey, traffic: EntryClass) -> Option<QueryResult> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -274,14 +294,14 @@ impl CanvasCache {
             Some(entry) => {
                 let old = std::mem::replace(&mut entry.tick, tick);
                 let class = entry.class;
-                let canvas = Arc::clone(&entry.canvas);
+                let value = entry.value.clone();
                 inner.order_mut(class).remove(&old);
                 inner.order_mut(class).insert(tick, *key);
                 match traffic {
                     EntryClass::Root => inner.stats.hits += 1,
                     EntryClass::Shared => inner.stats.shared_hits += 1,
                 }
-                Some(canvas)
+                Some(value)
             }
             None => {
                 match traffic {
@@ -296,26 +316,27 @@ impl CanvasCache {
     /// Inserts (or refreshes) a **root** (whole-plan) entry, then
     /// evicts until the budget holds. `pins` are the dataset handles
     /// the key's fingerprint identified by address (see [`DataPin`]).
-    /// Returns the number of evictions this insert caused.
-    pub fn insert(&self, key: CacheKey, canvas: Arc<Canvas>, pins: Vec<DataPin>) -> u64 {
-        self.insert_classed(key, canvas, pins, EntryClass::Root)
+    /// Accepts any [`QueryResult`] payload (an `Arc<Canvas>` converts
+    /// implicitly). Returns the number of evictions this insert caused.
+    pub fn insert(&self, key: CacheKey, value: impl Into<QueryResult>, pins: Vec<DataPin>) -> u64 {
+        self.insert_classed(key, value.into(), pins, EntryClass::Root)
     }
 
-    /// Inserts a **shared subplan** intermediate — lower eviction
-    /// priority than roots, bytes broken out in
+    /// Inserts a **shared subplan** intermediate (always a canvas) —
+    /// lower eviction priority than roots, bytes broken out in
     /// [`CacheStats::shared_bytes`]. Returns the evictions caused.
     pub fn insert_shared(&self, key: CacheKey, canvas: Arc<Canvas>, pins: Vec<DataPin>) -> u64 {
-        self.insert_classed(key, canvas, pins, EntryClass::Shared)
+        self.insert_classed(key, QueryResult::Canvas(canvas), pins, EntryClass::Shared)
     }
 
     fn insert_classed(
         &self,
         key: CacheKey,
-        canvas: Arc<Canvas>,
+        value: QueryResult,
         pins: Vec<DataPin>,
         class: EntryClass,
     ) -> u64 {
-        let bytes = canvas.size_bytes();
+        let bytes = value.size_bytes();
         let mut inner = self.lock();
         if bytes > inner.budget {
             inner.stats.rejected_oversize += 1;
@@ -328,10 +349,11 @@ impl CanvasCache {
         // insert's class wins.
         inner.unlink(&key);
         inner.order_mut(class).insert(tick, key);
+        let non_canvas = value.as_canvas().is_none();
         inner.map.insert(
             key,
             Entry {
-                canvas,
+                value,
                 _pins: pins,
                 bytes,
                 tick,
@@ -343,6 +365,10 @@ impl CanvasCache {
         if class == EntryClass::Shared {
             inner.stats.shared_bytes += bytes;
             inner.stats.shared_entries += 1;
+        }
+        if non_canvas {
+            inner.stats.result_bytes += bytes;
+            inner.stats.result_entries += 1;
         }
         inner.stats.insertions += 1;
         inner.stats.peak_bytes = inner.stats.peak_bytes.max(inner.stats.bytes);
@@ -410,7 +436,7 @@ mod tests {
         assert!(cache.get(&k).is_none());
         cache.insert(k, Arc::clone(&c), Vec::new());
         let hit = cache.get(&k).expect("hit");
-        assert!(Arc::ptr_eq(&hit, &c));
+        assert!(Arc::ptr_eq(hit.canvas(), &c));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!((0.49..0.51).contains(&s.hit_rate()));
@@ -534,6 +560,27 @@ mod tests {
         assert_eq!(s.bytes, bytes);
         assert_eq!(s.shared_bytes, 0);
         assert_eq!(s.shared_entries, 0);
+    }
+
+    #[test]
+    fn non_canvas_payloads_ride_the_same_budget() {
+        let cache = CanvasCache::new(1 << 20);
+        let k = key(7, &vp(8));
+        let ids = QueryResult::Ids(Arc::new(vec![1, 2, 3]));
+        let bytes = ids.size_bytes();
+        cache.insert(k, ids.clone(), Vec::new());
+        let hit = cache.get(&k).expect("hit");
+        assert!(hit.ptr_eq(&ids), "hit is the same shared allocation");
+        let s = cache.stats();
+        assert_eq!((s.result_entries, s.result_bytes), (1, bytes));
+        assert_eq!((s.entries, s.bytes), (1, bytes));
+        // A shared probe never yields a derived payload.
+        assert!(cache.get_shared(&k).is_none());
+        // Replacing with a canvas clears the non-canvas slice.
+        cache.insert(k, canvas(8), Vec::new());
+        let s = cache.stats();
+        assert_eq!((s.result_entries, s.result_bytes), (0, 0));
+        assert_eq!(s.entries, 1);
     }
 
     #[test]

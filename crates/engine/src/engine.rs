@@ -28,6 +28,7 @@
 
 use crate::cache::{CacheKey, CacheStats, CanvasCache, DataPin};
 use crate::query::Query;
+use crate::result::QueryResult;
 use canvas_core::algebra::subplan::{SubplanAccess, SubplanExchange, SubplanLease};
 use canvas_core::algebra::Fingerprint;
 use canvas_core::{Canvas, SharedDevice};
@@ -116,9 +117,10 @@ pub enum Served {
 
 /// A served query result.
 pub struct Response {
-    /// The result canvas — shared, immutable; clone the inner canvas
-    /// if mutation is needed.
-    pub canvas: Arc<Canvas>,
+    /// The result payload — shared, immutable; a canvas for the
+    /// rendering classes, a derived value (ids, flow matrix, series,
+    /// hull ring) for the promoted classes.
+    pub result: QueryResult,
     pub fingerprint: Fingerprint,
     pub served: Served,
     /// Time spent waiting at admission (zero for hits/coalesced).
@@ -129,12 +131,26 @@ pub struct Response {
     pub exec: Duration,
 }
 
+impl Response {
+    /// The result canvas — the convenience accessor for the
+    /// canvas-producing query classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the response carries a non-canvas payload; use
+    /// [`Response::result`] and its `as_*` accessors for the promoted
+    /// classes.
+    pub fn canvas(&self) -> &Arc<Canvas> {
+        self.result.canvas()
+    }
+}
+
 /// One in-flight evaluation other submitters can latch onto. The slot
 /// carries the full outcome — including a structured [`EngineError`] —
 /// so a follower coalesced onto a shed leader still sees `Overloaded`
 /// (the retry signal), not a generic failure.
 struct InFlight {
-    slot: Mutex<Option<Result<Arc<Canvas>, EngineError>>>,
+    slot: Mutex<Option<Result<QueryResult, EngineError>>>,
     done: Condvar,
 }
 
@@ -431,11 +447,11 @@ impl EngineMetrics {
 ///
 /// let first = engine.execute(&Query::SelectPoints { data: data.clone(), q: q.clone() }, vp)?;
 /// assert_eq!(first.served, Served::Computed);
-/// assert_eq!(first.canvas.point_records(), vec![0]);
+/// assert_eq!(first.canvas().point_records(), vec![0]);
 ///
 /// let again = engine.execute(&Query::SelectPoints { data, q }, vp)?;
 /// assert_eq!(again.served, Served::CacheHit);
-/// assert!(Arc::ptr_eq(&first.canvas, &again.canvas));
+/// assert!(Arc::ptr_eq(first.canvas(), again.canvas()));
 /// # Ok::<(), canvas_engine::EngineError>(())
 /// ```
 pub struct QueryEngine {
@@ -673,18 +689,24 @@ impl QueryEngine {
             query.prepare()
         };
         let key = CacheKey::new(prepared.fingerprint, &vp);
+        // Per-class service latency (one histogram per query class,
+        // e.g. `service_ns_knn`) alongside the all-traffic histogram.
+        let lat_class = self
+            .registry
+            .histogram(&format!("service_ns_{}", query.label()));
 
         // Station 1: the cache.
         let probe = {
             let _s = obs::span("cache_probe", "engine");
             self.cache.get(&key)
         };
-        if let Some(canvas) = probe {
+        if let Some(result) = probe {
             let service = t_submit.elapsed();
             record_dur(&self.lat_service, service);
+            record_dur(&lat_class, service);
             self.metrics_mut().cache_hits += 1;
             return Ok(Response {
-                canvas,
+                result,
                 fingerprint: prepared.fingerprint,
                 served: Served::CacheHit,
                 queue_wait: Duration::ZERO,
@@ -729,11 +751,12 @@ impl QueryEngine {
             let exec = t_park.elapsed();
             let service = t_submit.elapsed();
             return match outcome {
-                Ok(canvas) => {
+                Ok(result) => {
                     record_dur(&self.lat_service, service);
+                    record_dur(&lat_class, service);
                     self.metrics_mut().coalesced += 1;
                     Ok(Response {
-                        canvas,
+                        result,
                         fingerprint: prepared.fingerprint,
                         served: Served::Coalesced,
                         queue_wait: Duration::ZERO,
@@ -760,13 +783,14 @@ impl QueryEngine {
             let _s = obs::span("cache_probe", "engine");
             self.cache.get(&key)
         };
-        if let Some(canvas) = reprobe {
-            self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
+        if let Some(result) = reprobe {
+            self.publish(&key, &flight, Ok(result.clone()));
             let service = t_submit.elapsed();
             record_dur(&self.lat_service, service);
+            record_dur(&lat_class, service);
             self.metrics_mut().cache_hits += 1;
             return Ok(Response {
-                canvas,
+                result,
                 fingerprint: prepared.fingerprint,
                 served: Served::CacheHit,
                 queue_wait: Duration::ZERO,
@@ -817,20 +841,20 @@ impl QueryEngine {
         let exec = t_exec.elapsed();
 
         match outcome {
-            Ok(canvas) => {
-                let canvas = Arc::new(canvas);
+            Ok(result) => {
                 // The entry pins the query's dataset handles: fingerprints
                 // identify datasets by Arc address, so a cached result
                 // must keep those addresses alive (a freed-and-reused
                 // allocation could otherwise alias a different dataset
                 // onto an old key).
                 self.cache
-                    .insert(key, Arc::clone(&canvas), prepared.pins().to_vec());
-                self.publish(&key, &flight, Ok(Arc::clone(&canvas)));
+                    .insert(key, result.clone(), prepared.pins().to_vec());
+                self.publish(&key, &flight, Ok(result.clone()));
                 let service = t_submit.elapsed();
                 record_dur(&self.lat_exec, exec);
                 record_dur(&self.lat_queue_wait, queue_wait);
                 record_dur(&self.lat_service, service);
+                record_dur(&lat_class, service);
                 let computed = {
                     let mut m = self.metrics_mut();
                     m.computed += 1;
@@ -838,7 +862,7 @@ impl QueryEngine {
                 };
                 self.maybe_recalibrate(computed);
                 Ok(Response {
-                    canvas,
+                    result,
                     fingerprint: prepared.fingerprint,
                     served: Served::Computed,
                     queue_wait,
@@ -860,7 +884,7 @@ impl QueryEngine {
         &self,
         key: &CacheKey,
         flight: &Arc<InFlight>,
-        outcome: Result<Arc<Canvas>, EngineError>,
+        outcome: Result<QueryResult, EngineError>,
     ) {
         {
             let mut slot = flight
@@ -905,6 +929,17 @@ impl QueryEngine {
             .recalibrations
             .load(std::sync::atomic::Ordering::Relaxed);
         m
+    }
+
+    /// Service-latency distribution of one query class (keyed by
+    /// [`Query::label`], e.g. `"knn"` → histogram `service_ns_knn`).
+    /// Empty when the class has not been served yet.
+    pub fn class_latency(&self, class: &str) -> LatencyStats {
+        LatencyStats(
+            self.registry
+                .histogram(&format!("service_ns_{class}"))
+                .snapshot(),
+        )
     }
 
     /// Syncs the counter side of the registry from the engine's

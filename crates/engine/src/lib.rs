@@ -53,9 +53,11 @@
 pub mod cache;
 pub mod engine;
 pub mod query;
+pub mod result;
 
 pub use cache::{CacheKey, CacheStats, CanvasCache, DataPin, EntryClass, ViewportKey};
 pub use engine::{
     EngineConfig, EngineError, EngineMetrics, LatencyStats, QueryEngine, Response, Served,
 };
 pub use query::{Prepared, Query};
+pub use result::QueryResult;

@@ -2,28 +2,42 @@
 //!
 //! Clients either hand the engine a raw algebra plan ([`Query::Plan`])
 //! or one of the high-level descriptors mirroring the paper's query
-//! classes (selection §4.1, heatmaps §4.1 fused, aggregation §4.3).
-//! Every descriptor resolves to a [`Prepared`] form carrying:
+//! classes (selection §4.1, heatmaps §4.1 fused, aggregation §4.3, knn
+//! §4.4, Voronoi / hull / skyline §4.5, origin–destination and
+//! spatio-temporal §4.6). Every descriptor resolves to a [`Prepared`]
+//! form carrying:
 //!
 //! * the **normalized identity** — descriptors lowering to `Expr`
 //!   plans are normalized through `algebra::normalize` and fingerprinted
 //!   structurally, so syntactically different but equivalent
 //!   submissions (and identical submissions from different clients)
 //!   share cache entries and in-flight work;
-//! * the **runner** — either the normalized plan (evaluated through
-//!   `Expr::eval`) or one of the fused chain executors
-//!   (`selection_heatmap`, `polygon_density_heatmap`), which do not
-//!   flow through `Expr` and are fingerprinted from their descriptor
-//!   parameters directly (same identity contract: datasets by handle,
-//!   query geometry by value).
+//! * the **runner** — the normalized plan (evaluated through
+//!   `Expr::eval`), one of the fused chain executors
+//!   (`selection_heatmap`, `polygon_density_heatmap`), or one of the
+//!   promoted query-class procedures (`knn`, `compute_voronoi`, …).
+//!   Non-plan runners do not flow through `Expr` and are fingerprinted
+//!   from their descriptor parameters directly (same identity
+//!   contract: datasets by handle, query geometry and scalar
+//!   parameters by value).
+//!
+//! Execution returns a [`QueryResult`]: the rendering classes produce
+//! canvases, the promoted classes produce small derived payloads (id
+//! lists, flow matrices, time series, hull rings) that ride the same
+//! cache/dedup machinery.
 
+use crate::result::QueryResult;
 use canvas_core::algebra::{self, Expr, Fingerprint};
 use canvas_core::canvas::{AreaSource, PointBatch};
 use canvas_core::info::BlendFn;
 use canvas_core::ops::{CountCond, MaskSpec, ValueMap};
-use canvas_core::queries::heatmap;
-use canvas_core::{Canvas, Device};
+use canvas_core::queries::od::TripBatch;
+use canvas_core::queries::spatiotemporal::TemporalPoints;
+use canvas_core::queries::{heatmap, hull, knn, od, skyline, spatiotemporal, voronoi};
+use canvas_core::Device;
 use canvas_geom::polygon::Polygon;
+use canvas_geom::Point;
+use canvas_obs as obs;
 use canvas_raster::Viewport;
 use std::sync::Arc;
 
@@ -47,6 +61,59 @@ pub enum Query {
         data: Arc<PointBatch>,
         zones: AreaSource,
     },
+    /// `SELECT * FROM D_P WHERE Location ∈ KNN(X, k)` (Section 4.4) —
+    /// the circle-ladder k-nearest-neighbor query. Result:
+    /// [`QueryResult::Ids`] ordered by increasing distance.
+    Knn {
+        data: Arc<PointBatch>,
+        x: Point,
+        k: u32,
+    },
+    /// The `ComputeVoronoi` stored procedure (Section 4.5). Result: the
+    /// diagram canvas (`s[2] = (site, d², 0)` at every location). Sites
+    /// hash by value, so a rebuilt site list still deduplicates.
+    Voronoi { sites: Arc<Vec<Point>> },
+    /// `SELECT * WHERE Origin INSIDE q1 AND Destination INSIDE q2`
+    /// (Section 4.6, Figure 8(a)). Result: [`QueryResult::Ids`].
+    SelectOd {
+        trips: Arc<TripBatch>,
+        q1: Polygon,
+        q2: Polygon,
+    },
+    /// Trip counts for every (origin-zone, destination-zone) pair —
+    /// the Section 4.6 group-by. Result: [`QueryResult::FlowMatrix`].
+    OdFlowMatrix {
+        trips: Arc<TripBatch>,
+        origin_zones: AreaSource,
+        dest_zones: AreaSource,
+    },
+    /// `SELECT * WHERE Location INSIDE q AND t ∈ [t0, t1)` — temporal
+    /// filter then spatial refinement. Result: [`QueryResult::Ids`].
+    SpatioTemporalWindow {
+        data: Arc<TemporalPoints>,
+        q: Polygon,
+        t0: u32,
+        t1: u32,
+    },
+    /// Per-window counts inside a region over `[t0, t1)` — the
+    /// dashboard time series. Result: [`QueryResult::Series`].
+    RegionTimeSeries {
+        data: Arc<TemporalPoints>,
+        q: Polygon,
+        t0: u32,
+        t1: u32,
+        windows: u32,
+    },
+    /// Spatial skyline of the points selected by `constraint` w.r.t.
+    /// the query `sites` (Section 4.5). Result: [`QueryResult::Ids`].
+    Skyline {
+        data: Arc<PointBatch>,
+        constraint: Polygon,
+        sites: Arc<Vec<Point>>,
+    },
+    /// Convex hull of the points selected by `q` (Section 4.5).
+    /// Result: [`QueryResult::Hull`] (CCW vertex ring).
+    Hull { data: Arc<PointBatch>, q: Polygon },
 }
 
 impl Query {
@@ -58,6 +125,14 @@ impl Query {
             Query::SelectionHeatmap { .. } => "selection_heatmap",
             Query::PolygonDensity { .. } => "polygon_density",
             Query::AggregateByZone { .. } => "aggregate_by_zone",
+            Query::Knn { .. } => "knn",
+            Query::Voronoi { .. } => "voronoi",
+            Query::SelectOd { .. } => "select_od",
+            Query::OdFlowMatrix { .. } => "od_flow_matrix",
+            Query::SpatioTemporalWindow { .. } => "spatiotemporal_window",
+            Query::RegionTimeSeries { .. } => "region_time_series",
+            Query::Skyline { .. } => "skyline",
+            Query::Hull { .. } => "hull",
         }
     }
 
@@ -120,6 +195,150 @@ impl Query {
                     ),
                 ),
             )),
+            Query::Knn { data, x, k } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/knn");
+                fb.handle(data, data.len())
+                    .float(x.x)
+                    .float(x.y)
+                    .word(*k as u64);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::Knn {
+                        data: data.clone(),
+                        x: *x,
+                        k: *k,
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
+            Query::Voronoi { sites } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/voronoi");
+                fb.word(sites.len() as u64);
+                for s in sites.iter() {
+                    fb.float(s.x).float(s.y);
+                }
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::Voronoi {
+                        sites: sites.clone(),
+                    },
+                    // Sites hash by value — nothing pinned by address.
+                    pins: Vec::new(),
+                }
+            }
+            Query::SelectOd { trips, q1, q2 } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/select-od");
+                fb.handle(trips, trips.len()).polygon(q1).polygon(q2);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::SelectOd {
+                        trips: trips.clone(),
+                        q1: q1.clone(),
+                        q2: q2.clone(),
+                    },
+                    pins: vec![trips.clone()],
+                }
+            }
+            Query::OdFlowMatrix {
+                trips,
+                origin_zones,
+                dest_zones,
+            } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/od-flow-matrix");
+                fb.handle(trips, trips.len());
+                fb.word(origin_zones.len() as u64);
+                for p in origin_zones.iter() {
+                    fb.polygon(p);
+                }
+                fb.word(dest_zones.len() as u64);
+                for p in dest_zones.iter() {
+                    fb.polygon(p);
+                }
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::OdFlowMatrix {
+                        trips: trips.clone(),
+                        origin_zones: origin_zones.clone(),
+                        dest_zones: dest_zones.clone(),
+                    },
+                    pins: vec![trips.clone()],
+                }
+            }
+            Query::SpatioTemporalWindow { data, q, t0, t1 } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/spatiotemporal-window");
+                fb.handle(data, data.len())
+                    .polygon(q)
+                    .word(*t0 as u64)
+                    .word(*t1 as u64);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::SpatioTemporalWindow {
+                        data: data.clone(),
+                        q: q.clone(),
+                        t0: *t0,
+                        t1: *t1,
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
+            Query::RegionTimeSeries {
+                data,
+                q,
+                t0,
+                t1,
+                windows,
+            } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/region-time-series");
+                fb.handle(data, data.len())
+                    .polygon(q)
+                    .word(*t0 as u64)
+                    .word(*t1 as u64)
+                    .word(*windows as u64);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::RegionTimeSeries {
+                        data: data.clone(),
+                        q: q.clone(),
+                        t0: *t0,
+                        t1: *t1,
+                        windows: *windows,
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
+            Query::Skyline {
+                data,
+                constraint,
+                sites,
+            } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/skyline");
+                fb.handle(data, data.len()).polygon(constraint);
+                fb.word(sites.len() as u64);
+                for s in sites.iter() {
+                    fb.float(s.x).float(s.y);
+                }
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::Skyline {
+                        data: data.clone(),
+                        constraint: constraint.clone(),
+                        sites: sites.clone(),
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
+            Query::Hull { data, q } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/hull");
+                fb.handle(data, data.len()).polygon(q);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    runner: Runner::Hull {
+                        data: data.clone(),
+                        q: q.clone(),
+                    },
+                    pins: vec![data.clone()],
+                }
+            }
         }
     }
 }
@@ -133,8 +352,54 @@ impl std::fmt::Debug for Query {
 /// How a prepared query executes.
 pub(crate) enum Runner {
     Plan(Expr),
-    SelectionHeatmap { data: Arc<PointBatch>, q: Polygon },
-    PolygonDensity { table: AreaSource, q: Polygon },
+    SelectionHeatmap {
+        data: Arc<PointBatch>,
+        q: Polygon,
+    },
+    PolygonDensity {
+        table: AreaSource,
+        q: Polygon,
+    },
+    Knn {
+        data: Arc<PointBatch>,
+        x: Point,
+        k: u32,
+    },
+    Voronoi {
+        sites: Arc<Vec<Point>>,
+    },
+    SelectOd {
+        trips: Arc<TripBatch>,
+        q1: Polygon,
+        q2: Polygon,
+    },
+    OdFlowMatrix {
+        trips: Arc<TripBatch>,
+        origin_zones: AreaSource,
+        dest_zones: AreaSource,
+    },
+    SpatioTemporalWindow {
+        data: Arc<TemporalPoints>,
+        q: Polygon,
+        t0: u32,
+        t1: u32,
+    },
+    RegionTimeSeries {
+        data: Arc<TemporalPoints>,
+        q: Polygon,
+        t0: u32,
+        t1: u32,
+        windows: u32,
+    },
+    Skyline {
+        data: Arc<PointBatch>,
+        constraint: Polygon,
+        sites: Arc<Vec<Point>>,
+    },
+    Hull {
+        data: Arc<PointBatch>,
+        q: Polygon,
+    },
 }
 
 /// Collects the handles a plan's fingerprint identifies **by address**
@@ -199,7 +464,7 @@ impl Prepared {
     /// device under the query's fair-share ticket; it is public so
     /// harnesses can evaluate the *identical* prepared form on a
     /// reference device (`Device::cpu`) for equivalence checks.
-    pub fn execute(&self, dev: &mut Device, vp: Viewport) -> Canvas {
+    pub fn execute(&self, dev: &mut Device, vp: Viewport) -> QueryResult {
         self.execute_via(dev, vp, &canvas_core::algebra::subplan::NullExchange)
     }
 
@@ -208,22 +473,88 @@ impl Prepared {
     /// exchange through `Expr::eval_via`; the fused chain runners
     /// consult it only for the operand canvases they materialize
     /// anyway (`selection_heatmap_via` / `polygon_density_heatmap_via`
-    /// — fusion is never broken by a cut point). Results are
-    /// bit-identical to [`execute`](Self::execute) regardless of what
-    /// the exchange serves, because rendering is deterministic.
+    /// — fusion is never broken by a cut point); the promoted classes
+    /// with a shareable interior selection (skyline, hull) thread it
+    /// through their `_via` variants, while the remaining procedures
+    /// run on the leased device directly (their interior batches are
+    /// derived per call, so there is nothing stable to share). Results
+    /// are bit-identical to [`execute`](Self::execute) regardless of
+    /// what the exchange serves, because rendering is deterministic.
+    ///
+    /// Each promoted class records a per-class trace span (category
+    /// `"query"`) under the engine's `eval` span, so Perfetto traces
+    /// break serving time down by query class.
     pub fn execute_via(
         &self,
         dev: &mut Device,
         vp: Viewport,
         ex: &dyn canvas_core::algebra::subplan::SubplanExchange,
-    ) -> Canvas {
+    ) -> QueryResult {
         match &self.runner {
-            Runner::Plan(e) => e.eval_via(dev, vp, ex),
-            Runner::SelectionHeatmap { data, q } => {
-                heatmap::selection_heatmap_via(dev, vp, data, q, ex).canvas
+            Runner::Plan(e) => QueryResult::Canvas(Arc::new(e.eval_via(dev, vp, ex))),
+            Runner::SelectionHeatmap { data, q } => QueryResult::Canvas(Arc::new(
+                heatmap::selection_heatmap_via(dev, vp, data, q, ex).canvas,
+            )),
+            Runner::PolygonDensity { table, q } => QueryResult::Canvas(Arc::new(
+                heatmap::polygon_density_heatmap_via(dev, vp, table, q, ex).canvas,
+            )),
+            Runner::Knn { data, x, k } => {
+                let _s = obs::span("knn", "query");
+                QueryResult::Ids(Arc::new(knn::knn(dev, vp, data, *x, *k as usize)))
             }
-            Runner::PolygonDensity { table, q } => {
-                heatmap::polygon_density_heatmap_via(dev, vp, table, q, ex).canvas
+            Runner::Voronoi { sites } => {
+                let _s = obs::span("voronoi", "query");
+                QueryResult::Canvas(Arc::new(voronoi::compute_voronoi(dev, vp, sites)))
+            }
+            Runner::SelectOd { trips, q1, q2 } => {
+                let _s = obs::span("select_od", "query");
+                QueryResult::Ids(Arc::new(od::select_od(dev, vp, trips, q1, q2)))
+            }
+            Runner::OdFlowMatrix {
+                trips,
+                origin_zones,
+                dest_zones,
+            } => {
+                let _s = obs::span("od_flow_matrix", "query");
+                QueryResult::FlowMatrix(Arc::new(od::od_flow_matrix(
+                    dev,
+                    vp,
+                    trips,
+                    origin_zones,
+                    dest_zones,
+                )))
+            }
+            Runner::SpatioTemporalWindow { data, q, t0, t1 } => {
+                let _s = obs::span("spatiotemporal_window", "query");
+                QueryResult::Ids(Arc::new(spatiotemporal::select_in_polygon_and_window(
+                    dev, vp, data, q, *t0, *t1,
+                )))
+            }
+            Runner::RegionTimeSeries {
+                data,
+                q,
+                t0,
+                t1,
+                windows,
+            } => {
+                let _s = obs::span("region_time_series", "query");
+                QueryResult::Series(Arc::new(spatiotemporal::region_time_series(
+                    dev, vp, data, q, *t0, *t1, *windows,
+                )))
+            }
+            Runner::Skyline {
+                data,
+                constraint,
+                sites,
+            } => {
+                let _s = obs::span("skyline", "query");
+                QueryResult::Ids(Arc::new(skyline::skyline_of_selection_via(
+                    dev, vp, data, constraint, sites, ex,
+                )))
+            }
+            Runner::Hull { data, q } => {
+                let _s = obs::span("hull", "query");
+                QueryResult::Hull(Arc::new(hull::hull_of_selection_via(dev, vp, data, q, ex)))
             }
         }
     }

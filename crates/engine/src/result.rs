@@ -1,0 +1,191 @@
+//! Query results beyond canvases.
+//!
+//! The canvas algebra's headline queries return canvases, but the
+//! paper's Sections 4.4–4.6 classes (knn, OD selection, skyline, hull,
+//! time series) produce *derived* values: record-id lists, flow
+//! matrices, hull rings. [`QueryResult`] is the engine's closed result
+//! type over both shapes, so caching, in-flight deduplication, and the
+//! response surface treat every query class uniformly — a cached knn
+//! answer is the same `Arc` every hit shares, exactly like a cached
+//! heatmap canvas.
+//!
+//! Every variant is a shared immutable payload (`Arc`), cloneable in
+//! O(1), and byte-accounted ([`QueryResult::size_bytes`]) so the
+//! non-canvas payloads ride the same LRU budget as canvases in
+//! [`CanvasCache`](crate::CanvasCache).
+
+use canvas_core::Canvas;
+use canvas_geom::Point;
+use std::sync::Arc;
+
+/// The outcome of one served query: a canvas or one of the small
+/// derived payloads the promoted query classes produce.
+#[derive(Clone)]
+pub enum QueryResult {
+    /// A rendered canvas (selection, heatmap, choropleth, Voronoi
+    /// diagram, zone aggregate, raw plan).
+    Canvas(Arc<Canvas>),
+    /// Sorted record ids (knn neighbors, OD selection, skyline,
+    /// spatio-temporal window selection).
+    Ids(Arc<Vec<u32>>),
+    /// Origin-zone × destination-zone trip counts.
+    FlowMatrix(Arc<Vec<Vec<u64>>>),
+    /// Per-time-window counts (region time series).
+    Series(Arc<Vec<u64>>),
+    /// Convex-hull vertices (CCW ring).
+    Hull(Arc<Vec<Point>>),
+}
+
+impl QueryResult {
+    /// Payload kind for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryResult::Canvas(_) => "canvas",
+            QueryResult::Ids(_) => "ids",
+            QueryResult::FlowMatrix(_) => "flow_matrix",
+            QueryResult::Series(_) => "series",
+            QueryResult::Hull(_) => "hull",
+        }
+    }
+
+    /// Heap footprint for cache byte accounting. Canvases report their
+    /// plane bytes (`Canvas::size_bytes`); derived payloads report
+    /// element storage plus a small fixed overhead per allocation.
+    pub fn size_bytes(&self) -> usize {
+        const VEC_OVERHEAD: usize = 3 * std::mem::size_of::<usize>();
+        match self {
+            QueryResult::Canvas(c) => c.size_bytes(),
+            QueryResult::Ids(v) => VEC_OVERHEAD + v.len() * std::mem::size_of::<u32>(),
+            QueryResult::FlowMatrix(m) => {
+                VEC_OVERHEAD
+                    + m.iter()
+                        .map(|row| VEC_OVERHEAD + row.len() * std::mem::size_of::<u64>())
+                        .sum::<usize>()
+            }
+            QueryResult::Series(v) => VEC_OVERHEAD + v.len() * std::mem::size_of::<u64>(),
+            QueryResult::Hull(v) => VEC_OVERHEAD + v.len() * std::mem::size_of::<Point>(),
+        }
+    }
+
+    /// The canvas payload, when this result is one.
+    pub fn as_canvas(&self) -> Option<&Arc<Canvas>> {
+        match self {
+            QueryResult::Canvas(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The canvas payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result is a non-canvas payload — the convenience
+    /// accessor for the canvas-producing query classes, mirroring the
+    /// pre-`QueryResult` response surface.
+    pub fn canvas(&self) -> &Arc<Canvas> {
+        self.as_canvas().unwrap_or_else(|| {
+            panic!("expected a canvas result, got {}", self.kind());
+        })
+    }
+
+    /// The record-id payload, when this result is one.
+    pub fn as_ids(&self) -> Option<&Arc<Vec<u32>>> {
+        match self {
+            QueryResult::Ids(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The flow-matrix payload, when this result is one.
+    pub fn as_flow_matrix(&self) -> Option<&Arc<Vec<Vec<u64>>>> {
+        match self {
+            QueryResult::FlowMatrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The time-series payload, when this result is one.
+    pub fn as_series(&self) -> Option<&Arc<Vec<u64>>> {
+        match self {
+            QueryResult::Series(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The hull-ring payload, when this result is one.
+    pub fn as_hull(&self) -> Option<&Arc<Vec<Point>>> {
+        match self {
+            QueryResult::Hull(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `Arc::ptr_eq` over the payload — the cache-hit identity test
+    /// ("a hit is the *same* shared allocation"), uniform across
+    /// variants.
+    pub fn ptr_eq(&self, other: &QueryResult) -> bool {
+        match (self, other) {
+            (QueryResult::Canvas(a), QueryResult::Canvas(b)) => Arc::ptr_eq(a, b),
+            (QueryResult::Ids(a), QueryResult::Ids(b)) => Arc::ptr_eq(a, b),
+            (QueryResult::FlowMatrix(a), QueryResult::FlowMatrix(b)) => Arc::ptr_eq(a, b),
+            (QueryResult::Series(a), QueryResult::Series(b)) => Arc::ptr_eq(a, b),
+            (QueryResult::Hull(a), QueryResult::Hull(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl From<Arc<Canvas>> for QueryResult {
+    fn from(c: Arc<Canvas>) -> Self {
+        QueryResult::Canvas(c)
+    }
+}
+
+impl From<Canvas> for QueryResult {
+    fn from(c: Canvas) -> Self {
+        QueryResult::Canvas(Arc::new(c))
+    }
+}
+
+impl std::fmt::Debug for QueryResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QueryResult::{}({} bytes)",
+            self.kind(),
+            self.size_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_accounting_scales_with_payload() {
+        let small = QueryResult::Ids(Arc::new(vec![1, 2, 3]));
+        let big = QueryResult::Ids(Arc::new((0..1000).collect()));
+        assert!(small.size_bytes() < big.size_bytes());
+        assert!(big.size_bytes() >= 4000);
+        let m = QueryResult::FlowMatrix(Arc::new(vec![vec![0; 4]; 4]));
+        assert!(m.size_bytes() >= 4 * 4 * 8);
+    }
+
+    #[test]
+    fn identity_is_per_allocation() {
+        let a = QueryResult::Ids(Arc::new(vec![1]));
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        let c = QueryResult::Ids(Arc::new(vec![1]));
+        assert!(!a.ptr_eq(&c), "equal values, distinct allocations");
+        let s = QueryResult::Series(Arc::new(vec![1]));
+        assert!(!s.ptr_eq(&a), "variants never alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a canvas result")]
+    fn canvas_accessor_panics_on_derived_payloads() {
+        let _ = QueryResult::Ids(Arc::new(vec![])).canvas();
+    }
+}

@@ -10,7 +10,7 @@
 //! budget evicts but never corrupts).
 
 use canvas_core::prelude::*;
-use canvas_engine::{EngineConfig, Query, QueryEngine, Served};
+use canvas_engine::{EngineConfig, Query, QueryEngine, QueryResult, Served};
 use canvas_geom::{BBox, Point};
 use std::sync::Arc;
 
@@ -106,7 +106,7 @@ fn concurrent_randomized_queries_match_sequential_cpu() {
     let (queries, vps) = workload();
 
     // Single-threaded reference for every (query, viewport) pair.
-    let mut reference: Vec<Vec<Canvas>> = Vec::new();
+    let mut reference: Vec<Vec<QueryResult>> = Vec::new();
     for q in &queries {
         let mut per_vp = Vec::new();
         for vp in &vps {
@@ -147,8 +147,8 @@ fn concurrent_randomized_queries_match_sequential_cpu() {
                     .execute(&queries[qi], vps[vi])
                     .expect("no shedding at this load");
                 assert_canvas_eq(
-                    &resp.canvas,
-                    &reference[qi][vi],
+                    resp.canvas(),
+                    reference[qi][vi].canvas(),
                     &format!(
                         "client {client}, query {qi}, vp {vi}, served {:?}",
                         resp.served
@@ -199,10 +199,11 @@ fn cache_hit_returns_identical_canvas() {
     assert_eq!(second.served, Served::CacheHit);
     // The hit is the *same* shared canvas — bit-identity by
     // construction — and matches a fresh sequential evaluation.
-    assert!(Arc::ptr_eq(&first.canvas, &second.canvas));
+    assert!(Arc::ptr_eq(first.canvas(), second.canvas()));
+    assert!(first.result.ptr_eq(&second.result));
     let mut dev = Device::cpu();
     let want = queries[0].prepare().execute(&mut dev, vps[0]);
-    assert_canvas_eq(&second.canvas, &want, "cache hit");
+    assert_canvas_eq(second.canvas(), want.canvas(), "cache hit");
     // Same query, different viewport: a different cache entry.
     let other = engine.execute(&queries[0], vps[1]).unwrap();
     assert_eq!(other.served, Served::Computed);
@@ -229,7 +230,11 @@ fn eviction_under_tiny_budget_stays_correct() {
             let resp = engine.execute(q, vps[0]).unwrap();
             let mut dev = Device::cpu();
             let want = q.prepare().execute(&mut dev, vps[0]);
-            assert_canvas_eq(&resp.canvas, &want, &format!("round {round}, query {qi}"));
+            assert_canvas_eq(
+                resp.canvas(),
+                want.canvas(),
+                &format!("round {round}, query {qi}"),
+            );
         }
     }
     let cs = engine.cache_stats();
@@ -266,7 +271,7 @@ fn identical_simultaneous_submissions_deduplicate() {
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             barrier.wait();
-            engine.execute(&q, vp).unwrap().canvas
+            Arc::clone(engine.execute(&q, vp).unwrap().canvas())
         }));
     }
     let canvases: Vec<Arc<Canvas>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

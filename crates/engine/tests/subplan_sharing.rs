@@ -95,9 +95,9 @@ fn assert_canvas_eq(got: &Canvas, want: &Canvas, ctx: &str) {
     );
 }
 
-fn cpu_reference(q: &Query, vp: Viewport) -> Canvas {
+fn cpu_reference(q: &Query, vp: Viewport) -> Arc<Canvas> {
     let mut dev = Device::cpu();
-    q.prepare().execute(&mut dev, vp)
+    Arc::clone(q.prepare().execute(&mut dev, vp).canvas())
 }
 
 #[test]
@@ -153,8 +153,12 @@ fn selection_then_heatmap_renders_shared_density_once() {
     assert!(cs.shared_entries > 0 && cs.shared_bytes > 0, "{cs:?}");
 
     // Sharing is invisible in results.
-    assert_canvas_eq(&r_sel.canvas, &cpu_reference(&selection, vp()), "selection");
-    assert_canvas_eq(&r_heat.canvas, &cpu_reference(&heatmap, vp()), "heatmap");
+    assert_canvas_eq(
+        r_sel.canvas(),
+        &cpu_reference(&selection, vp()),
+        "selection",
+    );
+    assert_canvas_eq(r_heat.canvas(), &cpu_reference(&heatmap, vp()), "heatmap");
 }
 
 #[test]
@@ -180,7 +184,7 @@ fn fused_heatmap_shares_the_query_polygon_canvas() {
         engine.metrics().subplan_hits > hits_before,
         "fused heatmap must reuse the selection's C_Q render"
     );
-    assert_canvas_eq(&r.canvas, &cpu_reference(&fused, vp()), "fused heatmap");
+    assert_canvas_eq(r.canvas(), &cpu_reference(&fused, vp()), "fused heatmap");
 }
 
 #[test]
@@ -208,9 +212,9 @@ fn sharing_off_keeps_subplan_counters_silent() {
         "{m:?}"
     );
     assert_eq!(engine.cache_stats().shared_entries, 0);
-    assert_canvas_eq(&r1.canvas, &cpu_reference(&selection, vp()), "selection");
+    assert_canvas_eq(r1.canvas(), &cpu_reference(&selection, vp()), "selection");
     assert_canvas_eq(
-        &r2.canvas,
+        r2.canvas(),
         &cpu_reference(&heatmap_plan(&data, &q), vp()),
         "heatmap",
     );
@@ -295,7 +299,7 @@ fn run_gated_pair(
     let leader = {
         let engine = Arc::clone(engine);
         let vp = vp();
-        std::thread::spawn(move || engine.execute(&leader_q, vp).unwrap().canvas)
+        std::thread::spawn(move || Arc::clone(engine.execute(&leader_q, vp).unwrap().canvas()))
     };
     // The leader raises `entered` from inside the shared subplan's V
     // pass — at that point its in-flight entry is registered and stays
@@ -306,7 +310,7 @@ fn run_gated_pair(
     let follower = {
         let engine = Arc::clone(engine);
         let vp = vp();
-        std::thread::spawn(move || engine.execute(&follower_q, vp).unwrap().canvas)
+        std::thread::spawn(move || Arc::clone(engine.execute(&follower_q, vp).unwrap().canvas()))
     };
     // Give the follower ample time to reach the subplan table and
     // subscribe (it does no rendering first — prepare + probe only).
@@ -391,7 +395,7 @@ fn tiny_budget_subscription_survives_missing_cache_entry() {
     // Resubmit: no cache, no in-flight leader — a full private
     // recompute, still correct.
     let again = engine.execute(&plan_b, vp()).unwrap();
-    assert_canvas_eq(&again.canvas, &cpu_reference(&plan_b, vp()), "recompute");
+    assert_canvas_eq(again.canvas(), &cpu_reference(&plan_b, vp()), "recompute");
 }
 
 #[test]
@@ -457,7 +461,7 @@ fn mixed_class_eviction_under_tiny_budget_stays_correct() {
             ] {
                 let resp = engine.execute(&query, vp()).unwrap();
                 assert_canvas_eq(
-                    &resp.canvas,
+                    resp.canvas(),
                     &cpu_reference(&query, vp()),
                     &format!("round {round}"),
                 );

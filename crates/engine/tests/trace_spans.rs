@@ -98,7 +98,7 @@ fn concurrent_serving_yields_well_formed_span_trees() {
                     let q = &queries[(client + step) % queries.len()];
                     let vp = viewports[(client + step / 2) % viewports.len()];
                     let resp = engine.execute(q, vp).expect("served");
-                    std::hint::black_box(resp.canvas.non_null_count());
+                    std::hint::black_box(resp.canvas().non_null_count());
                 }
             });
         }
