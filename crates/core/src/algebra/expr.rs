@@ -222,7 +222,7 @@ impl Expr {
         vp: Viewport,
         ex: &dyn super::subplan::SubplanExchange,
     ) -> Canvas {
-        let arc = self.eval_node(dev, vp, ex, 0);
+        let arc = self.eval_node(dev, vp, ex, 0, 0);
         // The root is never exchanged (depth 0), so this Arc is
         // private and unwraps without a copy.
         Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())
@@ -231,12 +231,16 @@ impl Expr {
     /// One node of the exchange-aware evaluation. Cut points at depth
     /// ≥ 1 go through the exchange — the root (depth 0) is the whole
     /// plan, whose identity the engine's result cache already owns.
+    /// `node` is this node's pre-order id within the evaluated plan,
+    /// stamped onto its span so execution-report rows join to plan
+    /// nodes (see [`plan_nodes`](super::fingerprint::plan_nodes)).
     fn eval_node(
         &self,
         dev: &mut Device,
         vp: Viewport,
         ex: &dyn super::subplan::SubplanExchange,
         depth: usize,
+        node: u64,
     ) -> Arc<Canvas> {
         use super::subplan::SubplanAccess;
         if depth > 0 && ex.active() && super::fingerprint::is_cut_point(self) {
@@ -249,53 +253,71 @@ impl Expr {
                 ex.acquire(fp, &vp)
             };
             match access {
-                SubplanAccess::Ready(c) => return c,
+                SubplanAccess::Ready(c, src) => {
+                    // A shared hit still gets this node's span — with a
+                    // `src` marker instead of render work — so the
+                    // report row shows *why* the node cost ~nothing.
+                    let mut hit = canvas_obs::span(self.node_name(), "algebra");
+                    hit.arg_u64("node", node);
+                    hit.arg_u64("depth", depth as u64);
+                    hit.arg_u64("bytes", c.size_bytes() as u64);
+                    hit.arg_str("src", || src.as_str().to_string());
+                    return c;
+                }
                 SubplanAccess::Lead(mut lease) => {
-                    let c = Arc::new(self.compute_node(dev, vp, ex, depth));
+                    let c = Arc::new(self.compute_node(dev, vp, ex, depth, node));
                     lease.publish(&c);
                     return c;
                 }
                 SubplanAccess::Compute => {}
             }
         }
-        Arc::new(self.compute_node(dev, vp, ex, depth))
+        Arc::new(self.compute_node(dev, vp, ex, depth, node))
     }
 
     /// Renders this node from its children (which recurse through the
-    /// exchange).
+    /// exchange). Children take consecutive pre-order id ranges:
+    /// `node + 1` for the first child, advancing by each earlier
+    /// sibling's [`node_count`](Self::node_count).
     fn compute_node(
         &self,
         dev: &mut Device,
         vp: Viewport,
         ex: &dyn super::subplan::SubplanExchange,
         depth: usize,
+        node: u64,
     ) -> Canvas {
         let mut node_span = canvas_obs::span(self.node_name(), "algebra");
+        node_span.arg_u64("node", node);
         node_span.arg_u64("depth", depth as u64);
-        match self {
+        let result = match self {
             Expr::Source(s) => s.render(dev, vp),
             Expr::Blend { op, left, right } => {
-                let l = left.eval_node(dev, vp, ex, depth + 1);
-                let r = right.eval_node(dev, vp, ex, depth + 1);
+                let l = left.eval_node(dev, vp, ex, depth + 1, node + 1);
+                let r = right.eval_node(dev, vp, ex, depth + 1, node + 1 + left.node_count());
                 ops::blend(dev, &l, &r, *op)
             }
             Expr::MultiBlend { op, inputs } => {
                 if inputs.is_empty() {
-                    return Canvas::empty(vp);
+                    Canvas::empty(vp)
+                } else {
+                    let mut child = node + 1;
+                    let mut acc = inputs[0].eval_node(dev, vp, ex, depth + 1, child);
+                    child += inputs[0].node_count();
+                    for e in &inputs[1..] {
+                        let c = e.eval_node(dev, vp, ex, depth + 1, child);
+                        child += e.node_count();
+                        acc = Arc::new(ops::blend(dev, &acc, &c, *op));
+                    }
+                    Arc::try_unwrap(acc).unwrap_or_else(|a| (*a).clone())
                 }
-                let mut acc = inputs[0].eval_node(dev, vp, ex, depth + 1);
-                for e in &inputs[1..] {
-                    let c = e.eval_node(dev, vp, ex, depth + 1);
-                    acc = Arc::new(ops::blend(dev, &acc, &c, *op));
-                }
-                Arc::try_unwrap(acc).unwrap_or_else(|a| (*a).clone())
             }
             Expr::Mask { spec, input } => {
-                let c = input.eval_node(dev, vp, ex, depth + 1);
+                let c = input.eval_node(dev, vp, ex, depth + 1, node + 1);
                 ops::mask(dev, &c, spec)
             }
             Expr::GeomTransform { gamma, input } => {
-                let c = input.eval_node(dev, vp, ex, depth + 1);
+                let c = input.eval_node(dev, vp, ex, depth + 1, node + 1);
                 ops::transform_positions(dev, &c, gamma, vp)
             }
             Expr::MapScatter {
@@ -304,14 +326,16 @@ impl Expr {
                 combine,
                 input,
             } => {
-                let c = input.eval_node(dev, vp, ex, depth + 1);
+                let c = input.eval_node(dev, vp, ex, depth + 1, node + 1);
                 ops::map_scatter(dev, &c, gamma, ops::group_viewport(*groups), *combine)
             }
             Expr::ValueTransform { f, input, .. } => {
-                let c = input.eval_node(dev, vp, ex, depth + 1);
+                let c = input.eval_node(dev, vp, ex, depth + 1, node + 1);
                 ops::value_transform(dev, &c, |p, t| f(p, t))
             }
-        }
+        };
+        node_span.arg_u64("bytes", result.size_bytes() as u64);
+        result
     }
 
     /// Span name for this node's operator (trace taxonomy, cat
@@ -325,6 +349,40 @@ impl Expr {
             Expr::GeomTransform { .. } => "geom_transform",
             Expr::MapScatter { .. } => "map_scatter",
             Expr::ValueTransform { .. } => "value_transform",
+        }
+    }
+
+    /// Number of nodes in this subtree (this node included) — the
+    /// pre-order id arithmetic both the evaluator and
+    /// [`plan_nodes`](super::fingerprint::plan_nodes) rely on.
+    pub fn node_count(&self) -> u64 {
+        1 + match self {
+            Expr::Source(_) => 0,
+            Expr::Blend { left, right, .. } => left.node_count() + right.node_count(),
+            Expr::MultiBlend { inputs, .. } => inputs.iter().map(Expr::node_count).sum(),
+            Expr::Mask { input, .. }
+            | Expr::GeomTransform { input, .. }
+            | Expr::MapScatter { input, .. }
+            | Expr::ValueTransform { input, .. } => input.node_count(),
+        }
+    }
+
+    /// This node's operator label in the paper's plan-diagram notation
+    /// (`B[⊙]`, `Mp'…`, `C_P[…]`, …) — one line of [`plan`](Self::plan)
+    /// without the children, used by execution-report rows.
+    pub fn node_label(&self) -> String {
+        match self {
+            Expr::Source(s) => s.label(),
+            Expr::Blend { op, .. } => format!("B[{}]", op.symbol()),
+            Expr::MultiBlend { op, inputs } => {
+                format!("B*[{}] ({} inputs)", op.symbol(), inputs.len())
+            }
+            Expr::Mask { spec, .. } => spec.label(),
+            Expr::GeomTransform { gamma, .. } => format!("G[{}]", gamma.label()),
+            Expr::MapScatter { gamma, groups, .. } => {
+                format!("D*[{}] → {groups} groups", gamma.name)
+            }
+            Expr::ValueTransform { name, .. } => format!("V[{name}]"),
         }
     }
 

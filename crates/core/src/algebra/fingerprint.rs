@@ -447,6 +447,61 @@ pub fn subplans(e: &Expr) -> Vec<Subplan> {
     out
 }
 
+/// One row of the *report* view of a plan: the pre-order node id the
+/// evaluator stamps onto spans, joined to the node's operator label
+/// and structural fingerprint. [`plan_nodes`] of the normalized plan
+/// is the EXPLAIN skeleton an `ExecReport` measures into.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// Pre-order id (0 = root); equals the `node` argument on the
+    /// evaluator's spans for the same plan.
+    pub id: u64,
+    /// Distance from the plan root.
+    pub depth: usize,
+    /// Operator label in plan-diagram notation
+    /// ([`Expr::node_label`]).
+    pub label: String,
+    /// Structural fingerprint of this node's subtree. The root entry
+    /// equals the whole-plan [`fingerprint`].
+    pub fingerprint: Fingerprint,
+}
+
+/// Enumerates every node of `e` in pre-order (root first — ids match
+/// the evaluator's span stamping by construction: both assign the
+/// first child `id + 1` and advance by each sibling's
+/// [`Expr::node_count`]).
+pub fn plan_nodes(e: &Expr) -> Vec<PlanNode> {
+    fn walk_nodes(e: &Expr, depth: usize, next: &mut u64, out: &mut Vec<PlanNode>) {
+        let id = *next;
+        *next += 1;
+        out.push(PlanNode {
+            id,
+            depth,
+            label: e.node_label(),
+            fingerprint: fingerprint(e),
+        });
+        match e {
+            Expr::Source(_) => {}
+            Expr::Blend { left, right, .. } => {
+                walk_nodes(left, depth + 1, next, out);
+                walk_nodes(right, depth + 1, next, out);
+            }
+            Expr::MultiBlend { inputs, .. } => {
+                for i in inputs {
+                    walk_nodes(i, depth + 1, next, out);
+                }
+            }
+            Expr::Mask { input, .. }
+            | Expr::GeomTransform { input, .. }
+            | Expr::MapScatter { input, .. }
+            | Expr::ValueTransform { input, .. } => walk_nodes(input, depth + 1, next, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk_nodes(e, 0, &mut 0, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +541,46 @@ mod tests {
             plan(square(0.0, 0.0, 5.0)).fingerprint(),
             plan(square(0.0, 0.0, 6.0)).fingerprint()
         );
+    }
+
+    #[test]
+    fn plan_nodes_preorder_ids_join_the_evaluators_arithmetic() {
+        let data = Arc::new(PointBatch::from_points(vec![Point::new(1.0, 1.0)]));
+        let plan = Expr::mask(
+            MaskSpec::PointInAreas(CountCond::Ge(1)),
+            Expr::blend(
+                BlendFn::PointOverArea,
+                Expr::points(data),
+                Expr::query_polygon(square(0.0, 0.0, 5.0), 1),
+            ),
+        );
+        let nodes = plan_nodes(&plan);
+        assert_eq!(nodes.len() as u64, plan.node_count());
+        // Pre-order: ids are dense 0..n and the root comes first with
+        // the whole-plan fingerprint.
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id, i as u64);
+        }
+        assert_eq!(nodes[0].depth, 0);
+        assert_eq!(nodes[0].fingerprint, fingerprint(&plan));
+        assert!(nodes[0].label.starts_with("Mp'"));
+        // The blend's second child (C_Y) sits at first-child id +
+        // first-child subtree size — the same arithmetic eval_node
+        // stamps spans with.
+        let Expr::Mask { input: blend, .. } = &plan else {
+            unreachable!()
+        };
+        let Expr::Blend { left, .. } = &**blend else {
+            unreachable!()
+        };
+        assert_eq!(nodes[2].label, left.node_label());
+        assert_eq!(
+            nodes[(2 + left.node_count()) as usize].label,
+            "C_Y[record 0, id 1]"
+        );
+        // Depths follow the tree shape.
+        assert_eq!(nodes[1].depth, 1);
+        assert_eq!(nodes[2].depth, 2);
     }
 
     #[test]

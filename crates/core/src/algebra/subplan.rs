@@ -63,13 +63,35 @@ pub trait SubplanLease {
     fn publish(&mut self, canvas: &Arc<Canvas>);
 }
 
+/// Where a [`Ready`](SubplanAccess::Ready) canvas came from — recorded
+/// on the hit's span so execution reports can distinguish a subplan
+/// cache hit from a subscription to another query's in-flight render.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubplanSource {
+    /// Served from the shared subplan cache.
+    Cache,
+    /// Published by a concurrent leader this acquire subscribed to.
+    Subscribed,
+}
+
+impl SubplanSource {
+    /// The provenance string reports carry (`shared_cache` /
+    /// `subscribed`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SubplanSource::Cache => "shared_cache",
+            SubplanSource::Subscribed => "subscribed",
+        }
+    }
+}
+
 /// The exchange's answer for one subplan (see module docs).
 pub enum SubplanAccess<'a> {
     /// Render privately; nobody shares this subplan.
     Compute,
     /// Already rendered (cached, or a concurrent leader just
     /// published): use the shared canvas as-is.
-    Ready(Arc<Canvas>),
+    Ready(Arc<Canvas>, SubplanSource),
     /// The caller leads: render the subplan, then publish through the
     /// lease.
     Lead(Box<dyn SubplanLease + 'a>),
@@ -118,7 +140,7 @@ pub fn acquire_or_render(
 ) -> Arc<Canvas> {
     if ex.active() {
         match ex.acquire(fp, vp) {
-            SubplanAccess::Ready(c) => return c,
+            SubplanAccess::Ready(c, _) => return c,
             SubplanAccess::Lead(mut lease) => {
                 let c = Arc::new(render());
                 lease.publish(&c);
@@ -169,7 +191,7 @@ mod tests {
     impl SubplanExchange for Memo {
         fn acquire(&self, _fp: Fingerprint, _vp: &Viewport) -> SubplanAccess<'_> {
             match &*self.slot.borrow() {
-                Some(c) => SubplanAccess::Ready(Arc::clone(c)),
+                Some(c) => SubplanAccess::Ready(Arc::clone(c), SubplanSource::Cache),
                 None => SubplanAccess::Lead(Box::new(MemoLease(self))),
             }
         }

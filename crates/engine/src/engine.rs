@@ -27,9 +27,9 @@
 //!   instead of queueing whole-query behind a lock.
 
 use crate::cache::{CacheKey, CacheStats, CanvasCache, DataPin};
-use crate::query::Query;
+use crate::query::{Prepared, Query};
 use crate::result::QueryResult;
-use canvas_core::algebra::subplan::{SubplanAccess, SubplanExchange, SubplanLease};
+use canvas_core::algebra::subplan::{SubplanAccess, SubplanExchange, SubplanLease, SubplanSource};
 use canvas_core::algebra::Fingerprint;
 use canvas_core::{Canvas, SharedDevice};
 use canvas_obs as obs;
@@ -60,6 +60,14 @@ pub struct EngineConfig {
     /// subplan (see `canvas_core::algebra::subplan`). Off = PR 4
     /// whole-plan caching only.
     pub share_subplans: bool,
+    /// Tail-sampling bar of the always-on flight recorder: a query
+    /// whose end-to-end service time exceeds this (or that was shed,
+    /// failed, or panicked) has its span tree promoted from the
+    /// bounded per-thread rings into the retained slow-query log
+    /// ([`QueryEngine::slow_queries`]) as a measured
+    /// [`ExecReport`](canvas_obs::ExecReport). Fast queries pay only
+    /// the ring pushes. `Duration::MAX` disables capture entirely.
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +82,10 @@ impl Default for EngineConfig {
             cache_budget_bytes: 256 << 20,
             calibrate: true,
             share_subplans: true,
+            // An interactive engine's latency budget is ~100ms (the
+            // paper's interactivity bar); captures start at 2.5× that
+            // so the log holds genuine outliers, not the daily p95.
+            slow_query_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -129,6 +141,15 @@ pub struct Response {
     /// *not* charged to coalesced followers — they report their park
     /// time here).
     pub exec: Duration,
+    /// End-to-end service time of this submission.
+    pub service: Duration,
+    /// The query's span-track id (0 when both tracing and the flight
+    /// recorder are off) — [`report`](Self::report) joins the flight
+    /// rings on it.
+    query_span: u64,
+    /// The prepared form that served this response; carries the
+    /// EXPLAIN skeleton ([`Prepared::explain`]).
+    prepared: Arc<Prepared>,
 }
 
 impl Response {
@@ -142,6 +163,32 @@ impl Response {
     /// classes.
     pub fn canvas(&self) -> &Arc<Canvas> {
         self.result.canvas()
+    }
+
+    /// EXPLAIN ANALYZE for this response: the prepared plan's skeleton
+    /// annotated with this submission's measured spans, collected from
+    /// the always-on flight rings (per-node wall time, passes, tiles,
+    /// bytes, provenance, and the engine-station timings). Collect
+    /// promptly — ring slots recycle under later traffic; rows whose
+    /// spans were already overwritten report `provenance: missing`.
+    /// When the recorder was off for this query the report stays
+    /// plan-only measurements-wise (`spans_joined == 0`).
+    pub fn report(&self) -> obs::ExecReport {
+        let mut r = self.prepared.explain();
+        r.provenance = match self.served {
+            Served::Computed => "computed",
+            Served::CacheHit => "cache",
+            Served::Coalesced => "coalesced",
+        }
+        .to_string();
+        r.service_ns = self.service.as_nanos().min(u64::MAX as u128) as u64;
+        let be = canvas_raster::simd::active_backend();
+        r.simd_backend = be.name().to_string();
+        if self.query_span == 0 {
+            return r;
+        }
+        let spans = obs::flight::collect(self.query_span);
+        r.measure(self.query_span, &spans)
     }
 }
 
@@ -320,6 +367,12 @@ impl Admission {
 /// probe never shows up in service latency.
 const RECALIBRATE_EVERY: u64 = 64;
 
+/// Retained slow-query captures before the log evicts its oldest
+/// entry. Reports are small (a few KB of strings + counters), so the
+/// cap bounds the recorder's retained footprint, not its coverage —
+/// `slow_captured` counts every promotion including evicted ones.
+const SLOW_LOG_CAP: usize = 64;
+
 /// Latency distribution (seconds) over one response class — a
 /// histogram snapshot, not a mean-only aggregate: tail percentiles
 /// (p95/p99) are what a serving engine is tuned by, and a mean hides
@@ -479,6 +532,10 @@ pub struct QueryEngine {
     calibration: Option<Calibration>,
     /// Load-aware recalibrations applied (see `maybe_recalibrate`).
     recalibrations: std::sync::atomic::AtomicU64,
+    /// Tail-sampling bar (see [`EngineConfig::slow_query_threshold`]).
+    slow_query_threshold: Duration,
+    /// Retained slow-query captures ([`QueryEngine::slow_queries`]).
+    slow_log: obs::SlowQueryLog,
 }
 
 /// Records a duration into a nanosecond-bucketed histogram.
@@ -526,6 +583,8 @@ impl QueryEngine {
             lat_queue_wait,
             calibration,
             recalibrations: std::sync::atomic::AtomicU64::new(0),
+            slow_query_threshold: cfg.slow_query_threshold,
+            slow_log: obs::SlowQueryLog::new(SLOW_LOG_CAP),
         };
         // Stamp the process-level metadata into both the metrics
         // registry and the trace header, so snapshots and trace files
@@ -585,7 +644,7 @@ impl QueryEngine {
         let key = CacheKey::new(fp, vp);
         if let Some(canvas) = self.cache.get_shared(&key) {
             self.metrics_mut().subplan_hits += 1;
-            return SubplanAccess::Ready(canvas);
+            return SubplanAccess::Ready(canvas, SubplanSource::Cache);
         }
         let (flight, leader) = {
             let mut subflight = self
@@ -633,7 +692,7 @@ impl QueryEngine {
                     let mut m = self.metrics_mut();
                     m.subplan_hits += 1;
                     m.shared_renders_avoided += 1;
-                    return SubplanAccess::Ready(canvas);
+                    return SubplanAccess::Ready(canvas, SubplanSource::Subscribed);
                 }
                 SubState::Failed => {
                     drop(state);
@@ -671,29 +730,80 @@ impl QueryEngine {
 
     /// Serves one query (callable from any number of threads).
     ///
-    /// When tracing is enabled (`canvas_obs::set_tracing`), each call
-    /// records a per-query span tree — `execute → prepare →
+    /// Each call records a per-query span tree — `execute → prepare →
     /// cache_probe → inflight_wait → admission_wait → eval → …` down
     /// through the executor's pass and tile-stream spans — under its
-    /// own query track (see `docs/OBSERVABILITY.md`).
+    /// own query track, into the always-on flight rings (and, when
+    /// `canvas_obs::set_tracing` is enabled, the tracing sink too; see
+    /// `docs/OBSERVABILITY.md`). On completion the service time is
+    /// checked against [`EngineConfig::slow_query_threshold`]
+    /// (**tail sampling**): slow, shed, failed, and panicked queries
+    /// have their span trees promoted into the retained slow-query
+    /// log as measured [`ExecReport`](canvas_obs::ExecReport)s
+    /// ([`QueryEngine::slow_queries`]). Successful responses expose
+    /// the same report on demand via [`Response::report`].
     pub fn execute(&self, query: &Query, vp: Viewport) -> Result<Response, EngineError> {
+        let t_submit = Instant::now();
         let mut root = obs::span_with_query("execute", "engine");
         root.arg_str("query", || query.label().to_string());
-        let t_submit = Instant::now();
-        {
-            let mut m = self.metrics_mut();
-            m.submitted += 1;
-        }
-        let prepared = {
+        let query_id = root.query();
+        self.metrics_mut().submitted += 1;
+        let prepared = Arc::new({
             let _s = obs::span("prepare", "engine");
             query.prepare()
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.serve(&prepared, vp, t_submit, query_id)
+        }));
+        // Close the root span *before* the tail-sampling decision so
+        // its record is resident in the flight ring when `collect`
+        // joins the tree.
+        drop(root);
+        let service = t_submit.elapsed();
+        let reason = match &outcome {
+            Ok(Ok(_)) if service > self.slow_query_threshold => {
+                Some(obs::CaptureReason::SlowService)
+            }
+            Ok(Ok(_)) => None,
+            Ok(Err(EngineError::Overloaded { .. })) => Some(obs::CaptureReason::Shed),
+            Ok(Err(EngineError::LeaderFailed(_))) => Some(obs::CaptureReason::Failed),
+            Err(_) => Some(obs::CaptureReason::Panicked),
         };
+        if let Some(reason) = reason {
+            let served = match &outcome {
+                Ok(Ok(resp)) => Some(resp.served),
+                _ => None,
+            };
+            self.capture_slow(&prepared, query_id, service, reason, served);
+        }
+        match outcome {
+            Ok(result) => result.map(|mut resp| {
+                resp.service = service;
+                resp
+            }),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// The station pipeline of one submission (cache probe → in-flight
+    /// dedup → admission → fair-share eval). Split from
+    /// [`execute`](Self::execute) so the wrapper can close the root
+    /// span and tail-sample *every* terminal outcome — including the
+    /// eval-panic path, which unwinds through here after publishing
+    /// `LeaderFailed` to its followers.
+    fn serve(
+        &self,
+        prepared: &Arc<Prepared>,
+        vp: Viewport,
+        t_submit: Instant,
+        query_id: u64,
+    ) -> Result<Response, EngineError> {
         let key = CacheKey::new(prepared.fingerprint, &vp);
         // Per-class service latency (one histogram per query class,
         // e.g. `service_ns_knn`) alongside the all-traffic histogram.
         let lat_class = self
             .registry
-            .histogram(&format!("service_ns_{}", query.label()));
+            .histogram(&format!("service_ns_{}", prepared.label));
 
         // Station 1: the cache.
         let probe = {
@@ -711,6 +821,9 @@ impl QueryEngine {
                 served: Served::CacheHit,
                 queue_wait: Duration::ZERO,
                 exec: Duration::ZERO,
+                service: t_submit.elapsed(),
+                query_span: query_id,
+                prepared: Arc::clone(prepared),
             });
         }
 
@@ -761,6 +874,9 @@ impl QueryEngine {
                         served: Served::Coalesced,
                         queue_wait: Duration::ZERO,
                         exec,
+                        service,
+                        query_span: query_id,
+                        prepared: Arc::clone(prepared),
                     })
                 }
                 Err(e) => {
@@ -795,6 +911,9 @@ impl QueryEngine {
                 served: Served::CacheHit,
                 queue_wait: Duration::ZERO,
                 exec: Duration::ZERO,
+                service: t_submit.elapsed(),
+                query_span: query_id,
+                prepared: Arc::clone(prepared),
             });
         }
         let t_adm = Instant::now();
@@ -867,6 +986,9 @@ impl QueryEngine {
                     served: Served::Computed,
                     queue_wait,
                     exec,
+                    service,
+                    query_span: query_id,
+                    prepared: Arc::clone(prepared),
                 })
             }
             Err(payload) => {
@@ -899,6 +1021,53 @@ impl QueryEngine {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         inflight.remove(key);
+    }
+
+    /// Promotes one completed query's spans out of the flight rings
+    /// into the retained slow-query log (the tail-sampling *keep*
+    /// decision — see [`EngineConfig::slow_query_threshold`]).
+    fn capture_slow(
+        &self,
+        prepared: &Prepared,
+        query_id: u64,
+        service: Duration,
+        reason: obs::CaptureReason,
+        served: Option<Served>,
+    ) {
+        if query_id == 0 {
+            // Recorder (and tracing) off: nothing was recorded to keep.
+            return;
+        }
+        let service_ns = service.as_nanos().min(u64::MAX as u128) as u64;
+        let mut report = prepared.explain();
+        report.provenance = match served {
+            Some(Served::Computed) => "computed",
+            Some(Served::CacheHit) => "cache",
+            Some(Served::Coalesced) => "coalesced",
+            None => reason.as_str(),
+        }
+        .to_string();
+        report.service_ns = service_ns;
+        report.simd_backend = canvas_raster::simd::active_backend().name().to_string();
+        let spans = obs::flight::collect(query_id);
+        let report = report.measure(query_id, &spans);
+        self.slow_log.push(obs::SlowQuery {
+            query_id,
+            label: prepared.label.to_string(),
+            reason,
+            service_ns,
+            report,
+        });
+    }
+
+    /// The retained slow-query captures, oldest first: every query
+    /// whose service time crossed the threshold (or that was shed,
+    /// failed, or panicked), with its full measured
+    /// [`ExecReport`](canvas_obs::ExecReport). Bounded — the log
+    /// evicts its oldest entry beyond the 64-capture cap; the
+    /// `slow_captured` registry counter keeps the lifetime total.
+    pub fn slow_queries(&self) -> Vec<obs::SlowQuery> {
+        self.slow_log.entries()
     }
 
     fn metrics_mut(&self) -> std::sync::MutexGuard<'_, EngineMetrics> {
@@ -947,7 +1116,7 @@ impl QueryEngine {
     /// the process metadata.
     fn sync_registry(&self) {
         let m = self.metrics();
-        let counters: [(&str, u64); 11] = [
+        let counters: [(&str, u64); 15] = [
             ("queries_submitted", m.submitted),
             ("queries_computed", m.computed),
             ("cache_hits", m.cache_hits),
@@ -959,6 +1128,14 @@ impl QueryEngine {
             ("subplan_shared_renders_avoided", m.shared_renders_avoided),
             ("subplan_published", m.subplan_published),
             ("subplan_fallbacks", m.subplan_fallbacks),
+            // Observability health: tracing-sink drops at its cap,
+            // slow-query promotions, and flight-ring loss accounting
+            // (normal fast-path recycling vs spans a capture wanted
+            // but the rings had already overwritten).
+            ("obs_dropped_spans", obs::sink().dropped()),
+            ("slow_captured", self.slow_log.captured()),
+            ("flight_recycled", obs::flight::recycled()),
+            ("flight_dropped", obs::flight::dropped()),
         ];
         for (name, value) in counters {
             self.registry.counter(name).set(value);

@@ -47,6 +47,14 @@
 //! in the concurrency stress tests (`tests/engine_stress.rs`,
 //! `tests/subplan_sharing.rs`).
 //!
+//! Execution is observable end to end: [`Prepared::explain`] is
+//! EXPLAIN (the annotated plan skeleton), [`Response::report`] is
+//! EXPLAIN ANALYZE (the skeleton joined with the submission's span
+//! tree from the always-on flight recorder), and queries that blow the
+//! [`EngineConfig::slow_query_threshold`] — or are shed, fail, or
+//! panic — are tail-sampled into [`QueryEngine::slow_queries`] with
+//! their full measured reports (`tests/exec_reports.rs`).
+//!
 //! The crate-by-crate tour with the full life-of-a-query walkthrough
 //! lives in `docs/ARCHITECTURE.md` at the repo root.
 
@@ -61,3 +69,8 @@ pub use engine::{
 };
 pub use query::{Prepared, Query};
 pub use result::QueryResult;
+
+// The observability vocabulary of reports and captures, re-exported so
+// engine clients handle `Response::report()` / `slow_queries()` values
+// without naming `canvas_obs` themselves.
+pub use canvas_obs::{CaptureReason, ExecReport, NodeReport, SlowQuery};

@@ -139,21 +139,26 @@ impl Query {
     /// Resolves the descriptor to its normalized, fingerprinted,
     /// executable form.
     pub fn prepare(&self) -> Prepared {
+        let label = self.label();
         match self {
-            Query::Plan(e) => Prepared::from_expr(e.clone()),
-            Query::SelectPoints { data, q } => Prepared::from_expr(Expr::mask(
-                MaskSpec::PointInAreas(CountCond::Ge(1)),
-                Expr::blend(
-                    BlendFn::PointOverArea,
-                    Expr::points(data.clone()),
-                    Expr::query_polygon(q.clone(), 1),
+            Query::Plan(e) => Prepared::from_expr(e.clone(), label),
+            Query::SelectPoints { data, q } => Prepared::from_expr(
+                Expr::mask(
+                    MaskSpec::PointInAreas(CountCond::Ge(1)),
+                    Expr::blend(
+                        BlendFn::PointOverArea,
+                        Expr::points(data.clone()),
+                        Expr::query_polygon(q.clone(), 1),
+                    ),
                 ),
-            )),
+                label,
+            ),
             Query::SelectionHeatmap { data, q } => {
                 let mut fb = algebra::FingerprintBuilder::new("engine/selection-heatmap");
                 fb.handle(data, data.len()).polygon(q);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::SelectionHeatmap {
                         data: data.clone(),
                         q: q.clone(),
@@ -173,6 +178,7 @@ impl Query {
                 fb.polygon(q);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::PolygonDensity {
                         table: table.clone(),
                         q: q.clone(),
@@ -182,19 +188,22 @@ impl Query {
                     pins: Vec::new(),
                 }
             }
-            Query::AggregateByZone { data, zones } => Prepared::from_expr(Expr::map_scatter(
-                ValueMap::area_id_slot(),
-                zones.len() as u32,
-                BlendFn::Accumulate,
-                Expr::mask(
-                    MaskSpec::PointInAreas(CountCond::Ge(1)),
-                    Expr::blend(
-                        BlendFn::PointOverArea,
-                        Expr::points(data.clone()),
-                        Expr::polygon_set(zones.clone(), BlendFn::AreaCount),
+            Query::AggregateByZone { data, zones } => Prepared::from_expr(
+                Expr::map_scatter(
+                    ValueMap::area_id_slot(),
+                    zones.len() as u32,
+                    BlendFn::Accumulate,
+                    Expr::mask(
+                        MaskSpec::PointInAreas(CountCond::Ge(1)),
+                        Expr::blend(
+                            BlendFn::PointOverArea,
+                            Expr::points(data.clone()),
+                            Expr::polygon_set(zones.clone(), BlendFn::AreaCount),
+                        ),
                     ),
                 ),
-            )),
+                label,
+            ),
             Query::Knn { data, x, k } => {
                 let mut fb = algebra::FingerprintBuilder::new("engine/knn");
                 fb.handle(data, data.len())
@@ -203,6 +212,7 @@ impl Query {
                     .word(*k as u64);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::Knn {
                         data: data.clone(),
                         x: *x,
@@ -219,6 +229,7 @@ impl Query {
                 }
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::Voronoi {
                         sites: sites.clone(),
                     },
@@ -231,6 +242,7 @@ impl Query {
                 fb.handle(trips, trips.len()).polygon(q1).polygon(q2);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::SelectOd {
                         trips: trips.clone(),
                         q1: q1.clone(),
@@ -256,6 +268,7 @@ impl Query {
                 }
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::OdFlowMatrix {
                         trips: trips.clone(),
                         origin_zones: origin_zones.clone(),
@@ -272,6 +285,7 @@ impl Query {
                     .word(*t1 as u64);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::SpatioTemporalWindow {
                         data: data.clone(),
                         q: q.clone(),
@@ -296,6 +310,7 @@ impl Query {
                     .word(*windows as u64);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::RegionTimeSeries {
                         data: data.clone(),
                         q: q.clone(),
@@ -319,6 +334,7 @@ impl Query {
                 }
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::Skyline {
                         data: data.clone(),
                         constraint: constraint.clone(),
@@ -332,6 +348,7 @@ impl Query {
                 fb.handle(data, data.len()).polygon(q);
                 Prepared {
                     fingerprint: fb.finish(),
+                    label,
                     runner: Runner::Hull {
                         data: data.clone(),
                         q: q.clone(),
@@ -438,19 +455,63 @@ fn collect_pins(e: &Expr, out: &mut Vec<crate::cache::DataPin>) {
 /// A normalized, fingerprinted, executable query.
 pub struct Prepared {
     pub fingerprint: Fingerprint,
+    /// Query-class label ([`Query::label`] of the descriptor this was
+    /// prepared from) — names the per-class latency histogram and the
+    /// execution report.
+    pub label: &'static str,
     pub(crate) runner: Runner,
     pins: Vec<crate::cache::DataPin>,
 }
 
 impl Prepared {
-    fn from_expr(e: Expr) -> Self {
+    fn from_expr(e: Expr, label: &'static str) -> Self {
         let normalized = algebra::normalize(e);
         let mut pins = Vec::new();
         collect_pins(&normalized, &mut pins);
         Prepared {
             fingerprint: algebra::fingerprint(&normalized),
+            label,
             runner: Runner::Plan(normalized),
             pins,
+        }
+    }
+
+    /// The EXPLAIN skeleton: one [`NodeReport`](obs::NodeReport) row
+    /// per plan node for plan-backed queries (pre-order ids matching
+    /// the evaluator's span stamps, operator labels, per-subtree
+    /// fingerprints), a single descriptor row for the promoted
+    /// classes. `measured == false`; the engine folds a recorded span
+    /// tree in via [`ExecReport::measure`](obs::ExecReport::measure)
+    /// (`Response::report()`, slow-query capture).
+    pub fn explain(&self) -> obs::ExecReport {
+        let fp_hex = self.fingerprint.to_string();
+        let nodes = match &self.runner {
+            Runner::Plan(e) => algebra::plan_nodes(e)
+                .into_iter()
+                .map(|n| obs::NodeReport {
+                    node: n.id,
+                    depth: n.depth,
+                    label: n.label,
+                    fingerprint: n.fingerprint.to_string(),
+                    provenance: "plan".to_string(),
+                    ..obs::NodeReport::default()
+                })
+                .collect(),
+            _ => vec![obs::NodeReport {
+                node: 0,
+                depth: 0,
+                label: self.label.to_string(),
+                fingerprint: fp_hex.clone(),
+                provenance: "plan".to_string(),
+                ..obs::NodeReport::default()
+            }],
+        };
+        obs::ExecReport {
+            query: self.label.to_string(),
+            fingerprint: fp_hex,
+            provenance: "plan".to_string(),
+            nodes,
+            ..obs::ExecReport::default()
         }
     }
 
@@ -481,17 +542,26 @@ impl Prepared {
     /// are bit-identical to [`execute`](Self::execute) regardless of
     /// what the exchange serves, because rendering is deterministic.
     ///
-    /// Each promoted class records a per-class trace span (category
-    /// `"query"`) under the engine's `eval` span, so Perfetto traces
-    /// break serving time down by query class.
+    /// Every non-plan runner records a per-class trace span (category
+    /// `"query"`, named after [`Query::label`]) under the engine's
+    /// `eval` span, stamped with `node = 0` and the result's byte size
+    /// — the join key [`ExecReport::measure`](obs::ExecReport::measure)
+    /// uses to attribute the runner's work to its single descriptor
+    /// row. Plan runners need no extra span: the evaluator stamps one
+    /// per plan node.
     pub fn execute_via(
         &self,
         dev: &mut Device,
         vp: Viewport,
         ex: &dyn canvas_core::algebra::subplan::SubplanExchange,
     ) -> QueryResult {
-        match &self.runner {
-            Runner::Plan(e) => QueryResult::Canvas(Arc::new(e.eval_via(dev, vp, ex))),
+        if let Runner::Plan(e) = &self.runner {
+            return QueryResult::Canvas(Arc::new(e.eval_via(dev, vp, ex)));
+        }
+        let mut class_span = obs::span(self.label, "query");
+        class_span.arg_u64("node", 0);
+        let result = match &self.runner {
+            Runner::Plan(_) => unreachable!("handled above"),
             Runner::SelectionHeatmap { data, q } => QueryResult::Canvas(Arc::new(
                 heatmap::selection_heatmap_via(dev, vp, data, q, ex).canvas,
             )),
@@ -499,64 +569,50 @@ impl Prepared {
                 heatmap::polygon_density_heatmap_via(dev, vp, table, q, ex).canvas,
             )),
             Runner::Knn { data, x, k } => {
-                let _s = obs::span("knn", "query");
                 QueryResult::Ids(Arc::new(knn::knn(dev, vp, data, *x, *k as usize)))
             }
             Runner::Voronoi { sites } => {
-                let _s = obs::span("voronoi", "query");
                 QueryResult::Canvas(Arc::new(voronoi::compute_voronoi(dev, vp, sites)))
             }
             Runner::SelectOd { trips, q1, q2 } => {
-                let _s = obs::span("select_od", "query");
                 QueryResult::Ids(Arc::new(od::select_od(dev, vp, trips, q1, q2)))
             }
             Runner::OdFlowMatrix {
                 trips,
                 origin_zones,
                 dest_zones,
-            } => {
-                let _s = obs::span("od_flow_matrix", "query");
-                QueryResult::FlowMatrix(Arc::new(od::od_flow_matrix(
-                    dev,
-                    vp,
-                    trips,
-                    origin_zones,
-                    dest_zones,
-                )))
-            }
-            Runner::SpatioTemporalWindow { data, q, t0, t1 } => {
-                let _s = obs::span("spatiotemporal_window", "query");
-                QueryResult::Ids(Arc::new(spatiotemporal::select_in_polygon_and_window(
-                    dev, vp, data, q, *t0, *t1,
-                )))
-            }
+            } => QueryResult::FlowMatrix(Arc::new(od::od_flow_matrix(
+                dev,
+                vp,
+                trips,
+                origin_zones,
+                dest_zones,
+            ))),
+            Runner::SpatioTemporalWindow { data, q, t0, t1 } => QueryResult::Ids(Arc::new(
+                spatiotemporal::select_in_polygon_and_window(dev, vp, data, q, *t0, *t1),
+            )),
             Runner::RegionTimeSeries {
                 data,
                 q,
                 t0,
                 t1,
                 windows,
-            } => {
-                let _s = obs::span("region_time_series", "query");
-                QueryResult::Series(Arc::new(spatiotemporal::region_time_series(
-                    dev, vp, data, q, *t0, *t1, *windows,
-                )))
-            }
+            } => QueryResult::Series(Arc::new(spatiotemporal::region_time_series(
+                dev, vp, data, q, *t0, *t1, *windows,
+            ))),
             Runner::Skyline {
                 data,
                 constraint,
                 sites,
-            } => {
-                let _s = obs::span("skyline", "query");
-                QueryResult::Ids(Arc::new(skyline::skyline_of_selection_via(
-                    dev, vp, data, constraint, sites, ex,
-                )))
-            }
+            } => QueryResult::Ids(Arc::new(skyline::skyline_of_selection_via(
+                dev, vp, data, constraint, sites, ex,
+            ))),
             Runner::Hull { data, q } => {
-                let _s = obs::span("hull", "query");
                 QueryResult::Hull(Arc::new(hull::hull_of_selection_via(dev, vp, data, q, ex)))
             }
-        }
+        };
+        class_span.arg_u64("bytes", result.size_bytes() as u64);
+        result
     }
 
     /// The canvas-producing subexpressions of a plan-backed query

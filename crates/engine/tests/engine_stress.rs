@@ -124,6 +124,7 @@ fn concurrent_randomized_queries_match_sequential_cpu() {
         cache_budget_bytes: 64 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     }));
 
     const CLIENTS: usize = 4;
@@ -192,6 +193,7 @@ fn cache_hit_returns_identical_canvas() {
         cache_budget_bytes: 64 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     });
     let first = engine.execute(&queries[0], vps[0]).unwrap();
     assert_eq!(first.served, Served::Computed);
@@ -224,6 +226,7 @@ fn eviction_under_tiny_budget_stays_correct() {
         cache_budget_bytes: one + one / 2,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     });
     for round in 0..3 {
         for (qi, q) in queries.iter().take(3).enumerate() {
@@ -261,6 +264,7 @@ fn identical_simultaneous_submissions_deduplicate() {
         cache_budget_bytes: 64 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     }));
     let barrier = Arc::new(std::sync::Barrier::new(4));
     let mut handles = Vec::new();
@@ -298,6 +302,7 @@ fn fair_share_tickets_reach_the_pool_gate() {
         cache_budget_bytes: 0,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     }));
     let mut handles = Vec::new();
     for client in 0..3usize {

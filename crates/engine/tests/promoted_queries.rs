@@ -79,6 +79,7 @@ fn check_all_paths(q: &Query) -> QueryResult {
         cache_budget_bytes: 32 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     });
     let first = engine.execute(q, vp()).expect("served");
     assert_eq!(first.served, Served::Computed);
@@ -380,6 +381,7 @@ fn promoted_classes_share_one_engine_without_collisions() {
         cache_budget_bytes: 64 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     });
     let mut firsts = Vec::new();
     for q in &queries {

@@ -53,6 +53,7 @@ fn config(budget: usize) -> EngineConfig {
         cache_budget_bytes: budget,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     }
 }
 

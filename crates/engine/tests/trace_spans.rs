@@ -83,6 +83,7 @@ fn concurrent_serving_yields_well_formed_span_trees() {
         cache_budget_bytes: 64 << 20,
         calibrate: false,
         share_subplans: true,
+        ..EngineConfig::default()
     });
     let (queries, viewports) = workload();
 

@@ -60,7 +60,11 @@ struct Job {
     ctx: *const (),
     /// Trace context captured at dispatch, so worker-side spans
     /// attribute to the query that submitted the pass (the same
-    /// hand-off that carries the fair-gate ticket).
+    /// hand-off that carries the fair-gate ticket). The flight
+    /// recorder's rings ride this too: a worker's spans land in the
+    /// worker thread's own ring stamped with the submitting query's
+    /// id, and `obs::flight::collect` reassembles the cross-thread
+    /// tree at tail-sampling time.
     obs: obs::Ctx,
 }
 

@@ -6,17 +6,29 @@
 //! end to end — *where did this query spend its time?* — instead of
 //! only in aggregate.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`trace`] — a low-overhead **span** API recording per-query trace
 //!   trees into a process-global [`TraceSink`]. Tracing is off by
 //!   default behind a process-level flag ([`trace::set_tracing`]);
-//!   while disabled, creating a span is a single relaxed atomic load
-//!   (~ns), so instrumentation can live permanently on hot paths.
-//!   Spans carry a **query track** id that crosses thread boundaries
-//!   with the work (the executor propagates the context to its pool
-//!   workers alongside its scheduling ticket), so worker-side pass and
-//!   tile spans attribute to the owning query.
+//!   while disabled (and the flight recorder is off too), creating a
+//!   span is a couple of relaxed atomic loads (~ns), so
+//!   instrumentation can live permanently on hot paths. Spans carry a
+//!   **query track** id that crosses thread boundaries with the work
+//!   (the executor propagates the context to its pool workers
+//!   alongside its scheduling ticket), so worker-side pass and tile
+//!   spans attribute to the owning query.
+//! * [`flight`] — the **always-on flight recorder**: bounded
+//!   per-thread span rings that tail-sample. Every span lands in its
+//!   recording thread's ring; at query completion the engine either
+//!   lets the slots recycle (fast queries — free) or promotes the
+//!   query's collected span tree into a retained [`SlowQueryLog`]
+//!   entry (slow / shed / failed / panicked queries), so the one
+//!   production query that blew its budget is explainable after the
+//!   fact without tracing having been on.
+//! * [`report`] — [`ExecReport`]: the structured EXPLAIN / EXPLAIN
+//!   ANALYZE form of one query — plan rows joined to measured spans —
+//!   rendered as JSON or an aligned text tree.
 //! * [`metrics`] — named [`Counter`]s and log-bucketed [`Histogram`]s
 //!   (p50/p95/p99/max, lock-free concurrent recording) in a
 //!   [`Registry`] snapshot-able as JSON and as Prometheus text
@@ -27,14 +39,21 @@
 //!   timeline, one process group per query, one track per worker
 //!   thread.
 //!
-//! See `docs/OBSERVABILITY.md` at the repo root for the span taxonomy
-//! and the metric-name reference.
+//! See `docs/OBSERVABILITY.md` at the repo root for the span taxonomy,
+//! the metric-name reference, and the report field taxonomy.
 
 pub mod chrome;
+pub mod flight;
 pub mod metrics;
+pub mod report;
 pub mod trace;
 
+pub use flight::{
+    flight_enabled, set_flight_recording, CaptureReason, SlowQuery, SlowQueryLog,
+    FLIGHT_RING_CAPACITY,
+};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use report::{ExecReport, NodeReport};
 pub use trace::{
     set_tracing, sink, span, span_with_query, tracing_enabled, Ctx, Span, SpanRecord, TraceSink,
 };

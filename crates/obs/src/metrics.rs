@@ -637,6 +637,80 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_quantile_bounds() {
+        let s = Histogram::new().snapshot();
+        // The full q range is safe on an empty snapshot, including the
+        // exact bounds and out-of-range inputs (clamped).
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(s.quantile_secs(0.99), 0.0);
+        assert_eq!(s.mean_secs(), 0.0);
+        assert_eq!(s.max_secs(), 0.0);
+    }
+
+    #[test]
+    fn quantile_bounds_clamp_to_observed_range() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // q=0.0 targets the first observation's bucket; q=1.0 the max.
+        assert!(s.quantile(0.0) <= s.quantile(1.0));
+        assert_eq!(s.quantile(1.0), 1000, "q=1.0 is the observed max");
+        assert!(s.quantile(0.0) >= bucket_lo(bucket_of(10)));
+        assert!(s.quantile(0.0) <= bucket_hi(bucket_of(10)));
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(s.quantile(7.5), s.quantile(1.0));
+        assert_eq!(s.quantile(-0.5), s.quantile(0.0));
+    }
+
+    #[test]
+    fn merge_saturates_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX - 1);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.sum(), u64::MAX, "histogram merge clamps, not wraps");
+        assert_eq!(s.count(), 2);
+
+        // Snapshot-level merge saturates the same way.
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.sum(), u64::MAX);
+        assert_eq!(sa.count(), 3);
+        assert_eq!(sa.max(), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_secs_on_single_bucket() {
+        let h = Histogram::new();
+        // Three observations in one bucket ([2^29, 2^30): ~0.54–1.07s).
+        for _ in 0..3 {
+            h.record_secs(0.75);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.nonzero_buckets().len(), 1);
+        let (lo, _, n) = s.nonzero_buckets()[0];
+        assert_eq!(n, 3);
+        // Every quantile interpolates within the single bucket and
+        // clamps to the observed max — never outside [lo, max].
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let v = s.quantile_secs(q);
+            assert!(
+                v >= lo as f64 / 1e9 && v <= s.max_secs(),
+                "q={q} -> {v}s outside [{}, {}]",
+                lo as f64 / 1e9,
+                s.max_secs()
+            );
+        }
+        assert_eq!(s.quantile_secs(1.0), s.max_secs());
+    }
+
+    #[test]
     fn record_secs_converts_to_ns() {
         let h = Histogram::new();
         h.record_secs(0.001);

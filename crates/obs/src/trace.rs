@@ -24,14 +24,26 @@
 //! dispatch hand-off as its fair-share ticket, so worker-side pass and
 //! tile spans attribute to the owning query.
 //!
-//! ## Overhead
+//! ## Recording modes and overhead
 //!
-//! Tracing is **off** unless [`set_tracing`]`(true)` ran. Disabled,
-//! [`span`] performs one relaxed atomic load and returns an inert
-//! guard whose drop is a no-op — tens of nanoseconds at worst, cheap
-//! enough for per-pass and per-tile instrumentation to stay compiled
-//! in permanently (`bench_serve` measures the disabled cost and gates
-//! it as `obs_overhead_pct`).
+//! Span creation consults two process-level flags:
+//!
+//! * **Tracing** ([`set_tracing`], off by default) — finished spans
+//!   are retained in the global [`TraceSink`] for export
+//!   (Chrome-trace capture sessions).
+//! * **Flight recording** ([`crate::flight::set_flight_recording`],
+//!   *on* by default) — finished spans go into the recording thread's
+//!   bounded ring ([`crate::flight`]), where they recycle for free
+//!   unless the engine tail-samples the query as slow.
+//!
+//! Both may be on at once (one `SpanRecord` is built, the sink gets a
+//! clone). With **both** off, [`span`] performs two relaxed atomic
+//! loads and returns an inert guard whose drop is a no-op — tens of
+//! nanoseconds at worst, cheap enough for per-pass and per-tile
+//! instrumentation to stay compiled in permanently. `bench_serve`
+//! measures the all-off span cost (`obs_overhead_pct`) and the
+//! flight-on increment (`flight_overhead_pct`), both gated ≤ 3% of
+//! mean service time.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -243,7 +255,7 @@ impl TraceSink {
     }
 }
 
-/// Live state of an open span (absent on the disabled fast path).
+/// Live state of an open span (absent on the all-off fast path).
 struct ActiveSpan {
     id: u64,
     parent: u64,
@@ -252,21 +264,28 @@ struct ActiveSpan {
     name: &'static str,
     cat: &'static str,
     start_ns: u64,
+    /// Tracing was enabled at creation: the finished record is retained
+    /// in the [`TraceSink`] (in addition to the flight ring when that
+    /// is on too).
+    to_sink: bool,
     args: Vec<(&'static str, ArgValue)>,
 }
 
 /// RAII span guard from [`span`] / [`span_with_query`]. Dropping it
-/// records the span (when tracing was enabled at creation).
+/// records the span (when tracing and/or flight recording was enabled
+/// at creation).
 pub struct Span(Option<ActiveSpan>);
 
 /// Opens a span on the current flow (see module docs). With tracing
-/// disabled this is one atomic load and an inert guard.
+/// and flight recording both disabled this is two atomic loads and an
+/// inert guard.
 #[inline]
 pub fn span(name: &'static str, cat: &'static str) -> Span {
-    if !tracing_enabled() {
+    let to_sink = tracing_enabled();
+    if !to_sink && !crate::flight::flight_enabled() {
         return Span(None);
     }
-    open_span(name, cat, false)
+    open_span(name, cat, false, to_sink)
 }
 
 /// Opens a span that **starts a new query track**: this span becomes
@@ -275,13 +294,14 @@ pub fn span(name: &'static str, cat: &'static str) -> Span {
 /// opens one per `execute`.
 #[inline]
 pub fn span_with_query(name: &'static str, cat: &'static str) -> Span {
-    if !tracing_enabled() {
+    let to_sink = tracing_enabled();
+    if !to_sink && !crate::flight::flight_enabled() {
         return Span(None);
     }
-    open_span(name, cat, true)
+    open_span(name, cat, true, to_sink)
 }
 
-fn open_span(name: &'static str, cat: &'static str, new_query: bool) -> Span {
+fn open_span(name: &'static str, cat: &'static str, new_query: bool, to_sink: bool) -> Span {
     let s = sink();
     let id = s.next_id.fetch_add(1, Ordering::Relaxed);
     let prev = current_ctx();
@@ -299,6 +319,7 @@ fn open_span(name: &'static str, cat: &'static str, new_query: bool) -> Span {
         name,
         cat,
         start_ns: s.now_ns(),
+        to_sink,
         args: Vec::new(),
     }))
 }
@@ -346,7 +367,7 @@ impl Drop for Span {
         CTX.with(|c| c.set(a.prev));
         let s = sink();
         let end_ns = s.now_ns();
-        s.push(SpanRecord {
+        let rec = SpanRecord {
             id: a.id,
             parent: a.parent,
             query: a.query,
@@ -356,7 +377,21 @@ impl Drop for Span {
             start_ns: a.start_ns,
             dur_ns: end_ns.saturating_sub(a.start_ns),
             args: a.args,
-        });
+        };
+        // One record, two possible destinations: the tracing sink
+        // (when tracing was on at creation) and the flight ring (when
+        // the recorder is on now). A span opened for a mode that was
+        // disabled meanwhile is simply discarded.
+        if a.to_sink {
+            if crate::flight::flight_enabled() {
+                s.push(rec.clone());
+                crate::flight::record(rec);
+            } else {
+                s.push(rec);
+            }
+        } else if crate::flight::flight_enabled() {
+            crate::flight::record(rec);
+        }
     }
 }
 
@@ -387,6 +422,7 @@ pub(crate) mod tests {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         set_tracing(false);
+        crate::flight::set_flight_recording(false);
         sink().clear();
         let before = sink().len();
         {
@@ -399,6 +435,7 @@ pub(crate) mod tests {
             });
         }
         assert_eq!(sink().len(), before);
+        crate::flight::set_flight_recording(true);
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //! Tracing is a process-wide flag costing one relaxed atomic load per
 //! span site when off; `bench_serve` measures that cost and gates it at
 //! ≤ 3% of mean service time (`obs_overhead_pct` in `BENCH_serve.json`).
+//!
+//! The run also demonstrates the **flight recorder**: the engine is
+//! configured with a 1 µs slow-query threshold, so every submission is
+//! tail-sampled into `QueryEngine::slow_queries()` with a measured
+//! EXPLAIN ANALYZE report, and the slowest capture's annotated plan
+//! tree is printed at the end (`ExecReport::to_text`).
 
 use canvas_algebra::engine::{EngineConfig, Query, QueryEngine};
 use canvas_algebra::obs;
 use canvas_algebra::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let out_path = std::env::args()
@@ -47,6 +54,9 @@ fn main() {
 
     let engine = Arc::new(QueryEngine::with_config(EngineConfig {
         threads: 4,
+        // Far below any real service time: every submission trips the
+        // tail sampler, so the demo always has captures to show.
+        slow_query_threshold: Duration::from_micros(1),
         ..EngineConfig::default()
     }));
 
@@ -115,6 +125,22 @@ fn main() {
     println!("open it at https://ui.perfetto.dev or chrome://tracing");
 
     // The same run also populated the metrics registry: histograms for
-    // service/exec/queue-wait latency plus the engine counters.
+    // service/exec/queue-wait latency plus the engine counters
+    // (including `slow_captured` and the `flight_*` recorder health).
     println!("\nmetrics snapshot:\n{}", engine.metrics_json());
+
+    // Every submission crossed the 1 µs threshold, so the flight
+    // recorder promoted each one with a full EXPLAIN ANALYZE report.
+    // Print the slowest capture's annotated plan tree.
+    let slow = engine.slow_queries();
+    println!("\ntail-sampled slow queries: {} captured", slow.len());
+    if let Some(worst) = slow.iter().max_by_key(|e| e.service_ns) {
+        println!(
+            "slowest: {} ({}, {:.2} ms)\n",
+            worst.label,
+            worst.reason.as_str(),
+            worst.service_ns as f64 / 1e6
+        );
+        println!("{}", worst.report.to_text());
+    }
 }
