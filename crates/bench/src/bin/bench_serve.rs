@@ -27,7 +27,16 @@
 //! asserts cache-hit identity per class (the re-ask returns the
 //! *identical* shared allocation), and records per-class latency
 //! percentiles (`class_<label>_p50_secs` …) from the engine's
-//! per-class service histograms. Run with:
+//! per-class service histograms.
+//!
+//! A sixth section measures **streaming ingest**: a `VersionedTable`
+//! fed deterministic trip-feed append batches, each generation served
+//! by a cache-off engine (full re-render every time) and by a cached
+//! engine (incremental refresh: the predecessor canvas patched with
+//! the delta's dirty tiles). Per-generation bit-identity is asserted,
+//! and the record carries `ingest_incremental_speedup` (gated ≥ 2× on
+//! hosts with ≥ 8 cores), `ingest_appends`, `incremental_refreshes`,
+//! `dirty_tiles_redrawn`, and `full_renders_avoided`. Run with:
 //!
 //! ```text
 //! cargo run --release -p canvas-bench --bin bench_serve \
@@ -651,7 +660,92 @@ fn main() {
     let pm = promoted_engine.metrics();
     let pcs = promoted_engine.cache_stats();
 
-    // --- 6. Observability cost: disabled-span price, always-on flight
+    // --- 6. Streaming ingest: a versioned table fed append batches
+    //        from the deterministic trip feed, served two ways per
+    //        generation — full re-render (cache-off engine: the refresh
+    //        probe always misses) vs incremental refresh (the cached
+    //        predecessor canvas is patched with the delta's dirty
+    //        tiles). Bit-identity is asserted per generation. ---
+    // A large standing table and small feed ticks — the live-ingest
+    // shape where maintenance pays: each delta is a fraction of a
+    // percent of the data a full render would re-draw.
+    let ingest_points = if smoke { 40_000 } else { 160_000 };
+    let ingest_feed_points = if smoke { 2_000 } else { 5_000 };
+    const INGEST_APPENDS: usize = 6;
+    let ingest_resolution = if smoke { 128 } else { 256 };
+    let ingest_vp = Viewport::square_pixels(city_extent(), ingest_resolution);
+    let feed = datagen::trip_feed(
+        &city_extent(),
+        ingest_feed_points,
+        INGEST_APPENDS as u16,
+        91,
+    );
+    let table = VersionedTable::new(
+        "bench-live",
+        city_extent(),
+        PointBatch::from_points(datagen::taxi_pickups(&city_extent(), ingest_points, 91)),
+    );
+    let mk_ingest_engine = |budget: usize| {
+        QueryEngine::with_config(EngineConfig {
+            threads: WORKERS,
+            max_concurrent: CLIENTS,
+            max_queue: 64,
+            cache_budget_bytes: budget,
+            calibrate: false,
+            share_subplans: true,
+            ..EngineConfig::default()
+        })
+    };
+    let ingest_engine = mk_ingest_engine(256 << 20);
+    let ingest_engine_full = mk_ingest_engine(0);
+    // Warm generation 0 into the incremental arm's cache; every later
+    // generation must then be served by patching its predecessor.
+    let warm = ingest_engine
+        .execute(
+            &Query::LiveHeatmap {
+                snapshot: table.snapshot(),
+            },
+            ingest_vp,
+        )
+        .expect("served");
+    assert_eq!(warm.served, Served::Computed);
+    let mut ingest_full_wall = 0.0;
+    let mut ingest_incr_wall = 0.0;
+    for g in 1..=INGEST_APPENDS {
+        ingest_engine.ingest_append(&table, &feed.batch(g - 1));
+        let snapshot = table.snapshot();
+        let t0 = Instant::now();
+        let full = ingest_engine_full
+            .execute(
+                &Query::LiveHeatmap {
+                    snapshot: snapshot.clone(),
+                },
+                ingest_vp,
+            )
+            .expect("served");
+        ingest_full_wall += t0.elapsed().as_secs_f64();
+        assert_eq!(full.served, Served::Computed);
+        let t0 = Instant::now();
+        let incr = ingest_engine
+            .execute(&Query::LiveHeatmap { snapshot }, ingest_vp)
+            .expect("served");
+        ingest_incr_wall += t0.elapsed().as_secs_f64();
+        assert_eq!(
+            incr.served,
+            Served::Incremental,
+            "generation {g} must be served by patching the cached predecessor"
+        );
+        assert_eq!(
+            incr.canvas().texels(),
+            full.canvas().texels(),
+            "patched generation {g} must be bit-identical to the full render"
+        );
+        assert_eq!(incr.canvas().cover(), full.canvas().cover());
+    }
+    let ingest_speedup = ingest_full_wall / ingest_incr_wall;
+    let im = ingest_engine.metrics();
+
+    // --- 7. Observability cost: disabled-span price, always-on flight
     //        ring price, spans per query, and (optionally) a Perfetto
     //        trace of a replayed slice. Runs after every timed arm so
     //        tracing never touches them. ---
@@ -691,7 +785,7 @@ fn main() {
     }
     obs::sink().clear();
 
-    // --- 7. Tail-sampled capture: a tiny-threshold engine promotes
+    // --- 8. Tail-sampled capture: a tiny-threshold engine promotes
     //        every submission into its slow-query log, proving the
     //        capture path end to end in this process and giving
     //        `--report-out` a measured EXPLAIN ANALYZE report. ---
@@ -803,6 +897,31 @@ fn main() {
             stats.p99_secs()
         );
     }
+    let _ = writeln!(json, "  \"ingest_appends\": {},", im.ingest_appends);
+    let _ = writeln!(json, "  \"ingest_full_wall_secs\": {ingest_full_wall:.4},");
+    let _ = writeln!(
+        json,
+        "  \"ingest_incremental_wall_secs\": {ingest_incr_wall:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"ingest_incremental_speedup\": {ingest_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental_refreshes\": {},",
+        im.incremental_refreshes
+    );
+    let _ = writeln!(
+        json,
+        "  \"dirty_tiles_redrawn\": {},",
+        im.dirty_tiles_redrawn
+    );
+    let _ = writeln!(
+        json,
+        "  \"full_renders_avoided\": {},",
+        im.full_renders_avoided
+    );
     let _ = writeln!(
         json,
         "  \"scheduler_fairness_jain_clients\": {fairness:.4},"
@@ -950,6 +1069,30 @@ fn main() {
         pcs.result_entries >= 6 && pcs.result_bytes > 0,
         "non-canvas results must be resident and byte-accounted: {pcs:?}"
     );
+    // Streaming ingest: every append bumped a generation, every bumped
+    // generation was served incrementally, and the counters agree.
+    assert_eq!(im.ingest_appends, INGEST_APPENDS as u64);
+    assert_eq!(im.incremental_refreshes, INGEST_APPENDS as u64);
+    assert_eq!(
+        im.full_renders_avoided, INGEST_APPENDS as u64,
+        "only successful patches may count as avoided renders"
+    );
+    assert!(
+        im.dirty_tiles_redrawn >= 1,
+        "in-viewport appends must have dirtied tiles: {im:?}"
+    );
+    if host_cores >= 8 {
+        assert!(
+            ingest_speedup >= 2.0,
+            "incremental refresh {ingest_incr_wall:.4}s not >= 2x faster than \
+             full re-render {ingest_full_wall:.4}s on a {host_cores}-core host"
+        );
+    } else {
+        eprintln!(
+            "note: ingest incremental speedup {ingest_speedup:.2}x recorded, \
+             gate applies on hosts with >= 8 cores"
+        );
+    }
     if host_cores >= 4 {
         assert!(
             speedup_vs_lock >= 1.5,

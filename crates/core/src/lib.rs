@@ -59,12 +59,17 @@ pub mod queries;
 pub mod serial;
 pub mod source;
 pub mod table;
+pub mod versioned;
 pub mod viz;
 
 pub use canvas::{Canvas, PointBatch};
 pub use device::{Device, SharedDevice};
 pub use info::{BlendFn, DimInfo, Texel};
 pub use table::{SpatialTable, TableError};
+pub use versioned::{
+    patch_live_heatmap, render_live_heatmap, AppendOutcome, PatchOutcome, TableSnapshot,
+    VersionedTable,
+};
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
@@ -82,6 +87,9 @@ pub mod prelude {
     pub use crate::queries;
     pub use crate::source::{
         render_points, render_polygon, render_polygon_set, render_polylines, render_query_polygon,
+    };
+    pub use crate::versioned::{
+        patch_live_heatmap, render_live_heatmap, TableSnapshot, VersionedTable,
     };
     pub use canvas_raster::Viewport;
 }

@@ -1,0 +1,545 @@
+//! Versioned point tables and incremental canvas maintenance.
+//!
+//! The paper motivates the model with a continuously arriving taxi
+//! feed, but the algebra's tables are immutable and the engine's cache
+//! keys identify datasets by `Arc` handle — a live deployment would
+//! have to drop every cached canvas and re-render O(dataset) on each
+//! append. This module adds the streaming-ingest story:
+//!
+//! * [`VersionedTable`] — an append-only point table with a **stable
+//!   identity handle** and a **monotone generation stamp**. Both fold
+//!   into [`FingerprintBuilder`] identities
+//!   ([`TableSnapshot::fold_identity`]), so a cached canvas keyed at
+//!   generation `g` can never satisfy a probe at generation `g+1`
+//!   (stale results are unreachable by construction), while repeated
+//!   probes at the *same* generation still hit.
+//! * [`render_live_heatmap`] — the maintained view: a full tiled
+//!   point-density render finished by the `HeatLog` value pass
+//!   (`v2 := ln(1 + count)` per occupied pixel).
+//! * [`patch_live_heatmap`] — O(delta) maintenance: clone the cached
+//!   canvas of a previous generation, bin only the appended points to
+//!   tiles, replay the blend on the dirty tiles, re-apply the value
+//!   pass over those tiles, and append the delta's boundary entries.
+//!
+//! ## Why the patch is bit-identical to a full re-render
+//!
+//! The equivalence is by construction, not approximation (and fuzzed
+//! in `tests/incremental_equivalence.rs`):
+//!
+//! * Per-pixel blending is a sequential left fold over points in input
+//!   order ([`BlendFn::PointAccumulate`]); folding the appended suffix
+//!   onto the prefix's result equals folding the whole sequence. The
+//!   blend reads and writes only the 0-row's `(id, v1, v2)`.
+//! * The `HeatLog` value kernel writes `v2` purely from `v1` and
+//!   touches nothing else. Re-applying it over a dirty tile therefore
+//!   overwrites the only word the cached (post-value-pass) texels
+//!   disagree on with the pre-value-pass fold state — and tiles with
+//!   no delta points already hold the exact full-render texels.
+//! * Boundary point entries are stably sorted by pixel; pushing the
+//!   delta's entries in input order and re-sorting reproduces the
+//!   push-all-then-sort index exactly. The cover plane is never
+//!   touched by point draws.
+//!
+//! The grid index rides along incrementally: the table retains its CSR
+//! [`GridIndexBuilder`] and inserts only the delta points on append —
+//! [`VersionedTable::grid_index`] packs the accumulated items without
+//! re-binning the history.
+
+use std::sync::{Arc, Mutex};
+
+use crate::algebra::FingerprintBuilder;
+use crate::boundary::PointEntry;
+use crate::canvas::{Canvas, PointBatch};
+use crate::device::Device;
+use crate::info::{BlendFn, Texel};
+use canvas_geom::grid::{GridIndex, GridIndexBuilder};
+use canvas_geom::{BBox, Point};
+use canvas_raster::{Backend, OpChain, ValueTag, Viewport};
+
+/// Result of one [`VersionedTable::append`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The new (post-append) generation.
+    pub generation: u64,
+    /// Points accepted by this append (may be 0 — an empty append is a
+    /// no-op generation bump).
+    pub appended: usize,
+    /// Total points at the new generation.
+    pub total: usize,
+}
+
+/// Outcome of one [`patch_live_heatmap`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatchOutcome {
+    /// Tiles that received at least one delta point and were redrawn.
+    pub dirty_tiles: usize,
+    /// Total tiles of the viewport's grid.
+    pub total_tiles: usize,
+    /// Points in the applied delta (including out-of-viewport ones).
+    pub delta_points: usize,
+}
+
+struct State {
+    points: Vec<Point>,
+    weights: Vec<f32>,
+    /// Monotone version stamp; bumped by every append, empty or not.
+    generation: u64,
+    /// `gen_lens[g]` = point count at generation `g` (append-only, so a
+    /// generation's prefix length identifies its contents exactly).
+    gen_lens: Vec<usize>,
+    appends: u64,
+    /// Retained CSR builder: appends insert only the delta points.
+    grid: GridIndexBuilder,
+    /// Cached immutable snapshot of the current generation.
+    snapshot: Option<TableSnapshot>,
+}
+
+/// An append-only versioned point table (see module docs).
+///
+/// Appends and snapshots are thread-safe; concurrent appenders
+/// serialize on an internal lock and readers always observe a complete
+/// generation. Record ids are assigned globally (`0..len` in arrival
+/// order) so ids stay unique across appended batches.
+pub struct VersionedTable {
+    /// Stable identity: fingerprints hash this `Arc`'s address, so the
+    /// table keeps one dataset identity across all generations (and
+    /// cache entries pin it to keep the address alive).
+    ident: Arc<String>,
+    state: Mutex<State>,
+}
+
+impl VersionedTable {
+    /// A table over the feed's declared world `extent` (sizes the
+    /// retained grid index; appended points outside it are clamped to
+    /// edge cells) seeded with `base` as generation 0.
+    pub fn new(name: &str, extent: BBox, base: PointBatch) -> Self {
+        let extent = extent.inflated(1e-9);
+        let extent = if extent.is_empty() {
+            BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        } else {
+            extent
+        };
+        let mut grid = GridIndexBuilder::with_target_occupancy(extent, base.len().max(1024), 8);
+        for (i, &p) in base.points.iter().enumerate() {
+            grid.insert(i as u32, &BBox::new(p, p));
+        }
+        VersionedTable {
+            ident: Arc::new(name.to_string()),
+            state: Mutex::new(State {
+                gen_lens: vec![base.points.len()],
+                points: base.points,
+                weights: base.weights,
+                generation: 0,
+                appends: 0,
+                grid,
+                snapshot: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Table name (diagnostics only; identity is the `Arc` address).
+    pub fn name(&self) -> &str {
+        &self.ident
+    }
+
+    /// Appends a batch and bumps the generation. Incoming ids are
+    /// ignored — records get global sequential ids; weights are kept.
+    /// An empty batch is a no-op generation bump (same points, new
+    /// stamp), which deliberately invalidates cached fingerprints.
+    pub fn append(&self, batch: &PointBatch) -> AppendOutcome {
+        let mut st = self.lock();
+        let base = st.points.len();
+        for (k, &p) in batch.points.iter().enumerate() {
+            st.grid.insert((base + k) as u32, &BBox::new(p, p));
+        }
+        st.points.extend_from_slice(&batch.points);
+        st.weights.extend_from_slice(&batch.weights);
+        st.generation += 1;
+        st.appends += 1;
+        let total = st.points.len();
+        st.gen_lens.push(total);
+        st.snapshot = None;
+        AppendOutcome {
+            generation: st.generation,
+            appended: batch.len(),
+            total,
+        }
+    }
+
+    /// Current generation stamp (0 for the freshly constructed table).
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Total appends accepted so far.
+    pub fn appends(&self) -> u64 {
+        self.lock().appends
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An immutable snapshot of the current generation (cached until
+    /// the next append, so repeated snapshots of one generation share
+    /// the same batch `Arc` — and therefore the same fingerprint).
+    pub fn snapshot(&self) -> TableSnapshot {
+        let mut st = self.lock();
+        if st.snapshot.is_none() {
+            let n = st.points.len();
+            st.snapshot = Some(TableSnapshot {
+                ident: Arc::clone(&self.ident),
+                batch: Arc::new(PointBatch {
+                    points: st.points.clone(),
+                    ids: (0..n as u32).collect(),
+                    weights: st.weights.clone(),
+                }),
+                generation: st.generation,
+                gen_lens: Arc::new(st.gen_lens.clone()),
+            });
+        }
+        st.snapshot.clone().expect("populated above")
+    }
+
+    /// Packs the retained (incrementally grown) CSR builder into a
+    /// queryable grid index. Equivalent to rebuilding from scratch over
+    /// the current points — asserted in tests — but appends never
+    /// re-bin the history.
+    pub fn grid_index(&self) -> GridIndex {
+        self.lock().grid.clone().build()
+    }
+}
+
+/// An immutable view of one generation of a [`VersionedTable`]:
+/// the full point batch, the generation stamp, and the prefix lengths
+/// of every earlier generation (what an incremental refresh needs to
+/// locate a delta against *any* cached predecessor).
+#[derive(Clone)]
+pub struct TableSnapshot {
+    ident: Arc<String>,
+    batch: Arc<PointBatch>,
+    generation: u64,
+    gen_lens: Arc<Vec<usize>>,
+}
+
+impl TableSnapshot {
+    /// The snapshot's full point batch (shared; append-only prefix of
+    /// every later generation).
+    pub fn batch(&self) -> &Arc<PointBatch> {
+        &self.batch
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Point count at `generation` (≤ this snapshot's), or `None` for
+    /// unknown generations.
+    pub fn len_at(&self, generation: u64) -> Option<usize> {
+        if generation > self.generation {
+            return None;
+        }
+        self.gen_lens.get(generation as usize).copied()
+    }
+
+    /// Prior generations of this table, newest first — the probe order
+    /// for an incremental refresh (patching the freshest cached canvas
+    /// redraws the fewest points).
+    pub fn predecessors(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.generation).rev()
+    }
+
+    /// Folds this snapshot's dataset identity — stable table handle +
+    /// generation stamp + length — into a fingerprint under the
+    /// standard identity contract (datasets by handle). Two snapshots
+    /// of one table at different generations can never collide, and
+    /// re-snapshotting an unchanged table reproduces the identity.
+    pub fn fold_identity(&self, fb: &mut FingerprintBuilder) {
+        fb.handle(&self.ident, self.len()).word(self.generation);
+    }
+
+    /// Identity of the same table at an older `generation` (for
+    /// probing a predecessor's cache entries). Panics on generations
+    /// this snapshot does not know.
+    pub fn fold_identity_at(&self, fb: &mut FingerprintBuilder, generation: u64) {
+        let len = self
+            .len_at(generation)
+            .expect("generation beyond this snapshot");
+        fb.handle(&self.ident, len).word(generation);
+    }
+
+    /// The table's stable identity handle — cache entries must pin
+    /// this (the fingerprint hashed its address) alongside the batch.
+    pub fn ident_handle(&self) -> Arc<String> {
+        Arc::clone(&self.ident)
+    }
+}
+
+/// Builds the live-heatmap operator chain: the tiled point-density
+/// draw finished by the `HeatLog` value pass, optionally pinned to an
+/// explicit SIMD backend (tests pin both the full and the incremental
+/// path to the same backend to exercise the dispatch axis without
+/// process-global state).
+fn heatmap_chain<'a>(backend: Option<Backend>) -> OpChain<'a, Texel> {
+    let chain: OpChain<'_, Texel> = OpChain::new()
+        .with_null_test(|t: &Texel| t.is_null())
+        .map_tagged(ValueTag::HeatLog);
+    match backend {
+        Some(be) => chain.with_backend(be),
+        None => chain,
+    }
+}
+
+/// Full render of the live density heatmap: every point accumulates
+/// `(count, weight)` into its pixel's 0-row, then the `HeatLog` pass
+/// writes `v2 := ln(1 + count)`. This is the from-scratch path an
+/// incremental refresh falls back to (and the oracle the patch path is
+/// compared against, bit for bit).
+pub fn render_live_heatmap(
+    dev: &mut Device,
+    vp: Viewport,
+    batch: &PointBatch,
+    backend: Option<Backend>,
+) -> Canvas {
+    let mut canvas = Canvas::empty(vp);
+    dev.pipeline().note_upload(batch.upload_bytes());
+    let chain = heatmap_chain(backend);
+    let ids = &batch.ids;
+    let weights = &batch.weights;
+    {
+        let (texels, cover, _) = canvas.planes_mut();
+        dev.pipeline().run_chain_points(
+            &vp,
+            texels,
+            Some(cover),
+            &batch.points,
+            |i, _| Texel::point(ids[i as usize], 1.0, weights[i as usize]),
+            |d, s| BlendFn::PointAccumulate.apply(d, s),
+            &chain,
+        );
+    }
+    crate::source::push_point_entries(&mut canvas, &vp, batch);
+    canvas
+}
+
+/// Incremental maintenance of a live heatmap: clones `base` — the
+/// canvas rendered from the first `from_len` points of `batch` — and
+/// patches in the appended suffix `batch[from_len..]`, redrawing only
+/// the tiles the delta touches. Bit-identical to
+/// [`render_live_heatmap`] over the full batch (module docs explain
+/// why; the proptest oracle asserts it).
+pub fn patch_live_heatmap(
+    dev: &mut Device,
+    vp: Viewport,
+    base: &Canvas,
+    batch: &PointBatch,
+    from_len: usize,
+    backend: Option<Backend>,
+) -> (Canvas, PatchOutcome) {
+    assert_eq!(
+        base.viewport(),
+        &vp,
+        "patch requires the cached canvas's viewport"
+    );
+    assert!(
+        from_len <= batch.len(),
+        "previous generation longer than the batch (tables are append-only)"
+    );
+    let mut canvas = base.clone();
+    let delta_points = &batch.points[from_len..];
+    let delta_ids = &batch.ids[from_len..];
+    let delta_weights = &batch.weights[from_len..];
+    // Only the delta is uploaded — the cached canvas is already device
+    // resident in the modeled deployment.
+    dev.pipeline()
+        .note_upload((delta_points.len() * (8 + 4 + 4)) as u64);
+    let be = backend.unwrap_or_else(canvas_raster::simd::active_backend);
+    let report = {
+        let (texels, _, _) = canvas.planes_mut();
+        dev.pipeline().patch_points_tiled(
+            &vp,
+            texels,
+            delta_points,
+            |i, _| Texel::point(delta_ids[i as usize], 1.0, delta_weights[i as usize]),
+            |d, s| BlendFn::PointAccumulate.apply(d, s),
+            Some((be, ValueTag::HeatLog)),
+        )
+    };
+    // Delta boundary entries in input order onto the (sorted) cloned
+    // index; the stable re-sort reproduces push-all-then-sort exactly.
+    for (i, &p) in delta_points.iter().enumerate() {
+        if let Some((x, y)) = vp.world_to_pixel(p) {
+            let pixel = canvas.pixel_index(x, y);
+            canvas.boundary_mut().push_point(PointEntry {
+                pixel,
+                record: delta_ids[i],
+                loc: p,
+                weight: delta_weights[i],
+            });
+        }
+    }
+    canvas.boundary_mut().sort();
+    (
+        canvas,
+        PatchOutcome {
+            dirty_tiles: report.dirty_tiles,
+            total_tiles: report.total_tiles,
+            delta_points: delta_points.len(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp(n: u32) -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            n,
+            n,
+        )
+    }
+
+    fn batch(pts: &[(f64, f64)]) -> PointBatch {
+        PointBatch::from_points(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn generations_and_snapshots() {
+        let t = VersionedTable::new(
+            "taxi",
+            BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            batch(&[(1.0, 1.0), (2.0, 2.0)]),
+        );
+        assert_eq!(t.generation(), 0);
+        assert_eq!(t.len(), 2);
+        let s0 = t.snapshot();
+        // Same-generation snapshots share the batch Arc (stable
+        // fingerprints for cache hits).
+        assert!(Arc::ptr_eq(s0.batch(), t.snapshot().batch()));
+
+        let out = t.append(&batch(&[(3.0, 3.0)]));
+        assert_eq!(
+            out,
+            AppendOutcome {
+                generation: 1,
+                appended: 1,
+                total: 3
+            }
+        );
+        let s1 = t.snapshot();
+        assert_eq!(s1.generation(), 1);
+        assert_eq!(s1.len_at(0), Some(2));
+        assert_eq!(s1.len_at(1), Some(3));
+        assert_eq!(s1.len_at(2), None);
+        assert_eq!(s1.predecessors().collect::<Vec<_>>(), vec![0]);
+        // Global ids stay sequential across appends.
+        assert_eq!(s1.batch().ids, vec![0, 1, 2]);
+
+        // Identity: same generation reproduces, different generations
+        // (and the no-op bump) differ.
+        let fp = |s: &TableSnapshot| {
+            let mut fb = FingerprintBuilder::new("test/versioned");
+            s.fold_identity(&mut fb);
+            fb.finish()
+        };
+        assert_ne!(fp(&s0), fp(&s1));
+        assert_eq!(fp(&s1), fp(&t.snapshot()));
+        let empty = t.append(&PointBatch::default());
+        assert_eq!(
+            empty,
+            AppendOutcome {
+                generation: 2,
+                appended: 0,
+                total: 3
+            }
+        );
+        assert_ne!(fp(&t.snapshot()), fp(&s1), "empty append still re-stamps");
+        // The old snapshot can reconstruct its own identity from the
+        // newer one's view.
+        let mut fb = FingerprintBuilder::new("test/versioned");
+        t.snapshot().fold_identity_at(&mut fb, 1);
+        assert_eq!(fb.finish(), fp(&s1));
+    }
+
+    #[test]
+    fn incremental_grid_index_matches_rebuild() {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let t = VersionedTable::new("g", extent, batch(&[(1.0, 1.0), (9.0, 9.0)]));
+        t.append(&batch(&[(1.2, 1.1), (5.0, 5.0)]));
+        let got = t.grid_index();
+        assert_eq!(got.len(), 4);
+        let q = BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let hits = got.query(&q);
+        assert!(hits.contains(&0) && hits.contains(&2), "hits {hits:?}");
+        assert!(!hits.contains(&1) && !hits.contains(&3), "hits {hits:?}");
+    }
+
+    #[test]
+    fn patch_matches_full_render_simple() {
+        let full = batch(&[(2.5, 2.5), (2.6, 2.4), (7.5, 7.5), (2.5, 2.5), (1.0, 8.0)]);
+        for threads in [1usize, 3] {
+            let mut dev_full = Device::cpu_parallel(threads);
+            let mut dev_inc = Device::cpu_parallel(threads);
+            let want = render_live_heatmap(&mut dev_full, vp(128), &full, None);
+            let prefix = PointBatch {
+                points: full.points[..3].to_vec(),
+                ids: full.ids[..3].to_vec(),
+                weights: full.weights[..3].to_vec(),
+            };
+            let base = render_live_heatmap(&mut dev_inc, vp(128), &prefix, None);
+            let (got, out) = patch_live_heatmap(&mut dev_inc, vp(128), &base, &full, 3, None);
+            assert_eq!(got.texels(), want.texels(), "threads={threads}");
+            assert_eq!(got.cover(), want.cover(), "threads={threads}");
+            assert_eq!(got.boundary(), want.boundary(), "threads={threads}");
+            assert_eq!(out.delta_points, 2);
+            assert!(out.dirty_tiles >= 1 && out.dirty_tiles <= 2);
+            assert_eq!(out.total_tiles, 4);
+        }
+    }
+
+    #[test]
+    fn empty_delta_patch_is_identity() {
+        let full = batch(&[(2.5, 2.5), (7.5, 7.5)]);
+        let mut dev = Device::cpu();
+        let base = render_live_heatmap(&mut dev, vp(64), &full, None);
+        let (got, out) = patch_live_heatmap(&mut dev, vp(64), &base, &full, 2, None);
+        assert_eq!(got.texels(), base.texels());
+        assert_eq!(got.boundary(), base.boundary());
+        assert_eq!(out.dirty_tiles, 0);
+        assert_eq!(out.delta_points, 0);
+    }
+
+    #[test]
+    fn out_of_viewport_delta_dirties_no_tiles() {
+        let full = batch(&[(2.5, 2.5), (50.0, 50.0), (-3.0, 4.0)]);
+        let mut dev = Device::cpu();
+        let base = render_live_heatmap(&mut dev, vp(64), &full, None);
+        let (got, out) = patch_live_heatmap(&mut dev, vp(64), &base, &full, 1, None);
+        let mut dev2 = Device::cpu();
+        let want = render_live_heatmap(&mut dev2, vp(64), &full, None);
+        assert_eq!(got.texels(), want.texels());
+        assert_eq!(got.boundary(), want.boundary());
+        assert_eq!(out.dirty_tiles, 0, "out-of-viewport points dirty nothing");
+        assert_eq!(out.delta_points, 2);
+    }
+}

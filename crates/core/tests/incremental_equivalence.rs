@@ -1,0 +1,179 @@
+//! The streaming-ingest bit-identity oracle.
+//!
+//! Every prior layer (tiling, binning, chains, SIMD) is held together
+//! by the same contract — parallel ≡ sequential ≡ fused, bit for bit —
+//! so the incremental dirty-tile maintenance path ships with its own:
+//! a random base dataset plus a random append sequence, maintained
+//! generation by generation through `patch_live_heatmap`, must equal a
+//! from-scratch `render_live_heatmap` of the full dataset **exactly**
+//! (texel words, cover plane, boundary index, canvas-level stats) at
+//! every generation, on every device shape (1 / 2 / 8 workers) and on
+//! both SIMD dispatch modes (forced scalar vs auto).
+//!
+//! The reference for all configurations is the sequential forced-scalar
+//! from-scratch render, so the assertions also pin the cross-device and
+//! cross-backend axes, not just incremental-vs-scratch per config.
+
+use canvas_core::{patch_live_heatmap, render_live_heatmap, Canvas, Device, PointBatch, Texel};
+use canvas_geom::{BBox, Point};
+use canvas_raster::{Backend, Viewport};
+use proptest::prelude::*;
+
+fn extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+/// 192×192 → a 3×3 grid of 64-px tiles, so deltas routinely dirty a
+/// strict subset of tiles.
+fn vp() -> Viewport {
+    Viewport::new(extent(), 192, 192)
+}
+
+/// Points straddle the viewport border: out-of-viewport appends must
+/// flow through the maintenance path as zero-fragment work.
+fn arb_weighted() -> impl Strategy<Value = (Point, f32)> {
+    ((-15.0f64..115.0, -15.0f64..115.0), 0.25f32..8.0).prop_map(|((x, y), w)| (Point::new(x, y), w))
+}
+
+fn batch(pts: &[(Point, f32)]) -> PointBatch {
+    PointBatch::with_weights(
+        pts.iter().map(|&(p, _)| p).collect(),
+        pts.iter().map(|&(_, w)| w).collect(),
+    )
+}
+
+/// The texel plane as raw `u32` words (bitwise comparison — `f32`
+/// `PartialEq` would conflate `-0.0 == 0.0` and miss NaN payloads).
+fn texel_words(c: &Canvas) -> &[u32] {
+    let texels: &[Texel] = c.texels().texels();
+    const WORDS: usize = std::mem::size_of::<Texel>() / 4;
+    unsafe { std::slice::from_raw_parts(texels.as_ptr().cast::<u32>(), texels.len() * WORDS) }
+}
+
+fn assert_bit_identical(got: &Canvas, want: &Canvas, ctx: &str) {
+    assert_eq!(texel_words(got), texel_words(want), "texel words: {ctx}");
+    assert_eq!(got.cover(), want.cover(), "cover plane: {ctx}");
+    assert_eq!(got.boundary(), want.boundary(), "boundary index: {ctx}");
+    // Canvas-level stats ride along for free once the planes match,
+    // but they are the quantities the oracle's consumers read — assert
+    // them by name. (PipelineStats are deliberately NOT compared: the
+    // incremental path doing O(delta) device work instead of O(n) is
+    // the feature, not a divergence.)
+    assert_eq!(got.non_null_count(), want.non_null_count(), "{ctx}");
+    assert_eq!(got.point_records(), want.point_records(), "{ctx}");
+    assert_eq!(
+        got.point_weight_sum().to_bits(),
+        want.point_weight_sum().to_bits(),
+        "{ctx}"
+    );
+}
+
+/// The device/dispatch grid: `Device::cpu` and `cpu_parallel{2,8}`,
+/// each forced-scalar and auto-dispatched. `None` inherits
+/// `simd::active_backend()` (AVX2/SSE2 where the host has it).
+fn configs() -> [(usize, Option<Backend>); 6] {
+    [
+        (1, Some(Backend::Scalar)),
+        (1, None),
+        (2, Some(Backend::Scalar)),
+        (2, None),
+        (8, Some(Backend::Scalar)),
+        (8, None),
+    ]
+}
+
+fn device(threads: usize) -> Device {
+    if threads == 1 {
+        Device::cpu()
+    } else {
+        Device::cpu_parallel(threads)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random base + random append sequence ⇒ maintained canvas equals
+    /// the from-scratch render at every generation, on every config,
+    /// against one shared sequential-scalar reference.
+    #[test]
+    fn incremental_matches_scratch_across_devices_and_backends(
+        base in prop::collection::vec(arb_weighted(), 0..50),
+        appends in prop::collection::vec(prop::collection::vec(arb_weighted(), 0..25), 1..4),
+    ) {
+        // Cumulative batches per generation, with the global sequential
+        // ids a VersionedTable would assign.
+        let mut cum = base.clone();
+        let mut gens: Vec<PointBatch> = vec![batch(&cum)];
+        for delta in &appends {
+            cum.extend(delta.iter().copied());
+            gens.push(batch(&cum));
+        }
+
+        // The shared reference: sequential, forced scalar, from scratch.
+        let mut ref_dev = device(1);
+        let refs: Vec<Canvas> = gens
+            .iter()
+            .map(|g| render_live_heatmap(&mut ref_dev, vp(), g, Some(Backend::Scalar)))
+            .collect();
+
+        for (threads, backend) in configs() {
+            let ctx_cfg = format!("threads={threads} backend={backend:?}");
+
+            // From-scratch renders on this config match the reference
+            // (the cross-device / cross-backend axis).
+            let mut dev = device(threads);
+            for (g, full) in gens.iter().enumerate() {
+                let scratch = render_live_heatmap(&mut dev, vp(), full, backend);
+                assert_bit_identical(&scratch, &refs[g], &format!("scratch gen {g}, {ctx_cfg}"));
+            }
+
+            // Incremental maintenance on this config: render gen 0,
+            // then patch forward one generation at a time. Every
+            // intermediate must already be bit-identical — a compensating
+            // error that cancels by the last generation would still be
+            // a bug.
+            let mut dev = device(threads);
+            let mut maintained = render_live_heatmap(&mut dev, vp(), &gens[0], backend);
+            assert_bit_identical(&maintained, &refs[0], &format!("gen 0, {ctx_cfg}"));
+            for g in 1..gens.len() {
+                let from_len = gens[g - 1].len();
+                let (patched, out) =
+                    patch_live_heatmap(&mut dev, vp(), &maintained, &gens[g], from_len, backend);
+                prop_assert_eq!(out.delta_points, gens[g].len() - from_len);
+                prop_assert!(out.dirty_tiles <= out.total_tiles);
+                assert_bit_identical(&patched, &refs[g], &format!("patched gen {g}, {ctx_cfg}"));
+                maintained = patched;
+            }
+        }
+    }
+
+    /// Patching may also start from *any* older generation (the engine
+    /// probes predecessors newest-first but takes whatever the cache
+    /// still holds): skipping generations must be as exact as stepping.
+    #[test]
+    fn patch_from_any_predecessor_generation(
+        base in prop::collection::vec(arb_weighted(), 1..40),
+        mid in prop::collection::vec(arb_weighted(), 1..20),
+        last in prop::collection::vec(arb_weighted(), 1..20),
+    ) {
+        let mut cum = base.clone();
+        let g0 = batch(&cum);
+        cum.extend(mid.iter().copied());
+        let g1 = batch(&cum);
+        cum.extend(last.iter().copied());
+        let g2 = batch(&cum);
+
+        let mut dev = device(2);
+        let want = render_live_heatmap(&mut dev, vp(), &g2, None);
+        let base0 = render_live_heatmap(&mut dev, vp(), &g0, None);
+        let base1 = render_live_heatmap(&mut dev, vp(), &g1, None);
+        // One hop from the freshest predecessor…
+        let (from1, _) = patch_live_heatmap(&mut dev, vp(), &base1, &g2, g1.len(), None);
+        assert_bit_identical(&from1, &want, "patch from gen 1");
+        // …and a double-size delta from two generations back.
+        let (from0, out) = patch_live_heatmap(&mut dev, vp(), &base0, &g2, g0.len(), None);
+        prop_assert_eq!(out.delta_points, mid.len() + last.len());
+        assert_bit_identical(&from0, &want, "patch from gen 0");
+    }
+}

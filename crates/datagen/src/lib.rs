@@ -23,4 +23,4 @@ pub mod trips;
 pub use neighborhoods::{jittered_sites, neighborhoods, neighborhoods_detailed, subdivide_polygon};
 pub use points::{clustered_points, default_hotspots, taxi_pickups, uniform_points, Hotspot};
 pub use polygons::{calibrated_polygon, fit_to_bbox, selectivity, star_polygon};
-pub use trips::{generate_trips, Trips};
+pub use trips::{generate_trips, trip_feed, TripFeed, Trips};

@@ -54,6 +54,24 @@ impl Trips {
         canvas_core::PointBatch::with_weights(self.pickups.clone(), self.fares.clone())
     }
 
+    /// Every column stably sorted by pickup time slot — the arrival
+    /// order of a live feed. `generate_trips` draws slots i.i.d., so
+    /// its raw column order is generation order, not arrival order;
+    /// the **stable** sort makes the result (and anything built on it,
+    /// like [`TripFeed`]) a pure function of the seed.
+    pub fn sorted_by_time(&self) -> Trips {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by_key(|&i| self.time_slots[i]);
+        Trips {
+            pickups: idx.iter().map(|&i| self.pickups[i]).collect(),
+            dropoffs: idx.iter().map(|&i| self.dropoffs[i]).collect(),
+            fares: idx.iter().map(|&i| self.fares[i]).collect(),
+            passenger_counts: idx.iter().map(|&i| self.passenger_counts[i]).collect(),
+            time_slots: idx.iter().map(|&i| self.time_slots[i]).collect(),
+            num_time_slots: self.num_time_slots,
+        }
+    }
+
     /// As an origin–destination batch for OD queries.
     pub fn od_batch(&self) -> canvas_core::queries::od::TripBatch {
         canvas_core::queries::od::TripBatch {
@@ -90,6 +108,79 @@ pub fn generate_trips(extent: &BBox, n: usize, num_time_slots: u16, seed: u64) -
         time_slots,
         num_time_slots,
     }
+}
+
+/// A deterministic, replayable taxi-feed stream: trips arrive in
+/// pickup-time order, one append batch per time slot. Built for the
+/// streaming-ingest path — batch 0 seeds a
+/// [`VersionedTable`](canvas_core::VersionedTable), each later batch
+/// is one append — and for the stress/bench workloads, which need the
+/// *same* batches on every run: two feeds over identical trips (same
+/// seed) emit bit-identical batches in the same order.
+pub struct TripFeed {
+    trips: Trips,
+    /// `starts[s]..starts[s + 1]` is slot `s`'s index range in the
+    /// time-sorted columns.
+    starts: Vec<usize>,
+}
+
+impl TripFeed {
+    /// Feed over a trip table (sorted internally; see
+    /// [`Trips::sorted_by_time`]). Every time slot yields a batch, so
+    /// empty slots replay as empty appends — a real feed ticks even
+    /// when no trips arrive.
+    pub fn new(trips: &Trips) -> TripFeed {
+        let trips = trips.sorted_by_time();
+        let mut starts = vec![0usize; trips.num_time_slots.max(1) as usize + 1];
+        for &s in &trips.time_slots {
+            starts[s as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        TripFeed { trips, starts }
+    }
+
+    /// Append batches in the feed (= time slots, including empty ones).
+    pub fn num_batches(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total trips across all batches.
+    pub fn len(&self) -> usize {
+        self.trips.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trips.is_empty()
+    }
+
+    /// The slot-`i` append batch: pickups weighted by fare, in arrival
+    /// order. Ids are batch-local — a `VersionedTable` re-ids appends
+    /// globally on ingest.
+    pub fn batch(&self, i: usize) -> canvas_core::PointBatch {
+        let (lo, hi) = (self.starts[i], self.starts[i + 1]);
+        canvas_core::PointBatch::with_weights(
+            self.trips.pickups[lo..hi].to_vec(),
+            self.trips.fares[lo..hi].to_vec(),
+        )
+    }
+
+    /// All batches in arrival order.
+    pub fn batches(&self) -> impl Iterator<Item = canvas_core::PointBatch> + '_ {
+        (0..self.num_batches()).map(|i| self.batch(i))
+    }
+
+    /// The underlying time-sorted trip table.
+    pub fn trips(&self) -> &Trips {
+        &self.trips
+    }
+}
+
+/// Generates a seeded trip table and wraps it as a replayable
+/// timestamp-ordered append stream (see [`TripFeed`]).
+pub fn trip_feed(extent: &BBox, n: usize, num_time_slots: u16, seed: u64) -> TripFeed {
+    TripFeed::new(&generate_trips(extent, n, num_time_slots, seed))
 }
 
 #[cfg(test)]
@@ -140,6 +231,72 @@ mod tests {
         let long_avg: f32 =
             by_dist[3 * q..].iter().map(|x| x.1).sum::<f32>() / (by_dist.len() - 3 * q) as f32;
         assert!(long_avg > short_avg);
+    }
+
+    #[test]
+    fn feed_replays_identically_and_in_time_order() {
+        let a = trip_feed(&extent(), 800, 6, 42);
+        let b = trip_feed(&extent(), 800, 6, 42);
+        assert_eq!(a.num_batches(), 6);
+        assert_eq!(a.len(), 800);
+        // Bit-identical replay across constructions.
+        for i in 0..a.num_batches() {
+            let (ba, bb) = (a.batch(i), b.batch(i));
+            assert_eq!(ba.points, bb.points, "batch {i}");
+            assert_eq!(ba.weights, bb.weights, "batch {i}");
+        }
+        // Concatenated batches are the whole table in nondecreasing
+        // time order, and each batch holds exactly its slot's trips.
+        let total: usize = a.batches().map(|b| b.len()).sum();
+        assert_eq!(total, 800);
+        assert!(a.trips().time_slots.windows(2).all(|w| w[0] <= w[1]));
+        let mut off = 0;
+        for i in 0..a.num_batches() {
+            let n = a.batch(i).len();
+            assert!(a.trips().time_slots[off..off + n]
+                .iter()
+                .all(|&s| s as usize == i));
+            off += n;
+        }
+    }
+
+    #[test]
+    fn stable_time_sort_preserves_within_slot_order() {
+        let t = generate_trips(&extent(), 300, 4, 11);
+        let s = t.sorted_by_time();
+        assert_eq!(s.len(), t.len());
+        // Within one slot, the stable sort keeps generation order: the
+        // slot's pickups appear as the subsequence of the originals.
+        for slot in 0..4u16 {
+            let want: Vec<Point> = (0..t.len())
+                .filter(|&i| t.time_slots[i] == slot)
+                .map(|i| t.pickups[i])
+                .collect();
+            let got: Vec<Point> = (0..s.len())
+                .filter(|&i| s.time_slots[i] == slot)
+                .map(|i| s.pickups[i])
+                .collect();
+            assert_eq!(got, want, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn feed_emits_empty_batches_for_empty_slots() {
+        // One trip, many slots: every other batch must still exist
+        // (empty appends are real feed ticks).
+        let t = Trips {
+            pickups: vec![Point::new(1.0, 1.0)],
+            dropoffs: vec![Point::new(2.0, 2.0)],
+            fares: vec![5.0],
+            passenger_counts: vec![1],
+            time_slots: vec![3],
+            num_time_slots: 8,
+        };
+        let feed = TripFeed::new(&t);
+        assert_eq!(feed.num_batches(), 8);
+        for i in 0..8 {
+            assert_eq!(feed.batch(i).len(), usize::from(i == 3), "batch {i}");
+        }
     }
 
     #[test]

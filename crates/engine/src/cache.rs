@@ -397,6 +397,14 @@ impl CanvasCache {
         evicted
     }
 
+    /// Removes one entry outright (not counted as an eviction — the
+    /// caller is retiring a superseded result, e.g. a predecessor
+    /// generation's canvas after an incremental refresh published its
+    /// successor). Returns whether the key was live.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        self.lock().unlink(key).is_some()
+    }
+
     pub fn stats(&self) -> CacheStats {
         self.lock().stats
     }

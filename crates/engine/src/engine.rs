@@ -125,6 +125,12 @@ pub enum Served {
     CacheHit,
     /// Shared an in-flight evaluation of the same key.
     Coalesced,
+    /// Maintained incrementally: a cached predecessor generation's
+    /// canvas was cloned and only the append delta's dirty tiles were
+    /// redrawn, then published under this generation's fingerprint
+    /// (bit-identical to a full render — the full render was avoided,
+    /// not approximated).
+    Incremental,
 }
 
 /// A served query result.
@@ -179,6 +185,7 @@ impl Response {
             Served::Computed => "computed",
             Served::CacheHit => "cache",
             Served::Coalesced => "coalesced",
+            Served::Incremental => "incremental",
         }
         .to_string();
         r.service_ns = self.service.as_nanos().min(u64::MAX as u128) as u64;
@@ -435,6 +442,21 @@ pub struct EngineMetrics {
     /// Subscriptions resolved by a failed leader — the subscriber
     /// fell back to rendering privately (correctness is unaffected).
     pub subplan_fallbacks: u64,
+    /// Point batches appended to versioned tables through
+    /// [`QueryEngine::ingest_append`] (each bumps its table's
+    /// generation and retires that table's cached canvases by key).
+    pub ingest_appends: u64,
+    /// Queries served by patching a cached predecessor generation's
+    /// canvas instead of re-rendering ([`Served::Incremental`]).
+    pub incremental_refreshes: u64,
+    /// Tiles redrawn across all incremental refreshes (the O(delta)
+    /// work actually done; compare against `full_renders_avoided` ×
+    /// tiles-per-viewport for the work skipped).
+    pub dirty_tiles_redrawn: u64,
+    /// Full O(dataset) renders avoided because a predecessor canvas
+    /// was patchable. **Not** incremented when the predecessor was
+    /// evicted and the engine fell back to a full render.
+    pub full_renders_avoided: u64,
     /// End-to-end latency of successfully served submissions.
     pub service: LatencyStats,
     /// Evaluation-only latency of computed submissions.
@@ -930,6 +952,29 @@ impl QueryEngine {
             return Err(e);
         }
 
+        // Station 5: incremental maintenance. A maintainable query (a
+        // live heatmap over a versioned table) probes the cache for a
+        // canvas of a *predecessor generation* — newest first — before
+        // paying a full render. A hit is cloned and patched with only
+        // the append delta's dirty tiles on the leased device, then
+        // published under *this* generation's fingerprint. The probe
+        // sits after admission because the patch is device work and
+        // must respect the concurrency bound; a miss (predecessor
+        // evicted, or first generation) falls through to the full
+        // render below.
+        let refresh_base = prepared.refresh().and_then(|spec| {
+            let _s = obs::span("refresh_probe", "engine");
+            spec.predecessors.iter().find_map(|&(prev_fp, prev_len)| {
+                let prev_key = CacheKey::new(prev_fp, &vp);
+                match self.cache.get(&prev_key) {
+                    Some(QueryResult::Canvas(base)) => {
+                        Some((prev_key, base, prev_len, spec.snapshot.clone()))
+                    }
+                    _ => None,
+                }
+            })
+        });
+
         let t_exec = Instant::now();
         let ticket = self.shared.pool().register_ticket();
         let pool = Arc::clone(self.shared.pool());
@@ -938,7 +983,30 @@ impl QueryEngine {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.with_ticket(ticket, || {
                 self.shared.run(|dev| {
-                    if self.share_subplans {
+                    if let Some((_, base, prev_len, snapshot)) = &refresh_base {
+                        // Mirror `execute_via`'s per-class span so the
+                        // report's descriptor row (node 0) still joins
+                        // this submission's measured work.
+                        let mut class_span = obs::span(prepared.label, "query");
+                        class_span.arg_u64("node", 0);
+                        let mut span = obs::span("incremental_patch", "engine");
+                        let (canvas, out) = canvas_core::patch_live_heatmap(
+                            dev,
+                            vp,
+                            base,
+                            snapshot.batch(),
+                            *prev_len,
+                            None,
+                        );
+                        span.arg_u64("dirty_tiles", out.dirty_tiles as u64);
+                        span.arg_u64("total_tiles", out.total_tiles as u64);
+                        span.arg_u64("delta_points", out.delta_points as u64);
+                        drop(span);
+                        let result = QueryResult::Canvas(Arc::new(canvas));
+                        class_span.arg_u64("bytes", result.size_bytes() as u64);
+                        return (result, Some(out));
+                    }
+                    let result = if self.share_subplans {
                         // Cut-point canvases flow through the engine's
                         // exchange: reused if another query rendered
                         // them, published otherwise. A panic mid-plan
@@ -951,7 +1019,8 @@ impl QueryEngine {
                         prepared.execute_via(dev, vp, &ex)
                     } else {
                         prepared.execute(dev, vp)
-                    }
+                    };
+                    (result, None)
                 })
             })
         }));
@@ -960,7 +1029,7 @@ impl QueryEngine {
         let exec = t_exec.elapsed();
 
         match outcome {
-            Ok(result) => {
+            Ok((result, patched)) => {
                 // The entry pins the query's dataset handles: fingerprints
                 // identify datasets by Arc address, so a cached result
                 // must keep those addresses alive (a freed-and-reused
@@ -968,6 +1037,15 @@ impl QueryEngine {
                 // onto an old key).
                 self.cache
                     .insert(key, result.clone(), prepared.pins().to_vec());
+                if patched.is_some() {
+                    if let Some((prev_key, ..)) = &refresh_base {
+                        // The patched predecessor is superseded: retire
+                        // its entry eagerly so the stale generation's
+                        // bytes are reclaimed, not merely unreachable
+                        // by new probes.
+                        self.cache.remove(prev_key);
+                    }
+                }
                 self.publish(&key, &flight, Ok(result.clone()));
                 let service = t_submit.elapsed();
                 record_dur(&self.lat_exec, exec);
@@ -976,14 +1054,24 @@ impl QueryEngine {
                 record_dur(&lat_class, service);
                 let computed = {
                     let mut m = self.metrics_mut();
-                    m.computed += 1;
+                    if let Some(out) = &patched {
+                        m.incremental_refreshes += 1;
+                        m.dirty_tiles_redrawn += out.dirty_tiles as u64;
+                        m.full_renders_avoided += 1;
+                    } else {
+                        m.computed += 1;
+                    }
                     m.computed
                 };
                 self.maybe_recalibrate(computed);
                 Ok(Response {
                     result,
                     fingerprint: prepared.fingerprint,
-                    served: Served::Computed,
+                    served: if patched.is_some() {
+                        Served::Incremental
+                    } else {
+                        Served::Computed
+                    },
                     queue_wait,
                     exec,
                     service,
@@ -1044,6 +1132,7 @@ impl QueryEngine {
             Some(Served::Computed) => "computed",
             Some(Served::CacheHit) => "cache",
             Some(Served::Coalesced) => "coalesced",
+            Some(Served::Incremental) => "incremental",
             None => reason.as_str(),
         }
         .to_string();
@@ -1116,7 +1205,7 @@ impl QueryEngine {
     /// the process metadata.
     fn sync_registry(&self) {
         let m = self.metrics();
-        let counters: [(&str, u64); 15] = [
+        let counters: [(&str, u64); 19] = [
             ("queries_submitted", m.submitted),
             ("queries_computed", m.computed),
             ("cache_hits", m.cache_hits),
@@ -1128,6 +1217,10 @@ impl QueryEngine {
             ("subplan_shared_renders_avoided", m.shared_renders_avoided),
             ("subplan_published", m.subplan_published),
             ("subplan_fallbacks", m.subplan_fallbacks),
+            ("ingest_appends", m.ingest_appends),
+            ("incremental_refreshes", m.incremental_refreshes),
+            ("dirty_tiles_redrawn", m.dirty_tiles_redrawn),
+            ("full_renders_avoided", m.full_renders_avoided),
             // Observability health: tracing-sink drops at its cap,
             // slow-query promotions, and flight-ring loss accounting
             // (normal fast-path recycling vs spans a capture wanted
@@ -1184,6 +1277,26 @@ impl QueryEngine {
             self.recalibrations
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
+    }
+
+    /// Appends a point batch to a versioned table through the engine,
+    /// counting it toward `ingest_appends`. The append bumps the
+    /// table's generation, which retires every cached canvas of older
+    /// generations *by key* (their fingerprints embed the old stamp) —
+    /// the next [`Query::LiveHeatmap`] submission over a fresh
+    /// snapshot either patches a predecessor's canvas incrementally or
+    /// re-renders, but can never be served stale bits.
+    pub fn ingest_append(
+        &self,
+        table: &canvas_core::VersionedTable,
+        batch: &canvas_core::PointBatch,
+    ) -> canvas_core::AppendOutcome {
+        let mut span = obs::span("ingest_append", "engine");
+        let out = table.append(batch);
+        span.arg_u64("generation", out.generation);
+        span.arg_u64("appended", out.appended as u64);
+        self.metrics_mut().ingest_appends += 1;
+        out
     }
 
     /// Canvas cache traffic snapshot.

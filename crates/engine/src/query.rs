@@ -114,6 +114,18 @@ pub enum Query {
     /// Convex hull of the points selected by `q` (Section 4.5).
     /// Result: [`QueryResult::Hull`] (CCW vertex ring).
     Hull { data: Arc<PointBatch>, q: Polygon },
+    /// The live-updating density heatmap over one generation of a
+    /// [`VersionedTable`](canvas_core::VersionedTable) — the streaming
+    /// maintained view. Identity folds the table's stable handle plus
+    /// the snapshot's generation stamp, so every append retires all
+    /// cached canvases of older generations (unreachable by key) while
+    /// same-generation probes still hit. The engine's serve path may
+    /// satisfy this query *incrementally*: if a predecessor
+    /// generation's canvas is still cached, it is cloned and only the
+    /// delta's dirty tiles are redrawn (provenance `incremental`).
+    LiveHeatmap {
+        snapshot: canvas_core::TableSnapshot,
+    },
 }
 
 impl Query {
@@ -133,6 +145,7 @@ impl Query {
             Query::RegionTimeSeries { .. } => "region_time_series",
             Query::Skyline { .. } => "skyline",
             Query::Hull { .. } => "hull",
+            Query::LiveHeatmap { .. } => "live_heatmap",
         }
     }
 
@@ -356,6 +369,21 @@ impl Query {
                     pins: vec![data.clone()],
                 }
             }
+            Query::LiveHeatmap { snapshot } => {
+                let mut fb = algebra::FingerprintBuilder::new("engine/live-heatmap");
+                snapshot.fold_identity(&mut fb);
+                Prepared {
+                    fingerprint: fb.finish(),
+                    label,
+                    runner: Runner::LiveHeatmap {
+                        snapshot: snapshot.clone(),
+                    },
+                    // The identity hashes the table handle's address
+                    // (generation + length disambiguate contents); pin
+                    // both the handle and the snapshot's batch.
+                    pins: vec![snapshot.ident_handle(), snapshot.batch().clone()],
+                }
+            }
         }
     }
 }
@@ -417,6 +445,19 @@ pub(crate) enum Runner {
         data: Arc<PointBatch>,
         q: Polygon,
     },
+    LiveHeatmap {
+        snapshot: canvas_core::TableSnapshot,
+    },
+}
+
+/// What the engine needs to *maintain* a query's cached result instead
+/// of recomputing it: the snapshot to render, plus the cache identities
+/// of prior generations whose canvases can be patched (newest first —
+/// the freshest predecessor yields the smallest delta).
+pub(crate) struct RefreshSpec {
+    pub snapshot: canvas_core::TableSnapshot,
+    /// `(fingerprint, prefix_len)` per predecessor generation.
+    pub predecessors: Vec<(Fingerprint, usize)>,
 }
 
 /// Collects the handles a plan's fingerprint identifies **by address**
@@ -521,6 +562,33 @@ impl Prepared {
         &self.pins
     }
 
+    /// For maintainable queries (today: [`Query::LiveHeatmap`]), the
+    /// refresh spec the serve path uses to patch a cached predecessor
+    /// generation instead of re-rendering from scratch. The
+    /// predecessor fingerprints are derived exactly as
+    /// [`Query::prepare`] derives this query's own — same builder
+    /// domain, older generation stamp — so they address precisely the
+    /// entries earlier submissions published.
+    pub(crate) fn refresh(&self) -> Option<RefreshSpec> {
+        match &self.runner {
+            Runner::LiveHeatmap { snapshot } => {
+                let predecessors = snapshot
+                    .predecessors()
+                    .map(|g| {
+                        let mut fb = algebra::FingerprintBuilder::new("engine/live-heatmap");
+                        snapshot.fold_identity_at(&mut fb, g);
+                        (fb.finish(), snapshot.len_at(g).expect("known generation"))
+                    })
+                    .collect();
+                Some(RefreshSpec {
+                    snapshot: snapshot.clone(),
+                    predecessors,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Evaluates on a device. The engine calls this on a leased shared
     /// device under the query's fair-share ticket; it is public so
     /// harnesses can evaluate the *identical* prepared form on a
@@ -610,6 +678,9 @@ impl Prepared {
             Runner::Hull { data, q } => {
                 QueryResult::Hull(Arc::new(hull::hull_of_selection_via(dev, vp, data, q, ex)))
             }
+            Runner::LiveHeatmap { snapshot } => QueryResult::Canvas(Arc::new(
+                canvas_core::render_live_heatmap(dev, vp, snapshot.batch(), None),
+            )),
         };
         class_span.arg_u64("bytes", result.size_bytes() as u64);
         result

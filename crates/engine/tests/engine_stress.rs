@@ -77,6 +77,17 @@ fn workload() -> (Vec<Query>, Vec<Viewport>) {
             Expr::points(points.clone()),
             Expr::query_polygon(q2, 2),
         )),
+        // A versioned table at its base generation: the streaming query
+        // class must behave like any other under concurrency (no
+        // predecessor exists, so nothing here serves incrementally).
+        Query::LiveHeatmap {
+            snapshot: VersionedTable::new(
+                "stress-live",
+                extent(),
+                PointBatch::from_points(canvas_datagen::taxi_pickups(&extent(), 1_500, 77)),
+            )
+            .snapshot(),
+        },
     ];
     (queries, viewports())
 }
@@ -169,7 +180,7 @@ fn concurrent_randomized_queries_match_sequential_cpu() {
         m.submitted,
         "every submission was served"
     );
-    // 96 submissions over 18 distinct (query, viewport) keys: the
+    // 96 submissions over 21 distinct (query, viewport) keys: the
     // cache must have carried most of the load.
     assert!(
         m.cache_hits + m.coalesced >= m.submitted / 2,

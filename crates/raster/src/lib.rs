@@ -49,7 +49,7 @@ pub mod viewport;
 pub use chain::{ChainOp, ChainRunReport, MaskOutcome, OpChain};
 pub use device::DeviceProfile;
 pub use par::{live_worker_count, Calibration, Policy, SchedulerStats, TicketId, WorkerPool};
-pub use pipeline::{Frag, Pipeline};
+pub use pipeline::{Frag, PatchReport, Pipeline};
 pub use rasterize::RasterMode;
 pub use simd::{Backend, BlendTag, MaskTag, TexelWords, ValueTag};
 pub use stats::PipelineStats;

@@ -59,6 +59,18 @@ pub struct Frag {
     pub boundary: bool,
 }
 
+/// Outcome of one [`Pipeline::patch_points_tiled`] call: how much of
+/// the framebuffer an incremental delta actually touched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Tiles that received at least one delta point and were redrawn.
+    pub dirty_tiles: usize,
+    /// Total tiles of the framebuffer's grid.
+    pub total_tiles: usize,
+    /// In-viewport delta points blended.
+    pub fragments: u64,
+}
+
 /// The software graphics pipeline. Owns work counters and scratch
 /// buffers; framebuffers ([`Texture`]s) are passed per call.
 #[derive(Debug)]
@@ -901,6 +913,110 @@ impl Pipeline {
             peak_tiles_in_flight: stream.peak_in_flight,
             masked,
         }
+    }
+
+    /// Incremental dirty-tile point patch: bins the (small) `points`
+    /// delta to tiles, replays the blend only on tiles that received a
+    /// point, and — when `value` is given — re-applies that pointwise
+    /// value kernel over each dirty tile's texels. Clean tiles are
+    /// never read or written, so a patch costs O(delta + dirty tiles),
+    /// not O(framebuffer).
+    ///
+    /// This is the maintenance half of the streaming-ingest path: given
+    /// a framebuffer produced by a full `draw → value` run over a point
+    /// prefix, patching in the appended suffix reproduces the full run
+    /// over the whole sequence bit-for-bit *provided* the value kernel
+    /// rewrites every word the blend disturbs from words the blend
+    /// folds associatively-by-suffix (true of the `HeatLog` live
+    /// heatmap; fuzzed in `core/tests/incremental_equivalence.rs`).
+    /// Binning is sequential and per-pixel replay order is global input
+    /// order, so results are bit-identical at any thread count.
+    pub fn patch_points_tiled<P, S, B>(
+        &mut self,
+        vp: &Viewport,
+        fb: &mut Texture<P>,
+        points: &[Point],
+        shade: S,
+        blend: B,
+        value: Option<(simd::Backend, ValueTag)>,
+    ) -> PatchReport
+    where
+        P: TexelWords + Send + Sync,
+        S: Fn(u32, Point) -> P + Sync,
+        B: Fn(P, P) -> P + Sync,
+    {
+        let _draw_span = draw_span("patch_points", points.len(), value.is_some() as usize);
+        self.begin_pass();
+        self.stats.vertices += points.len() as u64;
+        self.stats.primitives += points.len() as u64;
+        let grid = TileGrid::new(vp.width(), vp.height());
+        // Sequential binning in input order: deltas are small by
+        // assumption, and per-pixel replay order below is then the
+        // global input order, exactly like a full tiled draw.
+        let mut bins: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); grid.num_tiles()];
+        let mut fragments = 0u64;
+        for (i, &p) in points.iter().enumerate() {
+            if let Some((x, y)) = vp.world_to_pixel(p) {
+                bins[grid.tile_of(x, y)].push((x, y, i as u32));
+                fragments += 1;
+            }
+        }
+        let dirty: Vec<usize> = (0..grid.num_tiles())
+            .filter(|&t| !bins[t].is_empty())
+            .collect();
+        self.stats.fragments += fragments;
+        self.stats.boundary_fragments += fragments; // points need exact coords
+        self.stats.blend_ops += fragments;
+        if value.is_some() && !dirty.is_empty() {
+            // The value re-apply is one pass over the dirty texels only
+            // — the O(delta) point of the patch path, and exactly what
+            // the counters should say it cost.
+            self.stats.passes += 1;
+            self.stats.fullscreen_texels += dirty
+                .iter()
+                .map(|&t| grid.rect(t).len() as u64)
+                .sum::<u64>();
+        }
+        let report = PatchReport {
+            dirty_tiles: dirty.len(),
+            total_tiles: grid.num_tiles(),
+            fragments,
+        };
+        if dirty.is_empty() {
+            return report;
+        }
+        let pool = Arc::clone(&self.pool);
+        let patch_tile = |tex: &mut [P], t: usize| {
+            let rect = grid.rect(t);
+            for &(x, y, idx) in &bins[t] {
+                let li = rect.local_index(x, y);
+                tex[li] = blend(tex[li], shade(idx, points[idx as usize]));
+            }
+            if let Some((be, tag)) = value {
+                simd::value_rows_with(be, tag, tex);
+            }
+        };
+        if pool.threads() == 1 || dirty.len() == 1 {
+            for &t in &dirty {
+                let rect = grid.rect(t);
+                let mut tex = fb.read_rect(rect.x0, rect.y0, rect.w, rect.h);
+                patch_tile(&mut tex, t);
+                fb.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex);
+            }
+        } else {
+            // SAFETY of the shared view: dirty tiles have pairwise
+            // disjoint rects and each worker reads, replays and writes
+            // only its own tile (see `RawTexels`).
+            let shared = RawTexels::new(fb);
+            pool.run_indexed(dirty.len(), |i| {
+                let t = dirty[i];
+                let rect = grid.rect(t);
+                let mut tex = unsafe { shared.read_rect(rect.x0, rect.y0, rect.w, rect.h) };
+                patch_tile(&mut tex, t);
+                unsafe { shared.write_rect(rect.x0, rect.y0, rect.w, rect.h, &tex) };
+            });
+        }
+        report
     }
 
     /// Tile-parallel batched polygon draw — the tiled form of
